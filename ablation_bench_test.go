@@ -1,0 +1,156 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// prover's set-of-support strategy, colimit cost as composition chains
+// deepen, model-checker state-space growth with cohort count, and the
+// commit protocols' message/latency trade-off at increasing group sizes.
+package speccat_test
+
+import (
+	"fmt"
+	"testing"
+
+	"speccat/internal/core/cat"
+	"speccat/internal/core/logic"
+	"speccat/internal/core/prover"
+	"speccat/internal/core/spec"
+	"speccat/internal/mc"
+	"speccat/internal/tpc"
+)
+
+// hornChain builds a k-step Horn chain P0 => P1 => ... => Pk with goal Pk,
+// plus k "distractor" axioms (an unrelated derivable chain) that an
+// unrestricted saturation grinds through but set-of-support never touches.
+func hornChain(k int) ([]prover.NamedFormula, prover.NamedFormula) {
+	var axioms []prover.NamedFormula
+	axioms = append(axioms, prover.NamedFormula{Name: "base", Formula: logic.Pred("P0")})
+	for i := 0; i < k; i++ {
+		axioms = append(axioms, prover.NamedFormula{
+			Name:    fmt.Sprintf("step%d", i),
+			Formula: logic.Implies(logic.Pred(fmt.Sprintf("P%d", i)), logic.Pred(fmt.Sprintf("P%d", i+1))),
+		})
+		axioms = append(axioms, prover.NamedFormula{
+			Name:    fmt.Sprintf("noise%d", i),
+			Formula: logic.Implies(logic.Pred(fmt.Sprintf("Q%d", i)), logic.Pred(fmt.Sprintf("Q%d", i+1))),
+		})
+	}
+	axioms = append(axioms, prover.NamedFormula{Name: "noisebase", Formula: logic.Pred("Q0")})
+	return axioms, prover.NamedFormula{Name: "goal", Formula: logic.Pred(fmt.Sprintf("P%d", k))}
+}
+
+// BenchmarkAblation_Prover_SOS measures the set-of-support strategy...
+func BenchmarkAblation_Prover_SOS(b *testing.B) {
+	axioms, goal := hornChain(24)
+	p := prover.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Prove(axioms, goal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_Prover_NoSOS ...against unrestricted saturation.
+func BenchmarkAblation_Prover_NoSOS(b *testing.B) {
+	axioms, goal := hornChain(24)
+	p := prover.New()
+	p.DisableSOS = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Prove(axioms, goal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// towerSpecs builds an n-layer inclusion tower for colimit scaling.
+func towerSpecs(b *testing.B, n int) *cat.Diagram {
+	b.Helper()
+	d := cat.NewDiagram()
+	var prev *spec.Spec
+	for i := 0; i < n; i++ {
+		s := spec.New(fmt.Sprintf("L%d", i))
+		if prev != nil {
+			if err := s.Include(prev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.AddSort(fmt.Sprintf("S%d", i), ""); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddOp(spec.Op{Name: fmt.Sprintf("Op%d", i), Args: []string{fmt.Sprintf("S%d", i)}, Result: spec.BoolSort}); err != nil {
+			b.Fatal(err)
+		}
+		label := fmt.Sprintf("n%d", i)
+		if err := d.AddNode(label, s); err != nil {
+			b.Fatal(err)
+		}
+		if prev != nil {
+			m := spec.NewMorphism(fmt.Sprintf("m%d", i), prev, s, nil, nil)
+			if err := d.AddArc(fmt.Sprintf("a%d", i), fmt.Sprintf("n%d", i-1), label, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		prev = s
+	}
+	return d
+}
+
+// BenchmarkAblation_Colimit_Depth{4,16,64} measure shared-union colimit
+// cost as the composition chain deepens.
+func benchmarkColimitDepth(b *testing.B, depth int) {
+	d := towerSpecs(b, depth)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc, err := cat.Colimit(d, "APEX")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cc.Apex.Sig.Ops) != depth {
+			b.Fatalf("ops = %d", len(cc.Apex.Sig.Ops))
+		}
+	}
+}
+
+func BenchmarkAblation_Colimit_Depth4(b *testing.B)  { benchmarkColimitDepth(b, 4) }
+func BenchmarkAblation_Colimit_Depth16(b *testing.B) { benchmarkColimitDepth(b, 16) }
+func BenchmarkAblation_Colimit_Depth64(b *testing.B) { benchmarkColimitDepth(b, 64) }
+
+// benchmarkMCCohorts measures state-space growth with cohort count.
+func benchmarkMCCohorts(b *testing.B, n int) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := mc.NewCommitModel(mc.Model3PC, n, 1, mc.ModelOptions{Lockstep: true, AllowRecovery: true})
+		res, err := mc.Explore(sys, []mc.Invariant{mc.InvariantAtomicity(n)}, mc.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			b.Fatal("unexpected violation")
+		}
+		b.ReportMetric(float64(res.States), "states")
+	}
+}
+
+func BenchmarkAblation_ModelCheck_1Cohort(b *testing.B)  { benchmarkMCCohorts(b, 1) }
+func BenchmarkAblation_ModelCheck_2Cohorts(b *testing.B) { benchmarkMCCohorts(b, 2) }
+func BenchmarkAblation_ModelCheck_3Cohorts(b *testing.B) { benchmarkMCCohorts(b, 3) }
+
+// benchmarkCommitGroup measures a full no-failure commit round.
+func benchmarkCommitGroup(b *testing.B, protocol tpc.Protocol, cohorts int) {
+	for i := 0; i < b.N; i++ {
+		g := tpc.NewGroup(int64(i)+1, cohorts, tpc.Config{Protocol: protocol})
+		if err := g.Coordinator.Begin("t"); err != nil {
+			b.Fatal(err)
+		}
+		g.Net.Scheduler().Run(0)
+		if g.Coordinator.Decision("t") != tpc.DecisionCommit {
+			b.Fatal("commit failed")
+		}
+		sent, _, _ := g.Net.Stats()
+		b.ReportMetric(float64(sent), "msgs")
+	}
+}
+
+func BenchmarkAblation_Commit_3PC_3Cohorts(b *testing.B) { benchmarkCommitGroup(b, tpc.ThreePhase, 3) }
+func BenchmarkAblation_Commit_2PC_3Cohorts(b *testing.B) { benchmarkCommitGroup(b, tpc.TwoPhase, 3) }
+func BenchmarkAblation_Commit_3PC_9Cohorts(b *testing.B) { benchmarkCommitGroup(b, tpc.ThreePhase, 9) }
+func BenchmarkAblation_Commit_2PC_9Cohorts(b *testing.B) { benchmarkCommitGroup(b, tpc.TwoPhase, 9) }

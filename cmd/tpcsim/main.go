@@ -1,0 +1,169 @@
+// Command tpcsim runs commit-protocol simulations on the deterministic
+// network: pick the protocol, the number of cohorts, a crash plan, and a
+// seed; the tool prints the per-site FSM trajectories and final decisions.
+//
+// Usage:
+//
+//	tpcsim -protocol 3pc -cohorts 3 -crash coord@15 -seed 42
+//	tpcsim -protocol 2pc -cohorts 4 -crash coord@20 -horizon 2000
+//	tpcsim -protocol 3pc -cohorts 3 -crash 3@8 -recover 3@400 -veto 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+	"speccat/internal/tpc"
+)
+
+func main() {
+	protocol := flag.String("protocol", "3pc", "3pc or 2pc")
+	cohorts := flag.Int("cohorts", 3, "number of cohort sites")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	crash := flag.String("crash", "", "crash plan, e.g. coord@15 or 3@8 (site@time, comma separated)")
+	recoverPlan := flag.String("recover", "", "recovery plan, same syntax as -crash")
+	veto := flag.Int("veto", 0, "cohort ID that votes no (0 = all vote yes)")
+	horizon := flag.Int64("horizon", 5000, "simulation horizon (ticks)")
+	naive := flag.Bool("naive", false, "use bare Fig. 3.2 timeout transitions instead of the termination protocol")
+	trace := flag.Bool("trace", false, "print every FSM transition (Fig. 3.2 arrows)")
+	flag.Parse()
+
+	cfg := tpc.Config{NaiveTimeouts: *naive}
+	switch strings.ToLower(*protocol) {
+	case "3pc":
+		cfg.Protocol = tpc.ThreePhase
+	case "2pc":
+		cfg.Protocol = tpc.TwoPhase
+	default:
+		fmt.Fprintf(os.Stderr, "tpcsim: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+
+	g := tpc.NewGroup(*seed, *cohorts, cfg)
+	if *veto != 0 {
+		id := simnet.NodeID(*veto)
+		h, ok := g.Cohorts[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tpcsim: no cohort %d\n", *veto)
+			os.Exit(2)
+		}
+		h.Vote = func(string) bool { return false }
+	}
+
+	plan, err := parsePlan(*crash, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpcsim:", err)
+		os.Exit(2)
+	}
+	for _, ev := range plan {
+		ev := ev
+		g.Net.Scheduler().At(ev.at, func() {
+			fmt.Printf("t=%-6d crash site %d\n", g.Net.Scheduler().Now(), ev.site)
+			_ = g.Net.Crash(ev.site)
+		})
+	}
+	recPlan, err := parsePlan(*recoverPlan, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpcsim:", err)
+		os.Exit(2)
+	}
+	for _, ev := range recPlan {
+		ev := ev
+		g.Net.Scheduler().At(ev.at, func() {
+			fmt.Printf("t=%-6d recover site %d\n", g.Net.Scheduler().Now(), ev.site)
+			_ = g.Net.Recover(ev.site)
+			if ev.site == g.CoordID {
+				g.Coordinator.RecoverAll()
+			} else {
+				g.Cohorts[ev.site].RecoverAll()
+			}
+		})
+	}
+
+	if *trace {
+		hook := func(site simnet.NodeID) tpc.TraceFunc {
+			return func(txn string, tr tpc.Transition) {
+				fmt.Printf("t=%-6d site %d: %s %s→%s (%s)\n",
+					g.Net.Scheduler().Now(), site, tr.Role, tr.From, tr.To, tr.Cause)
+			}
+		}
+		g.Coordinator.Trace = hook(g.CoordID)
+		for id, h := range g.Cohorts {
+			h.Trace = hook(id)
+		}
+	}
+
+	// Trace decisions as they happen.
+	g.Coordinator.OnDecide = func(txn string, d tpc.Decision) {
+		fmt.Printf("t=%-6d coordinator decides %s\n", g.Net.Scheduler().Now(), d)
+	}
+	for id, h := range g.Cohorts {
+		id := id
+		h.OnDecide = func(txn string, d tpc.Decision) {
+			fmt.Printf("t=%-6d cohort %d decides %s\n", g.Net.Scheduler().Now(), id, d)
+		}
+		h.OnBlocked = func(txn string) {
+			fmt.Printf("t=%-6d cohort %d BLOCKED (uncertain, coordinator silent)\n", g.Net.Scheduler().Now(), id)
+		}
+	}
+
+	fmt.Printf("%s with %d cohorts, seed %d\n", cfg.Protocol, *cohorts, *seed)
+	if err := g.Coordinator.Begin("txn"); err != nil {
+		fmt.Fprintln(os.Stderr, "tpcsim:", err)
+		os.Exit(1)
+	}
+	g.Net.Scheduler().RunUntil(sim.Time(*horizon))
+
+	fmt.Println()
+	o := g.Outcome("txn")
+	fmt.Printf("final: coordinator=%s", o.Coordinator)
+	for _, id := range g.CohortIDs {
+		fmt.Printf("  cohort%d=%s", id, o.Cohorts[id])
+	}
+	fmt.Println()
+	if o.Atomic() {
+		fmt.Println("atomicity: OK")
+	} else {
+		fmt.Println("atomicity: VIOLATED")
+		os.Exit(1)
+	}
+}
+
+type planEvent struct {
+	site simnet.NodeID
+	at   sim.Time
+}
+
+func parsePlan(s string, g *tpc.Group) ([]planEvent, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []planEvent
+	for _, part := range strings.Split(s, ",") {
+		bits := strings.SplitN(strings.TrimSpace(part), "@", 2)
+		if len(bits) != 2 {
+			return nil, fmt.Errorf("bad plan entry %q (want site@time)", part)
+		}
+		var site simnet.NodeID
+		if bits[0] == "coord" {
+			site = g.CoordID
+		} else {
+			n, err := strconv.Atoi(bits[0])
+			if err != nil {
+				return nil, fmt.Errorf("bad site %q: %v", bits[0], err)
+			}
+			site = simnet.NodeID(n)
+		}
+		at, err := strconv.ParseInt(bits[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time %q: %v", bits[1], err)
+		}
+		out = append(out, planEvent{site: site, at: sim.Time(at)})
+	}
+	return out, nil
+}

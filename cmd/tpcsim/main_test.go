@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"speccat/internal/tpc"
+)
+
+func TestParsePlan(t *testing.T) {
+	g := tpc.NewGroup(1, 3, tpc.Config{})
+	plan, err := parsePlan("coord@15, 3@200", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if plan[0].site != g.CoordID || plan[0].at != 15 {
+		t.Fatalf("entry 0 = %+v", plan[0])
+	}
+	if plan[1].site != 3 || plan[1].at != 200 {
+		t.Fatalf("entry 1 = %+v", plan[1])
+	}
+	if plan, err := parsePlan("", g); err != nil || plan != nil {
+		t.Fatalf("empty plan: %v %v", plan, err)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	g := tpc.NewGroup(1, 3, tpc.Config{})
+	for _, bad := range []string{"coord", "x@5", "2@y", "@@"} {
+		if _, err := parsePlan(bad, g); err == nil {
+			t.Errorf("plan %q accepted", bad)
+		}
+	}
+}

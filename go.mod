@@ -1,0 +1,3 @@
+module speccat
+
+go 1.22

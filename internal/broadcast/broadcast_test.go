@@ -1,0 +1,143 @@
+package broadcast
+
+import (
+	"testing"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+)
+
+func setup(seed int64, n, f int) (*simnet.Network, map[simnet.NodeID]*Endpoint) {
+	sched := sim.NewScheduler(seed)
+	net := simnet.New(sched, simnet.DefaultOptions())
+	for i := 1; i <= n; i++ {
+		net.AddNode(simnet.NodeID(i), nil)
+	}
+	return net, Group(net, f)
+}
+
+func TestValidityAllCorrectDeliver(t *testing.T) {
+	net, eps := setup(1, 4, 1)
+	if _, err := eps[1].Broadcast("hello"); err != nil {
+		t.Fatal(err)
+	}
+	net.Scheduler().Run(0)
+	for id, ep := range eps {
+		ds := ep.Delivered()
+		if len(ds) != 1 {
+			t.Fatalf("node %d delivered %d messages", id, len(ds))
+		}
+		if ds[0].Body.(string) != "hello" || ds[0].Origin != 1 {
+			t.Fatalf("node %d delivery = %+v", id, ds[0])
+		}
+	}
+}
+
+func TestIntegrityNoDuplicates(t *testing.T) {
+	net, eps := setup(2, 4, 1)
+	// Two broadcasts from different nodes; relays must not duplicate.
+	if _, err := eps[1].Broadcast("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eps[2].Broadcast("b"); err != nil {
+		t.Fatal(err)
+	}
+	net.Scheduler().Run(0)
+	for id, ep := range eps {
+		if got := len(ep.Delivered()); got != 2 {
+			t.Fatalf("node %d delivered %d, want 2", id, got)
+		}
+	}
+}
+
+func TestTimelinessBound(t *testing.T) {
+	net, eps := setup(3, 5, 2)
+	if _, err := eps[1].Broadcast("x"); err != nil {
+		t.Fatal(err)
+	}
+	net.Scheduler().Run(0)
+	delta := eps[1].Delta()
+	for id, ep := range eps {
+		for _, d := range ep.Delivered() {
+			lat := d.DeliveredAt - d.BroadcastAt
+			// The A-delivery timer fires at exactly T+Δ or the relay
+			// arrival, whichever is later; with FIFO pushback allow a
+			// small number of extra ticks.
+			if lat > delta+sim.Time(5) {
+				t.Fatalf("node %d latency %d exceeds Δ=%d", id, lat, delta)
+			}
+		}
+	}
+}
+
+func TestUniformAgreementUnderSenderCrash(t *testing.T) {
+	// Sender crashes immediately after its sends are queued; relays must
+	// still deliver everywhere (f=1 tolerated crash).
+	net, eps := setup(4, 4, 1)
+	if _, err := eps[1].Broadcast("survive"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	net.Scheduler().Run(0)
+	for _, id := range []simnet.NodeID{2, 3, 4} {
+		if got := len(eps[id].Delivered()); got != 1 {
+			t.Fatalf("correct node %d delivered %d, want 1", id, got)
+		}
+	}
+}
+
+func TestAgreementIfAnyCorrectDelivers(t *testing.T) {
+	// Crash node 2 after the relays are in flight: every *correct* node
+	// must still agree (deliver the same set).
+	net, eps := setup(5, 5, 1)
+	if _, err := eps[3].Broadcast("m"); err != nil {
+		t.Fatal(err)
+	}
+	net.Scheduler().RunUntil(2)
+	if err := net.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	net.Scheduler().Run(0)
+	want := -1
+	for _, id := range []simnet.NodeID{1, 3, 4, 5} {
+		got := len(eps[id].Delivered())
+		if want == -1 {
+			want = got
+		}
+		if got != want || got != 1 {
+			t.Fatalf("agreement violated: node %d delivered %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestDeliverCallbackFires(t *testing.T) {
+	net, eps := setup(6, 3, 1)
+	var got []Delivery
+	eps[2].Deliver = func(d Delivery) { got = append(got, d) }
+	if _, err := eps[1].Broadcast("cb"); err != nil {
+		t.Fatal(err)
+	}
+	net.Scheduler().Run(0)
+	if len(got) != 1 || got[0].Body.(string) != "cb" {
+		t.Fatalf("callback deliveries = %v", got)
+	}
+}
+
+func TestManyBroadcastsAllDelivered(t *testing.T) {
+	net, eps := setup(7, 4, 1)
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		origin := simnet.NodeID(1 + i%4)
+		if _, err := eps[origin].Broadcast(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Scheduler().Run(0)
+	for id, ep := range eps {
+		if got := len(ep.Delivered()); got != rounds {
+			t.Fatalf("node %d delivered %d, want %d", id, got, rounds)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package checkpoint implements the checkpointing protocol of
+// Section 3.5.1 (building block 5): coordinated checkpoints taken in two
+// phases — every site first saves a *tentative* checkpoint to stable
+// storage and acknowledges; once the coordinator has every ack it orders
+// promotion to *permanent*. A failure before promotion leaves the previous
+// permanent checkpoint in force, so the set of permanent checkpoints
+// always forms a consistent system state and recovery of one site never
+// forces others back (no domino effect). Sites checkpoint periodically
+// with a common period Π.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+	"speccat/internal/stable"
+)
+
+// Stable-storage keys.
+const (
+	keyTentative = "ckpt/tentative"
+	keyPermanent = "ckpt/permanent"
+)
+
+// Wire kinds.
+const (
+	kindTake   = "checkpoint.take"
+	kindAck    = "checkpoint.ack"
+	kindCommit = "checkpoint.commit"
+)
+
+// ErrNoCheckpoint is returned when no permanent checkpoint exists.
+var ErrNoCheckpoint = errors.New("checkpoint: no permanent checkpoint")
+
+// saved is the stable-storage encoding of one checkpoint.
+type saved struct {
+	Seq   int    `json:"seq"`
+	State []byte `json:"state"`
+}
+
+// takeMsg orders a tentative checkpoint.
+type takeMsg struct{ Seq int }
+
+// ackMsg acknowledges a tentative checkpoint.
+type ackMsg struct{ Seq int }
+
+// commitMsg promotes tentative to permanent.
+type commitMsg struct{ Seq int }
+
+// Node is one site's checkpointing engine.
+type Node struct {
+	net *simnet.Network
+	id  simnet.NodeID
+	// Capture returns the site's current volatile state for saving.
+	Capture func() []byte
+	// OnPermanent fires when a checkpoint becomes permanent.
+	OnPermanent func(seq int)
+
+	// coordinator state
+	isCoord bool
+	period  sim.Time
+	seq     int
+	acked   map[int]map[simnet.NodeID]bool
+}
+
+// New creates a checkpointing node.
+func New(net *simnet.Network, id simnet.NodeID, capture func() []byte) *Node {
+	return &Node{net: net, id: id, Capture: capture, acked: map[int]map[simnet.NodeID]bool{}}
+}
+
+// StartCoordinator makes this node the checkpoint coordinator with the
+// given period Π (the paper requires Π > β+δ; callers pass a period well
+// above the network delay bound).
+func (n *Node) StartCoordinator(period sim.Time) {
+	n.isCoord = true
+	n.period = period
+	n.net.After(n.id, period, n.round)
+}
+
+// round runs one coordinated checkpoint.
+func (n *Node) round() {
+	n.seq++
+	seq := n.seq
+	n.acked[seq] = map[simnet.NodeID]bool{}
+	_ = n.net.Broadcast(n.id, kindTake, takeMsg{Seq: seq})
+	if n.period > 0 {
+		n.net.After(n.id, n.period, n.round)
+	}
+}
+
+// TakeNow triggers an immediate checkpoint round (coordinator only).
+func (n *Node) TakeNow() {
+	if n.isCoord {
+		n.round()
+	}
+}
+
+func (n *Node) store() *stable.Store {
+	st, err := n.net.Store(n.id)
+	if err != nil {
+		panic(fmt.Sprintf("checkpoint: own store missing: %v", err))
+	}
+	return st
+}
+
+// HandleMessage consumes checkpoint traffic; returns true when consumed.
+func (n *Node) HandleMessage(m simnet.Message) bool {
+	switch m.Kind {
+	case kindTake:
+		tm, ok := m.Payload.(takeMsg)
+		if !ok {
+			return false
+		}
+		n.saveTentative(tm.Seq)
+		_ = n.net.Send(n.id, m.From, kindAck, ackMsg{Seq: tm.Seq})
+		return true
+	case kindAck:
+		am, ok := m.Payload.(ackMsg)
+		if !ok {
+			return false
+		}
+		if !n.isCoord || n.acked[am.Seq] == nil {
+			return true
+		}
+		n.acked[am.Seq][m.From] = true
+		// All *operational* sites must ack before promotion.
+		for _, peer := range n.net.Nodes() {
+			if n.net.Up(peer) && !n.acked[am.Seq][peer] {
+				return true
+			}
+		}
+		delete(n.acked, am.Seq)
+		_ = n.net.Broadcast(n.id, kindCommit, commitMsg{Seq: am.Seq})
+		return true
+	case kindCommit:
+		cm, ok := m.Payload.(commitMsg)
+		if !ok {
+			return false
+		}
+		n.promote(cm.Seq)
+		return true
+	default:
+		return false
+	}
+}
+
+// saveTentative writes the tentative checkpoint to stable storage.
+func (n *Node) saveTentative(seq int) {
+	data, err := json.Marshal(saved{Seq: seq, State: n.Capture()})
+	if err != nil {
+		panic("checkpoint: marshal: " + err.Error())
+	}
+	n.store().Put(keyTentative, data)
+}
+
+// promote turns the matching tentative checkpoint permanent.
+func (n *Node) promote(seq int) {
+	st := n.store()
+	data, ok := st.Get(keyTentative)
+	if !ok {
+		return
+	}
+	var s saved
+	if err := json.Unmarshal(data, &s); err != nil || s.Seq != seq {
+		return
+	}
+	st.Put(keyPermanent, data)
+	st.Put("ckpt/lastseq", []byte(strconv.Itoa(seq)))
+	if n.OnPermanent != nil {
+		n.OnPermanent(seq)
+	}
+}
+
+// Permanent reads a site's last permanent checkpoint from its stable store
+// (usable while the site is down — stable storage survives crashes).
+func Permanent(st *stable.Store) (seq int, state []byte, err error) {
+	data, ok := st.Get(keyPermanent)
+	if !ok {
+		return 0, nil, ErrNoCheckpoint
+	}
+	var s saved
+	if err := json.Unmarshal(data, &s); err != nil {
+		return 0, nil, fmt.Errorf("checkpoint: corrupt permanent checkpoint: %w", err)
+	}
+	return s.Seq, s.State, nil
+}
+
+// Tentative reads a site's tentative checkpoint, if any.
+func Tentative(st *stable.Store) (seq int, state []byte, err error) {
+	data, ok := st.Get(keyTentative)
+	if !ok {
+		return 0, nil, ErrNoCheckpoint
+	}
+	var s saved
+	if err := json.Unmarshal(data, &s); err != nil {
+		return 0, nil, fmt.Errorf("checkpoint: corrupt tentative checkpoint: %w", err)
+	}
+	return s.Seq, s.State, nil
+}
+
+// DiscardTentative removes an unpromoted tentative checkpoint (crash
+// recovery: tentative checkpoints that never committed are dropped).
+func DiscardTentative(st *stable.Store) {
+	st.Delete(keyTentative)
+}

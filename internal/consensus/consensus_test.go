@@ -1,0 +1,210 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+)
+
+func setup(seed int64, n, f int) (*simnet.Network, map[simnet.NodeID]*Node) {
+	sched := sim.NewScheduler(seed)
+	net := simnet.New(sched, simnet.DefaultOptions())
+	for i := 1; i <= n; i++ {
+		net.AddNode(simnet.NodeID(i), nil)
+	}
+	return net, Group(net, f)
+}
+
+func proposeAll(t *testing.T, nodes map[simnet.NodeID]*Node, inst string, vals map[simnet.NodeID]Value) {
+	t.Helper()
+	for id, nd := range nodes {
+		if err := nd.Propose(inst, vals[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAgreementNoFailures(t *testing.T) {
+	net, nodes := setup(1, 4, 1)
+	proposeAll(t, nodes, "i1", map[simnet.NodeID]Value{1: "commit", 2: "abort", 3: "commit", 4: "commit"})
+	net.Scheduler().Run(0)
+	var first Value
+	for id, nd := range nodes {
+		v, ok := nd.Decided("i1")
+		if !ok {
+			t.Fatalf("node %d did not decide", id)
+		}
+		if first == "" {
+			first = v
+		}
+		if v != first {
+			t.Fatalf("disagreement: node %d decided %q, others %q", id, v, first)
+		}
+	}
+	// Validity: "abort" < "commit", minimum of proposals.
+	if first != "abort" {
+		t.Fatalf("decision %q not the minimum proposal", first)
+	}
+}
+
+func TestValidityUnanimous(t *testing.T) {
+	net, nodes := setup(2, 3, 1)
+	proposeAll(t, nodes, "i1", map[simnet.NodeID]Value{1: "commit", 2: "commit", 3: "commit"})
+	net.Scheduler().Run(0)
+	for id, nd := range nodes {
+		v, ok := nd.Decided("i1")
+		if !ok || v != "commit" {
+			t.Fatalf("node %d decided %q, %v", id, v, ok)
+		}
+	}
+}
+
+func TestAgreementWithCrashMidProtocol(t *testing.T) {
+	// f=2, five nodes; crash two proposers during round 1. All correct
+	// nodes must still agree.
+	net, nodes := setup(3, 5, 2)
+	proposeAll(t, nodes, "i1", map[simnet.NodeID]Value{
+		1: "abort", 2: "commit", 3: "commit", 4: "commit", 5: "commit"})
+	// Crash node 1 (the only "abort" proposer) shortly after its round-1
+	// broadcast is queued, and node 2 a round later.
+	net.Scheduler().RunUntil(1)
+	if err := net.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	net.Scheduler().RunUntil(nodes[2].RoundDuration() + 2)
+	if err := net.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	net.Scheduler().Run(0)
+
+	var first Value
+	seen := false
+	for _, id := range []simnet.NodeID{3, 4, 5} {
+		v, ok := nodes[id].Decided("i1")
+		if !ok {
+			t.Fatalf("correct node %d did not decide", id)
+		}
+		if !seen {
+			first, seen = v, true
+		}
+		if v != first {
+			t.Fatalf("disagreement among correct nodes: %q vs %q", v, first)
+		}
+	}
+}
+
+func TestTerminationTimeBound(t *testing.T) {
+	net, nodes := setup(4, 4, 1)
+	proposeAll(t, nodes, "i1", map[simnet.NodeID]Value{1: "a", 2: "b", 3: "c", 4: "d"})
+	// All decisions must land within (f+1) rounds plus slack.
+	bound := sim.Time(nodes[1].Rounds()+1) * nodes[1].RoundDuration()
+	net.Scheduler().RunUntil(bound)
+	for id, nd := range nodes {
+		if _, ok := nd.Decided("i1"); !ok {
+			t.Fatalf("node %d undecided after %d ticks", id, bound)
+		}
+	}
+}
+
+func TestIntegritySingleDecision(t *testing.T) {
+	net, nodes := setup(5, 3, 1)
+	decisions := map[simnet.NodeID]int{}
+	for id, nd := range nodes {
+		id := id
+		nd.Decide = func(inst string, v Value) { decisions[id]++ }
+	}
+	proposeAll(t, nodes, "i1", map[simnet.NodeID]Value{1: "x", 2: "y", 3: "z"})
+	net.Scheduler().Run(0)
+	for id, n := range decisions {
+		if n != 1 {
+			t.Fatalf("node %d decided %d times", id, n)
+		}
+	}
+}
+
+func TestMultipleInstancesIndependent(t *testing.T) {
+	net, nodes := setup(6, 3, 1)
+	proposeAll(t, nodes, "a", map[simnet.NodeID]Value{1: "1", 2: "1", 3: "1"})
+	proposeAll(t, nodes, "b", map[simnet.NodeID]Value{1: "2", 2: "2", 3: "2"})
+	net.Scheduler().Run(0)
+	for id, nd := range nodes {
+		if v, _ := nd.Decided("a"); v != "1" {
+			t.Fatalf("node %d instance a = %q", id, v)
+		}
+		if v, _ := nd.Decided("b"); v != "2" {
+			t.Fatalf("node %d instance b = %q", id, v)
+		}
+	}
+}
+
+func TestLateJoinerAdopts(t *testing.T) {
+	net, nodes := setup(7, 3, 1)
+	// Only node 1 proposes; 2 and 3 join from its flood.
+	if err := nodes[1].Propose("i1", "v"); err != nil {
+		t.Fatal(err)
+	}
+	net.Scheduler().Run(0)
+	for id, nd := range nodes {
+		v, ok := nd.Decided("i1")
+		if !ok || v != "v" {
+			t.Fatalf("node %d decided %q, %v", id, v, ok)
+		}
+	}
+}
+
+// Property: for random proposals and up to f random crashes, all correct
+// nodes agree on a proposed value.
+func TestAgreementProperty(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(4) // 3..6 nodes
+		f := 1 + r.Intn(2) // 1..2 faults
+		if f >= n {
+			f = n - 1
+		}
+		net, nodes := setup(seed, n, f)
+		proposals := map[simnet.NodeID]Value{}
+		valset := map[Value]bool{}
+		for i := 1; i <= n; i++ {
+			v := Value([]string{"commit", "abort"}[r.Intn(2)])
+			proposals[simnet.NodeID(i)] = v
+			valset[v] = true
+		}
+		proposeAll(t, nodes, "p", proposals)
+		// Crash up to f random nodes at random times within the run.
+		crashes := r.Intn(f + 1)
+		crashed := map[simnet.NodeID]bool{}
+		for c := 0; c < crashes; c++ {
+			victim := simnet.NodeID(1 + r.Intn(n))
+			if crashed[victim] {
+				continue
+			}
+			crashed[victim] = true
+			at := sim.Time(r.Intn(100))
+			net.Scheduler().At(at, func() { _ = net.Crash(victim) })
+		}
+		net.Scheduler().Run(0)
+		var first Value
+		seen := false
+		for i := 1; i <= n; i++ {
+			id := simnet.NodeID(i)
+			if crashed[id] {
+				continue
+			}
+			v, ok := nodes[id].Decided("p")
+			if !ok {
+				t.Fatalf("seed %d: correct node %d undecided", seed, id)
+			}
+			if !valset[v] {
+				t.Fatalf("seed %d: decision %q was never proposed", seed, v)
+			}
+			if !seen {
+				first, seen = v, true
+			} else if v != first {
+				t.Fatalf("seed %d: disagreement %q vs %q", seed, v, first)
+			}
+		}
+	}
+}

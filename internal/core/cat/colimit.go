@@ -1,0 +1,340 @@
+package cat
+
+import (
+	"fmt"
+	"strings"
+
+	"speccat/internal/core/spec"
+)
+
+// elemKey identifies one symbol occurrence in the diagram: node|kind|name.
+func elemKey(node, kind, name string) string { return node + "|" + kind + "|" + name }
+
+func splitKey(key string) (node, kind, name string) {
+	parts := strings.SplitN(key, "|", 3)
+	return parts[0], parts[1], parts[2]
+}
+
+// Colimit computes the colimit of the diagram: the "shared union" of the
+// node specifications in which exactly the symbols linked by arcs are
+// identified (the paper's Figure 2.2). It returns the apex specification
+// (named apexName) and the cone morphisms from each node.
+func Colimit(d *Diagram, apexName string) (*Cocone, error) {
+	if len(d.nodeOrder) == 0 {
+		return nil, fmt.Errorf("%w: empty diagram", ErrBadDiagram)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+
+	// 1. Register every symbol occurrence.
+	uf := newUnionFind()
+	for _, n := range d.nodeOrder {
+		s := d.nodes[n]
+		for _, srt := range s.Sig.Sorts {
+			uf.add(elemKey(n, "sort", srt.Name))
+		}
+		for _, op := range s.Sig.Ops {
+			uf.add(elemKey(n, "op", op.Name))
+		}
+	}
+
+	// 2. Identify along arcs.
+	for _, a := range d.arcs {
+		for _, srt := range a.M.Source.Sig.Sorts {
+			uf.union(elemKey(a.From, "sort", srt.Name), elemKey(a.To, "sort", a.M.MapSort(srt.Name)))
+		}
+		for _, op := range a.M.Source.Sig.Ops {
+			uf.union(elemKey(a.From, "op", op.Name), elemKey(a.To, "op", a.M.MapOp(op.Name)))
+		}
+	}
+
+	// 3. Name each equivalence class.
+	classNames, err := nameClasses(uf)
+	if err != nil {
+		return nil, err
+	}
+
+	// 4. Cone morphisms (symbol maps only; specs wired below).
+	apex := spec.New(apexName)
+	cones := map[string]*spec.Morphism{}
+	for _, n := range d.nodeOrder {
+		s := d.nodes[n]
+		sortMap := map[string]string{}
+		opMap := map[string]string{}
+		for _, srt := range s.Sig.Sorts {
+			sortMap[srt.Name] = classNames[uf.find(elemKey(n, "sort", srt.Name))]
+		}
+		for _, op := range s.Sig.Ops {
+			opMap[op.Name] = classNames[uf.find(elemKey(n, "op", op.Name))]
+		}
+		cones[n] = spec.NewMorphism("cone_"+n, s, apex, sortMap, opMap)
+	}
+
+	// 5. Apex sorts: one per sort class; keep the first non-empty definition.
+	sortDef := map[string]string{}
+	for _, n := range d.nodeOrder {
+		for _, srt := range d.nodes[n].Sig.Sorts {
+			cls := classNames[uf.find(elemKey(n, "sort", srt.Name))]
+			if srt.Def != "" && sortDef[cls] == "" {
+				sortDef[cls] = translateDef(srt.Def, cones[n])
+			}
+		}
+	}
+	added := map[string]bool{}
+	for _, n := range d.nodeOrder {
+		for _, srt := range d.nodes[n].Sig.Sorts {
+			cls := classNames[uf.find(elemKey(n, "sort", srt.Name))]
+			if !added[cls] {
+				added[cls] = true
+				if err := apex.AddSort(cls, sortDef[cls]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// 6. Apex ops: one per op class; all members must translate to the
+	// same profile.
+	opSeen := map[string]spec.Op{}
+	for _, n := range d.nodeOrder {
+		cone := cones[n]
+		for _, op := range d.nodes[n].Sig.Ops {
+			cls := classNames[uf.find(elemKey(n, "op", op.Name))]
+			prof := spec.Op{Name: cls, Args: make([]string, len(op.Args)), Result: op.Result}
+			for i, a := range op.Args {
+				prof.Args[i] = cone.MapSort(a)
+			}
+			if op.Result != spec.BoolSort {
+				prof.Result = cone.MapSort(op.Result)
+			}
+			if prev, ok := opSeen[cls]; ok {
+				if !profilesEqual(prev, prof) {
+					return nil, fmt.Errorf("%w: op class %s: %v vs %v (node %s op %s)",
+						ErrIncompatible, cls, prev, prof, n, op.Name)
+				}
+				continue
+			}
+			opSeen[cls] = prof
+			if err := apex.AddOp(prof); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// 7. Axioms and theorems, translated along the cones. Axioms whose
+	// translations coincide are shared; same-named axioms with different
+	// translations get node-qualified names.
+	for _, n := range d.nodeOrder {
+		cone := cones[n]
+		s := d.nodes[n]
+		for _, ax := range s.Axioms {
+			f := cone.TranslateFormula(ax.Formula)
+			if existing, ok := apex.FindAxiom(ax.Name); ok {
+				if existing.Formula.Equal(f) {
+					continue
+				}
+				if err := apex.AddAxiom(n+"_"+ax.Name, f); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if err := apex.AddAxiom(ax.Name, f); err != nil {
+				return nil, err
+			}
+		}
+		for _, th := range s.Theorems {
+			f := cone.TranslateFormula(th.Formula)
+			if existing, ok := apex.FindTheorem(th.Name); ok {
+				if existing.Formula.Equal(f) {
+					continue
+				}
+				if err := apex.AddTheorem(n+"_"+th.Name, f, th.Using); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if err := apex.AddTheorem(th.Name, f, th.Using); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	cc := &Cocone{Apex: apex, Cones: cones}
+	if err := cc.VerifyCommutes(d); err != nil {
+		return nil, err
+	}
+	return cc, nil
+}
+
+// nameClasses picks a canonical symbol name per equivalence class: the
+// name shared by all members when unique, otherwise the lexicographically
+// smallest member name. Distinct classes colliding on the same name are
+// disambiguated with the owning node label.
+func nameClasses(uf *unionFind) (map[string]string, error) {
+	classes := uf.classes()
+	names := map[string]string{}
+	used := map[string]string{} // name -> representative that claimed it
+	for _, rep := range sortedKeys(classes) {
+		members := classes[rep]
+		name := ""
+		for _, m := range members {
+			_, _, symName := splitKey(m)
+			if name == "" || symName < name {
+				name = symName
+			}
+		}
+		// Prefer a name shared by every member (the normal case).
+		common := true
+		for _, m := range members {
+			_, _, symName := splitKey(m)
+			if symName != nameOf(members[0]) {
+				common = false
+				break
+			}
+		}
+		if common {
+			name = nameOf(members[0])
+		}
+		base := name
+		for i := 0; ; i++ {
+			candidate := base
+			if i > 0 {
+				node, _, _ := splitKey(members[0])
+				candidate = fmt.Sprintf("%s_%s%d", base, node, i)
+			}
+			if owner, taken := used[candidate]; !taken || owner == rep {
+				used[candidate] = rep
+				names[rep] = candidate
+				break
+			}
+		}
+	}
+	return names, nil
+}
+
+func nameOf(key string) string {
+	_, _, n := splitKey(key)
+	return n
+}
+
+func profilesEqual(a, b spec.Op) bool {
+	if a.Name != b.Name || a.Result != b.Result || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// translateDef rewrites sort names inside a record/alias definition along a
+// cone. Definitions are opaque strings; we conservatively rewrite only
+// whole-word occurrences of source sort names.
+func translateDef(def string, cone *spec.Morphism) string {
+	out := def
+	for _, srt := range cone.Source.Sig.Sorts {
+		to := cone.MapSort(srt.Name)
+		if to == srt.Name {
+			continue
+		}
+		out = replaceWord(out, srt.Name, to)
+	}
+	return out
+}
+
+func replaceWord(s, from, to string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if strings.HasPrefix(s[i:], from) && wordBoundary(s, i, len(from)) {
+			b.WriteString(to)
+			i += len(from)
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}
+
+func wordBoundary(s string, start, length int) bool {
+	before := start == 0 || !isWordChar(s[start-1])
+	after := start+length >= len(s) || !isWordChar(s[start+length])
+	return before && after
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// Pushout computes the pushout of two morphisms f: A -> B and g: A -> C
+// with common source (the paper's Figure 2.1): the colimit of the span.
+// It returns the apex D and the morphisms p: B -> D and q: C -> D, plus the
+// full cocone (which also carries A's diagonal cone).
+func Pushout(f, g *spec.Morphism, apexName string) (*Cocone, *spec.Morphism, *spec.Morphism, error) {
+	if f.Source != g.Source {
+		return nil, nil, nil, fmt.Errorf("%w: pushout requires a common source (%s vs %s)",
+			ErrBadDiagram, f.Source.Name, g.Source.Name)
+	}
+	d := NewDiagram()
+	if err := d.AddNode("a", f.Source); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := d.AddNode("b", f.Target); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := d.AddNode("c", g.Target); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := d.AddArc("f", "a", "b", f); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := d.AddArc("g", "a", "c", g); err != nil {
+		return nil, nil, nil, err
+	}
+	cc, err := Colimit(d, apexName)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return cc, cc.Cones["b"], cc.Cones["c"], nil
+}
+
+// Mediating computes the unique morphism u : colimit.Apex -> candidate.Apex
+// required by the universal property, given a candidate cocone over the
+// same diagram. It fails when the candidate cones disagree on an identified
+// symbol (i.e. the candidate is not actually a cocone).
+func Mediating(d *Diagram, colimit, candidate *Cocone) (*spec.Morphism, error) {
+	sortMap := map[string]string{}
+	opMap := map[string]string{}
+	for _, n := range d.nodeOrder {
+		colCone, ok := colimit.Cones[n]
+		if !ok {
+			return nil, fmt.Errorf("%w: colimit misses cone %s", ErrBadDiagram, n)
+		}
+		candCone, ok := candidate.Cones[n]
+		if !ok {
+			return nil, fmt.Errorf("%w: candidate misses cone %s", ErrBadDiagram, n)
+		}
+		for _, srt := range d.nodes[n].Sig.Sorts {
+			from := colCone.MapSort(srt.Name)
+			to := candCone.MapSort(srt.Name)
+			if prev, seen := sortMap[from]; seen && prev != to {
+				return nil, fmt.Errorf("%w: candidate cones disagree on sort class %s (%s vs %s)",
+					ErrIncompatible, from, prev, to)
+			}
+			sortMap[from] = to
+		}
+		for _, op := range d.nodes[n].Sig.Ops {
+			from := colCone.MapOp(op.Name)
+			to := candCone.MapOp(op.Name)
+			if prev, seen := opMap[from]; seen && prev != to {
+				return nil, fmt.Errorf("%w: candidate cones disagree on op class %s (%s vs %s)",
+					ErrIncompatible, from, prev, to)
+			}
+			opMap[from] = to
+		}
+	}
+	return spec.NewMorphism("mediating", colimit.Apex, candidate.Apex, sortMap, opMap), nil
+}

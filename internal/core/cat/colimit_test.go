@@ -1,0 +1,290 @@
+package cat
+
+import (
+	"errors"
+	"testing"
+
+	"speccat/internal/core/logic"
+	"speccat/internal/core/spec"
+)
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mkSpec builds a one-sort spec with unary predicates over it.
+func mkSpec(t *testing.T, name, srt string, preds ...string) *spec.Spec {
+	t.Helper()
+	s := spec.New(name)
+	mustOK(t, s.AddSort(srt, ""))
+	for _, p := range preds {
+		mustOK(t, s.AddOp(spec.Op{Name: p, Args: []string{srt}, Result: spec.BoolSort}))
+	}
+	return s
+}
+
+func TestPushoutSharedUnion(t *testing.T) {
+	// A = {S; P}, B = {S; P, Q}, C = {S; P, R}; f, g inclusions.
+	a := mkSpec(t, "A", "S", "P")
+	b := mkSpec(t, "B", "S", "P", "Q")
+	c := mkSpec(t, "C", "S", "P", "R")
+	f := spec.NewMorphism("f", a, b, nil, nil)
+	g := spec.NewMorphism("g", a, c, nil, nil)
+	cc, p, q, err := Pushout(f, g, "D")
+	mustOK(t, err)
+
+	// D must have exactly one S, one P, plus Q and R.
+	if got := len(cc.Apex.Sig.Sorts); got != 1 {
+		t.Fatalf("apex sorts = %d, want 1 (%v)", got, cc.Apex.SortNames())
+	}
+	if got := len(cc.Apex.Sig.Ops); got != 3 {
+		t.Fatalf("apex ops = %d, want 3 (%v)", got, cc.Apex.OpNames())
+	}
+	if p.MapOp("P") != q.MapOp("P") {
+		t.Fatal("shared P was not identified")
+	}
+	mustOK(t, cc.Apex.WellFormed())
+}
+
+func TestPushoutRenamingIdentification(t *testing.T) {
+	// B calls the shared predicate Pb; C calls it Pc; both are images of
+	// A's P, so the pushout must identify Pb = Pc into one symbol.
+	a := mkSpec(t, "A", "S", "P")
+	b := mkSpec(t, "B", "S", "Pb", "Q")
+	c := mkSpec(t, "C", "S", "Pc")
+	f := spec.NewMorphism("f", a, b, nil, map[string]string{"P": "Pb"})
+	g := spec.NewMorphism("g", a, c, nil, map[string]string{"P": "Pc"})
+	cc, p, q, err := Pushout(f, g, "D")
+	mustOK(t, err)
+	if p.MapOp("Pb") != q.MapOp("Pc") {
+		t.Fatalf("Pb and Pc not identified: %s vs %s", p.MapOp("Pb"), q.MapOp("Pc"))
+	}
+	if got := len(cc.Apex.Sig.Ops); got != 2 {
+		t.Fatalf("apex ops = %d, want 2 (%v)", got, cc.Apex.OpNames())
+	}
+}
+
+func TestPushoutKeepsUnlinkedSymbolsApart(t *testing.T) {
+	// B and C both declare a predicate named "Local" that is NOT in the
+	// image of A: the colimit must keep two distinct symbols.
+	a := mkSpec(t, "A", "S", "P")
+	b := mkSpec(t, "B", "S", "P", "Local")
+	c := mkSpec(t, "C", "S", "P", "Local")
+	f := spec.NewMorphism("f", a, b, nil, nil)
+	g := spec.NewMorphism("g", a, c, nil, nil)
+	cc, p, q, err := Pushout(f, g, "D")
+	mustOK(t, err)
+	if p.MapOp("Local") == q.MapOp("Local") {
+		t.Fatal("unlinked same-named symbols were wrongly identified")
+	}
+	if got := len(cc.Apex.Sig.Ops); got != 3 {
+		t.Fatalf("apex ops = %d, want 3 (%v)", got, cc.Apex.OpNames())
+	}
+}
+
+func TestPushoutCommutes(t *testing.T) {
+	a := mkSpec(t, "A", "S", "P")
+	b := mkSpec(t, "B", "S", "P", "Q")
+	c := mkSpec(t, "C", "S", "P", "R")
+	f := spec.NewMorphism("f", a, b, nil, nil)
+	g := spec.NewMorphism("g", a, c, nil, nil)
+	cc, p, q, err := Pushout(f, g, "D")
+	mustOK(t, err)
+	// p∘f = q∘g (the paper's commuting square).
+	pf, err := spec.Compose(f, p)
+	mustOK(t, err)
+	qg, err := spec.Compose(g, q)
+	mustOK(t, err)
+	if !pf.Equal(qg) {
+		t.Fatal("pushout square does not commute")
+	}
+	_ = cc
+}
+
+func TestPushoutRequiresCommonSource(t *testing.T) {
+	a := mkSpec(t, "A", "S", "P")
+	a2 := mkSpec(t, "A2", "S", "P")
+	b := mkSpec(t, "B", "S", "P")
+	f := spec.NewMorphism("f", a, b, nil, nil)
+	g := spec.NewMorphism("g", a2, b, nil, nil)
+	if _, _, _, err := Pushout(f, g, "D"); !errors.Is(err, ErrBadDiagram) {
+		t.Fatalf("want ErrBadDiagram, got %v", err)
+	}
+}
+
+func TestColimitAxiomsTranslate(t *testing.T) {
+	a := mkSpec(t, "A", "S", "P")
+	b := mkSpec(t, "B", "S", "Pb", "Q")
+	x := logic.Var("x", "S")
+	mustOK(t, b.AddAxiom("pbq", logic.Forall([]*logic.Term{x},
+		logic.Implies(logic.Pred("Pb", x), logic.Pred("Q", x)))))
+	c := mkSpec(t, "C", "S", "Pc")
+	mustOK(t, c.AddAxiom("pc", logic.Forall([]*logic.Term{x}, logic.Pred("Pc", x))))
+
+	f := spec.NewMorphism("f", a, b, nil, map[string]string{"P": "Pb"})
+	g := spec.NewMorphism("g", a, c, nil, map[string]string{"P": "Pc"})
+	cc, p, _, err := Pushout(f, g, "D")
+	mustOK(t, err)
+
+	shared := p.MapOp("Pb")
+	ax, ok := cc.Apex.FindAxiom("pbq")
+	if !ok {
+		t.Fatal("axiom pbq missing from colimit")
+	}
+	// Axiom body must now mention the shared symbol.
+	found := false
+	for _, name := range []string{shared} {
+		if containsPred(ax.Formula, name) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("axiom %s does not mention shared symbol %s", ax.Formula, shared)
+	}
+	mustOK(t, cc.Apex.WellFormed())
+}
+
+func containsPred(f *logic.Formula, name string) bool {
+	if f == nil {
+		return false
+	}
+	if f.Kind == logic.KindPred && f.Name == name {
+		return true
+	}
+	for _, s := range f.Sub {
+		if containsPred(s, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestColimitChain(t *testing.T) {
+	// A -> B -> C chain: colimit identifies along the path A->B->C.
+	a := mkSpec(t, "A", "S", "P")
+	b := mkSpec(t, "B", "S", "P", "Q")
+	c := mkSpec(t, "C", "S", "P", "Q", "R")
+	d := NewDiagram()
+	mustOK(t, d.AddNode("a", a))
+	mustOK(t, d.AddNode("b", b))
+	mustOK(t, d.AddNode("c", c))
+	mustOK(t, d.AddArc("i", "a", "b", spec.NewMorphism("i", a, b, nil, nil)))
+	mustOK(t, d.AddArc("j", "b", "c", spec.NewMorphism("j", b, c, nil, nil)))
+	cc, err := Colimit(d, "L")
+	mustOK(t, err)
+	if got := len(cc.Apex.Sig.Ops); got != 3 {
+		t.Fatalf("ops = %d, want 3 (%v)", got, cc.Apex.OpNames())
+	}
+	if cc.Cones["a"].MapOp("P") != cc.Cones["c"].MapOp("P") {
+		t.Fatal("chain identification failed")
+	}
+	mustOK(t, cc.VerifyCommutes(d))
+}
+
+func TestColimitIncompatibleProfiles(t *testing.T) {
+	// Identify two ops whose arities differ: must fail.
+	a := spec.New("A")
+	mustOK(t, a.AddSort("S", ""))
+	mustOK(t, a.AddOp(spec.Op{Name: "P", Args: []string{"S"}, Result: spec.BoolSort}))
+	b := spec.New("B")
+	mustOK(t, b.AddSort("S", ""))
+	mustOK(t, b.AddOp(spec.Op{Name: "P2", Args: []string{"S", "S"}, Result: spec.BoolSort}))
+
+	d := NewDiagram()
+	mustOK(t, d.AddNode("a", a))
+	mustOK(t, d.AddNode("b", b))
+	m := spec.NewMorphism("m", a, b, nil, map[string]string{"P": "P2"})
+	mustOK(t, d.AddArc("m", "a", "b", m))
+	if _, err := Colimit(d, "L"); err == nil {
+		t.Fatal("incompatible identification accepted")
+	}
+}
+
+func TestColimitEmptyDiagram(t *testing.T) {
+	if _, err := Colimit(NewDiagram(), "L"); !errors.Is(err, ErrBadDiagram) {
+		t.Fatalf("want ErrBadDiagram, got %v", err)
+	}
+}
+
+func TestMediatingUniversalProperty(t *testing.T) {
+	// Build pushout D of span B <- A -> C, then a bigger candidate cocone
+	// D' (D plus an extra op). The mediating morphism u: D -> D' must exist
+	// and commute with the cones.
+	a := mkSpec(t, "A", "S", "P")
+	b := mkSpec(t, "B", "S", "P", "Q")
+	c := mkSpec(t, "C", "S", "P", "R")
+	f := spec.NewMorphism("f", a, b, nil, nil)
+	g := spec.NewMorphism("g", a, c, nil, nil)
+
+	d := NewDiagram()
+	mustOK(t, d.AddNode("a", a))
+	mustOK(t, d.AddNode("b", b))
+	mustOK(t, d.AddNode("c", c))
+	mustOK(t, d.AddArc("f", "a", "b", f))
+	mustOK(t, d.AddArc("g", "a", "c", g))
+	colim, err := Colimit(d, "D")
+	mustOK(t, err)
+
+	// Candidate: a flat spec containing everything plus Extra.
+	dPrime := mkSpec(t, "Dprime", "S", "P", "Q", "R", "Extra")
+	cand := &Cocone{Apex: dPrime, Cones: map[string]*spec.Morphism{
+		"a": spec.NewMorphism("ca", a, dPrime, nil, nil),
+		"b": spec.NewMorphism("cb", b, dPrime, nil, nil),
+		"c": spec.NewMorphism("cc", c, dPrime, nil, nil),
+	}}
+	mustOK(t, cand.VerifyCommutes(d))
+
+	u, err := Mediating(d, colim, cand)
+	mustOK(t, err)
+	mustOK(t, u.CheckSignature())
+	// u ∘ cone_n must equal candidate cone_n for every node.
+	for _, n := range d.Nodes() {
+		comp, err := spec.Compose(colim.Cones[n], u)
+		mustOK(t, err)
+		if !comp.Equal(cand.Cones[n]) {
+			t.Fatalf("mediating morphism does not factor cone %s", n)
+		}
+	}
+}
+
+func TestMediatingDetectsNonCocone(t *testing.T) {
+	a := mkSpec(t, "A", "S", "P")
+	b := mkSpec(t, "B", "S", "P")
+	d := NewDiagram()
+	mustOK(t, d.AddNode("a", a))
+	mustOK(t, d.AddNode("b", b))
+	mustOK(t, d.AddArc("m", "a", "b", spec.NewMorphism("m", a, b, nil, nil)))
+	colim, err := Colimit(d, "L")
+	mustOK(t, err)
+
+	// Candidate maps a's P and b's P to different symbols: not a cocone.
+	bad := mkSpec(t, "Bad", "S", "P1", "P2")
+	cand := &Cocone{Apex: bad, Cones: map[string]*spec.Morphism{
+		"a": spec.NewMorphism("ca", a, bad, nil, map[string]string{"P": "P1"}),
+		"b": spec.NewMorphism("cb", b, bad, nil, map[string]string{"P": "P2"}),
+	}}
+	if _, err := Mediating(d, colim, cand); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("want ErrIncompatible, got %v", err)
+	}
+}
+
+func TestDiagramValidation(t *testing.T) {
+	a := mkSpec(t, "A", "S", "P")
+	b := mkSpec(t, "B", "S", "P")
+	d := NewDiagram()
+	mustOK(t, d.AddNode("a", a))
+	if err := d.AddNode("a", b); !errors.Is(err, ErrBadDiagram) {
+		t.Fatal("duplicate node accepted")
+	}
+	if err := d.AddArc("x", "a", "zz", spec.NewMorphism("m", a, b, nil, nil)); !errors.Is(err, ErrBadDiagram) {
+		t.Fatal("arc to unknown node accepted")
+	}
+	mustOK(t, d.AddNode("b", b))
+	wrong := spec.NewMorphism("m", b, a, nil, nil)
+	if err := d.AddArc("x", "a", "b", wrong); !errors.Is(err, ErrBadDiagram) {
+		t.Fatal("arc with mismatched morphism accepted")
+	}
+}

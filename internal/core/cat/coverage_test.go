@@ -1,0 +1,128 @@
+package cat
+
+import (
+	"strings"
+	"testing"
+
+	"speccat/internal/core/logic"
+	"speccat/internal/core/spec"
+)
+
+func TestColimitCarriesTheoremsAndDedupes(t *testing.T) {
+	a := mkSpec(t, "A", "S", "P")
+	x := logic.Var("x", "S")
+	mustOK(t, a.AddTheorem("th", logic.Forall([]*logic.Term{x}, logic.Pred("P", x)), []string{"hint"}))
+	b := mkSpec(t, "B", "S", "P")
+	mustOK(t, b.AddTheorem("th", logic.Forall([]*logic.Term{x}, logic.Pred("P", x)), nil))
+
+	d := NewDiagram()
+	mustOK(t, d.AddNode("a", a))
+	mustOK(t, d.AddNode("b", b))
+	mustOK(t, d.AddArc("m", "a", "b", spec.NewMorphism("m", a, b, nil, nil)))
+	cc, err := Colimit(d, "L")
+	mustOK(t, err)
+	if got := len(cc.Apex.Theorems); got != 1 {
+		t.Fatalf("theorems = %d, want 1 (deduped)", got)
+	}
+}
+
+func TestColimitQualifiesClashingAxioms(t *testing.T) {
+	// Two nodes declare same-named axioms with *different* bodies over
+	// unlinked symbols: the colimit must keep both, one under a
+	// node-qualified name.
+	x := logic.Var("x", "S")
+	d2 := NewDiagram()
+	a2 := mkSpec(t, "A2", "S", "P", "OnlyA")
+	mustOK(t, a2.AddAxiom("local", logic.Forall([]*logic.Term{x}, logic.Pred("OnlyA", x))))
+	b2 := mkSpec(t, "B2", "S", "P", "OnlyB")
+	mustOK(t, b2.AddAxiom("local", logic.Forall([]*logic.Term{x}, logic.Pred("OnlyB", x))))
+	base := mkSpec(t, "BASE", "S", "P")
+	mustOK(t, d2.AddNode("base", base))
+	mustOK(t, d2.AddNode("a", a2))
+	mustOK(t, d2.AddNode("b", b2))
+	mustOK(t, d2.AddArc("f", "base", "a", spec.NewMorphism("f", base, a2, nil, nil)))
+	mustOK(t, d2.AddArc("g", "base", "b", spec.NewMorphism("g", base, b2, nil, nil)))
+	cc, err := Colimit(d2, "L")
+	mustOK(t, err)
+	if len(cc.Apex.Axioms) != 2 {
+		t.Fatalf("axioms = %d, want 2 (qualified)", len(cc.Apex.Axioms))
+	}
+	qualified := false
+	for _, ax := range cc.Apex.Axioms {
+		if strings.Contains(ax.Name, "_local") {
+			qualified = true
+		}
+	}
+	if !qualified {
+		t.Fatalf("no node-qualified axiom name: %v", cc.Apex.Axioms)
+	}
+}
+
+func TestColimitTranslatesRecordDefs(t *testing.T) {
+	a := spec.New("A")
+	mustOK(t, a.AddSort("Proc", ""))
+	mustOK(t, a.AddSort("Msg", "{p:Proc, n:Nat}"))
+	b := spec.New("B")
+	mustOK(t, b.AddSort("Node", ""))
+	mustOK(t, b.AddSort("Msg", "{p:Node, n:Nat}"))
+	d := NewDiagram()
+	mustOK(t, d.AddNode("a", a))
+	mustOK(t, d.AddNode("b", b))
+	m := spec.NewMorphism("m", a, b, map[string]string{"Proc": "Node"}, nil)
+	mustOK(t, d.AddArc("m", "a", "b", m))
+	cc, err := Colimit(d, "L")
+	mustOK(t, err)
+	// The record def must reference the identified sort name.
+	found := false
+	for _, s := range cc.Apex.Sig.Sorts {
+		if s.Name == "Msg" {
+			found = true
+			if !strings.Contains(s.Def, "Node") && !strings.Contains(s.Def, "Proc") {
+				t.Fatalf("record def lost its field sort: %q", s.Def)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Msg sort missing")
+	}
+}
+
+func TestReplaceWord(t *testing.T) {
+	tests := []struct{ in, from, to, want string }{
+		{"{p:Proc, q:Proc}", "Proc", "Node", "{p:Node, q:Node}"},
+		{"Procs and Proc", "Proc", "Node", "Procs and Node"},
+		{"Proc", "Proc", "Node", "Node"},
+		{"xProc", "Proc", "Node", "xProc"},
+	}
+	for _, tt := range tests {
+		if got := replaceWord(tt.in, tt.from, tt.to); got != tt.want {
+			t.Errorf("replaceWord(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestColimitSelfLoop(t *testing.T) {
+	// An endomorphism arc that permutes two ops forces them into one
+	// class.
+	a := mkSpec(t, "A", "S", "P", "Q")
+	d := NewDiagram()
+	mustOK(t, d.AddNode("a", a))
+	m := spec.NewMorphism("swap", a, a, nil, map[string]string{"P": "Q", "Q": "P"})
+	mustOK(t, d.AddArc("m", "a", "a", m))
+	cc, err := Colimit(d, "L")
+	mustOK(t, err)
+	if got := len(cc.Apex.Sig.Ops); got != 1 {
+		t.Fatalf("ops = %d, want 1 (P and Q identified)", got)
+	}
+}
+
+func TestCoconeVerifyMissingCone(t *testing.T) {
+	a := mkSpec(t, "A", "S", "P")
+	d := NewDiagram()
+	mustOK(t, d.AddNode("a", a))
+	mustOK(t, d.AddArc("id", "a", "a", spec.Identity(a)))
+	cc := &Cocone{Apex: a, Cones: map[string]*spec.Morphism{}}
+	if err := cc.VerifyCommutes(d); err == nil {
+		t.Fatal("missing cone accepted")
+	}
+}

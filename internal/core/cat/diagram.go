@@ -1,0 +1,143 @@
+package cat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"speccat/internal/core/spec"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadDiagram is wrapped for structurally invalid diagrams.
+	ErrBadDiagram = errors.New("cat: invalid diagram")
+	// ErrNotCommuting is returned when a diagram fails a commutation check.
+	ErrNotCommuting = errors.New("cat: diagram does not commute")
+	// ErrIncompatible is wrapped when identified symbols have clashing profiles.
+	ErrIncompatible = errors.New("cat: incompatible identification")
+)
+
+// Arc is a labeled morphism between two named diagram nodes.
+type Arc struct {
+	Label string
+	From  string
+	To    string
+	M     *spec.Morphism
+}
+
+// Diagram is a directed multigraph whose nodes are labeled with
+// specifications and whose arcs are labeled with morphisms (the paper's
+// "diagram of specifications").
+type Diagram struct {
+	nodeOrder []string
+	nodes     map[string]*spec.Spec
+	arcs      []Arc
+}
+
+// NewDiagram returns an empty diagram.
+func NewDiagram() *Diagram {
+	return &Diagram{nodes: map[string]*spec.Spec{}}
+}
+
+// AddNode labels a node with a specification.
+func (d *Diagram) AddNode(label string, s *spec.Spec) error {
+	if s == nil {
+		return fmt.Errorf("%w: nil spec for node %s", ErrBadDiagram, label)
+	}
+	if _, dup := d.nodes[label]; dup {
+		return fmt.Errorf("%w: duplicate node %s", ErrBadDiagram, label)
+	}
+	d.nodes[label] = s
+	d.nodeOrder = append(d.nodeOrder, label)
+	return nil
+}
+
+// Node returns the spec at a label.
+func (d *Diagram) Node(label string) (*spec.Spec, bool) {
+	s, ok := d.nodes[label]
+	return s, ok
+}
+
+// Nodes returns node labels in insertion order.
+func (d *Diagram) Nodes() []string { return append([]string{}, d.nodeOrder...) }
+
+// Arcs returns the arcs in insertion order.
+func (d *Diagram) Arcs() []Arc { return append([]Arc{}, d.arcs...) }
+
+// AddArc adds a morphism arc. The morphism's source/target must be the
+// specs at the from/to labels.
+func (d *Diagram) AddArc(label, from, to string, m *spec.Morphism) error {
+	src, ok := d.nodes[from]
+	if !ok {
+		return fmt.Errorf("%w: arc %s: unknown node %s", ErrBadDiagram, label, from)
+	}
+	dst, ok := d.nodes[to]
+	if !ok {
+		return fmt.Errorf("%w: arc %s: unknown node %s", ErrBadDiagram, label, to)
+	}
+	if m == nil {
+		return fmt.Errorf("%w: arc %s: nil morphism", ErrBadDiagram, label)
+	}
+	if m.Source != src {
+		return fmt.Errorf("%w: arc %s: morphism source %s is not node %s", ErrBadDiagram, label, m.Source.Name, from)
+	}
+	if m.Target != dst {
+		return fmt.Errorf("%w: arc %s: morphism target %s is not node %s", ErrBadDiagram, label, m.Target.Name, to)
+	}
+	d.arcs = append(d.arcs, Arc{Label: label, From: from, To: to, M: m})
+	return nil
+}
+
+// Validate checks every arc's signature condition.
+func (d *Diagram) Validate() error {
+	for _, a := range d.arcs {
+		if err := a.M.CheckSignature(); err != nil {
+			return fmt.Errorf("arc %s: %w", a.Label, err)
+		}
+	}
+	return nil
+}
+
+// Cocone is the result of a colimit: the apex specification and one cone
+// morphism per diagram node, satisfying cone[to] ∘ arc = cone[from] for
+// every arc.
+type Cocone struct {
+	Apex *spec.Spec
+	// Cones maps node label to the morphism node -> apex.
+	Cones map[string]*spec.Morphism
+}
+
+// VerifyCommutes checks the defining property of the cocone against the
+// diagram: for every arc a: X -> Y, cone_Y ∘ a equals cone_X.
+func (c *Cocone) VerifyCommutes(d *Diagram) error {
+	for _, a := range d.arcs {
+		coneFrom, ok := c.Cones[a.From]
+		if !ok {
+			return fmt.Errorf("%w: missing cone for node %s", ErrBadDiagram, a.From)
+		}
+		coneTo, ok := c.Cones[a.To]
+		if !ok {
+			return fmt.Errorf("%w: missing cone for node %s", ErrBadDiagram, a.To)
+		}
+		composed, err := spec.Compose(a.M, coneTo)
+		if err != nil {
+			return err
+		}
+		if !composed.Equal(coneFrom) {
+			return fmt.Errorf("%w: arc %s: cone_%s ∘ %s ≠ cone_%s",
+				ErrNotCommuting, a.Label, a.To, a.Label, a.From)
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns map keys sorted for deterministic iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

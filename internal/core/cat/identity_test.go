@@ -1,0 +1,49 @@
+package cat
+
+import (
+	"testing"
+
+	"speccat/internal/core/spec"
+)
+
+// TestColimitOfSingletonIsIsomorphic: the colimit of a one-node diagram is
+// the node itself up to renaming — same sorts, ops, axioms, and an
+// identity-shaped cone.
+func TestColimitOfSingletonIsIsomorphic(t *testing.T) {
+	a := mkSpec(t, "A", "S", "P", "Q")
+	d := NewDiagram()
+	mustOK(t, d.AddNode("a", a))
+	cc, err := Colimit(d, "L")
+	mustOK(t, err)
+	if len(cc.Apex.Sig.Sorts) != len(a.Sig.Sorts) || len(cc.Apex.Sig.Ops) != len(a.Sig.Ops) {
+		t.Fatalf("apex shape differs: %v vs %v", cc.Apex.OpNames(), a.OpNames())
+	}
+	cone := cc.Cones["a"]
+	for _, op := range a.Sig.Ops {
+		if cone.MapOp(op.Name) != op.Name {
+			t.Fatalf("singleton colimit renamed %s to %s", op.Name, cone.MapOp(op.Name))
+		}
+	}
+}
+
+// TestColimitIdempotent: colimiting the colimit (as a singleton diagram)
+// changes nothing.
+func TestColimitIdempotent(t *testing.T) {
+	a := mkSpec(t, "A", "S", "P")
+	b := mkSpec(t, "B", "S", "P", "Q")
+	d := NewDiagram()
+	mustOK(t, d.AddNode("a", a))
+	mustOK(t, d.AddNode("b", b))
+	mustOK(t, d.AddArc("m", "a", "b", spec.NewMorphism("m", a, b, nil, nil)))
+	cc1, err := Colimit(d, "L1")
+	mustOK(t, err)
+
+	d2 := NewDiagram()
+	mustOK(t, d2.AddNode("l", cc1.Apex))
+	cc2, err := Colimit(d2, "L2")
+	mustOK(t, err)
+	if len(cc2.Apex.Sig.Ops) != len(cc1.Apex.Sig.Ops) ||
+		len(cc2.Apex.Axioms) != len(cc1.Apex.Axioms) {
+		t.Fatalf("re-colimit changed the spec: %v vs %v", cc2.Apex.OpNames(), cc1.Apex.OpNames())
+	}
+}

@@ -1,0 +1,77 @@
+// Package cat implements the categorical operations of the paper's
+// Chapter 2 over the category of specifications: diagrams (directed
+// multigraphs of specs and morphisms), the pushout of a pair of morphisms
+// with common source, and the colimit of an arbitrary diagram, computed as
+// the "shared union" of the specifications with symbols identified along
+// the morphism arcs.
+package cat
+
+// unionFind is a classic disjoint-set forest over string keys with path
+// compression and union by size.
+type unionFind struct {
+	parent map[string]string
+	size   map[string]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: map[string]string{}, size: map[string]int{}}
+}
+
+// add registers a key as its own singleton class (no-op if present).
+func (u *unionFind) add(key string) {
+	if _, ok := u.parent[key]; !ok {
+		u.parent[key] = key
+		u.size[key] = 1
+	}
+}
+
+// find returns the class representative of key, adding it if unknown.
+func (u *unionFind) find(key string) string {
+	u.add(key)
+	root := key
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[key] != root {
+		key, u.parent[key] = u.parent[key], root
+	}
+	return root
+}
+
+// union merges the classes of a and b and returns the new representative.
+func (u *unionFind) union(a, b string) string {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	return ra
+}
+
+// same reports whether a and b are in one class.
+func (u *unionFind) same(a, b string) bool { return u.find(a) == u.find(b) }
+
+// classes returns all classes as representative -> sorted member list.
+func (u *unionFind) classes() map[string][]string {
+	out := map[string][]string{}
+	for k := range u.parent {
+		r := u.find(k)
+		out[r] = append(out[r], k)
+	}
+	for _, members := range out {
+		sortStrings(members)
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package cat
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := newUnionFind()
+	u.add("a")
+	u.add("b")
+	u.add("c")
+	if u.same("a", "b") {
+		t.Fatal("fresh keys should be separate")
+	}
+	u.union("a", "b")
+	if !u.same("a", "b") {
+		t.Fatal("union did not merge")
+	}
+	if u.same("a", "c") {
+		t.Fatal("c merged unexpectedly")
+	}
+	u.union("b", "c")
+	if !u.same("a", "c") {
+		t.Fatal("transitive merge failed")
+	}
+}
+
+func TestUnionFindClasses(t *testing.T) {
+	u := newUnionFind()
+	for _, k := range []string{"a", "b", "c", "d"} {
+		u.add(k)
+	}
+	u.union("a", "b")
+	u.union("c", "d")
+	cls := u.classes()
+	if len(cls) != 2 {
+		t.Fatalf("classes = %d, want 2", len(cls))
+	}
+	total := 0
+	for _, members := range cls {
+		total += len(members)
+		for i := 1; i < len(members); i++ {
+			if members[i-1] > members[i] {
+				t.Fatal("class members not sorted")
+			}
+		}
+	}
+	if total != 4 {
+		t.Fatalf("total members = %d, want 4", total)
+	}
+}
+
+func TestUnionFindIdempotent(t *testing.T) {
+	u := newUnionFind()
+	u.union("a", "b")
+	r1 := u.find("a")
+	u.union("a", "b")
+	u.union("b", "a")
+	if u.find("a") != r1 || !u.same("a", "b") {
+		t.Fatal("repeated unions changed structure")
+	}
+}
+
+// Property: after an arbitrary union script, same() is an equivalence
+// relation consistent with the transitive closure of the script (checked
+// against a naive implementation).
+func TestUnionFindMatchesNaiveProperty(t *testing.T) {
+	type script struct {
+		Pairs []struct{ A, B uint8 }
+	}
+	prop := func(sc script) bool {
+		u := newUnionFind()
+		naive := map[string]string{} // naive: map to class label via repeated relabel
+		label := func(k string) string {
+			if v, ok := naive[k]; ok {
+				return v
+			}
+			naive[k] = k
+			return k
+		}
+		merge := func(a, b string) {
+			la, lb := label(a), label(b)
+			if la == lb {
+				return
+			}
+			for k, v := range naive {
+				if v == lb {
+					naive[k] = la
+				}
+			}
+		}
+		keys := map[string]bool{}
+		for _, p := range sc.Pairs {
+			a := fmt.Sprintf("k%d", p.A%16)
+			b := fmt.Sprintf("k%d", p.B%16)
+			u.union(a, b)
+			merge(a, b)
+			keys[a], keys[b] = true, true
+		}
+		for a := range keys {
+			for b := range keys {
+				if u.same(a, b) != (naive[a] == naive[b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,327 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormulaKind discriminates formula constructors.
+type FormulaKind int
+
+// Formula kinds.
+const (
+	KindPred FormulaKind = iota + 1
+	KindNot
+	KindAnd
+	KindOr
+	KindImplies
+	KindIff
+	KindForall
+	KindExists
+	KindTrue
+	KindFalse
+	KindEq
+)
+
+// Formula is a first-order formula over sorted terms.
+//
+// The constructor in use determines which fields are meaningful:
+//
+//	KindPred:            Name, Args
+//	KindEq:              Args (exactly two)
+//	KindNot:             Sub (exactly one)
+//	KindAnd/Or/Implies/Iff: Sub (two or more; Implies/Iff exactly two)
+//	KindForall/Exists:   Bound (variables), Sub (exactly one)
+//	KindTrue/KindFalse:  nothing
+type Formula struct {
+	Kind  FormulaKind
+	Name  string
+	Args  []*Term
+	Sub   []*Formula
+	Bound []*Term
+}
+
+// Pred builds an atomic predicate formula.
+func Pred(name string, args ...*Term) *Formula {
+	return &Formula{Kind: KindPred, Name: name, Args: args}
+}
+
+// Eq builds an equality atom between two terms.
+func Eq(a, b *Term) *Formula { return &Formula{Kind: KindEq, Args: []*Term{a, b}} }
+
+// Not negates a formula.
+func Not(f *Formula) *Formula { return &Formula{Kind: KindNot, Sub: []*Formula{f}} }
+
+// And conjoins formulas. And() is True; And(f) is f.
+func And(fs ...*Formula) *Formula {
+	switch len(fs) {
+	case 0:
+		return True()
+	case 1:
+		return fs[0]
+	}
+	return &Formula{Kind: KindAnd, Sub: fs}
+}
+
+// Or disjoins formulas. Or() is False; Or(f) is f.
+func Or(fs ...*Formula) *Formula {
+	switch len(fs) {
+	case 0:
+		return False()
+	case 1:
+		return fs[0]
+	}
+	return &Formula{Kind: KindOr, Sub: fs}
+}
+
+// Implies builds p => q.
+func Implies(p, q *Formula) *Formula {
+	return &Formula{Kind: KindImplies, Sub: []*Formula{p, q}}
+}
+
+// Iff builds p <=> q.
+func Iff(p, q *Formula) *Formula {
+	return &Formula{Kind: KindIff, Sub: []*Formula{p, q}}
+}
+
+// Forall universally quantifies vars over body.
+func Forall(vars []*Term, body *Formula) *Formula {
+	if len(vars) == 0 {
+		return body
+	}
+	return &Formula{Kind: KindForall, Bound: vars, Sub: []*Formula{body}}
+}
+
+// Exists existentially quantifies vars over body.
+func Exists(vars []*Term, body *Formula) *Formula {
+	if len(vars) == 0 {
+		return body
+	}
+	return &Formula{Kind: KindExists, Bound: vars, Sub: []*Formula{body}}
+}
+
+// True returns the true constant formula.
+func True() *Formula { return &Formula{Kind: KindTrue} }
+
+// False returns the false constant formula.
+func False() *Formula { return &Formula{Kind: KindFalse} }
+
+// IfThenElse desugars "if c then p else q" into (c => p) & (~c => q),
+// matching the conditional sugar in the paper's Specware sources.
+func IfThenElse(c, p, q *Formula) *Formula {
+	return And(Implies(c, p), Implies(Not(c), q))
+}
+
+// Clone deep-copies the formula.
+func (f *Formula) Clone() *Formula {
+	if f == nil {
+		return nil
+	}
+	c := &Formula{Kind: f.Kind, Name: f.Name}
+	if len(f.Args) > 0 {
+		c.Args = make([]*Term, len(f.Args))
+		for i, a := range f.Args {
+			c.Args[i] = a.Clone()
+		}
+	}
+	if len(f.Sub) > 0 {
+		c.Sub = make([]*Formula, len(f.Sub))
+		for i, s := range f.Sub {
+			c.Sub[i] = s.Clone()
+		}
+	}
+	if len(f.Bound) > 0 {
+		c.Bound = make([]*Term, len(f.Bound))
+		for i, v := range f.Bound {
+			c.Bound[i] = v.Clone()
+		}
+	}
+	return c
+}
+
+// Equal reports structural equality.
+func (f *Formula) Equal(g *Formula) bool {
+	if f == nil || g == nil {
+		return f == g
+	}
+	if f.Kind != g.Kind || f.Name != g.Name ||
+		len(f.Args) != len(g.Args) || len(f.Sub) != len(g.Sub) || len(f.Bound) != len(g.Bound) {
+		return false
+	}
+	for i := range f.Args {
+		if !f.Args[i].Equal(g.Args[i]) {
+			return false
+		}
+	}
+	for i := range f.Bound {
+		if !f.Bound[i].Equal(g.Bound[i]) {
+			return false
+		}
+	}
+	for i := range f.Sub {
+		if !f.Sub[i].Equal(g.Sub[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the formula with conventional connective syntax.
+func (f *Formula) String() string {
+	if f == nil {
+		return "<nil>"
+	}
+	switch f.Kind {
+	case KindPred:
+		if len(f.Args) == 0 {
+			return f.Name
+		}
+		parts := make([]string, len(f.Args))
+		for i, a := range f.Args {
+			parts[i] = a.String()
+		}
+		return f.Name + "(" + strings.Join(parts, ", ") + ")"
+	case KindEq:
+		return "(" + f.Args[0].String() + " = " + f.Args[1].String() + ")"
+	case KindNot:
+		return "~" + f.Sub[0].String()
+	case KindAnd:
+		return f.joinSub(" & ")
+	case KindOr:
+		return f.joinSub(" | ")
+	case KindImplies:
+		return "(" + f.Sub[0].String() + " => " + f.Sub[1].String() + ")"
+	case KindIff:
+		return "(" + f.Sub[0].String() + " <=> " + f.Sub[1].String() + ")"
+	case KindForall:
+		return "fa(" + boundString(f.Bound) + ") " + f.Sub[0].String()
+	case KindExists:
+		return "ex(" + boundString(f.Bound) + ") " + f.Sub[0].String()
+	case KindTrue:
+		return "true"
+	case KindFalse:
+		return "false"
+	default:
+		return fmt.Sprintf("<bad formula kind %d>", f.Kind)
+	}
+}
+
+func (f *Formula) joinSub(sep string) string {
+	parts := make([]string, len(f.Sub))
+	for i, s := range f.Sub {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+func boundString(vars []*Term) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		if v.Sort != "" {
+			parts[i] = v.Name + ":" + v.Sort
+		} else {
+			parts[i] = v.Name
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// FreeVars returns the free variables of the formula, sorted by name.
+func (f *Formula) FreeVars() []*Term {
+	seen := map[string]*Term{}
+	f.collectFree(map[string]bool{}, seen)
+	return sortedVarValues(seen)
+}
+
+func (f *Formula) collectFree(bound map[string]bool, seen map[string]*Term) {
+	if f == nil {
+		return
+	}
+	switch f.Kind {
+	case KindPred, KindEq:
+		for _, a := range f.Args {
+			collectFreeTerm(a, bound, seen)
+		}
+	case KindForall, KindExists:
+		inner := make(map[string]bool, len(bound)+len(f.Bound))
+		for k := range bound {
+			inner[k] = true
+		}
+		for _, v := range f.Bound {
+			inner[v.Name] = true
+		}
+		f.Sub[0].collectFree(inner, seen)
+	default:
+		for _, s := range f.Sub {
+			s.collectFree(bound, seen)
+		}
+	}
+}
+
+func collectFreeTerm(t *Term, bound map[string]bool, seen map[string]*Term) {
+	if t == nil {
+		return
+	}
+	if t.Kind == KindVar {
+		if !bound[t.Name] {
+			if _, ok := seen[t.Name]; !ok {
+				seen[t.Name] = t
+			}
+		}
+		return
+	}
+	for _, a := range t.Args {
+		collectFreeTerm(a, bound, seen)
+	}
+}
+
+func sortedVarValues(seen map[string]*Term) []*Term {
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Term, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out
+}
+
+// Closure universally quantifies all free variables of f.
+func Closure(f *Formula) *Formula {
+	fv := f.FreeVars()
+	if len(fv) == 0 {
+		return f
+	}
+	return Forall(fv, f)
+}
+
+// Rename returns a copy of f with predicate, function, constant, and sort
+// symbols renamed through rename (sorts keyed as "sort:<name>").
+func (f *Formula) Rename(rename map[string]string) *Formula {
+	if f == nil {
+		return nil
+	}
+	c := f.Clone()
+	c.renameInPlace(rename)
+	return c
+}
+
+func (f *Formula) renameInPlace(rename map[string]string) {
+	if f.Kind == KindPred {
+		if to, ok := rename[f.Name]; ok {
+			f.Name = to
+		}
+	}
+	for _, a := range f.Args {
+		a.renameInPlace(rename)
+	}
+	for _, v := range f.Bound {
+		v.renameInPlace(rename)
+	}
+	for _, s := range f.Sub {
+		s.renameInPlace(rename)
+	}
+}

@@ -1,0 +1,135 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnifyBasic(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   *Term
+		wantOK bool
+	}{
+		{"var-const", Var("x", ""), Const("c", ""), true},
+		{"const-const same", Const("c", ""), Const("c", ""), true},
+		{"const-const diff", Const("c", ""), Const("d", ""), false},
+		{"app-app", App("f", "", Var("x", "")), App("f", "", Const("c", "")), true},
+		{"app arity mismatch", App("f", "", Var("x", "")), App("f", "", Var("x", ""), Var("y", "")), false},
+		{"app name mismatch", App("f", "", Var("x", "")), App("g", "", Var("x", "")), false},
+		{"occurs check", Var("x", ""), App("f", "", Var("x", "")), false},
+		{"sorted var ok", Var("x", "S"), Const("c", "S"), true},
+		{"sorted var mismatch", Var("x", "S"), Const("c", "T"), false},
+		{"unsorted meets sorted", Var("x", ""), Const("c", "T"), true},
+		{"same var", Var("x", "S"), Var("x", "S"), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, ok := Unify(tt.a, tt.b, nil)
+			if ok != tt.wantOK {
+				t.Errorf("Unify(%s, %s) ok = %v, want %v", tt.a, tt.b, ok, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestUnifyProducesUnifier(t *testing.T) {
+	a := App("f", "", Var("x", ""), App("g", "", Var("y", "")))
+	b := App("f", "", Const("c", ""), App("g", "", Const("d", "")))
+	s, ok := Unify(a, b, nil)
+	if !ok {
+		t.Fatal("Unify failed")
+	}
+	if !s.Apply(a).Equal(s.Apply(b)) {
+		t.Errorf("substitution does not unify: %s vs %s", s.Apply(a), s.Apply(b))
+	}
+}
+
+func TestUnifyChained(t *testing.T) {
+	// x ~ y, then y ~ c: applying to x must yield c.
+	s, ok := Unify(Var("x", ""), Var("y", ""), nil)
+	if !ok {
+		t.Fatal("var-var unify failed")
+	}
+	s, ok = Unify(Var("y", ""), Const("c", ""), s)
+	if !ok {
+		t.Fatal("chained unify failed")
+	}
+	if got := s.Apply(Var("x", "")); got.Name != "c" {
+		t.Errorf("x resolves to %s, want c", got)
+	}
+}
+
+func TestUnifyAtoms(t *testing.T) {
+	p := Pred("P", Var("x", ""), Const("c", ""))
+	q := Pred("P", Const("d", ""), Const("c", ""))
+	s, ok := UnifyAtoms(p, q, nil)
+	if !ok {
+		t.Fatal("UnifyAtoms failed")
+	}
+	if !s.ApplyFormula(p).Equal(s.ApplyFormula(q)) {
+		t.Error("substitution does not unify atoms")
+	}
+	if _, ok := UnifyAtoms(p, Pred("Q", Var("x", ""), Const("c", "")), nil); ok {
+		t.Error("different predicates unified")
+	}
+}
+
+func TestApplyFormulaQuantifierShadowing(t *testing.T) {
+	// Substituting x under fa(x) must not touch the bound occurrences.
+	f := Forall([]*Term{Var("x", "")}, Pred("P", Var("x", ""), Var("y", "")))
+	s := Subst{"x": Const("c", ""), "y": Const("d", "")}
+	got := s.ApplyFormula(f)
+	atom := got.Sub[0]
+	if atom.Args[0].Name != "x" {
+		t.Errorf("bound x was substituted: %s", got)
+	}
+	if atom.Args[1].Name != "d" {
+		t.Errorf("free y was not substituted: %s", got)
+	}
+}
+
+// Property: whenever Unify succeeds, the result is a genuine unifier.
+func TestUnifySoundProperty(t *testing.T) {
+	prop := func(ga, gb termGen) bool {
+		s, ok := Unify(ga.T, gb.T, nil)
+		if !ok {
+			return true
+		}
+		return s.Apply(ga.T).Equal(s.Apply(gb.T))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: unification is symmetric in success.
+func TestUnifySymmetricProperty(t *testing.T) {
+	prop := func(ga, gb termGen) bool {
+		_, ok1 := Unify(ga.T, gb.T, nil)
+		_, ok2 := Unify(gb.T, ga.T, nil)
+		return ok1 == ok2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a term always unifies with itself, and with a fresh variable.
+func TestUnifyReflexiveProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		term := genTerm(r, 3)
+		if _, ok := Unify(term, term.Clone(), nil); !ok {
+			t.Fatalf("term %s does not unify with itself", term)
+		}
+		fresh := Var("fresh_w", term.Sort)
+		if term.ContainsVar("fresh_w") {
+			continue
+		}
+		if _, ok := Unify(fresh, term, nil); !ok {
+			t.Fatalf("fresh variable does not unify with %s", term)
+		}
+	}
+}

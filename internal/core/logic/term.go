@@ -1,0 +1,193 @@
+// Package logic implements sorted first-order logic: terms, formulas,
+// substitution, unification, and clausal-form conversion. It is the logical
+// substrate for the specification framework (internal/core/spec) and the
+// resolution prover (internal/core/prover), standing in for the MetaSlang
+// logic used by Specware in the paper.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TermKind discriminates the three term constructors.
+type TermKind int
+
+// Term kinds. Enums start at one so the zero value is detectably invalid.
+const (
+	KindVar TermKind = iota + 1
+	KindConst
+	KindApp
+)
+
+// Term is a sorted first-order term: a variable, a constant, or an
+// application of a function symbol to argument terms. Terms are immutable
+// once built; all transformation functions return fresh terms.
+type Term struct {
+	Kind TermKind
+	// Name is the variable, constant, or function symbol name.
+	Name string
+	// Sort is the sort (type) of the term. May be empty for unsorted use.
+	Sort string
+	// Args are the arguments of an application (Kind == KindApp only).
+	Args []*Term
+}
+
+// Var returns a variable term of the given sort.
+func Var(name, sortName string) *Term {
+	return &Term{Kind: KindVar, Name: name, Sort: sortName}
+}
+
+// Const returns a constant term of the given sort.
+func Const(name, sortName string) *Term {
+	return &Term{Kind: KindConst, Name: name, Sort: sortName}
+}
+
+// App returns a function application term of the given result sort.
+func App(name, sortName string, args ...*Term) *Term {
+	return &Term{Kind: KindApp, Name: name, Sort: sortName, Args: args}
+}
+
+// IsVar reports whether t is a variable.
+func (t *Term) IsVar() bool { return t != nil && t.Kind == KindVar }
+
+// Equal reports structural equality of two terms. Sorts participate in
+// equality: two syntactically identical terms of different sorts differ.
+func (t *Term) Equal(u *Term) bool {
+	if t == nil || u == nil {
+		return t == u
+	}
+	if t.Kind != u.Kind || t.Name != u.Name || t.Sort != u.Sort || len(t.Args) != len(u.Args) {
+		return false
+	}
+	for i := range t.Args {
+		if !t.Args[i].Equal(u.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the term in conventional syntax, e.g. f(x, c).
+func (t *Term) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KindVar, KindConst:
+		return t.Name
+	case KindApp:
+		parts := make([]string, len(t.Args))
+		for i, a := range t.Args {
+			parts[i] = a.String()
+		}
+		return t.Name + "(" + strings.Join(parts, ", ") + ")"
+	default:
+		return fmt.Sprintf("<bad term kind %d>", t.Kind)
+	}
+}
+
+// Clone returns a deep copy of the term.
+func (t *Term) Clone() *Term {
+	if t == nil {
+		return nil
+	}
+	c := &Term{Kind: t.Kind, Name: t.Name, Sort: t.Sort}
+	if len(t.Args) > 0 {
+		c.Args = make([]*Term, len(t.Args))
+		for i, a := range t.Args {
+			c.Args[i] = a.Clone()
+		}
+	}
+	return c
+}
+
+// Vars returns the free variables of the term, sorted by name for
+// determinism. Each distinct name appears once.
+func (t *Term) Vars() []*Term {
+	seen := map[string]*Term{}
+	t.collectVars(seen)
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Term, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out
+}
+
+func (t *Term) collectVars(seen map[string]*Term) {
+	if t == nil {
+		return
+	}
+	switch t.Kind {
+	case KindVar:
+		if _, ok := seen[t.Name]; !ok {
+			seen[t.Name] = t
+		}
+	case KindApp:
+		for _, a := range t.Args {
+			a.collectVars(seen)
+		}
+	}
+}
+
+// ContainsVar reports whether the variable named name occurs in t.
+func (t *Term) ContainsVar(name string) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Kind {
+	case KindVar:
+		return t.Name == name
+	case KindApp:
+		for _, a := range t.Args {
+			if a.ContainsVar(name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Size returns the number of symbol occurrences in the term.
+func (t *Term) Size() int {
+	if t == nil {
+		return 0
+	}
+	n := 1
+	for _, a := range t.Args {
+		n += a.Size()
+	}
+	return n
+}
+
+// Rename returns a copy of t with every symbol occurrence renamed through
+// rename; symbols absent from the map keep their name. Variable names are
+// never renamed (they are bound occurrences, not signature symbols).
+func (t *Term) Rename(rename map[string]string) *Term {
+	if t == nil {
+		return nil
+	}
+	c := t.Clone()
+	c.renameInPlace(rename)
+	return c
+}
+
+func (t *Term) renameInPlace(rename map[string]string) {
+	if t.Kind != KindVar {
+		if to, ok := rename[t.Name]; ok {
+			t.Name = to
+		}
+	}
+	if to, ok := rename["sort:"+t.Sort]; ok {
+		t.Sort = to
+	}
+	for _, a := range t.Args {
+		a.renameInPlace(rename)
+	}
+}

@@ -1,0 +1,151 @@
+package logic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermString(t *testing.T) {
+	tests := []struct {
+		name string
+		term *Term
+		want string
+	}{
+		{"var", Var("x", "Nat"), "x"},
+		{"const", Const("c", "Nat"), "c"},
+		{"app", App("f", "Nat", Var("x", "Nat"), Const("c", "Nat")), "f(x, c)"},
+		{"nested", App("g", "", App("f", "", Var("x", ""))), "g(f(x))"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.term.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTermEqual(t *testing.T) {
+	a := App("f", "S", Var("x", "S"), Const("c", "S"))
+	b := App("f", "S", Var("x", "S"), Const("c", "S"))
+	if !a.Equal(b) {
+		t.Error("identical terms compare unequal")
+	}
+	if a.Equal(App("f", "S", Var("x", "S"))) {
+		t.Error("different arity compares equal")
+	}
+	if a.Equal(App("f", "T", Var("x", "S"), Const("c", "S"))) {
+		t.Error("different sort compares equal")
+	}
+	if a.Equal(nil) {
+		t.Error("non-nil equals nil")
+	}
+}
+
+func TestTermCloneIndependence(t *testing.T) {
+	a := App("f", "S", Var("x", "S"))
+	c := a.Clone()
+	c.Args[0].Name = "y"
+	if a.Args[0].Name != "x" {
+		t.Error("mutating clone mutated original")
+	}
+}
+
+func TestTermVars(t *testing.T) {
+	term := App("f", "", Var("z", ""), App("g", "", Var("a", ""), Var("z", "")), Const("c", ""))
+	vars := term.Vars()
+	if len(vars) != 2 || vars[0].Name != "a" || vars[1].Name != "z" {
+		t.Fatalf("Vars() = %v, want [a z]", vars)
+	}
+}
+
+func TestTermContainsVar(t *testing.T) {
+	term := App("f", "", App("g", "", Var("x", "")))
+	if !term.ContainsVar("x") {
+		t.Error("ContainsVar(x) = false, want true")
+	}
+	if term.ContainsVar("y") {
+		t.Error("ContainsVar(y) = true, want false")
+	}
+}
+
+func TestTermRename(t *testing.T) {
+	term := App("f", "S", Var("x", "S"), Const("c", "T"))
+	got := term.Rename(map[string]string{"f": "F", "c": "C", "sort:S": "S2"})
+	if got.Name != "F" || got.Sort != "S2" {
+		t.Errorf("renamed head = %s:%s, want F:S2", got.Name, got.Sort)
+	}
+	if got.Args[0].Name != "x" {
+		t.Error("variable name was renamed; only symbols should be")
+	}
+	if got.Args[0].Sort != "S2" {
+		t.Error("variable sort was not renamed")
+	}
+	if got.Args[1].Name != "C" {
+		t.Error("constant was not renamed")
+	}
+	if term.Name != "f" {
+		t.Error("Rename mutated its receiver")
+	}
+}
+
+// symbolSort fixes one sort per symbol name, mirroring a well-sorted
+// signature: soundness of unification w.r.t. sort-sensitive Equal only
+// holds for sort-consistent corpora.
+var symbolSort = map[string]string{
+	"x": "S", "y": "T", "z": "",
+	"a": "S", "b": "T", "c": "",
+	"f": "S", "g": "T",
+}
+
+// genTerm builds a random well-sorted term of bounded depth for property tests.
+func genTerm(r *rand.Rand, depth int) *Term {
+	switch {
+	case depth <= 0 || r.Intn(3) == 0:
+		if r.Intn(2) == 0 {
+			n := []string{"x", "y", "z"}[r.Intn(3)]
+			return Var(n, symbolSort[n])
+		}
+		n := []string{"a", "b", "c"}[r.Intn(3)]
+		return Const(n, symbolSort[n])
+	default:
+		n := r.Intn(3)
+		args := make([]*Term, n)
+		for i := range args {
+			args[i] = genTerm(r, depth-1)
+		}
+		if n == 0 {
+			return Const("a", symbolSort["a"])
+		}
+		f := []string{"f", "g"}[r.Intn(2)]
+		return App(f, symbolSort[f], args...)
+	}
+}
+
+// termGen adapts genTerm for testing/quick.
+type termGen struct{ T *Term }
+
+// Generate implements quick.Generator.
+func (termGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(termGen{T: genTerm(r, 3)})
+}
+
+func TestTermCloneEqualProperty(t *testing.T) {
+	prop := func(g termGen) bool {
+		return g.T.Equal(g.T.Clone())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermSizePositiveProperty(t *testing.T) {
+	prop := func(g termGen) bool {
+		return g.T.Size() >= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package module
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"speccat/internal/core/spec"
+)
+
+func TestModuleString(t *testing.T) {
+	m := buildModule(t, "M1", "Broadcast", "Network")
+	out := m.String()
+	for _, want := range []string{"module M1", "PAR=M1_PAR", "BOD=M1_BOD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String %q missing %q", out, want)
+		}
+	}
+}
+
+func TestNewRejectsNilMorphism(t *testing.T) {
+	m := buildModule(t, "M1", "Broadcast", "Network")
+	if _, err := New("bad", m.Par, m.Exp, m.Imp, m.Bod, nil, m.G, m.H, m.K); !errors.Is(err, ErrInterface) {
+		t.Fatalf("nil morphism: %v", err)
+	}
+}
+
+// buildParamlessModule builds a module whose parameter part is empty, the
+// legal case for composing without a parameter morphism t.
+func buildParamlessModule(t *testing.T, name, provided, needed string) *Module {
+	t.Helper()
+	par := spec.New(name + "_PAR")
+	exp := spec.New(name + "_EXP")
+	mustOK(t, exp.AddSort("S", ""))
+	mustOK(t, exp.AddOp(spec.Op{Name: provided, Args: []string{"S"}, Result: spec.BoolSort}))
+	imp := spec.New(name + "_IMP")
+	mustOK(t, imp.AddSort("S", ""))
+	mustOK(t, imp.AddOp(spec.Op{Name: needed, Args: []string{"S"}, Result: spec.BoolSort}))
+	bod := spec.New(name + "_BOD")
+	mustOK(t, bod.Include(exp))
+	mustOK(t, bod.Include(imp))
+	f := spec.NewMorphism(name+"_f", par, exp, nil, nil)
+	g := spec.NewMorphism(name+"_g", par, imp, nil, nil)
+	h := spec.NewMorphism(name+"_h", exp, bod, nil, nil)
+	k := spec.NewMorphism(name+"_k", imp, bod, nil, nil)
+	m, err := New(name, par, exp, imp, bod, f, g, h, k)
+	mustOK(t, err)
+	return m
+}
+
+func TestComposeWithoutParameterMorphism(t *testing.T) {
+	m1 := buildParamlessModule(t, "M1", "High", "Mid")
+	m2 := buildParamlessModule(t, "M2", "Mid", "Low")
+	s := spec.NewMorphism("s", m1.Imp, m2.Exp, nil, nil)
+	comp, err := Compose("M12", m1, m2, s, nil)
+	mustOK(t, err)
+	mustOK(t, comp.Module.Verify())
+	if comp.Module.Par != m1.Par {
+		t.Error("composed parameter is not module 1's")
+	}
+	if _, ok := comp.Module.Bod.FindOp("Low"); !ok {
+		t.Error("composed body missing lower layer's import")
+	}
+}
+
+func TestComposeBadInterfaceSignature(t *testing.T) {
+	m1 := buildParamlessModule(t, "M1", "High", "Mid")
+	m2 := buildParamlessModule(t, "M2", "NotMid", "Low")
+	// Identity s cannot map Mid to anything in m2's export.
+	s := spec.NewMorphism("s", m1.Imp, m2.Exp, nil, nil)
+	if _, err := Compose("M12", m1, m2, s, nil); err == nil {
+		t.Fatal("mismatched interface accepted")
+	}
+}
+
+func TestCompositionConeMorphisms(t *testing.T) {
+	m1 := buildParamlessModule(t, "M1", "High", "Mid")
+	m2 := buildParamlessModule(t, "M2", "Mid", "Low")
+	s := spec.NewMorphism("s", m1.Imp, m2.Exp, nil, nil)
+	comp, err := Compose("M12", m1, m2, s, nil)
+	mustOK(t, err)
+	// The returned cone morphisms embed each body into the composed body.
+	if comp.M1.Source != m1.Bod || comp.M2.Source != m2.Bod {
+		t.Error("cone morphism sources wrong")
+	}
+	if comp.M1.Target != comp.Module.Bod || comp.M2.Target != comp.Module.Bod {
+		t.Error("cone morphism targets wrong")
+	}
+	mustOK(t, comp.M1.CheckSignature())
+	mustOK(t, comp.M2.CheckSignature())
+}

@@ -1,0 +1,183 @@
+// Package module implements algebraic module specifications in the sense of
+// the paper's Section 2.2 (Fig. 2.3): a module MOD = (PAR, EXP, IMP, BOD,
+// f, h, g, k) consists of a parameter specification, an export interface, an
+// import interface, and a body, connected by four morphisms
+//
+//	f : PAR -> EXP      h : EXP -> BOD
+//	g : PAR -> IMP      k : IMP -> BOD
+//
+// forming a commuting square h∘f = k∘g. Two modules compose (Fig. 2.4) when
+// module 1 imports, via an interface morphism s : IMP1 -> EXP2, what
+// module 2 exports; the composed body is the pushout of the two bodies over
+// IMP1, and the composed module is (PAR1, EXP1, IMP2, BOD12).
+package module
+
+import (
+	"errors"
+	"fmt"
+
+	"speccat/internal/core/cat"
+	"speccat/internal/core/spec"
+)
+
+// Sentinel errors.
+var (
+	// ErrSquare is returned when a module's interface square fails to commute.
+	ErrSquare = errors.New("module: interface square does not commute")
+	// ErrInterface is wrapped for invalid composition interfaces.
+	ErrInterface = errors.New("module: invalid composition interface")
+)
+
+// Module is an algebraic module specification.
+type Module struct {
+	Name string
+	// Par, Exp, Imp, Bod are the four component specifications.
+	Par, Exp, Imp, Bod *spec.Spec
+	// F: Par->Exp, G: Par->Imp, H: Exp->Bod, K: Imp->Bod.
+	F, G, H, K *spec.Morphism
+}
+
+// New assembles a module and checks morphism endpoints.
+func New(name string, par, exp, imp, bod *spec.Spec, f, g, h, k *spec.Morphism) (*Module, error) {
+	m := &Module{Name: name, Par: par, Exp: exp, Imp: imp, Bod: bod, F: f, G: g, H: h, K: k}
+	if err := m.checkEndpoints(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Module) checkEndpoints() error {
+	checks := []struct {
+		mor      *spec.Morphism
+		src, dst *spec.Spec
+		name     string
+	}{
+		{m.F, m.Par, m.Exp, "f: PAR->EXP"},
+		{m.G, m.Par, m.Imp, "g: PAR->IMP"},
+		{m.H, m.Exp, m.Bod, "h: EXP->BOD"},
+		{m.K, m.Imp, m.Bod, "k: IMP->BOD"},
+	}
+	for _, c := range checks {
+		if c.mor == nil {
+			return fmt.Errorf("%w: module %s missing morphism %s", ErrInterface, m.Name, c.name)
+		}
+		if c.mor.Source != c.src || c.mor.Target != c.dst {
+			return fmt.Errorf("%w: module %s morphism %s has wrong endpoints", ErrInterface, m.Name, c.name)
+		}
+	}
+	return nil
+}
+
+// Verify checks the four morphisms' signature conditions and the commuting
+// square h∘f = k∘g required by the paper's module definition.
+func (m *Module) Verify() error {
+	for _, mor := range []*spec.Morphism{m.F, m.G, m.H, m.K} {
+		if err := mor.CheckSignature(); err != nil {
+			return fmt.Errorf("module %s: %w", m.Name, err)
+		}
+	}
+	hf, err := spec.Compose(m.F, m.H)
+	if err != nil {
+		return fmt.Errorf("module %s: %w", m.Name, err)
+	}
+	kg, err := spec.Compose(m.G, m.K)
+	if err != nil {
+		return fmt.Errorf("module %s: %w", m.Name, err)
+	}
+	if !hf.Equal(kg) {
+		return fmt.Errorf("%w: module %s: h∘f ≠ k∘g", ErrSquare, m.Name)
+	}
+	return nil
+}
+
+// Composition is the result of composing two modules: the composed module
+// together with the pushout cone morphisms m1 (BOD1 -> BOD12) and
+// m2 (BOD2 -> BOD12), named after the colimit morphisms in the paper's
+// figures 4.3–4.27.
+type Composition struct {
+	Module *Module
+	// M1 embeds module 1's body into the composed body.
+	M1 *spec.Morphism
+	// M2 embeds module 2's body into the composed body.
+	M2 *spec.Morphism
+}
+
+// Compose composes mod1 with mod2 along the interface morphism
+// s : IMP1 -> EXP2 ("module 1 imports what module 2 exports") and the
+// parameter-compatibility morphism t : PAR1 -> PAR2, which must satisfy
+// s∘g1 = f2∘t. The composed module is (PAR1, EXP1, IMP2, BOD12) where BOD12
+// is the pushout of BOD1 <-k1- IMP1 -(h2∘s)-> BOD2 over IMP1.
+//
+// t may be nil when PAR1 is empty (no parameter compatibility to check).
+func Compose(name string, mod1, mod2 *Module, s, t *spec.Morphism) (*Composition, error) {
+	if s == nil || s.Source != mod1.Imp || s.Target != mod2.Exp {
+		return nil, fmt.Errorf("%w: s must map %s's import to %s's export", ErrInterface, mod1.Name, mod2.Name)
+	}
+	if err := s.CheckSignature(); err != nil {
+		return nil, fmt.Errorf("compose %s: interface morphism s: %w", name, err)
+	}
+	if t != nil {
+		if t.Source != mod1.Par || t.Target != mod2.Par {
+			return nil, fmt.Errorf("%w: t must map %s's parameter to %s's parameter", ErrInterface, mod1.Name, mod2.Name)
+		}
+		if err := t.CheckSignature(); err != nil {
+			return nil, fmt.Errorf("compose %s: parameter morphism t: %w", name, err)
+		}
+		// Parameter compatibility: s∘g1 = f2∘t.
+		sg1, err := spec.Compose(mod1.G, s)
+		if err != nil {
+			return nil, err
+		}
+		f2t, err := spec.Compose(t, mod2.F)
+		if err != nil {
+			return nil, err
+		}
+		if !sg1.Equal(f2t) {
+			return nil, fmt.Errorf("%w: parameter compatibility s∘g1 = f2∘t violated", ErrInterface)
+		}
+	} else if len(mod1.Par.Sig.Sorts) > 0 || len(mod1.Par.Sig.Ops) > 0 {
+		return nil, fmt.Errorf("%w: t required for non-empty parameter of %s", ErrInterface, mod1.Name)
+	}
+
+	// BOD12 = pushout of k1 : IMP1 -> BOD1 and h2∘s : IMP1 -> BOD2.
+	sh2, err := spec.Compose(s, mod2.H)
+	if err != nil {
+		return nil, err
+	}
+	_, m1, m2, err := cat.Pushout(mod1.K, sh2, name+"_BOD")
+	if err != nil {
+		return nil, fmt.Errorf("compose %s: body pushout: %w", name, err)
+	}
+	bod12 := m1.Target
+
+	// Composed interface morphisms.
+	h12, err := spec.Compose(mod1.H, m1) // EXP1 -> BOD12
+	if err != nil {
+		return nil, err
+	}
+	k12, err := spec.Compose(mod2.K, m2) // IMP2 -> BOD12
+	if err != nil {
+		return nil, err
+	}
+	g12 := mod1.G
+	if t != nil {
+		// PAR1 -> IMP2 via module 2's parameter.
+		if g12, err = spec.Compose(t, mod2.G); err != nil {
+			return nil, err
+		}
+	} else {
+		g12 = spec.NewMorphism("g12", mod1.Par, mod2.Imp, nil, nil)
+	}
+
+	composed, err := New(name, mod1.Par, mod1.Exp, mod2.Imp, bod12, mod1.F, g12, h12, k12)
+	if err != nil {
+		return nil, err
+	}
+	return &Composition{Module: composed, M1: m1, M2: m2}, nil
+}
+
+// String identifies the module and its four components.
+func (m *Module) String() string {
+	return fmt.Sprintf("module %s (PAR=%s, EXP=%s, IMP=%s, BOD=%s)",
+		m.Name, m.Par.Name, m.Exp.Name, m.Imp.Name, m.Bod.Name)
+}

@@ -1,0 +1,143 @@
+package prover
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"speccat/internal/core/logic"
+)
+
+// randomHornKB builds a random propositional Horn knowledge base over
+// `atoms` symbols and returns the axioms plus the set of derivable atoms
+// (computed by forward chaining, the semantic ground truth).
+func randomHornKB(r *rand.Rand, atoms, rules, facts int) ([]NamedFormula, map[string]bool) {
+	name := func(i int) string { return fmt.Sprintf("A%d", i) }
+	var axioms []NamedFormula
+
+	factSet := map[string]bool{}
+	for i := 0; i < facts; i++ {
+		a := name(r.Intn(atoms))
+		if factSet[a] {
+			continue
+		}
+		factSet[a] = true
+		axioms = append(axioms, NamedFormula{Name: "fact-" + a, Formula: logic.Pred(a)})
+	}
+
+	type rule struct {
+		body []string
+		head string
+	}
+	var ruleSet []rule
+	for i := 0; i < rules; i++ {
+		nBody := 1 + r.Intn(2)
+		body := make([]string, nBody)
+		var bodyF []*logic.Formula
+		for j := range body {
+			body[j] = name(r.Intn(atoms))
+			bodyF = append(bodyF, logic.Pred(body[j]))
+		}
+		head := name(r.Intn(atoms))
+		ruleSet = append(ruleSet, rule{body: body, head: head})
+		axioms = append(axioms, NamedFormula{
+			Name:    fmt.Sprintf("rule%d", i),
+			Formula: logic.Implies(logic.And(bodyF...), logic.Pred(head)),
+		})
+	}
+
+	// Forward chain to a fixpoint.
+	derivable := map[string]bool{}
+	for a := range factSet {
+		derivable[a] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, rl := range ruleSet {
+			if derivable[rl.head] {
+				continue
+			}
+			all := true
+			for _, b := range rl.body {
+				if !derivable[b] {
+					all = false
+					break
+				}
+			}
+			if all {
+				derivable[rl.head] = true
+				changed = true
+			}
+		}
+	}
+	return axioms, derivable
+}
+
+// TestProverMatchesForwardChaining checks soundness and (refutation)
+// completeness against ground truth on random Horn KBs: derivable atoms
+// must be proved, underivable atoms must exhaust.
+func TestProverMatchesForwardChaining(t *testing.T) {
+	p := New()
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		atoms := 4 + r.Intn(6)
+		axioms, derivable := randomHornKB(r, atoms, 2+r.Intn(8), 1+r.Intn(3))
+		for i := 0; i < atoms; i++ {
+			goalName := fmt.Sprintf("A%d", i)
+			goal := NamedFormula{Name: goalName, Formula: logic.Pred(goalName)}
+			_, err := p.Prove(axioms, goal)
+			if derivable[goalName] && err != nil {
+				t.Fatalf("seed %d: derivable %s not proved: %v", seed, goalName, err)
+			}
+			if !derivable[goalName] {
+				if err == nil {
+					t.Fatalf("seed %d: underivable %s proved (unsound!)", seed, goalName)
+				}
+				if !errors.Is(err, ErrExhausted) {
+					t.Fatalf("seed %d: %s failed with %v, want exhaustion", seed, goalName, err)
+				}
+			}
+		}
+	}
+}
+
+// TestDisableSOSSameVerdicts: turning the set-of-support strategy off
+// must not change provability, only cost.
+func TestDisableSOSSameVerdicts(t *testing.T) {
+	withSOS := New()
+	noSOS := New()
+	noSOS.DisableSOS = true
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		axioms, derivable := randomHornKB(r, 6, 6, 2)
+		for i := 0; i < 6; i++ {
+			goalName := fmt.Sprintf("A%d", i)
+			goal := NamedFormula{Name: goalName, Formula: logic.Pred(goalName)}
+			_, err1 := withSOS.Prove(axioms, goal)
+			_, err2 := noSOS.Prove(axioms, goal)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("seed %d goal %s: SOS=%v, noSOS=%v (derivable=%v)",
+					seed, goalName, err1, err2, derivable[goalName])
+			}
+		}
+	}
+}
+
+// TestFirstOrderDepthChain exercises nested function terms: a unary
+// successor chain s(s(...s(z))) must be provable to moderate depth.
+func TestFirstOrderDepthChain(t *testing.T) {
+	x := logic.Var("x", "")
+	axioms := []NamedFormula{
+		{Name: "base", Formula: logic.Pred("P", logic.Const("z", ""))},
+		{Name: "step", Formula: logic.Forall([]*logic.Term{x},
+			logic.Implies(logic.Pred("P", x), logic.Pred("P", logic.App("s", "", x))))},
+	}
+	deep := logic.Const("z", "")
+	for i := 0; i < 12; i++ {
+		deep = logic.App("s", "", deep)
+	}
+	if _, err := New().Prove(axioms, NamedFormula{Name: "deep", Formula: logic.Pred("P", deep)}); err != nil {
+		t.Fatalf("depth-12 chain: %v", err)
+	}
+}

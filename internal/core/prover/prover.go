@@ -1,0 +1,448 @@
+// Package prover implements a saturation-based resolution theorem prover for
+// sorted first-order logic. It is the stand-in for the Snark prover used
+// through Specware in the paper: given a set of axioms and a conjecture, it
+// negates the conjecture, clausifies everything, and searches for the empty
+// clause by binary resolution with factoring.
+//
+// The search uses the given-clause algorithm with a set-of-support strategy
+// (clauses descending from the negated conjecture are preferred), unit
+// preference, and subsumption by canonical identity. Limits bound the search
+// so a failed proof attempt terminates.
+package prover
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"speccat/internal/core/logic"
+)
+
+// Sentinel errors returned by Prove.
+var (
+	// ErrExhausted means the clause space was saturated without refutation:
+	// the conjecture does not follow from the axioms (by resolution).
+	ErrExhausted = errors.New("prover: saturated without refutation; goal not entailed")
+	// ErrLimit means a resource limit stopped the search inconclusively.
+	ErrLimit = errors.New("prover: resource limit reached before refutation")
+)
+
+// Limits bounds a proof search.
+type Limits struct {
+	// MaxClauses caps the number of retained clauses.
+	MaxClauses int
+	// MaxIterations caps given-clause loop iterations.
+	MaxIterations int
+	// MaxClauseLiterals discards derived clauses longer than this.
+	MaxClauseLiterals int
+	// MaxTermSize discards derived clauses containing literals bigger than this.
+	MaxTermSize int
+	// Timeout caps wall-clock search time; zero means no timeout.
+	Timeout time.Duration
+}
+
+// DefaultLimits are generous enough for every proof in the thesis corpus.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxClauses:        200000,
+		MaxIterations:     50000,
+		MaxClauseLiterals: 24,
+		MaxTermSize:       120,
+		Timeout:           30 * time.Second,
+	}
+}
+
+// Stats reports what a proof search did.
+type Stats struct {
+	// InputClauses is the number of clauses after clausification.
+	InputClauses int
+	// Generated counts derived clauses, including discarded ones.
+	Generated int
+	// Retained counts clauses kept after subsumption/limits.
+	Retained int
+	// Iterations counts given-clause loop rounds.
+	Iterations int
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+	// ProofLength is the number of resolution steps in the found proof.
+	ProofLength int
+}
+
+// Result is the outcome of a successful proof.
+type Result struct {
+	Stats Stats
+	// Proof lists the derivation steps that end in the empty clause.
+	Proof []ProofStep
+}
+
+// ProofStep records one clause in the refutation: either an input clause or
+// a resolvent/factor of earlier steps.
+type ProofStep struct {
+	// Index is the step's position in the proof.
+	Index int
+	// Clause is the derived clause.
+	Clause *logic.Clause
+	// Rule is "input", "resolve", or "factor".
+	Rule string
+	// Parents are indices of parent steps (empty for inputs).
+	Parents []int
+	// Origin names the axiom or conjecture an input clause came from.
+	Origin string
+}
+
+// String renders a proof step as a single line.
+func (p ProofStep) String() string {
+	switch p.Rule {
+	case "input":
+		return fmt.Sprintf("[%d] %s  (input: %s)", p.Index, p.Clause, p.Origin)
+	default:
+		parents := make([]string, len(p.Parents))
+		for i, q := range p.Parents {
+			parents[i] = fmt.Sprintf("%d", q)
+		}
+		return fmt.Sprintf("[%d] %s  (%s %s)", p.Index, p.Clause, p.Rule, strings.Join(parents, ","))
+	}
+}
+
+// NamedFormula pairs a formula with a provenance label for proof reporting.
+type NamedFormula struct {
+	Name    string
+	Formula *logic.Formula
+}
+
+// Prover holds search configuration. The zero value uses DefaultLimits.
+type Prover struct {
+	Limits Limits
+	// DisableSOS turns off the set-of-support restriction, saturating the
+	// full clause set from the start (used by the ablation benchmarks).
+	DisableSOS bool
+}
+
+// New returns a Prover with default limits.
+func New() *Prover { return &Prover{Limits: DefaultLimits()} }
+
+// Prove attempts to show that axioms entail goal. On success it returns the
+// refutation; otherwise it returns ErrExhausted or ErrLimit.
+func (p *Prover) Prove(axioms []NamedFormula, goal NamedFormula) (*Result, error) {
+	lim := p.Limits
+	if lim.MaxClauses == 0 {
+		lim = DefaultLimits()
+	}
+	start := time.Now()
+
+	sc := 0
+	fresh := func() string { sc++; return fmt.Sprintf("sk%d", sc) }
+
+	type tagged struct {
+		clause *logic.Clause
+		sos    bool // descends from the negated conjecture
+		origin string
+	}
+	var inputs []tagged
+	for _, ax := range axioms {
+		for _, c := range logic.ClausifyWith(ax.Formula, fresh) {
+			inputs = append(inputs, tagged{clause: c, origin: ax.Name})
+		}
+	}
+	negGoal := logic.Not(logic.Closure(goal.Formula))
+	for _, c := range logic.ClausifyWith(negGoal, fresh) {
+		inputs = append(inputs, tagged{clause: c, sos: true, origin: "~" + goal.Name})
+	}
+
+	run := func(restrictSOS bool) (*Result, error) {
+		st := &searchState{
+			limits:      lim,
+			start:       start,
+			seen:        map[string]int{},
+			deadline:    start.Add(lim.Timeout),
+			hasDeadline: lim.Timeout > 0,
+			restrictSOS: restrictSOS,
+		}
+		for _, in := range inputs {
+			st.addClause(in.clause, "input", nil, in.origin, in.sos)
+		}
+		st.stats.InputClauses = len(inputs)
+
+		if idx := st.emptyClause(); idx >= 0 {
+			return st.result(idx)
+		}
+		return st.saturate()
+	}
+
+	if p.DisableSOS {
+		return run(false)
+	}
+	res, err := run(true)
+	if errors.Is(err, ErrExhausted) {
+		// Set-of-support is complete only when the axioms alone are
+		// satisfiable; retry unrestricted so inconsistent axiom sets are
+		// still refuted.
+		return run(false)
+	}
+	return res, err
+}
+
+// searchState is the mutable state of one proof search.
+type searchState struct {
+	limits      Limits
+	start       time.Time
+	deadline    time.Time
+	hasDeadline bool
+	restrictSOS bool
+	steps       []ProofStep
+	sos         []bool
+	active      []int // indices of processed clauses
+	queue       []int // indices of unprocessed clauses
+	seen        map[string]int
+	stats       Stats
+	emptyIdx    int
+}
+
+func (st *searchState) emptyClause() int {
+	for i, s := range st.steps {
+		if s.Clause.IsEmpty() {
+			return i
+		}
+	}
+	return -1
+}
+
+// addClause records a clause unless it is a duplicate, too large, or over
+// limits; it returns the step index or -1.
+func (st *searchState) addClause(c *logic.Clause, rule string, parents []int, origin string, sos bool) int {
+	if c == nil {
+		return -1
+	}
+	if len(c.Literals) > st.limits.MaxClauseLiterals {
+		return -1
+	}
+	for _, l := range c.Literals {
+		sz := 0
+		for _, a := range l.Atom.Args {
+			sz += a.Size()
+		}
+		if sz > st.limits.MaxTermSize {
+			return -1
+		}
+	}
+	key := c.Canonical()
+	if _, dup := st.seen[key]; dup {
+		return -1
+	}
+	if len(st.steps) >= st.limits.MaxClauses {
+		return -1
+	}
+	idx := len(st.steps)
+	st.seen[key] = idx
+	st.steps = append(st.steps, ProofStep{Index: idx, Clause: c, Rule: rule, Parents: parents, Origin: origin})
+	st.sos = append(st.sos, sos)
+	st.queue = append(st.queue, idx)
+	st.stats.Retained++
+	return idx
+}
+
+func (st *searchState) saturate() (*Result, error) {
+	for len(st.queue) > 0 {
+		st.stats.Iterations++
+		if st.stats.Iterations > st.limits.MaxIterations {
+			return nil, fmt.Errorf("%w (iterations > %d)", ErrLimit, st.limits.MaxIterations)
+		}
+		if st.hasDeadline && st.stats.Iterations%64 == 0 && time.Now().After(st.deadline) {
+			return nil, fmt.Errorf("%w (timeout %v)", ErrLimit, st.limits.Timeout)
+		}
+		given := st.pickGiven()
+		st.active = append(st.active, given)
+
+		// Factors of the given clause.
+		for _, f := range factors(st.steps[given].Clause) {
+			if idx := st.addClause(f, "factor", []int{given}, "", st.sos[given]); idx >= 0 {
+				st.stats.Generated++
+				if st.steps[idx].Clause.IsEmpty() {
+					return st.result(idx)
+				}
+			}
+		}
+		// Binary resolution against all active clauses. Set of support:
+		// at least one parent must be a SOS clause.
+		for _, other := range st.active {
+			if st.restrictSOS && !st.sos[given] && !st.sos[other] {
+				continue
+			}
+			for _, r := range resolvents(st.steps[given].Clause, st.steps[other].Clause) {
+				st.stats.Generated++
+				idx := st.addClause(r, "resolve", []int{given, other}, "", true)
+				if idx >= 0 && st.steps[idx].Clause.IsEmpty() {
+					return st.result(idx)
+				}
+			}
+			if len(st.steps) >= st.limits.MaxClauses {
+				return nil, fmt.Errorf("%w (clauses >= %d)", ErrLimit, st.limits.MaxClauses)
+			}
+		}
+	}
+	return nil, ErrExhausted
+}
+
+// pickGiven removes and returns the best clause index from the queue:
+// fewest literals first (unit preference), then smallest term size, then
+// oldest. The queue is small in our corpus, so a linear scan is fine.
+func (st *searchState) pickGiven() int {
+	best := 0
+	for i := 1; i < len(st.queue); i++ {
+		if st.better(st.queue[i], st.queue[best]) {
+			best = i
+		}
+	}
+	idx := st.queue[best]
+	st.queue = append(st.queue[:best], st.queue[best+1:]...)
+	return idx
+}
+
+func (st *searchState) better(a, b int) bool {
+	ca, cb := st.steps[a].Clause, st.steps[b].Clause
+	if len(ca.Literals) != len(cb.Literals) {
+		return len(ca.Literals) < len(cb.Literals)
+	}
+	sa, sb := clauseSize(ca), clauseSize(cb)
+	if sa != sb {
+		return sa < sb
+	}
+	return a < b
+}
+
+func clauseSize(c *logic.Clause) int {
+	n := 0
+	for _, l := range c.Literals {
+		for _, a := range l.Atom.Args {
+			n += a.Size()
+		}
+	}
+	return n
+}
+
+func (st *searchState) result(emptyIdx int) (*Result, error) {
+	st.stats.Elapsed = time.Since(st.start)
+	proof := extractProof(st.steps, emptyIdx)
+	st.stats.ProofLength = len(proof)
+	return &Result{Stats: st.stats, Proof: proof}, nil
+}
+
+// extractProof walks parents back from the empty clause and renumbers the
+// used steps in topological order.
+func extractProof(steps []ProofStep, emptyIdx int) []ProofStep {
+	needed := map[int]bool{}
+	var mark func(int)
+	mark = func(i int) {
+		if needed[i] {
+			return
+		}
+		needed[i] = true
+		for _, p := range steps[i].Parents {
+			mark(p)
+		}
+	}
+	mark(emptyIdx)
+	idxs := make([]int, 0, len(needed))
+	for i := range needed {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	renum := map[int]int{}
+	out := make([]ProofStep, 0, len(idxs))
+	for newIdx, old := range idxs {
+		renum[old] = newIdx
+		s := steps[old]
+		np := make([]int, len(s.Parents))
+		for i, p := range s.Parents {
+			np[i] = renum[p]
+		}
+		out = append(out, ProofStep{Index: newIdx, Clause: s.Clause, Rule: s.Rule, Parents: np, Origin: s.Origin})
+	}
+	return out
+}
+
+// resolvents returns all binary resolvents of clauses a and b.
+func resolvents(a, b *logic.Clause) []*logic.Clause {
+	// Standardize apart.
+	a2 := a.RenameVars("_l")
+	b2 := b.RenameVars("_r")
+	var out []*logic.Clause
+	for i, la := range a2.Literals {
+		for j, lb := range b2.Literals {
+			if la.Negated == lb.Negated {
+				continue
+			}
+			s, ok := logic.UnifyAtoms(la.Atom, lb.Atom, nil)
+			if !ok {
+				continue
+			}
+			var lits []logic.Literal
+			for k, l := range a2.Literals {
+				if k != i {
+					lits = append(lits, l.Apply(s))
+				}
+			}
+			for k, l := range b2.Literals {
+				if k != j {
+					lits = append(lits, l.Apply(s))
+				}
+			}
+			if c := simplify(&logic.Clause{Literals: lits}); c != nil {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// factors returns the binary factors of a clause: for each unifiable pair of
+// same-polarity literals, the clause with the pair merged.
+func factors(c *logic.Clause) []*logic.Clause {
+	var out []*logic.Clause
+	for i := 0; i < len(c.Literals); i++ {
+		for j := i + 1; j < len(c.Literals); j++ {
+			li, lj := c.Literals[i], c.Literals[j]
+			if li.Negated != lj.Negated {
+				continue
+			}
+			s, ok := logic.UnifyAtoms(li.Atom, lj.Atom, nil)
+			if !ok {
+				continue
+			}
+			var lits []logic.Literal
+			for k, l := range c.Literals {
+				if k == j {
+					continue
+				}
+				lits = append(lits, l.Apply(s))
+			}
+			if f := simplify(&logic.Clause{Literals: lits}); f != nil {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// simplify removes duplicate literals; returns nil for tautologies.
+func simplify(c *logic.Clause) *logic.Clause {
+	var out []logic.Literal
+	for _, l := range c.Literals {
+		dup := false
+		for _, m := range out {
+			if l.Negated == m.Negated && l.Atom.Equal(m.Atom) {
+				dup = true
+				break
+			}
+			if l.Complementary(m) {
+				return nil
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	return &logic.Clause{Literals: out}
+}

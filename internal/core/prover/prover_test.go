@@ -1,0 +1,198 @@
+package prover
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"speccat/internal/core/logic"
+)
+
+func nf(name string, f *logic.Formula) NamedFormula { return NamedFormula{Name: name, Formula: f} }
+
+func mustProve(t *testing.T, axioms []NamedFormula, goal NamedFormula) *Result {
+	t.Helper()
+	res, err := New().Prove(axioms, goal)
+	if err != nil {
+		t.Fatalf("Prove(%s) failed: %v", goal.Name, err)
+	}
+	if len(res.Proof) == 0 || !res.Proof[len(res.Proof)-1].Clause.IsEmpty() {
+		t.Fatalf("proof does not end in empty clause: %v", res.Proof)
+	}
+	return res
+}
+
+func mustFail(t *testing.T, axioms []NamedFormula, goal NamedFormula) {
+	t.Helper()
+	if _, err := New().Prove(axioms, goal); err == nil {
+		t.Fatalf("Prove(%s) unexpectedly succeeded", goal.Name)
+	}
+}
+
+func TestProveModusPonens(t *testing.T) {
+	p, q := logic.Pred("P"), logic.Pred("Q")
+	mustProve(t,
+		[]NamedFormula{nf("p", p), nf("pq", logic.Implies(p, q))},
+		nf("q", q))
+}
+
+func TestProveChain(t *testing.T) {
+	p, q, r, s := logic.Pred("P"), logic.Pred("Q"), logic.Pred("R"), logic.Pred("S")
+	mustProve(t,
+		[]NamedFormula{
+			nf("p", p),
+			nf("pq", logic.Implies(p, q)),
+			nf("qr", logic.Implies(q, r)),
+			nf("rs", logic.Implies(r, s)),
+		},
+		nf("s", s))
+}
+
+func TestProveNonTheorem(t *testing.T) {
+	p, q := logic.Pred("P"), logic.Pred("Q")
+	mustFail(t, []NamedFormula{nf("p", p)}, nf("q", q))
+}
+
+func TestProveUniversalInstantiation(t *testing.T) {
+	x := logic.Var("x", "S")
+	c := logic.Const("c", "S")
+	all := logic.Forall([]*logic.Term{x}, logic.Pred("P", x))
+	mustProve(t, []NamedFormula{nf("all", all)}, nf("inst", logic.Pred("P", c)))
+}
+
+func TestProveSyllogism(t *testing.T) {
+	// All men are mortal; Socrates is a man; therefore Socrates is mortal.
+	x := logic.Var("x", "")
+	socrates := logic.Const("socrates", "")
+	axioms := []NamedFormula{
+		nf("mortality", logic.Forall([]*logic.Term{x},
+			logic.Implies(logic.Pred("Man", x), logic.Pred("Mortal", x)))),
+		nf("socrates-man", logic.Pred("Man", socrates)),
+	}
+	res := mustProve(t, axioms, nf("socrates-mortal", logic.Pred("Mortal", socrates)))
+	if res.Stats.ProofLength < 3 {
+		t.Errorf("suspiciously short proof: %d steps", res.Stats.ProofLength)
+	}
+}
+
+func TestProveExistentialGoal(t *testing.T) {
+	// P(c) |- ex(x) P(x)
+	c := logic.Const("c", "")
+	x := logic.Var("x", "")
+	mustProve(t,
+		[]NamedFormula{nf("pc", logic.Pred("P", c))},
+		nf("exists", logic.Exists([]*logic.Term{x}, logic.Pred("P", x))))
+}
+
+func TestProveTransitivityInstance(t *testing.T) {
+	// Transitive R, R(a,b), R(b,c) |- R(a,c)
+	x, y, z := logic.Var("x", ""), logic.Var("y", ""), logic.Var("z", "")
+	a, b, c := logic.Const("a", ""), logic.Const("b", ""), logic.Const("c", "")
+	trans := logic.Forall([]*logic.Term{x, y, z},
+		logic.Implies(logic.And(logic.Pred("R", x, y), logic.Pred("R", y, z)), logic.Pred("R", x, z)))
+	mustProve(t,
+		[]NamedFormula{
+			nf("trans", trans),
+			nf("rab", logic.Pred("R", a, b)),
+			nf("rbc", logic.Pred("R", b, c)),
+		},
+		nf("rac", logic.Pred("R", a, c)))
+}
+
+func TestProveNeedsFactoring(t *testing.T) {
+	// (P(x) | P(y)) with goal ex(z) P(z) — requires factoring or double use.
+	x, y, z := logic.Var("x", ""), logic.Var("y", ""), logic.Var("z", "")
+	mustProve(t,
+		[]NamedFormula{nf("pp", logic.Forall([]*logic.Term{x, y},
+			logic.Or(logic.Pred("P", x), logic.Pred("P", y))))},
+		nf("goal", logic.Exists([]*logic.Term{z}, logic.Pred("P", z))))
+}
+
+func TestProveContradictoryAxioms(t *testing.T) {
+	// From P & ~P anything follows.
+	p := logic.Pred("P")
+	mustProve(t,
+		[]NamedFormula{nf("p", p), nf("np", logic.Not(p))},
+		nf("anything", logic.Pred("Q")))
+}
+
+func TestProveSortedMismatchFails(t *testing.T) {
+	// fa(x:S) P(x) does not prove P(c:T): sorts block unification.
+	x := logic.Var("x", "S")
+	cT := logic.Const("c", "T")
+	mustFail(t,
+		[]NamedFormula{nf("all", logic.Forall([]*logic.Term{x}, logic.Pred("P", x)))},
+		nf("inst", logic.Pred("P", cT)))
+}
+
+func TestProveConjunctionGoal(t *testing.T) {
+	p, q := logic.Pred("P"), logic.Pred("Q")
+	mustProve(t,
+		[]NamedFormula{nf("p", p), nf("q", q)},
+		nf("pq", logic.And(p, q)))
+}
+
+func TestProveIfThenElseGoal(t *testing.T) {
+	c, p, q := logic.Pred("C"), logic.Pred("P"), logic.Pred("Q")
+	axioms := []NamedFormula{
+		nf("cp", logic.Implies(c, p)),
+		nf("ncq", logic.Implies(logic.Not(c), q)),
+	}
+	mustProve(t, axioms, nf("ite", logic.IfThenElse(c, p, q)))
+}
+
+func TestProveTimeout(t *testing.T) {
+	// An unprovable goal over a recursive axiom set: the search must stop.
+	x := logic.Var("x", "")
+	grow := logic.Forall([]*logic.Term{x},
+		logic.Implies(logic.Pred("P", x), logic.Pred("P", logic.App("s", "", x))))
+	p := &Prover{Limits: Limits{
+		MaxClauses:        2000,
+		MaxIterations:     500,
+		MaxClauseLiterals: 8,
+		MaxTermSize:       50,
+		Timeout:           2 * time.Second,
+	}}
+	_, err := p.Prove(
+		[]NamedFormula{nf("grow", grow), nf("base", logic.Pred("P", logic.Const("z", "")))},
+		nf("goal", logic.Pred("Q")))
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !errors.Is(err, ErrLimit) && !errors.Is(err, ErrExhausted) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestProofStepsAreConnected(t *testing.T) {
+	p, q := logic.Pred("P"), logic.Pred("Q")
+	res := mustProve(t,
+		[]NamedFormula{nf("p", p), nf("pq", logic.Implies(p, q))},
+		nf("q", q))
+	for i, s := range res.Proof {
+		if s.Index != i {
+			t.Errorf("step %d has index %d", i, s.Index)
+		}
+		for _, par := range s.Parents {
+			if par >= i {
+				t.Errorf("step %d references later parent %d", i, par)
+			}
+		}
+		if s.Rule == "input" && s.Origin == "" {
+			t.Errorf("input step %d has no origin", i)
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	p, q := logic.Pred("P"), logic.Pred("Q")
+	res := mustProve(t,
+		[]NamedFormula{nf("p", p), nf("pq", logic.Implies(p, q))},
+		nf("q", q))
+	if res.Stats.InputClauses != 3 {
+		t.Errorf("InputClauses = %d, want 3", res.Stats.InputClauses)
+	}
+	if res.Stats.Retained == 0 || res.Stats.ProofLength == 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+}

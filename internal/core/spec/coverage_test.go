@@ -1,0 +1,178 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"speccat/internal/core/logic"
+)
+
+func TestOpString(t *testing.T) {
+	c := Op{Name: "zero", Result: "Nat"}
+	if c.String() != "op zero : Nat" {
+		t.Errorf("const String = %q", c.String())
+	}
+	f := Op{Name: "F", Args: []string{"A", "B"}, Result: BoolSort}
+	if f.String() != "op F : A*B -> Boolean" {
+		t.Errorf("op String = %q", f.String())
+	}
+	if !f.IsPredicate() || c.IsPredicate() {
+		t.Error("IsPredicate wrong")
+	}
+	if f.Arity() != 2 {
+		t.Error("Arity wrong")
+	}
+}
+
+func TestFindersMissing(t *testing.T) {
+	s := New("X")
+	if _, ok := s.FindOp("nope"); ok {
+		t.Error("FindOp found ghost")
+	}
+	if _, ok := s.FindAxiom("nope"); ok {
+		t.Error("FindAxiom found ghost")
+	}
+	if _, ok := s.FindTheorem("nope"); ok {
+		t.Error("FindTheorem found ghost")
+	}
+	if s.HasSort("nope") {
+		t.Error("HasSort found ghost")
+	}
+}
+
+func TestDuplicateTheorem(t *testing.T) {
+	s := New("X")
+	mustOK(t, s.AddOp(Op{Name: "P", Result: BoolSort}))
+	mustOK(t, s.AddTheorem("th", logic.Pred("P"), nil))
+	if err := s.AddTheorem("th", logic.Pred("P"), nil); err == nil {
+		t.Error("duplicate theorem accepted")
+	}
+}
+
+func TestIncludeConflictingAxiom(t *testing.T) {
+	a := New("A")
+	mustOK(t, a.AddOp(Op{Name: "P", Result: BoolSort}))
+	mustOK(t, a.AddAxiom("ax", logic.Pred("P")))
+	b := New("B")
+	mustOK(t, b.AddOp(Op{Name: "P", Result: BoolSort}))
+	mustOK(t, b.AddAxiom("ax", logic.Not(logic.Pred("P"))))
+	if err := a.Include(b); !errors.Is(err, ErrIllFormed) {
+		t.Errorf("conflicting include: %v", err)
+	}
+}
+
+func TestIncludeConflictingTheorem(t *testing.T) {
+	a := New("A")
+	mustOK(t, a.AddOp(Op{Name: "P", Result: BoolSort}))
+	mustOK(t, a.AddTheorem("th", logic.Pred("P"), nil))
+	b := New("B")
+	mustOK(t, b.AddOp(Op{Name: "P", Result: BoolSort}))
+	mustOK(t, b.AddTheorem("th", logic.Not(logic.Pred("P")), nil))
+	if err := a.Include(b); !errors.Is(err, ErrIllFormed) {
+		t.Errorf("conflicting theorem include: %v", err)
+	}
+}
+
+func TestWellFormedEqAndConstants(t *testing.T) {
+	s := New("X")
+	mustOK(t, s.AddSort("S", ""))
+	mustOK(t, s.AddOp(Op{Name: "c", Result: "S"}))
+	mustOK(t, s.AddOp(Op{Name: "f", Args: []string{"S"}, Result: "S"}))
+	mustOK(t, s.AddAxiom("eq", logic.Eq(
+		logic.App("f", "S", logic.Const("c", "S")),
+		logic.Const("c", "S"))))
+	mustOK(t, s.WellFormed())
+
+	// A declared op with arity > 0 used as a constant is ill-formed.
+	mustOK(t, s.AddAxiom("bad", logic.Eq(logic.Const("f", "S"), logic.Const("c", "S"))))
+	if err := s.WellFormed(); !errors.Is(err, ErrIllFormed) {
+		t.Errorf("arity-misuse: %v", err)
+	}
+}
+
+func TestWellFormedFunctionArity(t *testing.T) {
+	s := New("X")
+	mustOK(t, s.AddSort("S", ""))
+	mustOK(t, s.AddOp(Op{Name: "f", Args: []string{"S"}, Result: "S"}))
+	mustOK(t, s.AddOp(Op{Name: "P", Args: []string{"S"}, Result: BoolSort}))
+	mustOK(t, s.AddAxiom("bad", logic.Pred("P", logic.App("f", "S",
+		logic.Var("x", "S"), logic.Var("y", "S")))))
+	if err := s.WellFormed(); err == nil || !strings.Contains(err.Error(), "applied to 2") {
+		t.Errorf("function arity: %v", err)
+	}
+}
+
+func TestWellFormedUnknownFunction(t *testing.T) {
+	s := New("X")
+	mustOK(t, s.AddSort("S", ""))
+	mustOK(t, s.AddOp(Op{Name: "P", Args: []string{"S"}, Result: BoolSort}))
+	mustOK(t, s.AddAxiom("bad", logic.Pred("P", logic.App("ghost", "S", logic.Var("x", "S")))))
+	if err := s.WellFormed(); !errors.Is(err, ErrUnknownSymbol) {
+		t.Errorf("unknown function: %v", err)
+	}
+}
+
+func TestWellFormedNonPredicateUsedAsPredicate(t *testing.T) {
+	s := New("X")
+	mustOK(t, s.AddSort("S", ""))
+	mustOK(t, s.AddOp(Op{Name: "f", Args: []string{"S"}, Result: "S"}))
+	mustOK(t, s.AddAxiom("bad", logic.Pred("f", logic.Var("x", "S"))))
+	if err := s.WellFormed(); !errors.Is(err, ErrIllFormed) {
+		t.Errorf("non-predicate atom: %v", err)
+	}
+}
+
+func TestMorphismStringAndEqual(t *testing.T) {
+	a := specPQ(t, "A")
+	b := specPQ(t, "B")
+	m := NewMorphism("m", a, b, nil, nil)
+	out := m.String()
+	if !strings.Contains(out, "A -> B") || !strings.Contains(out, "P ↦ P") {
+		t.Errorf("String = %q", out)
+	}
+	n := NewMorphism("n", a, b, nil, nil)
+	if !m.Equal(n) {
+		t.Error("identical morphisms unequal")
+	}
+	n2 := NewMorphism("n2", a, b, nil, map[string]string{"P": "Q"})
+	if m.Equal(n2) {
+		t.Error("different morphisms equal")
+	}
+	other := specPQ(t, "C")
+	if m.Equal(NewMorphism("x", a, other, nil, nil)) {
+		t.Error("different targets equal")
+	}
+}
+
+func TestIdentityVerifies(t *testing.T) {
+	a := specPQ(t, "A")
+	id := Identity(a)
+	mustOK(t, id.Verify(BySyntax, nil))
+}
+
+func TestTranslateConflict(t *testing.T) {
+	a := New("A")
+	mustOK(t, a.AddSort("S", ""))
+	mustOK(t, a.AddSort("T", ""))
+	// Renaming both sorts to the same name with different defs is fine
+	// (identical empty defs merge), but ops with clashing profiles fail.
+	mustOK(t, a.AddOp(Op{Name: "f", Args: []string{"S"}, Result: "S"}))
+	mustOK(t, a.AddOp(Op{Name: "g", Args: []string{"T", "T"}, Result: "T"}))
+	if _, err := Translate(a, "B", map[string]string{"f": "h", "g": "h"}); err == nil {
+		t.Error("profile-clashing translation accepted")
+	}
+}
+
+func TestTheoremCountsAsTargetStatement(t *testing.T) {
+	// BySyntax obligations accept translations landing on target theorems.
+	a := specPQ(t, "A")
+	b := New("B")
+	mustOK(t, b.AddSort("S", ""))
+	mustOK(t, b.AddOp(Op{Name: "P", Args: []string{"S"}, Result: BoolSort}))
+	mustOK(t, b.AddOp(Op{Name: "Q", Args: []string{"S"}, Result: BoolSort}))
+	ax, _ := a.FindAxiom("pq")
+	mustOK(t, b.AddTheorem("pq-as-theorem", ax.Formula.Clone(), nil))
+	m := NewMorphism("m", a, b, nil, nil)
+	mustOK(t, m.Verify(BySyntax, nil))
+}

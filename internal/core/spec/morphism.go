@@ -1,0 +1,278 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"speccat/internal/core/logic"
+	"speccat/internal/core/prover"
+)
+
+// ErrObligation is wrapped when a morphism's proof obligation (axiom must
+// translate to a theorem of the target) cannot be discharged.
+var ErrObligation = errors.New("spec: morphism proof obligation failed")
+
+// Morphism is a specification morphism m : Source -> Target: a map from the
+// sorts and operations of Source to those of Target such that (a) source
+// operations are translated compatibly (profiles map consistently) and
+// (b) axioms are translated to theorems of the target.
+type Morphism struct {
+	Name   string
+	Source *Spec
+	Target *Spec
+	// SortMap maps source sort names to target sort names. Unmapped sorts
+	// are mapped identically when the target declares the same name.
+	SortMap map[string]string
+	// OpMap maps source op names to target op names; same identity default.
+	OpMap map[string]string
+}
+
+// NewMorphism builds a morphism with the given (possibly partial) maps.
+// Nil maps are treated as empty.
+func NewMorphism(name string, src, dst *Spec, sortMap, opMap map[string]string) *Morphism {
+	if sortMap == nil {
+		sortMap = map[string]string{}
+	}
+	if opMap == nil {
+		opMap = map[string]string{}
+	}
+	return &Morphism{Name: name, Source: src, Target: dst, SortMap: sortMap, OpMap: opMap}
+}
+
+// MapSort returns the image of a source sort (identity by default).
+func (m *Morphism) MapSort(name string) string {
+	if to, ok := m.SortMap[name]; ok {
+		return to
+	}
+	return name
+}
+
+// MapOp returns the image of a source op (identity by default).
+func (m *Morphism) MapOp(name string) string {
+	if to, ok := m.OpMap[name]; ok {
+		return to
+	}
+	return name
+}
+
+// renameMap builds the combined symbol-rename map used on formulas.
+func (m *Morphism) renameMap() map[string]string {
+	r := make(map[string]string, len(m.SortMap)+len(m.OpMap))
+	for k, v := range m.OpMap {
+		r[k] = v
+	}
+	for k, v := range m.SortMap {
+		r["sort:"+k] = v
+	}
+	return r
+}
+
+// TranslateFormula applies the morphism's symbol mapping to a formula.
+func (m *Morphism) TranslateFormula(f *logic.Formula) *logic.Formula {
+	return f.Rename(m.renameMap())
+}
+
+// CheckSignature verifies requirement (b) of the definition: every source
+// sort maps to a target sort and every source op maps to a target op with a
+// compatible profile (same arity, argument/result sorts map pointwise).
+func (m *Morphism) CheckSignature() error {
+	for _, s := range m.Source.Sig.Sorts {
+		to := m.MapSort(s.Name)
+		if !m.Target.HasSort(to) && !isBaseSort(to) {
+			return fmt.Errorf("%w: morphism %s: sort %s ↦ %s not in target %s",
+				ErrUnknownSymbol, m.Name, s.Name, to, m.Target.Name)
+		}
+	}
+	for _, o := range m.Source.Sig.Ops {
+		to := m.MapOp(o.Name)
+		dst, ok := m.Target.FindOp(to)
+		if !ok {
+			return fmt.Errorf("%w: morphism %s: op %s ↦ %s not in target %s",
+				ErrUnknownSymbol, m.Name, o.Name, to, m.Target.Name)
+		}
+		if dst.Arity() != o.Arity() {
+			return fmt.Errorf("%w: morphism %s: op %s ↦ %s arity %d ≠ %d",
+				ErrIllFormed, m.Name, o.Name, to, o.Arity(), dst.Arity())
+		}
+		for i, a := range o.Args {
+			if m.MapSort(a) != dst.Args[i] {
+				return fmt.Errorf("%w: morphism %s: op %s arg %d sort %s ↦ %s, target declares %s",
+					ErrIllFormed, m.Name, o.Name, i, a, m.MapSort(a), dst.Args[i])
+			}
+		}
+		if m.MapSort(o.Result) != dst.Result {
+			return fmt.Errorf("%w: morphism %s: op %s result sort %s ↦ %s, target declares %s",
+				ErrIllFormed, m.Name, o.Name, o.Result, m.MapSort(o.Result), dst.Result)
+		}
+	}
+	return nil
+}
+
+func isBaseSort(name string) bool { return name == "Nat" || name == BoolSort }
+
+// ObligationMode selects how axiom-to-theorem obligations are discharged.
+type ObligationMode int
+
+const (
+	// BySyntax accepts an obligation when the translated axiom is
+	// syntactically an axiom or theorem of the target (the common case for
+	// inclusion-style morphisms).
+	BySyntax ObligationMode = iota + 1
+	// ByProof additionally runs the resolution prover on obligations that
+	// fail the syntactic check, with the target's axioms as premises.
+	ByProof
+)
+
+// CheckObligations verifies requirement (a): each source axiom, translated
+// along the morphism, must be a theorem of the target.
+func (m *Morphism) CheckObligations(mode ObligationMode, pr *prover.Prover) error {
+	for _, ax := range m.Source.Axioms {
+		translated := m.TranslateFormula(ax.Formula)
+		if m.targetStates(translated) {
+			continue
+		}
+		if mode == BySyntax {
+			return fmt.Errorf("%w: morphism %s: axiom %s does not translate to a target statement",
+				ErrObligation, m.Name, ax.Name)
+		}
+		if pr == nil {
+			pr = prover.New()
+		}
+		premises := make([]prover.NamedFormula, 0, len(m.Target.Axioms))
+		for _, ta := range m.Target.Axioms {
+			premises = append(premises, prover.NamedFormula{Name: ta.Name, Formula: ta.Formula})
+		}
+		if _, err := pr.Prove(premises, prover.NamedFormula{Name: ax.Name, Formula: translated}); err != nil {
+			return fmt.Errorf("%w: morphism %s: axiom %s: %v", ErrObligation, m.Name, ax.Name, err)
+		}
+	}
+	return nil
+}
+
+// targetStates reports whether f is syntactically among the target's axioms
+// or theorems (up to formula equality).
+func (m *Morphism) targetStates(f *logic.Formula) bool {
+	for _, a := range m.Target.Axioms {
+		if a.Formula.Equal(f) {
+			return true
+		}
+	}
+	for _, t := range m.Target.Theorems {
+		if t.Formula.Equal(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// Verify checks the signature condition and then the obligations.
+func (m *Morphism) Verify(mode ObligationMode, pr *prover.Prover) error {
+	if err := m.CheckSignature(); err != nil {
+		return err
+	}
+	return m.CheckObligations(mode, pr)
+}
+
+// Compose returns the composite morphism n∘m : m.Source -> n.Target
+// (apply m first, then n). It fails when the middle specs differ.
+func Compose(m, n *Morphism) (*Morphism, error) {
+	if m.Target != n.Source {
+		return nil, fmt.Errorf("%w: compose %s;%s: middle specs differ (%s vs %s)",
+			ErrIllFormed, m.Name, n.Name, m.Target.Name, n.Source.Name)
+	}
+	out := NewMorphism(m.Name+";"+n.Name, m.Source, n.Target, map[string]string{}, map[string]string{})
+	for _, s := range m.Source.Sig.Sorts {
+		out.SortMap[s.Name] = n.MapSort(m.MapSort(s.Name))
+	}
+	for _, o := range m.Source.Sig.Ops {
+		out.OpMap[o.Name] = n.MapOp(m.MapOp(o.Name))
+	}
+	return out, nil
+}
+
+// Identity returns the identity morphism on s.
+func Identity(s *Spec) *Morphism {
+	return NewMorphism("id_"+s.Name, s, s, map[string]string{}, map[string]string{})
+}
+
+// Equal reports whether two morphisms agree pointwise on their common
+// source signature (and share source/target specs).
+func (m *Morphism) Equal(n *Morphism) bool {
+	if m.Source != n.Source || m.Target != n.Target {
+		return false
+	}
+	for _, s := range m.Source.Sig.Sorts {
+		if m.MapSort(s.Name) != n.MapSort(s.Name) {
+			return false
+		}
+	}
+	for _, o := range m.Source.Sig.Ops {
+		if m.MapOp(o.Name) != n.MapOp(o.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the morphism mapping pairs in deterministic order.
+func (m *Morphism) String() string {
+	var pairs []string
+	for _, s := range m.Source.Sig.Sorts {
+		pairs = append(pairs, s.Name+" ↦ "+m.MapSort(s.Name))
+	}
+	for _, o := range m.Source.Sig.Ops {
+		pairs = append(pairs, o.Name+" ↦ "+m.MapOp(o.Name))
+	}
+	sort.Strings(pairs)
+	return fmt.Sprintf("morphism %s : %s -> %s {%s}", m.Name, m.Source.Name, m.Target.Name, strings.Join(pairs, ", "))
+}
+
+// Translate builds a new specification by renaming symbols of s (the
+// Specware `translate ... by {...}` operation). The rename map uses plain
+// names for both sorts and ops; a name that is both a sort and an op is
+// renamed in both roles.
+func Translate(s *Spec, newName string, rename map[string]string) (*Spec, error) {
+	out := New(newName)
+	ren := func(n string) string {
+		if to, ok := rename[n]; ok {
+			return to
+		}
+		return n
+	}
+	for _, x := range s.Sig.Sorts {
+		if err := out.AddSort(ren(x.Name), x.Def); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range s.Sig.Ops {
+		args := make([]string, len(o.Args))
+		for i, a := range o.Args {
+			args[i] = ren(a)
+		}
+		res := o.Result
+		if res != BoolSort {
+			res = ren(res)
+		}
+		if err := out.AddOp(Op{Name: ren(o.Name), Args: args, Result: res}); err != nil {
+			return nil, err
+		}
+	}
+	fr := make(map[string]string, 2*len(rename))
+	for k, v := range rename {
+		fr[k] = v
+		fr["sort:"+k] = v
+	}
+	for _, a := range s.Axioms {
+		if err := out.AddAxiom(a.Name, a.Formula.Rename(fr)); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range s.Theorems {
+		if err := out.AddTheorem(t.Name, t.Formula.Rename(fr), t.Using); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

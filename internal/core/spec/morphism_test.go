@@ -1,0 +1,179 @@
+package spec
+
+import (
+	"errors"
+	"testing"
+
+	"speccat/internal/core/logic"
+	"speccat/internal/core/prover"
+)
+
+// tiny spec builders for morphism tests.
+func specPQ(t *testing.T, name string) *Spec {
+	t.Helper()
+	s := New(name)
+	mustOK(t, s.AddSort("S", ""))
+	mustOK(t, s.AddOp(Op{Name: "P", Args: []string{"S"}, Result: BoolSort}))
+	mustOK(t, s.AddOp(Op{Name: "Q", Args: []string{"S"}, Result: BoolSort}))
+	x := logic.Var("x", "S")
+	mustOK(t, s.AddAxiom("pq", logic.Forall([]*logic.Term{x},
+		logic.Implies(logic.Pred("P", x), logic.Pred("Q", x)))))
+	return s
+}
+
+func TestMorphismSignatureOK(t *testing.T) {
+	a := specPQ(t, "A")
+	b := New("B")
+	mustOK(t, b.AddSort("T", ""))
+	mustOK(t, b.AddOp(Op{Name: "P2", Args: []string{"T"}, Result: BoolSort}))
+	mustOK(t, b.AddOp(Op{Name: "Q2", Args: []string{"T"}, Result: BoolSort}))
+	m := NewMorphism("m", a, b, map[string]string{"S": "T"}, map[string]string{"P": "P2", "Q": "Q2"})
+	mustOK(t, m.CheckSignature())
+}
+
+func TestMorphismSignatureUnknownTarget(t *testing.T) {
+	a := specPQ(t, "A")
+	b := New("B")
+	mustOK(t, b.AddSort("T", ""))
+	m := NewMorphism("m", a, b, map[string]string{"S": "T"}, map[string]string{"P": "Nope", "Q": "Nope"})
+	if err := m.CheckSignature(); !errors.Is(err, ErrUnknownSymbol) {
+		t.Fatalf("want ErrUnknownSymbol, got %v", err)
+	}
+}
+
+func TestMorphismSignatureProfileMismatch(t *testing.T) {
+	a := specPQ(t, "A")
+	b := New("B")
+	mustOK(t, b.AddSort("T", ""))
+	mustOK(t, b.AddOp(Op{Name: "P2", Args: []string{"T", "T"}, Result: BoolSort}))
+	mustOK(t, b.AddOp(Op{Name: "Q2", Args: []string{"T"}, Result: BoolSort}))
+	m := NewMorphism("m", a, b, map[string]string{"S": "T"}, map[string]string{"P": "P2", "Q": "Q2"})
+	if err := m.CheckSignature(); !errors.Is(err, ErrIllFormed) {
+		t.Fatalf("want ErrIllFormed, got %v", err)
+	}
+}
+
+func TestMorphismObligationsBySyntax(t *testing.T) {
+	a := specPQ(t, "A")
+	b := specPQ(t, "B") // same axiom, identity mapping
+	m := NewMorphism("m", a, b, nil, nil)
+	mustOK(t, m.Verify(BySyntax, nil))
+}
+
+func TestMorphismObligationsBySyntaxFails(t *testing.T) {
+	a := specPQ(t, "A")
+	b := New("B")
+	mustOK(t, b.AddSort("S", ""))
+	mustOK(t, b.AddOp(Op{Name: "P", Args: []string{"S"}, Result: BoolSort}))
+	mustOK(t, b.AddOp(Op{Name: "Q", Args: []string{"S"}, Result: BoolSort}))
+	// b lacks the pq axiom.
+	m := NewMorphism("m", a, b, nil, nil)
+	if err := m.Verify(BySyntax, nil); !errors.Is(err, ErrObligation) {
+		t.Fatalf("want ErrObligation, got %v", err)
+	}
+}
+
+func TestMorphismObligationsByProof(t *testing.T) {
+	// Source axiom: P => Q. Target axioms: P => R, R => Q. The translated
+	// obligation P => Q is provable but not syntactically present.
+	a := specPQ(t, "A")
+	b := New("B")
+	mustOK(t, b.AddSort("S", ""))
+	mustOK(t, b.AddOp(Op{Name: "P", Args: []string{"S"}, Result: BoolSort}))
+	mustOK(t, b.AddOp(Op{Name: "Q", Args: []string{"S"}, Result: BoolSort}))
+	mustOK(t, b.AddOp(Op{Name: "R", Args: []string{"S"}, Result: BoolSort}))
+	x := logic.Var("x", "S")
+	mustOK(t, b.AddAxiom("pr", logic.Forall([]*logic.Term{x},
+		logic.Implies(logic.Pred("P", x), logic.Pred("R", x)))))
+	mustOK(t, b.AddAxiom("rq", logic.Forall([]*logic.Term{x},
+		logic.Implies(logic.Pred("R", x), logic.Pred("Q", x)))))
+	m := NewMorphism("m", a, b, nil, nil)
+	if err := m.Verify(BySyntax, nil); !errors.Is(err, ErrObligation) {
+		t.Fatal("syntactic check should fail here")
+	}
+	mustOK(t, m.Verify(ByProof, prover.New()))
+}
+
+func TestMorphismCompose(t *testing.T) {
+	a := specPQ(t, "A")
+	b := New("B")
+	mustOK(t, b.AddSort("T", ""))
+	mustOK(t, b.AddOp(Op{Name: "P2", Args: []string{"T"}, Result: BoolSort}))
+	mustOK(t, b.AddOp(Op{Name: "Q2", Args: []string{"T"}, Result: BoolSort}))
+	c := New("C")
+	mustOK(t, c.AddSort("U", ""))
+	mustOK(t, c.AddOp(Op{Name: "P3", Args: []string{"U"}, Result: BoolSort}))
+	mustOK(t, c.AddOp(Op{Name: "Q3", Args: []string{"U"}, Result: BoolSort}))
+	m := NewMorphism("m", a, b, map[string]string{"S": "T"}, map[string]string{"P": "P2", "Q": "Q2"})
+	n := NewMorphism("n", b, c, map[string]string{"T": "U"}, map[string]string{"P2": "P3", "Q2": "Q3"})
+	mn, err := Compose(m, n)
+	mustOK(t, err)
+	if mn.MapSort("S") != "U" || mn.MapOp("P") != "P3" {
+		t.Fatalf("composition wrong: %s", mn)
+	}
+	mustOK(t, mn.CheckSignature())
+
+	if _, err := Compose(n, m); err == nil {
+		t.Fatal("composing mismatched morphisms should fail")
+	}
+}
+
+func TestMorphismIdentityLaws(t *testing.T) {
+	a := specPQ(t, "A")
+	b := New("B")
+	mustOK(t, b.AddSort("T", ""))
+	mustOK(t, b.AddOp(Op{Name: "P2", Args: []string{"T"}, Result: BoolSort}))
+	mustOK(t, b.AddOp(Op{Name: "Q2", Args: []string{"T"}, Result: BoolSort}))
+	m := NewMorphism("m", a, b, map[string]string{"S": "T"}, map[string]string{"P": "P2", "Q": "Q2"})
+
+	idA, idB := Identity(a), Identity(b)
+	left, err := Compose(idA, m)
+	mustOK(t, err)
+	right, err := Compose(m, idB)
+	mustOK(t, err)
+	if !left.Equal(m) || !right.Equal(m) {
+		t.Fatal("identity laws violated")
+	}
+}
+
+func TestMorphismAssociativity(t *testing.T) {
+	a := specPQ(t, "A")
+	mk := func(name, srt, p, q string) *Spec {
+		s := New(name)
+		mustOK(t, s.AddSort(srt, ""))
+		mustOK(t, s.AddOp(Op{Name: p, Args: []string{srt}, Result: BoolSort}))
+		mustOK(t, s.AddOp(Op{Name: q, Args: []string{srt}, Result: BoolSort}))
+		return s
+	}
+	b := mk("B", "T", "P2", "Q2")
+	c := mk("C", "U", "P3", "Q3")
+	d := mk("D", "V", "P4", "Q4")
+	m1 := NewMorphism("m1", a, b, map[string]string{"S": "T"}, map[string]string{"P": "P2", "Q": "Q2"})
+	m2 := NewMorphism("m2", b, c, map[string]string{"T": "U"}, map[string]string{"P2": "P3", "Q2": "Q3"})
+	m3 := NewMorphism("m3", c, d, map[string]string{"U": "V"}, map[string]string{"P3": "P4", "Q3": "Q4"})
+
+	m12, err := Compose(m1, m2)
+	mustOK(t, err)
+	left, err := Compose(m12, m3)
+	mustOK(t, err)
+	m23, err := Compose(m2, m3)
+	mustOK(t, err)
+	right, err := Compose(m1, m23)
+	mustOK(t, err)
+	if !left.Equal(right) {
+		t.Fatal("composition is not associative")
+	}
+}
+
+func TestTranslateFormula(t *testing.T) {
+	a := specPQ(t, "A")
+	b := New("B")
+	mustOK(t, b.AddSort("T", ""))
+	mustOK(t, b.AddOp(Op{Name: "P2", Args: []string{"T"}, Result: BoolSort}))
+	mustOK(t, b.AddOp(Op{Name: "Q2", Args: []string{"T"}, Result: BoolSort}))
+	m := NewMorphism("m", a, b, map[string]string{"S": "T"}, map[string]string{"P": "P2", "Q": "Q2"})
+	got := m.TranslateFormula(logic.Pred("P", logic.Var("x", "S")))
+	if got.Name != "P2" || got.Args[0].Sort != "T" {
+		t.Fatalf("translated = %s (sort %s)", got, got.Args[0].Sort)
+	}
+}

@@ -1,0 +1,399 @@
+// Package spec implements algebraic specifications in the sense of the
+// paper's Chapter 2: a specification SPEC = (SIG, AX) consists of a
+// signature SIG = (S, OP) — a set of sorts and a set of constant/operation
+// symbols — together with a set of axioms over that signature. Morphisms
+// between specifications map sorts to sorts and operations to operations
+// such that axioms translate to theorems.
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"speccat/internal/core/logic"
+)
+
+// Sentinel errors.
+var (
+	// ErrIllFormed is wrapped by well-formedness failures.
+	ErrIllFormed = errors.New("spec: ill-formed")
+	// ErrUnknownSymbol is wrapped when a referenced sort/op does not exist.
+	ErrUnknownSymbol = errors.New("spec: unknown symbol")
+)
+
+// BoolSort is the distinguished result sort of predicates. Operations with
+// this result sort are treated as predicate symbols in axioms.
+const BoolSort = "Boolean"
+
+// Sort is a named sort. Def optionally records a definitional alias (for
+// `sort S = T`) or a record-sort structure, both of which are documentation
+// for composition purposes: colimits identify sorts by name equivalence.
+type Sort struct {
+	Name string
+	// Def is the right-hand side of a sort definition, empty when the sort
+	// is abstract. Examples: "Nat", "Clockvalues", "{p:Processors, T:Clockvalues}".
+	Def string
+}
+
+// Op is an operation (or constant, when Args is empty) symbol declaration,
+// e.g. op Deliver : Processors*Messages*Clockvalues -> Boolean.
+type Op struct {
+	Name   string
+	Args   []string
+	Result string
+}
+
+// Arity returns the number of arguments.
+func (o Op) Arity() int { return len(o.Args) }
+
+// IsPredicate reports whether the op's result sort is Boolean.
+func (o Op) IsPredicate() bool { return o.Result == BoolSort }
+
+// String renders the declaration in Specware style.
+func (o Op) String() string {
+	if len(o.Args) == 0 {
+		return fmt.Sprintf("op %s : %s", o.Name, o.Result)
+	}
+	return fmt.Sprintf("op %s : %s -> %s", o.Name, strings.Join(o.Args, "*"), o.Result)
+}
+
+// Axiom is a named formula assumed true in a specification.
+type Axiom struct {
+	Name    string
+	Formula *logic.Formula
+}
+
+// Theorem is a named formula expected to be provable from the axioms,
+// optionally with a hint list of axiom names (the `using` clause).
+type Theorem struct {
+	Name    string
+	Formula *logic.Formula
+	Using   []string
+}
+
+// Signature is the sorts and operations of a specification.
+type Signature struct {
+	Sorts []Sort
+	Ops   []Op
+}
+
+// Spec is a specification: a named signature plus axioms and theorems.
+type Spec struct {
+	Name     string
+	Sig      Signature
+	Axioms   []Axiom
+	Theorems []Theorem
+}
+
+// New returns an empty specification with the given name.
+func New(name string) *Spec { return &Spec{Name: name} }
+
+// Clone deep-copies the specification.
+func (s *Spec) Clone() *Spec {
+	c := &Spec{Name: s.Name}
+	c.Sig.Sorts = append([]Sort{}, s.Sig.Sorts...)
+	c.Sig.Ops = make([]Op, len(s.Sig.Ops))
+	for i, o := range s.Sig.Ops {
+		c.Sig.Ops[i] = Op{Name: o.Name, Args: append([]string{}, o.Args...), Result: o.Result}
+	}
+	c.Axioms = make([]Axiom, len(s.Axioms))
+	for i, a := range s.Axioms {
+		c.Axioms[i] = Axiom{Name: a.Name, Formula: a.Formula.Clone()}
+	}
+	c.Theorems = make([]Theorem, len(s.Theorems))
+	for i, t := range s.Theorems {
+		c.Theorems[i] = Theorem{Name: t.Name, Formula: t.Formula.Clone(), Using: append([]string{}, t.Using...)}
+	}
+	return c
+}
+
+// AddSort declares a sort; redeclaring an existing name is a no-op when the
+// definition matches and an error otherwise.
+func (s *Spec) AddSort(name, def string) error {
+	for _, x := range s.Sig.Sorts {
+		if x.Name == name {
+			if x.Def == def {
+				return nil
+			}
+			return fmt.Errorf("%w: sort %s redeclared with different definition", ErrIllFormed, name)
+		}
+	}
+	s.Sig.Sorts = append(s.Sig.Sorts, Sort{Name: name, Def: def})
+	return nil
+}
+
+// AddOp declares an operation; redeclaring with an identical profile is a
+// no-op, a conflicting profile is an error.
+func (s *Spec) AddOp(op Op) error {
+	for _, x := range s.Sig.Ops {
+		if x.Name == op.Name {
+			if opEqual(x, op) {
+				return nil
+			}
+			return fmt.Errorf("%w: op %s redeclared with different profile", ErrIllFormed, op.Name)
+		}
+	}
+	s.Sig.Ops = append(s.Sig.Ops, op)
+	return nil
+}
+
+func opEqual(a, b Op) bool {
+	if a.Name != b.Name || a.Result != b.Result || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AddAxiom appends a named axiom. Duplicate axiom names are an error.
+func (s *Spec) AddAxiom(name string, f *logic.Formula) error {
+	for _, a := range s.Axioms {
+		if a.Name == name {
+			return fmt.Errorf("%w: duplicate axiom %s", ErrIllFormed, name)
+		}
+	}
+	s.Axioms = append(s.Axioms, Axiom{Name: name, Formula: f})
+	return nil
+}
+
+// AddTheorem appends a named theorem.
+func (s *Spec) AddTheorem(name string, f *logic.Formula, using []string) error {
+	for _, t := range s.Theorems {
+		if t.Name == name {
+			return fmt.Errorf("%w: duplicate theorem %s", ErrIllFormed, name)
+		}
+	}
+	s.Theorems = append(s.Theorems, Theorem{Name: name, Formula: f, Using: using})
+	return nil
+}
+
+// HasSort reports whether the signature declares the sort.
+func (s *Spec) HasSort(name string) bool {
+	for _, x := range s.Sig.Sorts {
+		if x.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FindOp returns the op declaration by name.
+func (s *Spec) FindOp(name string) (Op, bool) {
+	for _, x := range s.Sig.Ops {
+		if x.Name == name {
+			return x, true
+		}
+	}
+	return Op{}, false
+}
+
+// FindAxiom returns the axiom by name.
+func (s *Spec) FindAxiom(name string) (Axiom, bool) {
+	for _, a := range s.Axioms {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Axiom{}, false
+}
+
+// FindTheorem returns the theorem by name.
+func (s *Spec) FindTheorem(name string) (Theorem, bool) {
+	for _, t := range s.Theorems {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Theorem{}, false
+}
+
+// Include merges other's sorts, ops, axioms and theorems into s (the
+// Specware `import` of a translated spec). Name collisions must agree.
+func (s *Spec) Include(other *Spec) error {
+	for _, x := range other.Sig.Sorts {
+		if err := s.AddSort(x.Name, x.Def); err != nil {
+			return fmt.Errorf("including %s into %s: %w", other.Name, s.Name, err)
+		}
+	}
+	for _, o := range other.Sig.Ops {
+		if err := s.AddOp(o); err != nil {
+			return fmt.Errorf("including %s into %s: %w", other.Name, s.Name, err)
+		}
+	}
+	for _, a := range other.Axioms {
+		if existing, ok := s.FindAxiom(a.Name); ok {
+			if !existing.Formula.Equal(a.Formula) {
+				return fmt.Errorf("%w: axiom %s conflicts during include", ErrIllFormed, a.Name)
+			}
+			continue
+		}
+		s.Axioms = append(s.Axioms, a)
+	}
+	for _, t := range other.Theorems {
+		if existing, ok := s.FindTheorem(t.Name); ok {
+			if !existing.Formula.Equal(t.Formula) {
+				return fmt.Errorf("%w: theorem %s conflicts during include", ErrIllFormed, t.Name)
+			}
+			continue
+		}
+		s.Theorems = append(s.Theorems, t)
+	}
+	return nil
+}
+
+// String renders the spec in a Specware-like layout.
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec %s\n", s.Name)
+	for _, x := range s.Sig.Sorts {
+		if x.Def != "" {
+			fmt.Fprintf(&b, "  sort %s = %s\n", x.Name, x.Def)
+		} else {
+			fmt.Fprintf(&b, "  sort %s\n", x.Name)
+		}
+	}
+	for _, o := range s.Sig.Ops {
+		fmt.Fprintf(&b, "  %s\n", o)
+	}
+	for _, a := range s.Axioms {
+		fmt.Fprintf(&b, "  axiom %s is %s\n", a.Name, a.Formula)
+	}
+	for _, t := range s.Theorems {
+		fmt.Fprintf(&b, "  theorem %s is %s\n", t.Name, t.Formula)
+	}
+	b.WriteString("endspec")
+	return b.String()
+}
+
+// SortNames returns the declared sort names, sorted.
+func (s *Spec) SortNames() []string {
+	out := make([]string, len(s.Sig.Sorts))
+	for i, x := range s.Sig.Sorts {
+		out[i] = x.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpNames returns the declared op names, sorted.
+func (s *Spec) OpNames() []string {
+	out := make([]string, len(s.Sig.Ops))
+	for i, x := range s.Sig.Ops {
+		out[i] = x.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WellFormed checks that every axiom and theorem only uses declared
+// operation symbols with correct arities, and that op profiles reference
+// declared sorts (or the built-in base sorts).
+func (s *Spec) WellFormed() error {
+	baseSorts := map[string]bool{"Nat": true, BoolSort: true}
+	declared := map[string]bool{}
+	for _, x := range s.Sig.Sorts {
+		declared[x.Name] = true
+	}
+	sortKnown := func(name string) bool {
+		return name == "" || declared[name] || baseSorts[name]
+	}
+	for _, o := range s.Sig.Ops {
+		for _, a := range o.Args {
+			if !sortKnown(a) {
+				return fmt.Errorf("%w: op %s argument sort %s undeclared in %s", ErrUnknownSymbol, o.Name, a, s.Name)
+			}
+		}
+		if !sortKnown(o.Result) {
+			return fmt.Errorf("%w: op %s result sort %s undeclared in %s", ErrUnknownSymbol, o.Name, o.Result, s.Name)
+		}
+	}
+	for _, a := range s.Axioms {
+		if err := s.checkFormula(a.Formula); err != nil {
+			return fmt.Errorf("axiom %s in %s: %w", a.Name, s.Name, err)
+		}
+	}
+	for _, t := range s.Theorems {
+		if err := s.checkFormula(t.Formula); err != nil {
+			return fmt.Errorf("theorem %s in %s: %w", t.Name, s.Name, err)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) checkFormula(f *logic.Formula) error {
+	if f == nil {
+		return fmt.Errorf("%w: nil formula", ErrIllFormed)
+	}
+	switch f.Kind {
+	case logic.KindPred:
+		op, ok := s.FindOp(f.Name)
+		if !ok {
+			return fmt.Errorf("%w: predicate %s", ErrUnknownSymbol, f.Name)
+		}
+		if !op.IsPredicate() {
+			return fmt.Errorf("%w: %s used as predicate but has result sort %s", ErrIllFormed, f.Name, op.Result)
+		}
+		if len(f.Args) != op.Arity() {
+			return fmt.Errorf("%w: %s applied to %d args, declared %d", ErrIllFormed, f.Name, len(f.Args), op.Arity())
+		}
+		for _, a := range f.Args {
+			if err := s.checkTerm(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	case logic.KindEq:
+		for _, a := range f.Args {
+			if err := s.checkTerm(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		for _, sub := range f.Sub {
+			if err := s.checkFormula(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func (s *Spec) checkTerm(t *logic.Term) error {
+	if t == nil {
+		return fmt.Errorf("%w: nil term", ErrIllFormed)
+	}
+	switch t.Kind {
+	case logic.KindVar:
+		return nil
+	case logic.KindConst:
+		// Constants may be declared ops of arity 0 or literal values
+		// (numerals, fresh skolems); both are accepted.
+		if op, ok := s.FindOp(t.Name); ok && op.Arity() != 0 {
+			return fmt.Errorf("%w: constant %s declared with arity %d", ErrIllFormed, t.Name, op.Arity())
+		}
+		return nil
+	case logic.KindApp:
+		op, ok := s.FindOp(t.Name)
+		if !ok {
+			return fmt.Errorf("%w: function %s", ErrUnknownSymbol, t.Name)
+		}
+		if len(t.Args) != op.Arity() {
+			return fmt.Errorf("%w: %s applied to %d args, declared %d", ErrIllFormed, t.Name, len(t.Args), op.Arity())
+		}
+		for _, a := range t.Args {
+			if err := s.checkTerm(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: bad term kind", ErrIllFormed)
+	}
+}

@@ -1,0 +1,180 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"speccat/internal/core/logic"
+)
+
+// broadcastSpec builds a miniature RELIABLEBROADCAST-style spec used
+// throughout the package tests.
+func broadcastSpec(t *testing.T) *Spec {
+	t.Helper()
+	s := New("RELIABLEBROADCAST")
+	mustOK(t, s.AddSort("Processors", ""))
+	mustOK(t, s.AddSort("Messages", ""))
+	mustOK(t, s.AddSort("Clockvalues", "Nat"))
+	mustOK(t, s.AddOp(Op{Name: "Correct", Args: []string{"Processors"}, Result: BoolSort}))
+	mustOK(t, s.AddOp(Op{Name: "Broadcast", Args: []string{"Processors", "Messages", "Clockvalues"}, Result: BoolSort}))
+	mustOK(t, s.AddOp(Op{Name: "Deliver", Args: []string{"Processors", "Messages", "Clockvalues"}, Result: BoolSort}))
+
+	p := logic.Var("p", "Processors")
+	q := logic.Var("q", "Processors")
+	m := logic.Var("m", "Messages")
+	tv := logic.Var("T", "Clockvalues")
+	agree := logic.Forall([]*logic.Term{p, q, m, tv},
+		logic.Implies(
+			logic.And(logic.Pred("Correct", p), logic.Pred("Deliver", p, m, tv)),
+			logic.Pred("Deliver", q, m, tv)))
+	mustOK(t, s.AddAxiom("Agreebroad", agree))
+	return s
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecWellFormed(t *testing.T) {
+	s := broadcastSpec(t)
+	if err := s.WellFormed(); err != nil {
+		t.Fatalf("WellFormed: %v", err)
+	}
+}
+
+func TestSpecWellFormedCatchesUnknownPredicate(t *testing.T) {
+	s := broadcastSpec(t)
+	mustOK(t, s.AddAxiom("bad", logic.Pred("NoSuchOp", logic.Var("x", ""))))
+	err := s.WellFormed()
+	if !errors.Is(err, ErrUnknownSymbol) {
+		t.Fatalf("want ErrUnknownSymbol, got %v", err)
+	}
+}
+
+func TestSpecWellFormedCatchesArity(t *testing.T) {
+	s := broadcastSpec(t)
+	mustOK(t, s.AddAxiom("bad", logic.Pred("Correct", logic.Var("p", "Processors"), logic.Var("q", "Processors"))))
+	err := s.WellFormed()
+	if err == nil || !strings.Contains(err.Error(), "applied to 2 args") {
+		t.Fatalf("want arity error, got %v", err)
+	}
+}
+
+func TestSpecWellFormedCatchesUndeclaredSortInOp(t *testing.T) {
+	s := New("X")
+	mustOK(t, s.AddOp(Op{Name: "F", Args: []string{"Mystery"}, Result: BoolSort}))
+	if err := s.WellFormed(); !errors.Is(err, ErrUnknownSymbol) {
+		t.Fatalf("want ErrUnknownSymbol, got %v", err)
+	}
+}
+
+func TestAddSortConflicts(t *testing.T) {
+	s := New("X")
+	mustOK(t, s.AddSort("A", "Nat"))
+	mustOK(t, s.AddSort("A", "Nat")) // identical redeclaration ok
+	if err := s.AddSort("A", "Boolean"); err == nil {
+		t.Fatal("conflicting sort redeclaration accepted")
+	}
+}
+
+func TestAddOpConflicts(t *testing.T) {
+	s := New("X")
+	op := Op{Name: "F", Args: []string{"Nat"}, Result: BoolSort}
+	mustOK(t, s.AddOp(op))
+	mustOK(t, s.AddOp(op))
+	if err := s.AddOp(Op{Name: "F", Args: []string{"Nat", "Nat"}, Result: BoolSort}); err == nil {
+		t.Fatal("conflicting op redeclaration accepted")
+	}
+}
+
+func TestDuplicateAxiomName(t *testing.T) {
+	s := New("X")
+	mustOK(t, s.AddOp(Op{Name: "P", Result: BoolSort}))
+	mustOK(t, s.AddAxiom("a", logic.Pred("P")))
+	if err := s.AddAxiom("a", logic.Pred("P")); err == nil {
+		t.Fatal("duplicate axiom name accepted")
+	}
+}
+
+func TestInclude(t *testing.T) {
+	a := broadcastSpec(t)
+	b := New("CONSENSUS")
+	mustOK(t, b.AddSort("ProcDeci", "Boolean"))
+	mustOK(t, b.AddOp(Op{Name: "Decision", Args: []string{"ProcDeci"}, Result: BoolSort}))
+	mustOK(t, b.Include(a))
+	if !b.HasSort("Processors") || !b.HasSort("ProcDeci") {
+		t.Fatal("include dropped sorts")
+	}
+	if _, ok := b.FindOp("Deliver"); !ok {
+		t.Fatal("include dropped ops")
+	}
+	if _, ok := b.FindAxiom("Agreebroad"); !ok {
+		t.Fatal("include dropped axioms")
+	}
+	// Including twice is idempotent.
+	mustOK(t, b.Include(a))
+	if got := len(b.Axioms); got != 1 {
+		t.Fatalf("double include duplicated axioms: %d", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := broadcastSpec(t)
+	c := a.Clone()
+	c.Sig.Sorts[0].Name = "Mutated"
+	c.Axioms[0].Formula.Sub[0] = logic.True()
+	if a.Sig.Sorts[0].Name == "Mutated" {
+		t.Fatal("clone shares sort storage")
+	}
+	if a.Axioms[0].Formula.Sub[0].Kind == logic.KindTrue {
+		t.Fatal("clone shares formula storage")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	a := broadcastSpec(t)
+	b, err := Translate(a, "RB2", map[string]string{
+		"Deliver":     "Deliver2",
+		"Processors":  "Nodes",
+		"Clockvalues": "Clockvalues",
+	})
+	mustOK(t, err)
+	if b.Name != "RB2" {
+		t.Errorf("name = %s", b.Name)
+	}
+	if !b.HasSort("Nodes") || b.HasSort("Processors") {
+		t.Error("sort not renamed")
+	}
+	if _, ok := b.FindOp("Deliver2"); !ok {
+		t.Error("op not renamed")
+	}
+	ax, ok := b.FindAxiom("Agreebroad")
+	if !ok {
+		t.Fatal("axiom lost in translation")
+	}
+	if !strings.Contains(ax.Formula.String(), "Deliver2") {
+		t.Errorf("axiom body not renamed: %s", ax.Formula)
+	}
+	if err := b.WellFormed(); err != nil {
+		t.Errorf("translated spec ill-formed: %v", err)
+	}
+	// Op profiles must follow the sort rename.
+	op, _ := b.FindOp("Deliver2")
+	if op.Args[0] != "Nodes" {
+		t.Errorf("op profile arg = %s, want Nodes", op.Args[0])
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := broadcastSpec(t)
+	out := s.String()
+	for _, want := range []string{"spec RELIABLEBROADCAST", "sort Processors", "op Deliver", "axiom Agreebroad", "endspec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package speclang
+
+// Formula grammar (low to high precedence):
+//
+//	formula := iff
+//	iff     := impl ('<=>' impl)*
+//	impl    := disj ('=>' formula)?            (right associative)
+//	disj    := conj (('|' | 'or') conj)*
+//	conj    := unary ('&' unary)*
+//	unary   := '~' unary
+//	        | ('fa'|'ex') '(' binders ')' formula      (greedy body)
+//	        | 'if' formula 'then' formula ('else' formula)?
+//	        | atom
+//	atom    := term cmpOp term | predicate | '(' formula ')'
+//
+// A parenthesized token sequence can open either a term (as in
+// `(S-i-e) < C(p,T)`) or a sub-formula; the parser first attempts a
+// term-comparison with backtracking, then falls back to formula.
+
+func (p *parser) parseFormula() (FormulaNode, error) {
+	return p.parseIff()
+}
+
+func (p *parser) parseIff() (FormulaNode, error) {
+	l, err := p.parseImpl()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSymbol("<=>") {
+		r, err := p.parseImpl()
+		if err != nil {
+			return nil, err
+		}
+		l = &FBinary{Op: "<=>", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseImpl() (FormulaNode, error) {
+	l, err := p.parseDisj()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptSymbol("=>") {
+		r, err := p.parseImpl()
+		if err != nil {
+			return nil, err
+		}
+		return &FBinary{Op: "=>", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseDisj() (FormulaNode, error) {
+	l, err := p.parseConj()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSymbol("|") || p.acceptKeyword("or") {
+		r, err := p.parseConj()
+		if err != nil {
+			return nil, err
+		}
+		l = &FBinary{Op: "|", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseConj() (FormulaNode, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSymbol("&") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &FBinary{Op: "&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (FormulaNode, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokSymbol && t.text == "~":
+		p.next()
+		sub, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &FNot{Sub: sub}, nil
+	case t.kind == tokIdent && (t.text == "fa" || t.text == "ex"):
+		// Only a quantifier when followed by '('; "fa" could otherwise be
+		// an ordinary identifier.
+		if p.peekAt(1).kind == tokSymbol && p.peekAt(1).text == "(" {
+			return p.parseQuant()
+		}
+		return p.parseAtom()
+	case t.kind == tokIdent && t.text == "if":
+		return p.parseIfThenElse()
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *parser) parseQuant() (FormulaNode, error) {
+	kw := p.next() // fa | ex
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	binders, err := p.parseBinders()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	return &FQuant{Universal: kw.text == "fa", Binders: binders, Body: body}, nil
+}
+
+// parseBinders reads `p,q:Processors, T,i,j:Clockvalues, m:Messages)` —
+// names grouped by a trailing sort; a group without ':' is unsorted.
+// The closing ')' is consumed.
+func (p *parser) parseBinders() ([]Binder, error) {
+	var out []Binder
+	var pending []string
+	flush := func(sortName string) {
+		for _, n := range pending {
+			out = append(out, Binder{Name: n, Sort: sortName})
+		}
+		pending = nil
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending, name)
+		switch {
+		case p.acceptSymbol(":"):
+			sortName, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			flush(sortName)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return out, nil
+		case p.acceptSymbol(","):
+			continue
+		default:
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			flush("")
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseIfThenElse() (FormulaNode, error) {
+	p.next() // 'if'
+	cond, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptKeyword("then") {
+		return nil, p.errf(p.peek(), "expected 'then'")
+	}
+	thenF, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	ite := &FIfThenElse{Cond: cond, Then: thenF}
+	if p.acceptKeyword("else") {
+		elseF, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		ite.Else = elseF
+	}
+	return ite, nil
+}
+
+var cmpOps = map[string]bool{"=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) peekCmpOp() (string, bool) {
+	t := p.peek()
+	if t.kind == tokSymbol && cmpOps[t.text] {
+		return t.text, true
+	}
+	return "", false
+}
+
+func (p *parser) parseAtom() (FormulaNode, error) {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "(" {
+		// Try term-comparison first, with backtracking.
+		save := p.pos
+		if l, err := p.parseTerm(); err == nil {
+			if op, ok := p.peekCmpOp(); ok {
+				p.next()
+				r, err := p.parseTerm()
+				if err != nil {
+					return nil, err
+				}
+				return &FCompare{Op: op, L: l, R: r}, nil
+			}
+		}
+		p.pos = save
+		p.next() // '('
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		// `(formula) cmp term` never occurs; done.
+		return f, nil
+	}
+
+	// Identifier- or number-led: parse a term, then either a comparison or
+	// a predicate reading of the term.
+	term, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := p.peekCmpOp(); ok {
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		return &FCompare{Op: op, L: term, R: r}, nil
+	}
+	return termToAtom(term, p)
+}
+
+// termToAtom reinterprets a parsed term as a predicate atom.
+func termToAtom(t TermNode, p *parser) (FormulaNode, error) {
+	switch x := t.(type) {
+	case *TApply:
+		return &FAtom{Name: x.Name, Args: x.Args}, nil
+	case *TName:
+		return &FAtom{Name: x.Name}, nil
+	default:
+		return nil, p.errf(p.peek(), "expected a predicate, got arithmetic term")
+	}
+}
+
+func (p *parser) parseTerm() (TermNode, error) {
+	l, err := p.parsePrimaryTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokSymbol && (t.text == "+" || t.text == "-") {
+			p.next()
+			r, err := p.parsePrimaryTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = &TArith{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parsePrimaryTerm() (TermNode, error) {
+	t := p.next()
+	switch {
+	case t.kind == tokSymbol && t.text == "~":
+		// Term-level boolean negation, e.g. adjacent(~(commit), commit)
+		// in the listings; elaborated as the function "not".
+		sub, err := p.parsePrimaryTerm()
+		if err != nil {
+			return nil, err
+		}
+		return &TApply{Name: "not", Args: []TermNode{sub}}, nil
+	case t.kind == tokNumber:
+		return &TNumber{Text: t.text}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		inner, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.kind == tokIdent:
+		if p.acceptSymbol("(") {
+			var args []TermNode
+			if !p.acceptSymbol(")") {
+				for {
+					a, err := p.parseTerm()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.acceptSymbol(",") {
+						continue
+					}
+					if err := p.expectSymbol(")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			return &TApply{Name: t.text, Args: args}, nil
+		}
+		return &TName{Name: t.text}, nil
+	default:
+		return nil, p.errf(t, "expected term, got %s", t)
+	}
+}

@@ -1,0 +1,120 @@
+// Package speclang implements a small specification language modeled on the
+// Specware (MetaSlang) surface syntax used throughout the paper's Chapter 5:
+// spec/endspec blocks with sorts, ops, axioms and theorems; translate-by
+// renamings; morphisms; diagrams; colimits; and prove statements. Parsing a
+// source file yields an environment of named values built on top of
+// internal/core/spec, internal/core/cat and internal/core/prover, so the
+// thesis's own specification sources execute against this library.
+package speclang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota + 1
+	tokNumber
+	tokSymbol // punctuation and operators
+	tokEOF
+)
+
+// token is one lexeme with its position for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "<eof>"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// multi-character operators, longest first.
+var operators = []string{
+	"++>", "<->", "-->", "<=>", "=>", "->", "<=", ">=", "~(", "(", ")", "{", "}",
+	",", ":", ";", "*", "=", "~", "&", "|", "<", ">", "+", "-", ".",
+}
+
+// lexError reports a lexing failure with position.
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("speclang: %d:%d: %s", e.line, e.col, e.msg)
+}
+
+// lex splits source text into tokens. Comments run from '%' to end of line
+// (the style used in the thesis listings).
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if i < len(src) && src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '%':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start, startLine, startCol := i, line, col
+			for i < len(src) && isIdentChar(src[i]) {
+				advance(1)
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[start:i], line: startLine, col: startCol})
+		case unicode.IsDigit(rune(c)):
+			start, startLine, startCol := i, line, col
+			for i < len(src) && unicode.IsDigit(rune(src[i])) {
+				advance(1)
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[start:i], line: startLine, col: startCol})
+		default:
+			matched := false
+			for _, op := range operators {
+				if op == "~(" {
+					continue // handled as two tokens below
+				}
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{kind: tokSymbol, text: op, line: line, col: col})
+					advance(len(op))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &lexError{line: line, col: col, msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '\'' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}

@@ -1,0 +1,489 @@
+package speclang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// parser is a recursive-descent parser with single-token backtracking via
+// saved positions (needed to disambiguate parenthesized terms from
+// parenthesized formulas).
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a source file into an AST.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.atEOF() {
+		stmt, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Stmts = append(f.Stmts, stmt)
+	}
+	return f, nil
+}
+
+func (p *parser) atEOF() bool { return p.toks[p.pos].kind == tokEOF }
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) peekAt(offset int) token {
+	i := p.pos + offset
+	if i >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[i]
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("speclang: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// expectSymbol consumes the given symbol or fails.
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return p.errf(t, "expected %q, got %s", sym, t)
+	}
+	return nil
+}
+
+// expectIdent consumes an identifier or fails.
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", p.errf(t, "expected identifier, got %s", t)
+	}
+	return t.text, nil
+}
+
+// acceptSymbol consumes sym if present.
+func (p *parser) acceptSymbol(sym string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// acceptKeyword consumes an identifier with exactly the given text.
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokIdent && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == kw
+}
+
+// arrow accepts "->" or "-->".
+func (p *parser) expectArrow() error {
+	t := p.next()
+	if t.kind != tokSymbol || (t.text != "->" && t.text != "-->") {
+		return p.errf(t, "expected arrow, got %s", t)
+	}
+	return nil
+}
+
+// mapsTo accepts "++>" (and tolerates "<->" and "-->" which the listings
+// occasionally use for the same purpose).
+func (p *parser) expectMapsTo() error {
+	t := p.next()
+	if t.kind != tokSymbol || (t.text != "++>" && t.text != "<->" && t.text != "-->") {
+		return p.errf(t, "expected ++>, got %s", t)
+	}
+	return nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	start := p.peek()
+	name := ""
+	if start.kind == tokIdent && !isExprKeyword(start.text) &&
+		p.peekAt(1).kind == tokSymbol && p.peekAt(1).text == "=" {
+		name = p.next().text
+		p.next() // '='
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return Stmt{}, err
+	}
+	return Stmt{Name: name, Expr: e, Line: start.line}, nil
+}
+
+func isExprKeyword(s string) bool {
+	switch s {
+	case "spec", "translate", "morphism", "diagram", "colimit", "prove", "print":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected statement, got %s", t)
+	}
+	switch t.text {
+	case "spec":
+		return p.parseSpec()
+	case "translate":
+		return p.parseTranslate()
+	case "morphism":
+		return p.parseMorphism()
+	case "diagram":
+		return p.parseDiagram()
+	case "colimit":
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ColimitExpr{Diagram: name}, nil
+	case "prove":
+		return p.parseProve()
+	case "print":
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &PrintExpr{Name: name}, nil
+	default:
+		return nil, p.errf(t, "unknown statement keyword %q", t.text)
+	}
+}
+
+func (p *parser) parseSpec() (Expr, error) {
+	p.next() // 'spec'
+	s := &SpecExpr{}
+	for {
+		t := p.peek()
+		if t.kind == tokEOF {
+			return nil, p.errf(t, "unterminated spec (missing endspec)")
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected spec item, got %s", t)
+		}
+		switch t.text {
+		case "endspec":
+			p.next()
+			return s, nil
+		case "import":
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			s.Imports = append(s.Imports, name)
+		case "sort":
+			p.next()
+			decl, err := p.parseSortDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Sorts = append(s.Sorts, decl)
+		case "op":
+			p.next()
+			decl, err := p.parseOpDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Ops = append(s.Ops, decl)
+		case "axiom", "theorem":
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptKeyword("is") {
+				return nil, p.errf(p.peek(), "expected 'is' after %s %s", t.text, name)
+			}
+			f, err := p.parseFormula()
+			if err != nil {
+				return nil, err
+			}
+			decl := PropDecl{Name: name, Formula: f}
+			if t.text == "axiom" {
+				s.Axioms = append(s.Axioms, decl)
+			} else {
+				s.Theorems = append(s.Theorems, decl)
+			}
+		default:
+			return nil, p.errf(t, "unexpected %q inside spec", t.text)
+		}
+	}
+}
+
+func (p *parser) parseSortDecl() (SortDecl, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return SortDecl{}, err
+	}
+	d := SortDecl{Name: name}
+	if p.acceptSymbol("=") {
+		def, err := p.parseSortDef()
+		if err != nil {
+			return SortDecl{}, err
+		}
+		d.Def = def
+	}
+	return d, nil
+}
+
+// parseSortDef handles `Nat`, `Clockvalues`, and record sorts like
+// `{p:Processors, Tm:Clockvalues, Km:Index, No:Nat}`.
+func (p *parser) parseSortDef() (string, error) {
+	if p.acceptSymbol("{") {
+		var fields []string
+		for {
+			fname, err := p.expectIdent()
+			if err != nil {
+				return "", err
+			}
+			if err := p.expectSymbol(":"); err != nil {
+				return "", err
+			}
+			fsort, err := p.expectIdent()
+			if err != nil {
+				return "", err
+			}
+			fields = append(fields, fname+":"+fsort)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			if err := p.expectSymbol("}"); err != nil {
+				return "", err
+			}
+			return "{" + strings.Join(fields, ", ") + "}", nil
+		}
+	}
+	return p.expectIdent()
+}
+
+func (p *parser) parseOpDecl() (OpDecl, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return OpDecl{}, err
+	}
+	if err := p.expectSymbol(":"); err != nil {
+		return OpDecl{}, err
+	}
+	var sorts []string
+	for {
+		s, err := p.expectIdent()
+		if err != nil {
+			return OpDecl{}, err
+		}
+		sorts = append(sorts, s)
+		if p.acceptSymbol("*") {
+			continue
+		}
+		break
+	}
+	d := OpDecl{Name: name}
+	if p.acceptSymbol("->") || p.acceptSymbol("-->") {
+		res, err := p.expectIdent()
+		if err != nil {
+			return OpDecl{}, err
+		}
+		d.Args = sorts
+		d.Result = res
+	} else {
+		if len(sorts) != 1 {
+			return OpDecl{}, fmt.Errorf("speclang: constant %s cannot have a product sort", name)
+		}
+		d.Result = sorts[0]
+	}
+	return d, nil
+}
+
+func (p *parser) parseTranslate() (Expr, error) {
+	p.next() // 'translate'
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if !p.acceptKeyword("by") {
+		return nil, p.errf(p.peek(), "expected 'by'")
+	}
+	renames, err := p.parseRenameBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &TranslateExpr{Source: src, Renames: renames}, nil
+}
+
+func (p *parser) parseRenameBlock() ([]RenamePair, error) {
+	if err := p.expectSymbol("{"); err != nil {
+		return nil, err
+	}
+	var pairs []RenamePair
+	if p.acceptSymbol("}") {
+		return pairs, nil
+	}
+	for {
+		from, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectMapsTo(); err != nil {
+			return nil, err
+		}
+		to, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, RenamePair{From: from, To: to})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		if err := p.expectSymbol("}"); err != nil {
+			return nil, err
+		}
+		return pairs, nil
+	}
+}
+
+func (p *parser) parseMorphism() (Expr, error) {
+	p.next() // 'morphism'
+	src, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectArrow(); err != nil {
+		return nil, err
+	}
+	dst, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	renames, err := p.parseRenameBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &MorphismExpr{Source: src, Target: dst, Renames: renames}, nil
+}
+
+func (p *parser) parseDiagram() (Expr, error) {
+	p.next() // 'diagram'
+	if err := p.expectSymbol("{"); err != nil {
+		return nil, err
+	}
+	d := &DiagramExpr{}
+	for {
+		label, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptSymbol(":") {
+			// Arc: label: from -> to ++> morphism...
+			from, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectArrow(); err != nil {
+				return nil, err
+			}
+			to, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectMapsTo(); err != nil {
+				return nil, err
+			}
+			var m Expr
+			if p.peekKeyword("morphism") {
+				m, err = p.parseMorphism()
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				ref, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				m = &MorphismRef{Name: ref}
+			}
+			d.Arcs = append(d.Arcs, DiagramArc{Label: label, From: from, To: to, M: m})
+		} else {
+			if err := p.expectMapsTo(); err != nil {
+				return nil, err
+			}
+			specName, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			d.Nodes = append(d.Nodes, DiagramNode{Label: label, Spec: specName})
+		}
+		if p.acceptSymbol(",") {
+			continue
+		}
+		if err := p.expectSymbol("}"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+}
+
+func (p *parser) parseProve() (Expr, error) {
+	p.next() // 'prove'
+	thm, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptKeyword("in") {
+		return nil, p.errf(p.peek(), "expected 'in'")
+	}
+	in, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	e := &ProveExpr{Theorem: thm, In: in}
+	if p.acceptKeyword("using") {
+		for {
+			t := p.peek()
+			if t.kind != tokIdent {
+				break
+			}
+			// Stop when the identifier begins the next `name = ...` stmt
+			// or is itself a statement keyword.
+			if isExprKeyword(t.text) {
+				break
+			}
+			if p.peekAt(1).kind == tokSymbol && p.peekAt(1).text == "=" {
+				break
+			}
+			e.Using = append(e.Using, p.next().text)
+		}
+		if len(e.Using) == 0 {
+			return nil, p.errf(p.peek(), "'using' requires at least one axiom name")
+		}
+	}
+	return e, nil
+}

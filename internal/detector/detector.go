@@ -1,0 +1,175 @@
+// Package detector implements the failure/time-out management protocol of
+// Section 3.5.1 (building block 11): each site periodically pings its
+// peers; a peer that does not answer within 2δ — inflated by (1+ρ) to
+// compensate worst-case clock drift — is declared failed, and the
+// suspicion is broadcast so every operational site learns of the failure.
+// Under the paper's reliable-network assumption the detector is accurate
+// (no false suspicions); tests violate the assumption to show the trade-off.
+package detector
+
+import (
+	"fmt"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+)
+
+// Wire kinds.
+const (
+	kindPing    = "detector.ping"
+	kindAck     = "detector.ack"
+	kindSuspect = "detector.suspect"
+)
+
+// ping carries a sequence number to match acks to probes.
+type ping struct{ Seq int }
+
+// ack answers a ping.
+type ack struct{ Seq int }
+
+// suspectNote disseminates a failure verdict.
+type suspectNote struct{ Victim simnet.NodeID }
+
+// Detector is one site's failure detector.
+type Detector struct {
+	net      *simnet.Network
+	id       simnet.NodeID
+	interval sim.Time
+	rhoPPM   int64
+	seq      int
+	// pending[peer] = outstanding ping seq awaiting ack.
+	pending map[simnet.NodeID]int
+	// suspected marks peers declared failed.
+	suspected map[simnet.NodeID]bool
+	// OnSuspect fires when a peer is (locally or remotely) declared failed.
+	OnSuspect func(victim simnet.NodeID)
+	running   bool
+}
+
+// New creates a detector for site id probing every interval ticks with
+// drift rate rhoPPM (parts per million).
+func New(net *simnet.Network, id simnet.NodeID, interval sim.Time, rhoPPM int64) *Detector {
+	return &Detector{
+		net: net, id: id, interval: interval, rhoPPM: rhoPPM,
+		pending:   map[simnet.NodeID]int{},
+		suspected: map[simnet.NodeID]bool{},
+	}
+}
+
+// Timeout is the failure deadline: 2δ scaled by (1+ρ), the paper's rule
+// "if a participant P does not receive from Q a response to a message 2δ
+// time units after its sending, the result is that Q has crashed" — plus
+// one δ of slack because the simulated FIFO channels can push a burst's
+// delivery marginally past the nominal bound.
+func (d *Detector) Timeout() sim.Time {
+	c := sim.Clock{RhoPPM: d.rhoPPM}
+	return c.TimeoutFor(2*d.net.Delta()) + d.net.Delta()
+}
+
+// Start begins periodic probing.
+func (d *Detector) Start() {
+	if d.running {
+		return
+	}
+	d.running = true
+	d.probe()
+}
+
+func (d *Detector) probe() {
+	for _, peer := range d.net.Nodes() {
+		if peer == d.id || d.suspected[peer] {
+			continue
+		}
+		d.seq++
+		seq := d.seq
+		d.pending[peer] = seq
+		peer := peer
+		if err := d.net.Send(d.id, peer, kindPing, ping{Seq: seq}); err != nil {
+			continue // we are down; timers died with us
+		}
+		d.net.After(d.id, d.Timeout(), func() {
+			if d.pending[peer] == seq {
+				d.declareFailed(peer)
+			}
+		})
+	}
+	d.net.After(d.id, d.interval, d.probe)
+}
+
+func (d *Detector) declareFailed(victim simnet.NodeID) {
+	if d.suspected[victim] {
+		return
+	}
+	d.suspected[victim] = true
+	delete(d.pending, victim)
+	if d.OnSuspect != nil {
+		d.OnSuspect(victim)
+	}
+	// Broadcast the timeout verdict so all operational sites learn of it.
+	_ = d.net.Broadcast(d.id, kindSuspect, suspectNote{Victim: victim})
+}
+
+// HandleMessage consumes detector traffic; returns true when consumed.
+func (d *Detector) HandleMessage(m simnet.Message) bool {
+	switch m.Kind {
+	case kindPing:
+		p, ok := m.Payload.(ping)
+		if !ok {
+			return false
+		}
+		_ = d.net.Send(d.id, m.From, kindAck, ack{Seq: p.Seq})
+		return true
+	case kindAck:
+		a, ok := m.Payload.(ack)
+		if !ok {
+			return false
+		}
+		if d.pending[m.From] == a.Seq {
+			delete(d.pending, m.From)
+		}
+		return true
+	case kindSuspect:
+		n, ok := m.Payload.(suspectNote)
+		if !ok {
+			return false
+		}
+		if n.Victim != d.id && !d.suspected[n.Victim] {
+			d.suspected[n.Victim] = true
+			if d.OnSuspect != nil {
+				d.OnSuspect(n.Victim)
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Suspects returns the currently suspected peers.
+func (d *Detector) Suspects() []simnet.NodeID {
+	var out []simnet.NodeID
+	for _, id := range d.net.Nodes() {
+		if d.suspected[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Suspected reports whether peer is suspected.
+func (d *Detector) Suspected(peer simnet.NodeID) bool { return d.suspected[peer] }
+
+// Group builds one detector per node and installs handlers.
+func Group(net *simnet.Network, interval sim.Time, rhoPPM int64) map[simnet.NodeID]*Detector {
+	ds := map[simnet.NodeID]*Detector{}
+	for _, id := range net.Nodes() {
+		ds[id] = New(net, id, interval, rhoPPM)
+	}
+	for id, d := range ds {
+		d := d
+		if err := net.SetHandler(id, func(m simnet.Message) { d.HandleMessage(m) }); err != nil {
+			panic(fmt.Sprintf("detector: %v", err))
+		}
+	}
+	return ds
+}

@@ -1,0 +1,140 @@
+// Package election implements the voting/election protocol of
+// Section 3.5.1 (building block 8): when the assigned coordinator fails,
+// the operational sites elect a backup coordinator. The algorithm is the
+// classic bully election — a candidate challenges all higher-numbered
+// sites; if none answers within 2δ it declares itself coordinator and
+// broadcasts the result — which matches the paper's master/slave structure
+// and its requirement that the elected backup announce itself to all sites.
+package election
+
+import (
+	"fmt"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+)
+
+// Wire kinds.
+const (
+	kindChallenge = "election.challenge"
+	kindOK        = "election.ok"
+	kindCoord     = "election.coordinator"
+)
+
+// announce carries the elected coordinator.
+type announce struct{ Coord simnet.NodeID }
+
+// Node is one site's election engine.
+type Node struct {
+	net *simnet.Network
+	id  simnet.NodeID
+	// coordinator is the currently known coordinator (0 = unknown).
+	coordinator simnet.NodeID
+	// electing marks an election in progress on this site.
+	electing bool
+	gotOK    bool
+	// OnElected fires when a new coordinator is learned.
+	OnElected func(coord simnet.NodeID)
+}
+
+// New creates an election node.
+func New(net *simnet.Network, id simnet.NodeID) *Node {
+	return &Node{net: net, id: id}
+}
+
+// Coordinator returns the known coordinator (0 if none yet).
+func (n *Node) Coordinator() simnet.NodeID { return n.coordinator }
+
+// timeout is the challenge answer deadline, 2δ.
+func (n *Node) timeout() sim.Time { return 2 * n.net.Delta() }
+
+// StartElection begins a bully election from this site (typically invoked
+// by the termination protocol when the failure detector reports the
+// coordinator dead).
+func (n *Node) StartElection() {
+	if n.electing {
+		return
+	}
+	n.electing = true
+	n.gotOK = false
+	higher := false
+	for _, peer := range n.net.Nodes() {
+		if peer > n.id {
+			higher = true
+			_ = n.net.Send(n.id, peer, kindChallenge, nil)
+		}
+	}
+	if !higher {
+		n.declareSelf()
+		return
+	}
+	n.net.After(n.id, n.timeout(), func() {
+		if !n.gotOK && n.electing {
+			// No higher site answered: they are all down.
+			n.declareSelf()
+		}
+	})
+	// Guard: if the higher site answered but its own announcement never
+	// arrives (it crashed mid-election), retry after a generous window.
+	n.net.After(n.id, 6*n.timeout(), func() {
+		if n.electing {
+			n.electing = false
+			n.StartElection()
+		}
+	})
+}
+
+func (n *Node) declareSelf() {
+	n.electing = false
+	n.setCoordinator(n.id)
+	_ = n.net.Broadcast(n.id, kindCoord, announce{Coord: n.id})
+}
+
+func (n *Node) setCoordinator(c simnet.NodeID) {
+	if n.coordinator == c {
+		return
+	}
+	n.coordinator = c
+	if n.OnElected != nil {
+		n.OnElected(c)
+	}
+}
+
+// HandleMessage consumes election traffic; returns true when consumed.
+func (n *Node) HandleMessage(m simnet.Message) bool {
+	switch m.Kind {
+	case kindChallenge:
+		// A lower site challenged: answer and take over the election.
+		_ = n.net.Send(n.id, m.From, kindOK, nil)
+		n.StartElection()
+		return true
+	case kindOK:
+		n.gotOK = true
+		return true
+	case kindCoord:
+		a, ok := m.Payload.(announce)
+		if !ok {
+			return false
+		}
+		n.electing = false
+		n.setCoordinator(a.Coord)
+		return true
+	default:
+		return false
+	}
+}
+
+// Group builds one election node per network node and installs handlers.
+func Group(net *simnet.Network) map[simnet.NodeID]*Node {
+	ns := map[simnet.NodeID]*Node{}
+	for _, id := range net.Nodes() {
+		ns[id] = New(net, id)
+	}
+	for id, nd := range ns {
+		nd := nd
+		if err := net.SetHandler(id, func(m simnet.Message) { nd.HandleMessage(m) }); err != nil {
+			panic(fmt.Sprintf("election: %v", err))
+		}
+	}
+	return ns
+}

@@ -1,0 +1,110 @@
+package election
+
+import (
+	"testing"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+)
+
+func setup(seed int64, n int) (*simnet.Network, map[simnet.NodeID]*Node) {
+	sched := sim.NewScheduler(seed)
+	net := simnet.New(sched, simnet.DefaultOptions())
+	for i := 1; i <= n; i++ {
+		net.AddNode(simnet.NodeID(i), nil)
+	}
+	return net, Group(net)
+}
+
+func TestHighestNodeWins(t *testing.T) {
+	net, ns := setup(1, 4)
+	ns[1].StartElection()
+	net.Scheduler().Run(0)
+	for id, n := range ns {
+		if n.Coordinator() != 4 {
+			t.Fatalf("node %d thinks coordinator is %d, want 4", id, n.Coordinator())
+		}
+	}
+}
+
+func TestElectionAfterCoordinatorCrash(t *testing.T) {
+	net, ns := setup(2, 4)
+	ns[1].StartElection()
+	net.Scheduler().Run(0)
+	if ns[1].Coordinator() != 4 {
+		t.Fatal("setup election failed")
+	}
+	// Coordinator 4 fails; node 2 notices and re-elects: 3 must win.
+	if err := net.Crash(4); err != nil {
+		t.Fatal(err)
+	}
+	ns[2].StartElection()
+	net.Scheduler().Run(0)
+	for _, id := range []simnet.NodeID{1, 2, 3} {
+		if got := ns[id].Coordinator(); got != 3 {
+			t.Fatalf("node %d coordinator = %d, want 3", id, got)
+		}
+	}
+}
+
+func TestSelfElectionWhenAlone(t *testing.T) {
+	net, ns := setup(3, 3)
+	if err := net.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	ns[1].StartElection()
+	net.Scheduler().Run(0)
+	if ns[1].Coordinator() != 1 {
+		t.Fatalf("lone node elected %d", ns[1].Coordinator())
+	}
+}
+
+func TestConcurrentElections(t *testing.T) {
+	net, ns := setup(4, 5)
+	// Several nodes start elections at once; all must converge on 5.
+	ns[1].StartElection()
+	ns[2].StartElection()
+	ns[3].StartElection()
+	net.Scheduler().Run(0)
+	for id, n := range ns {
+		if n.Coordinator() != 5 {
+			t.Fatalf("node %d coordinator = %d, want 5", id, n.Coordinator())
+		}
+	}
+}
+
+func TestOnElectedFires(t *testing.T) {
+	net, ns := setup(5, 3)
+	elected := map[simnet.NodeID]simnet.NodeID{}
+	for id, n := range ns {
+		id := id
+		n.OnElected = func(c simnet.NodeID) { elected[id] = c }
+	}
+	ns[1].StartElection()
+	net.Scheduler().Run(0)
+	for _, id := range []simnet.NodeID{1, 2, 3} {
+		if elected[id] != 3 {
+			t.Fatalf("node %d OnElected got %d", id, elected[id])
+		}
+	}
+}
+
+func TestElectionWithCrashBeforeChallengeArrives(t *testing.T) {
+	// The highest node crashes while the challenge is in flight; the
+	// next-highest must win the rerun.
+	net, ns := setup(6, 3)
+	ns[1].StartElection()
+	net.Scheduler().RunUntil(0)
+	if err := net.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	net.Scheduler().Run(0)
+	for _, id := range []simnet.NodeID{1, 2} {
+		if got := ns[id].Coordinator(); got != 2 {
+			t.Fatalf("node %d coordinator = %d, want 2", id, got)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"testing"
+
+	"speccat/internal/core/speclang"
+	"speccat/internal/thesis"
+	"speccat/internal/tpc"
+)
+
+var cachedEnv *speclang.Env
+
+func env(t *testing.T) *speclang.Env {
+	t.Helper()
+	if cachedEnv == nil {
+		e, err := thesis.CorpusWithoutProofs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedEnv = e
+	}
+	return cachedEnv
+}
+
+func TestE1ShapesMatchTable31(t *testing.T) {
+	rows, err := E1Table31(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Requirements == 0 || r.Axioms == 0 || r.Package == "" {
+			t.Errorf("incomplete row: %+v", r)
+		}
+	}
+}
+
+func TestE2E3Chains(t *testing.T) {
+	d1, err := E2SeqDivision1(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := E3SeqDivision2(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1[len(d1)-1].Name != "PR4" || d2[len(d2)-1].Name != "PR9" {
+		t.Fatalf("chain tails: %s, %s", d1[len(d1)-1].Name, d2[len(d2)-1].Name)
+	}
+}
+
+func TestE456AllProofsDischarge(t *testing.T) {
+	rows, err := E456Proofs(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("proofs = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Steps == 0 || r.Generated == 0 {
+			t.Errorf("degenerate proof: %+v", r)
+		}
+	}
+}
+
+func TestE7Verdicts(t *testing.T) {
+	rows, err := E7ModelCheck(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]E7Row{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	full := byLabel["3PC (thesis assumptions)"]
+	if !full.Atomic || full.Blocking != 0 {
+		t.Errorf("3PC verdict wrong: %+v", full)
+	}
+	naive := byLabel["3PC naive timeouts, interleaved"]
+	if naive.Atomic {
+		t.Error("naive interleaved should violate atomicity")
+	}
+	twopc := byLabel["2PC"]
+	if !twopc.Atomic || twopc.Blocking == 0 {
+		t.Errorf("2PC verdict wrong: %+v", twopc)
+	}
+}
+
+func TestE8ShapeMatchesPaper(t *testing.T) {
+	r3, err := E8Distributed(2026, 20, tpc.ThreePhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := E8Distributed(2026, 20, tpc.TwoPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-blocking: 3PC never leaves branches holding locks in the crash
+	// window; 2PC does.
+	if r3.BlockedAtProbe != 0 {
+		t.Errorf("3PC blocked branches = %d", r3.BlockedAtProbe)
+	}
+	if r2.BlockedAtProbe == 0 {
+		t.Error("2PC shows no blocking — comparison lost its point")
+	}
+	// Cost: 3PC pays more messages per transaction (extra phase).
+	if r3.MessagesPerTxn <= r2.MessagesPerTxn {
+		t.Errorf("3PC msgs/txn %.1f not above 2PC %.1f", r3.MessagesPerTxn, r2.MessagesPerTxn)
+	}
+	if r3.Committed == 0 || r2.Committed == 0 {
+		t.Error("no commits")
+	}
+}
+
+func TestE9MonolithicNeverCheaper(t *testing.T) {
+	rows, err := E9Ablation(env(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MonolithicInputs < r.ModularInputs {
+			t.Errorf("%s: monolithic inputs %d < modular %d", r.Property, r.MonolithicInputs, r.ModularInputs)
+		}
+		if r.MonolithicGenerated < r.ModularGenerated {
+			t.Errorf("%s: monolithic generated %d < modular %d", r.Property, r.MonolithicGenerated, r.ModularGenerated)
+		}
+	}
+}
+
+func TestE10MatrixShape(t *testing.T) {
+	rows, err := E10FailureInjection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("probes = %d", len(rows))
+	}
+	// Safety must survive the first three probes; the beyond-tolerance
+	// probe must break.
+	for i, r := range rows {
+		wantHolds := i != 3
+		if r.Holds != wantHolds {
+			t.Errorf("probe %q: holds = %v, want %v", r.Probe, r.Holds, wantHolds)
+		}
+	}
+}

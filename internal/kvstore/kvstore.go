@@ -1,0 +1,145 @@
+// Package kvstore is the per-site database each transaction cohort
+// manages: a string key-value store guarded by strict two-phase locking
+// and undo/redo write-ahead logging, with crash recovery rebuilding the
+// store from stable storage. It is the "data" layer under the distributed
+// transaction execution of the paper's Fig. 3.1.
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+
+	"speccat/internal/locking"
+	"speccat/internal/recovery"
+	"speccat/internal/stable"
+	"speccat/internal/wal"
+)
+
+// Sentinel errors.
+var (
+	// ErrConflict is returned when a lock cannot be granted immediately
+	// (the caller may retry or abort; the simulated sites do not block
+	// goroutines).
+	ErrConflict = errors.New("kvstore: lock conflict")
+	// ErrNoTxn is returned for operations outside a transaction.
+	ErrNoTxn = errors.New("kvstore: unknown transaction")
+)
+
+// Store is one site's transactional KV store.
+type Store struct {
+	data  map[string]string
+	locks *locking.Manager
+	log   *wal.Log
+	st    *stable.Store
+	open  map[string]bool
+}
+
+// Open creates (or reopens after crash) a store on stable storage,
+// recovering committed state from the log and checkpoints.
+func Open(st *stable.Store) (*Store, error) {
+	state, _, err := recovery.Recover(st)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open: %w", err)
+	}
+	return &Store{
+		data:  map[string]string(state),
+		locks: locking.NewManager(),
+		log:   wal.New(st),
+		st:    st,
+		open:  map[string]bool{},
+	}, nil
+}
+
+// Begin starts a local transaction branch.
+func (s *Store) Begin(txn string) error {
+	if s.open[txn] {
+		return fmt.Errorf("kvstore: %w: %s already open", wal.ErrTxnState, txn)
+	}
+	if err := s.log.Begin(txn); err != nil {
+		return err
+	}
+	s.open[txn] = true
+	return nil
+}
+
+// Get reads key under a read lock. Lock conflicts surface as ErrConflict.
+func (s *Store) Get(txn, key string) (string, error) {
+	if !s.open[txn] {
+		return "", fmt.Errorf("%w: %s", ErrNoTxn, txn)
+	}
+	granted, err := s.locks.Acquire(txn, key, locking.Read, nil)
+	if err != nil {
+		return "", fmt.Errorf("kvstore: get %s: %w", key, err)
+	}
+	if !granted {
+		return "", fmt.Errorf("%w: read %s for %s", ErrConflict, key, txn)
+	}
+	return s.data[key], nil
+}
+
+// Put writes key under a write lock with write-ahead logging.
+func (s *Store) Put(txn, key, value string) error {
+	if !s.open[txn] {
+		return fmt.Errorf("%w: %s", ErrNoTxn, txn)
+	}
+	granted, err := s.locks.Acquire(txn, key, locking.Write, nil)
+	if err != nil {
+		return fmt.Errorf("kvstore: put %s: %w", key, err)
+	}
+	if !granted {
+		return fmt.Errorf("%w: write %s for %s", ErrConflict, key, txn)
+	}
+	return s.log.LoggedUpdate(txn, s.data, key, value)
+}
+
+// Commit makes the branch durable and releases its locks.
+func (s *Store) Commit(txn string) error {
+	if !s.open[txn] {
+		return fmt.Errorf("%w: %s", ErrNoTxn, txn)
+	}
+	if err := s.log.Commit(txn); err != nil {
+		return err
+	}
+	delete(s.open, txn)
+	s.locks.ReleaseAll(txn)
+	return nil
+}
+
+// Abort rolls the branch back (undo) and releases its locks.
+func (s *Store) Abort(txn string) error {
+	if !s.open[txn] {
+		return fmt.Errorf("%w: %s", ErrNoTxn, txn)
+	}
+	if err := s.log.Abort(txn); err != nil {
+		return err
+	}
+	if err := s.log.UndoInto(txn, s.data); err != nil {
+		return err
+	}
+	delete(s.open, txn)
+	s.locks.ReleaseAll(txn)
+	return nil
+}
+
+// Prepared reports whether the branch can promise to commit (it is open
+// and all its work is logged — the phase-1 "agreed" vote).
+func (s *Store) Prepared(txn string) bool { return s.open[txn] }
+
+// Read returns the committed value outside any transaction (dirty reads of
+// open transactions' writes are visible only through Get).
+func (s *Store) Read(key string) string { return s.data[key] }
+
+// Snapshot exports the current volatile state (for checkpointing).
+func (s *Store) Snapshot() recovery.State {
+	out := recovery.State{}
+	for k, v := range s.data {
+		out[k] = v
+	}
+	return out
+}
+
+// Stable exposes the underlying stable store.
+func (s *Store) Stable() *stable.Store { return s.st }
+
+// OpenTxns returns the number of open local branches.
+func (s *Store) OpenTxns() int { return len(s.open) }

@@ -1,0 +1,294 @@
+// Package locking implements the strict two-phase locking protocol
+// (building block 4, Section 3.5.1): shared read locks counted by a read
+// counter, an exclusive one-bit write lock per object, lock upgrades, FIFO
+// wait queues, deadlock detection on the waits-for graph, and release of
+// all locks at transaction end (strictness). Serializability of the
+// resulting schedules is checked in tests via conflict-graph acyclicity.
+package locking
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Read Mode = iota + 1
+	Write
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Sentinel errors.
+var (
+	// ErrDeadlock is returned when granting the request would close a
+	// waits-for cycle; the requester should abort.
+	ErrDeadlock = errors.New("locking: deadlock")
+	// ErrNotHeld is returned when releasing a lock that is not held.
+	ErrNotHeld = errors.New("locking: lock not held")
+)
+
+// request is a queued lock request.
+type request struct {
+	txn  string
+	mode Mode
+	// grant is invoked when the lock is granted (nil for synchronous use).
+	grant func()
+}
+
+// object tracks one lockable item.
+type object struct {
+	// readers holds the read-lock counter per transaction (paper: "read
+	// counter which holds the number of transactions currently holding a
+	// read lock"); map form also names the holders for deadlock checks.
+	readers map[string]bool
+	// writer is the exclusive holder ("simple 1 bit write lock flag",
+	// plus the holder's identity).
+	writer string
+	queue  []request
+}
+
+// Manager is a strict 2PL lock manager for one site. The zero value is
+// not usable; call NewManager.
+type Manager struct {
+	objects map[string]*object
+	// held[txn] is the set of objects the transaction holds (for release).
+	held map[string]map[string]Mode
+	// waits[txn] is the transaction's pending request object, if any.
+	waits map[string]string
+	// stats
+	grants, blocks, deadlocks int
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		objects: map[string]*object{},
+		held:    map[string]map[string]Mode{},
+		waits:   map[string]string{},
+	}
+}
+
+func (m *Manager) obj(key string) *object {
+	o, ok := m.objects[key]
+	if !ok {
+		o = &object{readers: map[string]bool{}}
+		m.objects[key] = o
+	}
+	return o
+}
+
+// Holds reports the mode in which txn holds key (0 if none).
+func (m *Manager) Holds(txn, key string) Mode {
+	return m.held[txn][key]
+}
+
+// compatible reports whether txn may acquire key in mode right now.
+func (m *Manager) compatible(o *object, txn string, mode Mode) bool {
+	switch mode {
+	case Read:
+		// Readable unless write-locked by someone else.
+		return o.writer == "" || o.writer == txn
+	case Write:
+		if o.writer != "" && o.writer != txn {
+			return false
+		}
+		// No other readers allowed ("if an object is write locked, no
+		// read locks are allowed" and vice versa).
+		for r := range o.readers {
+			if r != txn {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Acquire requests key in mode for txn. If the lock is free it is granted
+// immediately and Acquire returns (true, nil). If it conflicts, the
+// request queues FIFO and Acquire returns (false, nil); onGrant fires when
+// the lock is later granted. A request that would deadlock returns
+// (false, ErrDeadlock) and is not queued.
+func (m *Manager) Acquire(txn, key string, mode Mode, onGrant func()) (bool, error) {
+	o := m.obj(key)
+	if cur := m.held[txn][key]; cur >= mode {
+		m.grants++
+		if onGrant != nil {
+			onGrant()
+		}
+		return true, nil // already held at sufficient strength
+	}
+	if m.compatible(o, txn, mode) && len(o.queue) == 0 {
+		m.grant(o, txn, key, mode)
+		if onGrant != nil {
+			onGrant()
+		}
+		return true, nil
+	}
+	// Would block: check the waits-for graph for a cycle first.
+	if m.wouldDeadlock(txn, o) {
+		m.deadlocks++
+		return false, fmt.Errorf("%w: txn %s on %s/%s", ErrDeadlock, txn, key, mode)
+	}
+	m.blocks++
+	o.queue = append(o.queue, request{txn: txn, mode: mode, grant: onGrant})
+	m.waits[txn] = key
+	return false, nil
+}
+
+func (m *Manager) grant(o *object, txn, key string, mode Mode) {
+	m.grants++
+	switch mode {
+	case Read:
+		o.readers[txn] = true
+	case Write:
+		o.writer = txn
+		// Upgrade: drop the redundant read entry.
+		delete(o.readers, txn)
+	}
+	if m.held[txn] == nil {
+		m.held[txn] = map[string]Mode{}
+	}
+	if m.held[txn][key] < mode {
+		m.held[txn][key] = mode
+	}
+	delete(m.waits, txn)
+}
+
+// wouldDeadlock checks whether txn waiting on o closes a cycle in the
+// waits-for graph (txn → holders of o → objects they wait for → ...).
+func (m *Manager) wouldDeadlock(txn string, o *object) bool {
+	// Build holder set of o.
+	start := m.holdersOf(o)
+	seen := map[string]bool{}
+	stack := append([]string{}, start...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == txn {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		// cur waits on some object; its holders are next.
+		if key, waiting := m.waits[cur]; waiting {
+			stack = append(stack, m.holdersOf(m.obj(key))...)
+		}
+	}
+	return false
+}
+
+func (m *Manager) holdersOf(o *object) []string {
+	var out []string
+	if o.writer != "" {
+		out = append(out, o.writer)
+	}
+	for r := range o.readers {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReleaseAll releases every lock held by txn (strict 2PL: all locks are
+// held to transaction end, then released together), granting queued
+// compatible requests in FIFO order.
+func (m *Manager) ReleaseAll(txn string) {
+	keys := make([]string, 0, len(m.held[txn]))
+	for key := range m.held[txn] {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	delete(m.held, txn)
+	delete(m.waits, txn)
+	for _, key := range keys {
+		o := m.obj(key)
+		delete(o.readers, txn)
+		if o.writer == txn {
+			o.writer = ""
+		}
+		m.pump(o, key)
+	}
+	// The transaction may also be queued somewhere; drop those requests.
+	for key, o := range m.objects {
+		var rest []request
+		for _, r := range o.queue {
+			if r.txn != txn {
+				rest = append(rest, r)
+			}
+		}
+		if len(rest) != len(o.queue) {
+			o.queue = rest
+			m.pump(o, key)
+		}
+	}
+}
+
+// Release drops one lock early (non-strict use; tests of 2PL violations).
+func (m *Manager) Release(txn, key string) error {
+	o := m.obj(key)
+	mode, held := m.held[txn][key]
+	if !held {
+		return fmt.Errorf("%w: %s on %s", ErrNotHeld, txn, key)
+	}
+	delete(m.held[txn], key)
+	if mode == Write && o.writer == txn {
+		o.writer = ""
+	}
+	delete(o.readers, txn)
+	m.pump(o, key)
+	return nil
+}
+
+// pump grants queued requests that are now compatible, FIFO.
+func (m *Manager) pump(o *object, key string) {
+	for len(o.queue) > 0 {
+		head := o.queue[0]
+		if !m.compatible(o, head.txn, head.mode) {
+			return
+		}
+		o.queue = o.queue[1:]
+		m.grant(o, head.txn, key, head.mode)
+		if head.grant != nil {
+			head.grant()
+		}
+	}
+}
+
+// QueueLen reports the number of waiting requests on key.
+func (m *Manager) QueueLen(key string) int {
+	o, ok := m.objects[key]
+	if !ok {
+		return 0
+	}
+	return len(o.queue)
+}
+
+// Stats reports grant/block/deadlock counters.
+func (m *Manager) Stats() (grants, blocks, deadlocks int) {
+	return m.grants, m.blocks, m.deadlocks
+}
+
+// Holders reports the current holders of key: the writer (if any) and the
+// readers, sorted.
+func (m *Manager) Holders(key string) []string {
+	o, ok := m.objects[key]
+	if !ok {
+		return nil
+	}
+	return m.holdersOf(o)
+}

@@ -1,0 +1,333 @@
+package locking
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSharedReads(t *testing.T) {
+	m := NewManager()
+	for _, txn := range []string{"a", "b", "c"} {
+		ok, err := m.Acquire(txn, "x", Read, nil)
+		if err != nil || !ok {
+			t.Fatalf("read lock for %s: ok=%v err=%v", txn, ok, err)
+		}
+	}
+	if got := len(m.Holders("x")); got != 3 {
+		t.Fatalf("holders = %d", got)
+	}
+}
+
+func TestWriteExcludesAll(t *testing.T) {
+	m := NewManager()
+	ok, err := m.Acquire("a", "x", Write, nil)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	ok, err = m.Acquire("b", "x", Read, nil)
+	if err != nil || ok {
+		t.Fatalf("read granted while write-locked: %v", err)
+	}
+	ok, err = m.Acquire("c", "x", Write, nil)
+	if err != nil || ok {
+		t.Fatalf("second write granted: %v", err)
+	}
+	if m.QueueLen("x") != 2 {
+		t.Fatalf("queue = %d", m.QueueLen("x"))
+	}
+}
+
+func TestNoWriteWhileRead(t *testing.T) {
+	m := NewManager()
+	if ok, _ := m.Acquire("a", "x", Read, nil); !ok {
+		t.Fatal("read not granted")
+	}
+	if ok, _ := m.Acquire("b", "x", Write, nil); ok {
+		t.Fatal("write granted while read-locked")
+	}
+}
+
+func TestReacquireIsIdempotent(t *testing.T) {
+	m := NewManager()
+	if ok, _ := m.Acquire("a", "x", Write, nil); !ok {
+		t.Fatal("first acquire failed")
+	}
+	if ok, _ := m.Acquire("a", "x", Write, nil); !ok {
+		t.Fatal("reacquire failed")
+	}
+	if ok, _ := m.Acquire("a", "x", Read, nil); !ok {
+		t.Fatal("weaker reacquire failed")
+	}
+}
+
+func TestUpgradeReadToWrite(t *testing.T) {
+	m := NewManager()
+	if ok, _ := m.Acquire("a", "x", Read, nil); !ok {
+		t.Fatal("read failed")
+	}
+	// Sole reader upgrades.
+	if ok, err := m.Acquire("a", "x", Write, nil); err != nil || !ok {
+		t.Fatalf("upgrade failed: %v", err)
+	}
+	if m.Holds("a", "x") != Write {
+		t.Fatal("not write after upgrade")
+	}
+}
+
+func TestFIFOGrantOnRelease(t *testing.T) {
+	m := NewManager()
+	var order []string
+	if ok, _ := m.Acquire("a", "x", Write, nil); !ok {
+		t.Fatal("setup failed")
+	}
+	for _, txn := range []string{"b", "c", "d"} {
+		txn := txn
+		if ok, err := m.Acquire(txn, "x", Write, func() { order = append(order, txn) }); ok || err != nil {
+			t.Fatalf("unexpected grant/err for %s: %v", txn, err)
+		}
+	}
+	m.ReleaseAll("a")
+	if len(order) != 1 || order[0] != "b" {
+		t.Fatalf("grant order = %v", order)
+	}
+	m.ReleaseAll("b")
+	m.ReleaseAll("c")
+	if len(order) != 3 || order[1] != "c" || order[2] != "d" {
+		t.Fatalf("grant order = %v", order)
+	}
+}
+
+func TestQueuedReadersGrantTogether(t *testing.T) {
+	m := NewManager()
+	if ok, _ := m.Acquire("w", "x", Write, nil); !ok {
+		t.Fatal("setup failed")
+	}
+	granted := 0
+	for _, txn := range []string{"r1", "r2", "r3"} {
+		if ok, err := m.Acquire(txn, "x", Read, func() { granted++ }); ok || err != nil {
+			t.Fatalf("read should queue: %v", err)
+		}
+	}
+	m.ReleaseAll("w")
+	if granted != 3 {
+		t.Fatalf("granted = %d, want 3 (readers batch)", granted)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	if ok, _ := m.Acquire("a", "x", Write, nil); !ok {
+		t.Fatal("setup x")
+	}
+	if ok, _ := m.Acquire("b", "y", Write, nil); !ok {
+		t.Fatal("setup y")
+	}
+	if ok, err := m.Acquire("a", "y", Write, nil); ok || err != nil {
+		t.Fatalf("a should wait for y: %v", err)
+	}
+	// b requesting x closes the cycle a→y→b→x→a.
+	if _, err := m.Acquire("b", "x", Write, nil); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	_, _, dl := m.Stats()
+	if dl != 1 {
+		t.Fatalf("deadlock counter = %d", dl)
+	}
+}
+
+func TestDeadlockThreeWay(t *testing.T) {
+	m := NewManager()
+	for i, txn := range []string{"a", "b", "c"} {
+		if ok, _ := m.Acquire(txn, fmt.Sprintf("k%d", i), Write, nil); !ok {
+			t.Fatal("setup failed")
+		}
+	}
+	if ok, _ := m.Acquire("a", "k1", Write, nil); ok {
+		t.Fatal("a should block")
+	}
+	if ok, _ := m.Acquire("b", "k2", Write, nil); ok {
+		t.Fatal("b should block")
+	}
+	if _, err := m.Acquire("c", "k0", Write, nil); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("3-cycle not detected: %v", err)
+	}
+}
+
+func TestReleaseAllDropsQueuedRequests(t *testing.T) {
+	m := NewManager()
+	if ok, _ := m.Acquire("a", "x", Write, nil); !ok {
+		t.Fatal("setup failed")
+	}
+	fired := false
+	if ok, _ := m.Acquire("b", "x", Write, func() { fired = true }); ok {
+		t.Fatal("b should queue")
+	}
+	// b aborts while waiting.
+	m.ReleaseAll("b")
+	m.ReleaseAll("a")
+	if fired {
+		t.Fatal("aborted waiter was granted")
+	}
+	// x should now be free.
+	if ok, _ := m.Acquire("c", "x", Write, nil); !ok {
+		t.Fatal("x not free after releases")
+	}
+}
+
+func TestReleaseNotHeld(t *testing.T) {
+	m := NewManager()
+	if err := m.Release("ghost", "x"); !errors.Is(err, ErrNotHeld) {
+		t.Fatal(err)
+	}
+}
+
+// op is one step of a random schedule for the serializability property.
+type op struct {
+	txn  string
+	key  string
+	mode Mode
+}
+
+// TestConflictSerializabilityProperty runs random transactions under
+// strict 2PL and verifies the committed schedule's conflict graph is
+// acyclic — the textbook criterion for serializability that the thesis's
+// Serialize property abstracts.
+func TestConflictSerializabilityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewManager()
+		nTxn := 2 + r.Intn(4)
+		keys := []string{"x", "y", "z"}
+
+		// Each transaction is a list of (key, mode) accesses. Execute them
+		// round-robin; a blocked transaction pauses; a deadlocked one
+		// aborts (its accesses are discarded).
+		type txnState struct {
+			name    string
+			ops     []op
+			pc      int
+			blocked bool
+			aborted bool
+			done    bool
+		}
+		var txns []*txnState
+		for i := 0; i < nTxn; i++ {
+			ts := &txnState{name: fmt.Sprintf("t%d", i)}
+			for j := 0; j <= r.Intn(4); j++ {
+				mode := Read
+				if r.Intn(2) == 0 {
+					mode = Write
+				}
+				ts.ops = append(ts.ops, op{txn: ts.name, key: keys[r.Intn(len(keys))], mode: mode})
+			}
+			txns = append(txns, ts)
+		}
+
+		var schedule []op // executed (granted) accesses in order
+		for rounds := 0; rounds < 1000; rounds++ {
+			progress := false
+			for _, ts := range txns {
+				if ts.done || ts.aborted || ts.blocked {
+					continue
+				}
+				if ts.pc >= len(ts.ops) {
+					ts.done = true
+					m.ReleaseAll(ts.name)
+					progress = true
+					continue
+				}
+				cur := ts.ops[ts.pc]
+				ts.blocked = true
+				granted, err := m.Acquire(cur.txn, cur.key, cur.mode, func() {
+					ts.blocked = false
+					schedule = append(schedule, cur)
+					ts.pc++
+				})
+				if err != nil {
+					// Deadlock: abort, release, discard its schedule entries.
+					ts.aborted = true
+					ts.blocked = false
+					m.ReleaseAll(ts.name)
+					var kept []op
+					for _, o := range schedule {
+						if o.txn != ts.name {
+							kept = append(kept, o)
+						}
+					}
+					schedule = kept
+					progress = true
+					continue
+				}
+				if granted {
+					ts.blocked = false
+					schedule = append(schedule, cur)
+					ts.pc++
+					progress = true
+				}
+			}
+			if !progress {
+				allDone := true
+				for _, ts := range txns {
+					if !ts.done && !ts.aborted {
+						allDone = false
+					}
+				}
+				if allDone {
+					break
+				}
+			}
+		}
+
+		return conflictGraphAcyclic(schedule)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// conflictGraphAcyclic builds edges t1→t2 for conflicting accesses where
+// t1 precedes t2 in the schedule, then topologically checks acyclicity.
+func conflictGraphAcyclic(schedule []op) bool {
+	edges := map[string]map[string]bool{}
+	for i := 0; i < len(schedule); i++ {
+		for j := i + 1; j < len(schedule); j++ {
+			a, b := schedule[i], schedule[j]
+			if a.txn == b.txn || a.key != b.key {
+				continue
+			}
+			if a.mode == Write || b.mode == Write {
+				if edges[a.txn] == nil {
+					edges[a.txn] = map[string]bool{}
+				}
+				edges[a.txn][b.txn] = true
+			}
+		}
+	}
+	// DFS cycle check.
+	color := map[string]int{}
+	var visit func(string) bool
+	visit = func(n string) bool {
+		color[n] = 1
+		for next := range edges[n] {
+			switch color[next] {
+			case 1:
+				return false
+			case 0:
+				if !visit(next) {
+					return false
+				}
+			}
+		}
+		color[n] = 2
+		return true
+	}
+	for n := range edges {
+		if color[n] == 0 && !visit(n) {
+			return false
+		}
+	}
+	return true
+}

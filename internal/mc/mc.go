@@ -1,0 +1,743 @@
+// Package mc is an explicit-state model checker used to mechanize the
+// paper's non-blocking theorem (Section 3.3): it enumerates every
+// reachable global state of an abstract commit-protocol model — coordinator
+// and cohort FSM states, per-cohort channel contents, crash budget — and
+// checks safety invariants over the whole space.
+//
+// Unlike the executable engine in internal/tpc (where a site's fan-out of
+// messages is a single atomic event), the abstract model lets the
+// coordinator crash *between* individual sends. That finer interleaving is
+// exactly what distinguishes the three protocol variants:
+//
+//   - 3PC with the termination protocol: atomic and non-blocking under a
+//     single failure (the paper's claim);
+//   - 3PC with naive Fig. 3.2 timeout transitions only: an atomicity
+//     violation is reachable (one cohort commits by p2-timeout while
+//     another aborts by w2-timeout after a mid-prepare coordinator crash);
+//   - 2PC: atomic, but a blocking state is reachable (an operational,
+//     uncertain cohort with a dead coordinator and no enabled transition).
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// System is a transition system over opaque encoded states.
+type System interface {
+	// Initial returns the initial states.
+	Initial() []string
+	// Next returns all successor states of s.
+	Next(s string) []string
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// States is the number of distinct reachable states.
+	States int
+	// Transitions is the number of explored edges.
+	Transitions int
+	// Violations maps invariant name to one witness state (first found).
+	Violations map[string]string
+	// Deadlocks lists terminal states failing the terminal predicate.
+	Deadlocks []string
+}
+
+// Invariant is a named predicate that must hold in every reachable state.
+type Invariant struct {
+	Name  string
+	Holds func(s string) bool
+}
+
+// Options bounds the exploration.
+type Options struct {
+	// MaxStates aborts exploration beyond this many states (0 = 1<<22).
+	MaxStates int
+	// TerminalOK, when non-nil, classifies acceptable terminal states;
+	// terminal states failing it are reported as deadlocks.
+	TerminalOK func(s string) bool
+}
+
+// Explore runs a BFS over the reachable state space checking invariants.
+func Explore(sys System, invs []Invariant, opts Options) (*Result, error) {
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 1 << 22
+	}
+	res := &Result{Violations: map[string]string{}}
+	seen := map[string]bool{}
+	var queue []string
+	for _, s := range sys.Initial() {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		res.States++
+		if res.States > maxStates {
+			return nil, fmt.Errorf("mc: state space exceeds %d states", maxStates)
+		}
+		for _, inv := range invs {
+			if _, found := res.Violations[inv.Name]; found {
+				continue
+			}
+			if !inv.Holds(s) {
+				res.Violations[inv.Name] = s
+			}
+		}
+		succs := sys.Next(s)
+		res.Transitions += len(succs)
+		if len(succs) == 0 && opts.TerminalOK != nil && !opts.TerminalOK(s) {
+			res.Deadlocks = append(res.Deadlocks, s)
+		}
+		for _, n := range succs {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return res, nil
+}
+
+// --- commit-protocol model ---
+
+// Variant selects which protocol the model encodes.
+type Variant int
+
+// Variants.
+const (
+	Model3PC      Variant = iota + 1 // termination protocol on coordinator failure
+	Model3PCNaive                    // bare Fig. 3.2 timeout transitions
+	Model2PC                         // two-phase commit baseline
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Model3PC:
+		return "3PC"
+	case Model3PCNaive:
+		return "3PC-naive"
+	case Model2PC:
+		return "2PC"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// site states in the abstract model.
+const (
+	stQ = 'q'
+	stW = 'w'
+	stP = 'p'
+	stA = 'a'
+	stC = 'c'
+)
+
+// channel message status.
+const (
+	chNone     = '0' // not sent
+	chSent     = '1' // in channel
+	chConsumed = '2' // delivered
+)
+
+// ModelOptions tune the abstract model's fidelity to the paper's
+// assumption set.
+type ModelOptions struct {
+	// Lockstep models the paper's assumption 3 (synchronous state
+	// transition): a site's message fan-out is one atomic step, so a
+	// crash can never land between two sends of the same round. With
+	// Lockstep off, sends interleave with crashes at message granularity.
+	Lockstep bool
+	// AllowRecovery adds recovery transitions applying the Fig. 3.2
+	// failure transitions (assumption 8, independent recovery).
+	AllowRecovery bool
+}
+
+// model is the abstract commit-protocol transition system.
+type model struct {
+	variant Variant
+	n       int // cohorts
+	f       int // crash budget
+	opts    ModelOptions
+}
+
+// state is the decoded global state.
+type state struct {
+	coord     byte // q,w,p,a,c
+	coordDown bool
+	cohort    []byte // q,w,p,a,c
+	down      []bool
+	votedNo   []bool
+	// channels, per cohort: commit-request, prepare, commit, abort
+	creq, prep, comm, abrt []byte
+	crashes                int
+}
+
+// NewCommitModel builds the abstract model with n cohorts and a crash
+// budget of f sites.
+func NewCommitModel(variant Variant, n, f int, opts ModelOptions) System {
+	return &model{variant: variant, n: n, f: f, opts: opts}
+}
+
+func (m *model) initial() state {
+	s := state{
+		coord:   stQ,
+		cohort:  bytesOf(stQ, m.n),
+		down:    make([]bool, m.n),
+		votedNo: make([]bool, m.n),
+		creq:    bytesOf(chNone, m.n),
+		prep:    bytesOf(chNone, m.n),
+		comm:    bytesOf(chNone, m.n),
+		abrt:    bytesOf(chNone, m.n),
+	}
+	return s
+}
+
+func bytesOf(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// Encode renders a state canonically.
+func (s state) encode() string {
+	var b strings.Builder
+	b.WriteByte(s.coord)
+	if s.coordDown {
+		b.WriteByte('!')
+	} else {
+		b.WriteByte('.')
+	}
+	for i := range s.cohort {
+		b.WriteByte(s.cohort[i])
+		if s.down[i] {
+			b.WriteByte('!')
+		} else {
+			b.WriteByte('.')
+		}
+		if s.votedNo[i] {
+			b.WriteByte('n')
+		} else {
+			b.WriteByte('-')
+		}
+		b.WriteByte(s.creq[i])
+		b.WriteByte(s.prep[i])
+		b.WriteByte(s.comm[i])
+		b.WriteByte(s.abrt[i])
+	}
+	b.WriteByte('0' + byte(s.crashes))
+	return b.String()
+}
+
+// decode parses an encoded state (n cohorts).
+func decode(enc string, n int) state {
+	s := state{
+		cohort: make([]byte, n), down: make([]bool, n), votedNo: make([]bool, n),
+		creq: make([]byte, n), prep: make([]byte, n), comm: make([]byte, n), abrt: make([]byte, n),
+	}
+	s.coord = enc[0]
+	s.coordDown = enc[1] == '!'
+	pos := 2
+	for i := 0; i < n; i++ {
+		s.cohort[i] = enc[pos]
+		s.down[i] = enc[pos+1] == '!'
+		s.votedNo[i] = enc[pos+2] == 'n'
+		s.creq[i] = enc[pos+3]
+		s.prep[i] = enc[pos+4]
+		s.comm[i] = enc[pos+5]
+		s.abrt[i] = enc[pos+6]
+		pos += 7
+	}
+	s.crashes = int(enc[pos] - '0')
+	return s
+}
+
+func (s state) clone() state {
+	c := s
+	c.cohort = append([]byte{}, s.cohort...)
+	c.down = append([]bool{}, s.down...)
+	c.votedNo = append([]bool{}, s.votedNo...)
+	c.creq = append([]byte{}, s.creq...)
+	c.prep = append([]byte{}, s.prep...)
+	c.comm = append([]byte{}, s.comm...)
+	c.abrt = append([]byte{}, s.abrt...)
+	return c
+}
+
+// Initial implements System.
+func (m *model) Initial() []string { return []string{m.initial().encode()} }
+
+// Next implements System.
+func (m *model) Next(enc string) []string {
+	s := decode(enc, m.n)
+	var out []string
+	add := func(n state) { out = append(out, n.encode()) }
+
+	m.coordinatorMoves(s, add)
+	m.cohortMoves(s, add)
+	m.failureMoves(s, add)
+
+	// Deduplicate successor encodings for a stable transition count.
+	sort.Strings(out)
+	dedup := out[:0]
+	for i, x := range out {
+		if i == 0 || out[i-1] != x {
+			dedup = append(dedup, x)
+		}
+	}
+	return dedup
+}
+
+// coordinatorMoves emits the coordinator's enabled transitions.
+func (m *model) coordinatorMoves(s state, add func(state)) {
+	if s.coordDown {
+		return
+	}
+	switch s.coord {
+	case stQ:
+		if m.opts.Lockstep {
+			n := s.clone()
+			for i := 0; i < m.n; i++ {
+				n.creq[i] = chSent
+			}
+			n.coord = stW
+			add(n)
+			return
+		}
+		// Send commit requests one at a time; after the last, enter w1.
+		for i := 0; i < m.n; i++ {
+			if s.creq[i] == chNone {
+				n := s.clone()
+				n.creq[i] = chSent
+				if allSent(n.creq) {
+					n.coord = stW
+				}
+				add(n)
+				return // sends are ordered: lowest pending cohort first
+			}
+		}
+	case stW:
+		// Abort on any no-vote.
+		for i := 0; i < m.n; i++ {
+			if s.votedNo[i] {
+				m.coordAbortStart(s, add)
+				break
+			}
+		}
+		// All yes (cohorts in w2 or beyond): start prepare fan-out (3PC)
+		// or commit directly (2PC). In lockstep the state change and the
+		// fan-out are one atomic step (assumption 3).
+		if allVotedYes(s) {
+			if m.variant == Model2PC {
+				n := s.clone()
+				n.coord = stC
+				if m.opts.Lockstep {
+					markAll(n.comm)
+				}
+				add(n)
+			} else {
+				n := s.clone()
+				n.coord = stP
+				if m.opts.Lockstep {
+					markAll(n.prep)
+				}
+				add(n)
+			}
+		}
+		// Timeout: some cohort will never vote yes — it is down before
+		// voting, or it aborted unilaterally (crash recovery) without a
+		// no-vote reaching us.
+		for i := 0; i < m.n; i++ {
+			if (s.down[i] && s.cohort[i] == stQ) || (s.cohort[i] == stA && !s.votedNo[i]) {
+				m.coordAbortStart(s, add)
+				break
+			}
+		}
+	case stP: // 3PC only: prepare fan-out then wait for acks
+		if !m.opts.Lockstep {
+			for i := 0; i < m.n; i++ {
+				if s.prep[i] == chNone {
+					n := s.clone()
+					n.prep[i] = chSent
+					add(n)
+					return
+				}
+			}
+		}
+		// All acks = all cohorts prepared (or beyond).
+		allAcked := true
+		for i := 0; i < m.n; i++ {
+			if s.cohort[i] != stP && s.cohort[i] != stC {
+				allAcked = false
+			}
+		}
+		if allAcked {
+			n := s.clone()
+			n.coord = stC
+			if m.opts.Lockstep {
+				markAll(n.comm)
+			}
+			add(n)
+		}
+		// Timeout: a cohort died (or recovered into abort) before acking —
+		// abort (Fig. 3.2 p1 timeout transition).
+		for i := 0; i < m.n; i++ {
+			if (s.down[i] || s.cohort[i] == stA) && s.cohort[i] != stP && s.cohort[i] != stC {
+				m.coordAbortStart(s, add)
+				break
+			}
+		}
+	case stC:
+		if m.opts.Lockstep {
+			if !allSent(s.comm) {
+				n := s.clone()
+				for i := 0; i < m.n; i++ {
+					n.comm[i] = chSent
+				}
+				add(n)
+			}
+			return
+		}
+		// Commit fan-out, one message at a time.
+		for i := 0; i < m.n; i++ {
+			if s.comm[i] == chNone {
+				n := s.clone()
+				n.comm[i] = chSent
+				add(n)
+				return
+			}
+		}
+	case stA:
+		if m.opts.Lockstep {
+			pending := false
+			n := s.clone()
+			for i := 0; i < m.n; i++ {
+				if s.abrt[i] == chNone && s.cohort[i] != stA && s.cohort[i] != stC {
+					n.abrt[i] = chSent
+					pending = true
+				}
+			}
+			if pending {
+				add(n)
+			}
+			return
+		}
+		// Abort fan-out.
+		for i := 0; i < m.n; i++ {
+			if s.abrt[i] == chNone && s.cohort[i] != stA && s.cohort[i] != stC {
+				n := s.clone()
+				n.abrt[i] = chSent
+				add(n)
+				return
+			}
+		}
+	}
+}
+
+func (m *model) coordAbortStart(s state, add func(state)) {
+	n := s.clone()
+	n.coord = stA
+	if m.opts.Lockstep {
+		for i := 0; i < m.n; i++ {
+			if n.cohort[i] != stA && n.cohort[i] != stC {
+				n.abrt[i] = chSent
+			}
+		}
+	}
+	add(n)
+}
+
+// markAll marks every unsent channel entry as sent.
+func markAll(ch []byte) {
+	for i := range ch {
+		if ch[i] == chNone {
+			ch[i] = chSent
+		}
+	}
+}
+
+func allSent(ch []byte) bool {
+	for _, c := range ch {
+		if c == chNone {
+			return false
+		}
+	}
+	return true
+}
+
+func allVotedYes(s state) bool {
+	for i := range s.cohort {
+		if s.votedNo[i] {
+			return false
+		}
+		// A cohort has voted yes once it left q2 upward (w, p, c).
+		if s.cohort[i] != stW && s.cohort[i] != stP && s.cohort[i] != stC {
+			return false
+		}
+	}
+	return true
+}
+
+// cohortMoves emits each cohort's enabled transitions.
+func (m *model) cohortMoves(s state, add func(state)) {
+	for i := 0; i < m.n; i++ {
+		if s.down[i] {
+			continue
+		}
+		switch s.cohort[i] {
+		case stQ:
+			if s.creq[i] == chSent {
+				// Vote yes…
+				n := s.clone()
+				n.creq[i] = chConsumed
+				n.cohort[i] = stW
+				add(n)
+				// …or vote no.
+				n2 := s.clone()
+				n2.creq[i] = chConsumed
+				n2.cohort[i] = stA
+				n2.votedNo[i] = true
+				add(n2)
+			}
+			if s.abrt[i] == chSent {
+				n := s.clone()
+				n.abrt[i] = chConsumed
+				n.cohort[i] = stA
+				add(n)
+			}
+			// q2 timeout: never received the request and the coordinator
+			// is dead — unilateral abort.
+			if s.coordDown && s.creq[i] == chNone {
+				n := s.clone()
+				n.cohort[i] = stA
+				add(n)
+			}
+		case stW:
+			if s.prep[i] == chSent {
+				n := s.clone()
+				n.prep[i] = chConsumed
+				n.cohort[i] = stP
+				add(n)
+			}
+			if s.abrt[i] == chSent {
+				n := s.clone()
+				n.abrt[i] = chConsumed
+				n.cohort[i] = stA
+				add(n)
+			}
+			// w2 timeout: the coordinator is dead and no prepare can ever
+			// arrive (synchrony: in-flight messages are chSent).
+			if s.coordDown && s.prep[i] == chNone {
+				m.cohortTimeout(s, i, false, add)
+			}
+		case stP:
+			if s.comm[i] == chSent {
+				n := s.clone()
+				n.comm[i] = chConsumed
+				n.cohort[i] = stC
+				add(n)
+			}
+			if s.abrt[i] == chSent {
+				n := s.clone()
+				n.abrt[i] = chConsumed
+				n.cohort[i] = stA
+				add(n)
+			}
+			// p2 timeout: coordinator dead, no commit in flight.
+			if s.coordDown && s.comm[i] == chNone && s.abrt[i] == chNone {
+				m.cohortTimeout(s, i, true, add)
+			}
+		}
+	}
+}
+
+// cohortTimeout models the site's reaction to a dead coordinator:
+// termination protocol (3PC), naive transitions (3PC-naive), or blocking
+// (2PC: no transition at all — the blocked state is terminal).
+func (m *model) cohortTimeout(s state, i int, prepared bool, add func(state)) {
+	switch m.variant {
+	case Model2PC:
+		// Blocked: uncertain cohort cannot act. No transition.
+	case Model3PCNaive:
+		n := s.clone()
+		if prepared {
+			n.cohort[i] = stC
+		} else {
+			n.cohort[i] = stA
+		}
+		add(n)
+	default:
+		// Termination protocol: one atomic step moves every operational
+		// undecided cohort to the rule's decision.
+		anyCommittable := false
+		anyAborted := s.coord == stA && !s.coordDown // a live aborted coordinator would have sent aborts
+		for j := 0; j < m.n; j++ {
+			if s.down[j] {
+				continue
+			}
+			if s.cohort[j] == stP || s.cohort[j] == stC {
+				anyCommittable = true
+			}
+			if s.cohort[j] == stA {
+				anyAborted = true
+			}
+		}
+		decision := byte(stA)
+		if anyCommittable && !anyAborted {
+			decision = stC
+		}
+		n := s.clone()
+		for j := 0; j < m.n; j++ {
+			if !n.down[j] && (n.cohort[j] == stW || n.cohort[j] == stP || n.cohort[j] == stQ) {
+				n.cohort[j] = decision
+			}
+		}
+		add(n)
+	}
+}
+
+// failureMoves emits crash and (optionally) recovery transitions.
+func (m *model) failureMoves(s state, add func(state)) {
+	if s.crashes < m.f {
+		if !s.coordDown {
+			n := s.clone()
+			n.coordDown = true
+			n.crashes++
+			add(n)
+		}
+		for i := 0; i < m.n; i++ {
+			if !s.down[i] {
+				n := s.clone()
+				n.down[i] = true
+				n.crashes++
+				add(n)
+			}
+		}
+	}
+	if !m.opts.AllowRecovery {
+		return
+	}
+	// Recovery applies the failure transitions of Fig. 3.2 from the
+	// persisted state.
+	if s.coordDown {
+		n := s.clone()
+		n.coordDown = false
+		switch n.coord {
+		case stQ, stW:
+			n.coord = stA
+			if m.opts.Lockstep {
+				for i := 0; i < m.n; i++ {
+					if n.cohort[i] != stA && n.cohort[i] != stC {
+						n.abrt[i] = chSent
+					}
+				}
+			}
+		case stP:
+			n.coord = stC
+			if m.opts.Lockstep {
+				markAll(n.comm)
+			}
+		}
+		add(n)
+	}
+	for i := 0; i < m.n; i++ {
+		if s.down[i] {
+			n := s.clone()
+			n.down[i] = false
+			switch n.cohort[i] {
+			case stQ, stW:
+				n.cohort[i] = stA
+			case stP:
+				n.cohort[i] = stC
+			}
+			add(n)
+		}
+	}
+}
+
+// --- invariants over encoded states ---
+
+// InvariantAtomicity: no reachable global state contains both a committed
+// and an aborted *yes-voting* site (a no-voting cohort aborts unilaterally
+// by design and the coordinator is then bound to abort; the paper's rule 5
+// concerns commit/abort co-existence).
+func InvariantAtomicity(n int) Invariant {
+	return Invariant{
+		Name: "atomicity",
+		Holds: func(enc string) bool {
+			s := decode(enc, n)
+			commit := s.coord == stC
+			abort := s.coord == stA
+			for i := 0; i < n; i++ {
+				switch s.cohort[i] {
+				case stC:
+					commit = true
+				case stA:
+					if !s.votedNo[i] {
+						abort = true
+					}
+				}
+			}
+			return !(commit && abort)
+		},
+	}
+}
+
+// InvariantNoCommitWithUncommittable encodes the paper's second
+// non-blocking rule: no global state may contain a committed site together
+// with an operational site in a non-committable (q/w) state.
+func InvariantNoCommitWithUncommittable(n int) Invariant {
+	return Invariant{
+		Name: "no-commit-with-uncommittable",
+		Holds: func(enc string) bool {
+			s := decode(enc, n)
+			committed := s.coord == stC
+			for i := 0; i < n; i++ {
+				if s.cohort[i] == stC {
+					committed = true
+				}
+			}
+			if !committed {
+				return true
+			}
+			for i := 0; i < n; i++ {
+				if !s.down[i] && !s.votedNo[i] && (s.cohort[i] == stQ || s.cohort[i] == stW) {
+					// A committed site coexists with an operational,
+					// yes-path cohort that is non-committable…
+					// permitted only if a decision message is already in
+					// flight to it (it will decide without blocking).
+					if s.comm[i] == chNone && s.abrt[i] == chNone && s.prep[i] == chNone {
+						return false
+					}
+				}
+			}
+			return true
+		},
+	}
+}
+
+// TerminalAllDecided accepts terminal states where every operational site
+// has decided — the non-blocking liveness condition. 2PC fails it: its
+// blocked states are terminal with an undecided operational cohort.
+func TerminalAllDecided(n int) func(string) bool {
+	return func(enc string) bool {
+		s := decode(enc, n)
+		if !s.coordDown && s.coord != stA && s.coord != stC {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !s.down[i] && s.cohort[i] != stA && s.cohort[i] != stC {
+				return false
+			}
+		}
+		return true
+	}
+}

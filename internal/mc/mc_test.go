@@ -1,0 +1,170 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+)
+
+// explore is a helper running the standard invariant set.
+func explore(t *testing.T, v Variant, n, f int, opts ModelOptions) *Result {
+	t.Helper()
+	sys := NewCommitModel(v, n, f, opts)
+	res, err := Explore(sys, []Invariant{
+		InvariantAtomicity(n),
+		InvariantNoCommitWithUncommittable(n),
+	}, Options{TerminalOK: TerminalAllDecided(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The paper's claim, mechanized: under its assumption set (synchronous
+// state transition = lockstep, independent recovery allowed), 3PC with the
+// termination protocol is atomic and non-blocking for a single failure.
+func TestThreePCLockstepSafeAndNonBlocking(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		res := explore(t, Model3PC, n, 1, ModelOptions{Lockstep: true, AllowRecovery: true})
+		if len(res.Violations) != 0 {
+			t.Fatalf("n=%d: violations: %v", n, res.Violations)
+		}
+		if len(res.Deadlocks) != 0 {
+			t.Fatalf("n=%d: blocking terminal states: %v", n, res.Deadlocks)
+		}
+		if res.States < 10 {
+			t.Fatalf("n=%d: suspiciously small state space: %d", n, res.States)
+		}
+	}
+}
+
+// The naive Fig. 3.2 timeout transitions alone are unsafe once a crash can
+// land between two prepare sends: one cohort commits by p2-timeout while
+// another aborts by w2-timeout.
+func TestNaiveTimeoutsUnsafeInterleaved(t *testing.T) {
+	res := explore(t, Model3PCNaive, 2, 1, ModelOptions{Lockstep: false, AllowRecovery: false})
+	if _, found := res.Violations["atomicity"]; !found {
+		t.Fatal("expected an atomicity violation for naive timeouts with interleaved sends")
+	}
+}
+
+// Under the paper's lockstep assumption even the naive transitions are
+// safe — assumption 3 is load-bearing.
+func TestNaiveTimeoutsSafeLockstep(t *testing.T) {
+	res := explore(t, Model3PCNaive, 2, 1, ModelOptions{Lockstep: true, AllowRecovery: true})
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations under lockstep: %v", res.Violations)
+	}
+}
+
+// Independent recovery (assumption 8) also depends on lockstep: with
+// message-granularity interleaving, a coordinator that logged p1 before
+// finishing its prepare fan-out recovers to commit while the termination
+// protocol may already have aborted.
+func TestIndependentRecoveryNeedsLockstep(t *testing.T) {
+	res := explore(t, Model3PC, 2, 1, ModelOptions{Lockstep: false, AllowRecovery: true})
+	if _, found := res.Violations["atomicity"]; !found {
+		t.Fatal("expected atomicity violation: independent recovery without lockstep")
+	}
+	// Without recovery, the interleaved model is still safe (termination
+	// decides consistently among operational sites).
+	res = explore(t, Model3PC, 2, 1, ModelOptions{Lockstep: false, AllowRecovery: false})
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations without recovery: %v", res.Violations)
+	}
+}
+
+// 2PC is safe but blocking: a reachable terminal state leaves an
+// operational, uncertain cohort with no enabled transition.
+func TestTwoPCSafeButBlocking(t *testing.T) {
+	res := explore(t, Model2PC, 2, 1, ModelOptions{Lockstep: true, AllowRecovery: false})
+	if _, found := res.Violations["atomicity"]; found {
+		t.Fatalf("2PC atomicity violation: %v", res.Violations)
+	}
+	if len(res.Deadlocks) == 0 {
+		t.Fatal("expected blocking terminal states for 2PC")
+	}
+	// The witness must contain an operational cohort stuck in w.
+	foundStuck := false
+	for _, d := range res.Deadlocks {
+		if strings.Contains(d, "w.") {
+			foundStuck = true
+		}
+	}
+	if !foundStuck {
+		t.Fatalf("deadlock witnesses lack an uncertain cohort: %v", res.Deadlocks)
+	}
+}
+
+// 3PC has no blocking states even without recovery: the termination
+// protocol always lets operational sites decide.
+func TestThreePCNoBlockingWithoutRecovery(t *testing.T) {
+	res := explore(t, Model3PC, 2, 1, ModelOptions{Lockstep: true, AllowRecovery: false})
+	if len(res.Deadlocks) != 0 {
+		t.Fatalf("3PC blocking states: %v", res.Deadlocks)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("3PC violations: %v", res.Violations)
+	}
+}
+
+// With a crash budget beyond the protocol's tolerance (f=2 failures with
+// naive/termination races), the strict rule-2 invariant is expected to
+// have counterexamples; this guards against the checker trivially passing
+// everything.
+func TestCheckerFindsViolationsBeyondTolerance(t *testing.T) {
+	res := explore(t, Model3PCNaive, 2, 2, ModelOptions{Lockstep: false, AllowRecovery: true})
+	if len(res.Violations) == 0 {
+		t.Fatal("checker found nothing beyond the fault tolerance — suspicious")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := &model{variant: Model3PC, n: 3, f: 1}
+	s := m.initial()
+	s.cohort[1] = stP
+	s.down[2] = true
+	s.votedNo[0] = true
+	s.prep[1] = chConsumed
+	s.crashes = 1
+	dec := decode(s.encode(), 3)
+	if dec.encode() != s.encode() {
+		t.Fatalf("round trip: %s vs %s", dec.encode(), s.encode())
+	}
+	if dec.cohort[1] != stP || !dec.down[2] || !dec.votedNo[0] || dec.crashes != 1 {
+		t.Fatalf("decode mismatch: %+v", dec)
+	}
+}
+
+func TestStateSpaceDeterministic(t *testing.T) {
+	a := explore(t, Model3PC, 2, 1, ModelOptions{Lockstep: true, AllowRecovery: true})
+	b := explore(t, Model3PC, 2, 1, ModelOptions{Lockstep: true, AllowRecovery: true})
+	if a.States != b.States || a.Transitions != b.Transitions {
+		t.Fatalf("nondeterministic exploration: %+v vs %+v", a, b)
+	}
+}
+
+func TestNoFailuresCommitReachable(t *testing.T) {
+	// Sanity: with f=0 and all-yes paths the protocol must be able to
+	// commit — check that a state with everyone committed is reachable.
+	sys := NewCommitModel(Model3PC, 2, 0, ModelOptions{Lockstep: true})
+	committed := Invariant{
+		Name: "not-yet-committed",
+		Holds: func(enc string) bool {
+			s := decode(enc, 2)
+			return !(s.coord == stC && s.cohort[0] == stC && s.cohort[1] == stC)
+		},
+	}
+	res, err := Explore(sys, []Invariant{committed}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := res.Violations["not-yet-committed"]; !found {
+		t.Fatal("all-committed state unreachable — protocol cannot commit")
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	if Model3PC.String() != "3PC" || Model2PC.String() != "2PC" || Model3PCNaive.String() != "3PC-naive" {
+		t.Fatal("variant strings wrong")
+	}
+}

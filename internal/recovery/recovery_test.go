@@ -1,0 +1,152 @@
+package recovery
+
+import (
+	"reflect"
+	"testing"
+
+	"speccat/internal/checkpoint"
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+	"speccat/internal/stable"
+	"speccat/internal/wal"
+)
+
+func TestColdStartEmpty(t *testing.T) {
+	st := stable.NewStore()
+	state, rep, err := Recover(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) != 0 || rep.FromCheckpoint != 0 {
+		t.Fatalf("state=%v rep=%+v", state, rep)
+	}
+}
+
+func TestRecoverFromLogOnly(t *testing.T) {
+	st := stable.NewStore()
+	l := wal.New(st)
+	db := map[string]string{}
+	mustOK(t, l.Begin("t1"))
+	mustOK(t, l.LoggedUpdate("t1", db, "x", "1"))
+	mustOK(t, l.Commit("t1"))
+	mustOK(t, l.Begin("t2"))
+	mustOK(t, l.LoggedUpdate("t2", db, "y", "2"))
+	// t2 in doubt at crash.
+	state, rep, err := Recover(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state["x"] != "1" {
+		t.Fatalf("state = %v", state)
+	}
+	if _, ok := state["y"]; ok {
+		t.Fatal("uncommitted write survived")
+	}
+	if rep.Redone != 1 || rep.Undone != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.PendingTxns) != 1 || rep.PendingTxns[0] != "t2" {
+		t.Fatalf("pending = %v", rep.PendingTxns)
+	}
+}
+
+// runCheckpointRound drives one coordinated checkpoint through a 2-node
+// network where node 2's state is the given map.
+func runCheckpointRound(t *testing.T, state State) *stable.Store {
+	t.Helper()
+	sched := sim.NewScheduler(9)
+	net := simnet.New(sched, simnet.DefaultOptions())
+	net.AddNode(1, nil)
+	net.AddNode(2, nil)
+	n1 := checkpoint.New(net, 1, func() []byte { return EncodeState(State{}) })
+	n2 := checkpoint.New(net, 2, func() []byte { return EncodeState(state) })
+	mustOK(t, net.SetHandler(1, func(m simnet.Message) { n1.HandleMessage(m) }))
+	mustOK(t, net.SetHandler(2, func(m simnet.Message) { n2.HandleMessage(m) }))
+	n1.StartCoordinator(0)
+	n1.TakeNow()
+	sched.Run(0)
+	st, err := net.Store(2)
+	mustOK(t, err)
+	return st
+}
+
+func TestRecoverFromCheckpointPlusLog(t *testing.T) {
+	st := runCheckpointRound(t, State{"x": "ck", "z": "zz"})
+
+	// After the checkpoint, more transactions hit the log.
+	l := wal.New(st)
+	db := map[string]string{"x": "ck", "z": "zz"}
+	mustOK(t, l.Begin("t1"))
+	mustOK(t, l.LoggedUpdate("t1", db, "x", "post"))
+	mustOK(t, l.Commit("t1"))
+	mustOK(t, l.Begin("t2"))
+	mustOK(t, l.LoggedUpdate("t2", db, "z", "dirty"))
+	// Crash with t2 unresolved.
+
+	state, rep, err := Recover(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := State{"x": "post", "z": "zz"}
+	if !reflect.DeepEqual(state, want) {
+		t.Fatalf("state = %v, want %v", state, want)
+	}
+	if rep.FromCheckpoint == 0 {
+		t.Fatal("checkpoint not used")
+	}
+}
+
+func TestRecoveryIdempotentSecondCrash(t *testing.T) {
+	st := runCheckpointRound(t, State{"a": "1"})
+	l := wal.New(st)
+	db := map[string]string{"a": "1"}
+	mustOK(t, l.Begin("t"))
+	mustOK(t, l.LoggedUpdate("t", db, "a", "2"))
+	mustOK(t, l.Commit("t"))
+
+	s1, _, err := Recover(st)
+	mustOK(t, err)
+	// Second crash mid-recovery: just recover again.
+	s2, _, err := Recover(st)
+	mustOK(t, err)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("recoveries differ: %v vs %v", s1, s2)
+	}
+	if s1["a"] != "2" {
+		t.Fatalf("state = %v", s1)
+	}
+}
+
+func TestTentativeDiscardedOnRecovery(t *testing.T) {
+	// A tentative checkpoint that never committed must not affect
+	// recovery and must be gone afterwards.
+	st := stable.NewStore()
+	st.Put("ckpt/tentative", EncodeState(State{"ghost": "1"}))
+	state, _, err := Recover(st)
+	mustOK(t, err)
+	if _, ok := state["ghost"]; ok {
+		t.Fatal("tentative checkpoint leaked into recovery")
+	}
+	if _, _, err := checkpoint.Tentative(st); err == nil {
+		t.Fatal("tentative survived recovery")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := State{"k1": "v1", "k2": "v2"}
+	out, err := DecodeState(EncodeState(in))
+	mustOK(t, err)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %v vs %v", in, out)
+	}
+	if _, err := DecodeState([]byte("{bad")); err == nil {
+		t.Fatal("corrupt state accepted")
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

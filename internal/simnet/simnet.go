@@ -1,0 +1,319 @@
+// Package simnet simulates the network of the paper's assumption set
+// (Section 3.4): a reliable, non-partitioning network with FIFO two-way
+// channels between sites, bounded message delay, per-site drifting clocks,
+// crash/recovery of sites (volatile state lost, stable storage kept), and
+// timeout timers. Failure injection hooks (message drop, delay inflation)
+// exist so tests can deliberately violate each assumption and observe which
+// protocol invariants break (experiment E10).
+package simnet
+
+import (
+	"errors"
+	"fmt"
+
+	"speccat/internal/sim"
+	"speccat/internal/stable"
+)
+
+// NodeID identifies a site. IDs start at 1.
+type NodeID int
+
+// Message is one network message.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Kind    string
+	Payload any
+	// SentAt is the global send time (for tracing).
+	SentAt sim.Time
+}
+
+// Handler receives delivered messages on a node.
+type Handler func(msg Message)
+
+// RecoverFunc is invoked when a crashed node restarts; the protocol layer
+// rebuilds volatile state from stable storage inside it.
+type RecoverFunc func()
+
+// Sentinel errors.
+var (
+	// ErrUnknownNode is returned for operations on unregistered nodes.
+	ErrUnknownNode = errors.New("simnet: unknown node")
+	// ErrNodeDown is returned when sending from a crashed node.
+	ErrNodeDown = errors.New("simnet: node is down")
+)
+
+// Options configures the network.
+type Options struct {
+	// MinDelay/MaxDelay bound message latency (ticks). The broadcast bound
+	// delta of the paper is MaxDelay.
+	MinDelay, MaxDelay sim.Time
+	// DropRate, in [0,1), drops messages at random — OFF (0) under the
+	// paper's reliable-network assumption; tests raise it for E10.
+	DropRate float64
+	// FIFO preserves per-channel ordering (assumption 1). Tests may
+	// disable it to violate the assumption.
+	FIFO bool
+}
+
+// DefaultOptions satisfy the paper's assumption set.
+func DefaultOptions() Options {
+	return Options{MinDelay: 1, MaxDelay: 10, FIFO: true}
+}
+
+// node is one site's bookkeeping.
+type node struct {
+	id        NodeID
+	up        bool
+	handler   Handler
+	onRecover RecoverFunc
+	clock     sim.Clock
+	store     *stable.Store
+	timers    []*sim.Timer
+}
+
+// Network simulates the message fabric among registered nodes.
+type Network struct {
+	sched *sim.Scheduler
+	opts  Options
+	nodes map[NodeID]*node
+	order []NodeID
+	// lastArrival enforces FIFO per directed channel.
+	lastArrival map[[2]NodeID]sim.Time
+	// partitioned marks unordered pairs that cannot communicate.
+	partitioned map[[2]NodeID]bool
+	// stats
+	sent, delivered, dropped int
+	// Trace, when non-nil, receives every delivered message.
+	Trace func(Message)
+}
+
+// New creates a network over the given scheduler.
+func New(sched *sim.Scheduler, opts Options) *Network {
+	if opts.MaxDelay < opts.MinDelay {
+		opts.MaxDelay = opts.MinDelay
+	}
+	return &Network{
+		sched:       sched,
+		opts:        opts,
+		nodes:       map[NodeID]*node{},
+		lastArrival: map[[2]NodeID]sim.Time{},
+		partitioned: map[[2]NodeID]bool{},
+	}
+}
+
+// Scheduler exposes the underlying scheduler.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// AddNode registers a node with a drift-free clock and fresh stable store.
+func (n *Network) AddNode(id NodeID, h Handler) *stable.Store {
+	nd := &node{id: id, up: true, handler: h, store: stable.NewStore()}
+	n.nodes[id] = nd
+	n.order = append(n.order, id)
+	return nd.store
+}
+
+// SetClock assigns a drifting clock to a node.
+func (n *Network) SetClock(id NodeID, c sim.Clock) error {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	nd.clock = c
+	return nil
+}
+
+// SetHandler replaces a node's message handler (protocols installed after
+// AddNode).
+func (n *Network) SetHandler(id NodeID, h Handler) error {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	nd.handler = h
+	return nil
+}
+
+// SetRecover registers a node's crash-recovery callback.
+func (n *Network) SetRecover(id NodeID, f RecoverFunc) error {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	nd.onRecover = f
+	return nil
+}
+
+// Nodes returns all node IDs in registration order.
+func (n *Network) Nodes() []NodeID { return append([]NodeID{}, n.order...) }
+
+// Up reports whether a node is operational.
+func (n *Network) Up(id NodeID) bool {
+	nd, ok := n.nodes[id]
+	return ok && nd.up
+}
+
+// UpNodes returns the operational node IDs in registration order.
+func (n *Network) UpNodes() []NodeID {
+	var out []NodeID
+	for _, id := range n.order {
+		if n.nodes[id].up {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Store returns a node's stable store.
+func (n *Network) Store(id NodeID) (*stable.Store, error) {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return nd.store, nil
+}
+
+// LocalTime reads a node's (possibly drifting) local clock.
+func (n *Network) LocalTime(id NodeID) sim.Time {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return 0
+	}
+	return nd.clock.Read(n.sched.Now())
+}
+
+// Send transmits a message; delivery is scheduled per the network options.
+// Sending from a crashed node is an error; sending to a crashed node
+// silently discards at delivery time (the paper's crash model).
+func (n *Network) Send(from, to NodeID, kind string, payload any) error {
+	src, ok := n.nodes[from]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, from)
+	}
+	if !src.up {
+		return fmt.Errorf("%w: %d", ErrNodeDown, from)
+	}
+	if _, ok := n.nodes[to]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	n.sent++
+	msg := Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: n.sched.Now()}
+
+	if n.isPartitioned(from, to) {
+		n.dropped++
+		return nil
+	}
+	if n.opts.DropRate > 0 && n.sched.Rand().Float64() < n.opts.DropRate {
+		n.dropped++
+		return nil
+	}
+
+	delay := n.opts.MinDelay
+	if span := n.opts.MaxDelay - n.opts.MinDelay; span > 0 {
+		delay += sim.Time(n.sched.Rand().Int63n(int64(span) + 1))
+	}
+	at := n.sched.Now() + delay
+	if n.opts.FIFO {
+		ch := [2]NodeID{from, to}
+		if last := n.lastArrival[ch]; at <= last {
+			at = last + 1
+		}
+		n.lastArrival[ch] = at
+	}
+	n.sched.At(at, func() { n.deliver(msg) })
+	return nil
+}
+
+func (n *Network) deliver(msg Message) {
+	dst, ok := n.nodes[msg.To]
+	if !ok || !dst.up || dst.handler == nil {
+		n.dropped++
+		return
+	}
+	n.delivered++
+	if n.Trace != nil {
+		n.Trace(msg)
+	}
+	dst.handler(msg)
+}
+
+// Broadcast sends to every registered node including the sender itself
+// (self-delivery is immediate protocol convention: it goes through the
+// same delay machinery for uniformity).
+func (n *Network) Broadcast(from NodeID, kind string, payload any) error {
+	for _, id := range n.order {
+		if err := n.Send(from, id, kind, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// After schedules fn on a node's behalf; it fires only if the node is
+// still up (a crash cancels the site's pending timers implicitly).
+func (n *Network) After(id NodeID, d sim.Time, fn func()) *sim.Timer {
+	t := n.sched.After(d, func() {
+		if nd, ok := n.nodes[id]; ok && nd.up {
+			fn()
+		}
+	})
+	if nd, ok := n.nodes[id]; ok {
+		nd.timers = append(nd.timers, t)
+	}
+	return t
+}
+
+// Crash takes a node down: its volatile state is gone, its timers are
+// dead, in-flight messages to it will be discarded. Stable storage stays.
+func (n *Network) Crash(id NodeID) error {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	nd.up = false
+	for _, t := range nd.timers {
+		t.Cancel()
+	}
+	nd.timers = nil
+	return nil
+}
+
+// Recover restarts a crashed node and invokes its recovery callback.
+func (n *Network) Recover(id NodeID) error {
+	nd, ok := n.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if nd.up {
+		return nil
+	}
+	nd.up = true
+	if nd.onRecover != nil {
+		nd.onRecover()
+	}
+	return nil
+}
+
+// Partition cuts communication between a and b (both directions). The
+// paper assumes no partitions; tests use this for E10.
+func (n *Network) Partition(a, b NodeID) { n.partitioned[pairKey(a, b)] = true }
+
+// Heal restores communication between a and b.
+func (n *Network) Heal(a, b NodeID) { delete(n.partitioned, pairKey(a, b)) }
+
+func (n *Network) isPartitioned(a, b NodeID) bool { return n.partitioned[pairKey(a, b)] }
+
+func pairKey(a, b NodeID) [2]NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]NodeID{a, b}
+}
+
+// Stats reports message counters.
+func (n *Network) Stats() (sent, delivered, dropped int) {
+	return n.sent, n.delivered, n.dropped
+}
+
+// Delta returns the network's message delay bound (the paper's δ).
+func (n *Network) Delta() sim.Time { return n.opts.MaxDelay }

@@ -1,0 +1,77 @@
+package snapshot
+
+import (
+	"strconv"
+	"testing"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+)
+
+// setupTokensWith is setupTokens with custom network options.
+func setupTokensWith(seed int64, n, tokensEach int, opts simnet.Options) (*simnet.Network, map[simnet.NodeID]*tokenApp) {
+	sched := sim.NewScheduler(seed)
+	net := simnet.New(sched, opts)
+	apps := map[simnet.NodeID]*tokenApp{}
+	for i := 1; i <= n; i++ {
+		id := simnet.NodeID(i)
+		app := &tokenApp{net: net, id: id, tokens: tokensEach}
+		apps[id] = app
+		net.AddNode(id, nil)
+	}
+	for id, app := range apps {
+		app.snap = New(net, id, func() string { return strconv.Itoa(app.tokens) })
+		app := app
+		if err := net.SetHandler(id, app.handler); err != nil {
+			panic(err)
+		}
+	}
+	return net, apps
+}
+
+// TestSnapshotRequiresFIFO violates the FIFO assumption (the Chandy-
+// Lamport marker algorithm's prerequisite, the paper's assumption 1) and
+// shows the recorded global state can lose or duplicate tokens: a token
+// sent *before* the marker on a channel can overtake it and be excluded
+// from both the sender's and the channel's recorded state. This is the
+// E10 evidence that assumption 1 is load-bearing for the snapshot block.
+func TestSnapshotRequiresFIFO(t *testing.T) {
+	const total = 4 * 10
+	violated := false
+	for seed := int64(0); seed < 60 && !violated; seed++ {
+		net, apps := setupTokensWith(seed, 4, 10,
+			simnet.Options{MinDelay: 1, MaxDelay: 40, FIFO: false})
+		sched := net.Scheduler()
+		r := sched.Rand()
+		stop := false
+		var pump func()
+		pump = func() {
+			if stop {
+				return
+			}
+			from := simnet.NodeID(1 + r.Intn(4))
+			to := simnet.NodeID(1 + r.Intn(4))
+			if from != to {
+				apps[from].sendToken(to)
+			}
+			sched.After(1, pump)
+		}
+		sched.After(0, pump)
+
+		var got *GlobalState
+		apps[2].snap.OnComplete = func(gs *GlobalState) { got = gs }
+		sched.At(20, func() {
+			if _, err := apps[2].snap.Start(); err != nil {
+				t.Error(err)
+			}
+		})
+		sched.At(600, func() { stop = true })
+		sched.Run(0)
+		if got != nil && snapshotTotal(got) != total {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("no seed violated conservation without FIFO — the test has lost its bite")
+	}
+}

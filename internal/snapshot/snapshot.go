@@ -1,0 +1,281 @@
+// Package snapshot implements the snapshot protocol of Section 3.5.1
+// (building block 7): assembling a consistent global state — the vector of
+// all local states plus in-flight channel contents — using the classic
+// Chandy-Lamport marker algorithm over the network's FIFO channels. The
+// resulting global state is what the decision-making protocol inspects for
+// the non-blocking rules ("its state vector doesn't have both a commit
+// state and an abort state"), and consistency here is exactly the paper's
+// definition: every received message recorded in the state also has its
+// send recorded.
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+
+	"speccat/internal/simnet"
+)
+
+// Wire kinds.
+const (
+	kindMarker = "snapshot.marker"
+	kindReport = "snapshot.report"
+)
+
+// marker starts/ends channel recording.
+type marker struct {
+	ID        string
+	Initiator simnet.NodeID
+}
+
+// report carries one node's recorded slice of the global state back to
+// the initiator.
+type report struct {
+	ID    string
+	Node  simnet.NodeID
+	State string
+	// Channels maps source node -> messages recorded in flight on the
+	// channel source→this node.
+	Channels map[simnet.NodeID][]string
+}
+
+// GlobalState is an assembled snapshot.
+type GlobalState struct {
+	ID     string
+	States map[simnet.NodeID]string
+	// Channels maps [from][to] -> in-flight message payloads.
+	Channels map[simnet.NodeID]map[simnet.NodeID][]string
+}
+
+// LocalStates returns the state vector sorted by node ID.
+func (g *GlobalState) LocalStates() []string {
+	ids := make([]int, 0, len(g.States))
+	for id := range g.States {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.States[simnet.NodeID(id)]
+	}
+	return out
+}
+
+// HasBoth reports whether the state vector contains both of the given
+// states — the decision-making protocol's forbidden configuration when
+// called with ("commit", "abort").
+func (g *GlobalState) HasBoth(a, b string) bool {
+	hasA, hasB := false, false
+	for _, s := range g.States {
+		if s == a {
+			hasA = true
+		}
+		if s == b {
+			hasB = true
+		}
+	}
+	return hasA && hasB
+}
+
+// snapState is per-snapshot bookkeeping on one node.
+type snapState struct {
+	recorded    bool
+	state       string
+	initiator   simnet.NodeID
+	recording   map[simnet.NodeID]bool
+	chanMsgs    map[simnet.NodeID][]string
+	markersFrom map[simnet.NodeID]bool
+	reported    bool
+}
+
+// Node is one site's snapshot engine.
+type Node struct {
+	net *simnet.Network
+	id  simnet.NodeID
+	// State returns the node's current local state encoding; the protocol
+	// calls it at recording time.
+	State func() string
+	snaps map[string]*snapState
+	// collection on the initiator:
+	pending map[string]*GlobalState
+	// OnComplete fires on the initiator when all reports are in.
+	OnComplete func(gs *GlobalState)
+	nextSeq    int
+}
+
+// New creates a snapshot node. state supplies the local state encoding.
+func New(net *simnet.Network, id simnet.NodeID, state func() string) *Node {
+	return &Node{
+		net: net, id: id, State: state,
+		snaps:   map[string]*snapState{},
+		pending: map[string]*GlobalState{},
+	}
+}
+
+// Start initiates a snapshot and returns its ID.
+func (n *Node) Start() (string, error) {
+	n.nextSeq++
+	id := fmt.Sprintf("snap%d.%d", n.id, n.nextSeq)
+	n.pending[id] = &GlobalState{
+		ID:       id,
+		States:   map[simnet.NodeID]string{},
+		Channels: map[simnet.NodeID]map[simnet.NodeID][]string{},
+	}
+	if err := n.record(id, n.id); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// record captures the local state and emits markers (first marker rule).
+func (n *Node) record(id string, initiator simnet.NodeID) error {
+	ss := n.snap(id)
+	if ss.recorded {
+		return nil
+	}
+	ss.recorded = true
+	ss.initiator = initiator
+	ss.state = n.State()
+	// Begin recording every incoming channel (except self).
+	for _, peer := range n.net.Nodes() {
+		if peer == n.id {
+			continue
+		}
+		ss.recording[peer] = true
+	}
+	// Send markers on all outgoing channels.
+	for _, peer := range n.net.Nodes() {
+		if peer == n.id {
+			continue
+		}
+		if err := n.net.Send(n.id, peer, kindMarker, marker{ID: id, Initiator: initiator}); err != nil {
+			return fmt.Errorf("snapshot %s: %w", id, err)
+		}
+	}
+	n.maybeFinish(id)
+	return nil
+}
+
+func (n *Node) snap(id string) *snapState {
+	ss, ok := n.snaps[id]
+	if !ok {
+		ss = &snapState{
+			recording:   map[simnet.NodeID]bool{},
+			chanMsgs:    map[simnet.NodeID][]string{},
+			markersFrom: map[simnet.NodeID]bool{},
+		}
+		n.snaps[id] = ss
+	}
+	return ss
+}
+
+// Intercept must be called for every application message the node
+// receives; it records in-flight payloads for channels still being
+// recorded. payload is the message's state-relevant encoding.
+func (n *Node) Intercept(from simnet.NodeID, payload string) {
+	for _, ss := range n.snaps {
+		if ss.recorded && ss.recording[from] {
+			ss.chanMsgs[from] = append(ss.chanMsgs[from], payload)
+		}
+	}
+}
+
+// HandleMessage consumes snapshot traffic; returns true when consumed.
+func (n *Node) HandleMessage(m simnet.Message) bool {
+	switch m.Kind {
+	case kindMarker:
+		mk, ok := m.Payload.(marker)
+		if !ok {
+			return false
+		}
+		ss := n.snap(mk.ID)
+		if !ss.recorded {
+			// First marker: record state; the channel it arrived on is
+			// empty (FIFO: everything before the marker was delivered).
+			if err := n.record(mk.ID, mk.Initiator); err != nil {
+				return true
+			}
+		}
+		// Marker closes recording of the channel it arrived on.
+		ss.recording[m.From] = false
+		ss.markersFrom[m.From] = true
+		n.maybeFinish(mk.ID)
+		return true
+	case kindReport:
+		rp, ok := m.Payload.(report)
+		if !ok {
+			return false
+		}
+		gs, ok := n.pending[rp.ID]
+		if !ok {
+			return true
+		}
+		n.merge(gs, rp)
+		return true
+	default:
+		return false
+	}
+}
+
+// maybeFinish sends the node's report once markers arrived on every
+// incoming channel.
+func (n *Node) maybeFinish(id string) {
+	ss := n.snap(id)
+	if !ss.recorded || ss.reported {
+		return
+	}
+	for _, peer := range n.net.Nodes() {
+		if peer == n.id {
+			continue
+		}
+		if !ss.markersFrom[peer] && n.net.Up(peer) {
+			return
+		}
+	}
+	ss.reported = true
+	rp := report{ID: id, Node: n.id, State: ss.state, Channels: ss.chanMsgs}
+	if ss.initiator == n.id {
+		if gs, ok := n.pending[id]; ok {
+			n.merge(gs, rp)
+		}
+		return
+	}
+	_ = n.net.Send(n.id, ss.initiator, kindReport, rp)
+}
+
+// merge folds one report into the assembling global state; completion
+// fires when every operational node has reported.
+func (n *Node) merge(gs *GlobalState, rp report) {
+	gs.States[rp.Node] = rp.State
+	for from, msgs := range rp.Channels {
+		if gs.Channels[from] == nil {
+			gs.Channels[from] = map[simnet.NodeID][]string{}
+		}
+		gs.Channels[from][rp.Node] = append(gs.Channels[from][rp.Node], msgs...)
+	}
+	for _, peer := range n.net.Nodes() {
+		if _, ok := gs.States[peer]; !ok && n.net.Up(peer) {
+			return
+		}
+	}
+	delete(n.pending, gs.ID)
+	if n.OnComplete != nil {
+		n.OnComplete(gs)
+	}
+}
+
+// Group builds one snapshot node per network node with the given state
+// providers, and installs handlers.
+func Group(net *simnet.Network, states map[simnet.NodeID]func() string) map[simnet.NodeID]*Node {
+	ns := map[simnet.NodeID]*Node{}
+	for _, id := range net.Nodes() {
+		ns[id] = New(net, id, states[id])
+	}
+	for id, nd := range ns {
+		nd := nd
+		if err := net.SetHandler(id, func(m simnet.Message) { nd.HandleMessage(m) }); err != nil {
+			panic(fmt.Sprintf("snapshot: %v", err))
+		}
+	}
+	return ns
+}

@@ -1,0 +1,140 @@
+// Package stable models the paper's assumption 4: a stable storage medium
+// whose contents survive site crashes. Each site owns one Store with a
+// key-value area (checkpoints, protocol metadata) and an append-only log
+// area (write-ahead logging). A simulated crash destroys the site's
+// volatile state but never the Store.
+package stable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrTruncate is returned for invalid log truncations.
+var ErrTruncate = errors.New("stable: invalid truncation")
+
+// Store is crash-surviving storage for one site. The zero value is ready
+// to use.
+type Store struct {
+	mu  sync.Mutex
+	kv  map[string][]byte
+	log [][]byte
+	// write counters let tests assert write-ahead ordering.
+	kvWrites  int
+	logWrites int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Put stores a copy of value under key.
+func (s *Store) Put(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.kv == nil {
+		s.kv = map[string][]byte{}
+	}
+	s.kv[key] = append([]byte{}, value...)
+	s.kvWrites++
+}
+
+// Get returns a copy of the value under key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.kv[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte{}, v...), true
+}
+
+// Delete removes key.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.kv, key)
+	s.kvWrites++
+}
+
+// Keys returns all keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.kv))
+	for k := range s.kv {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Append adds a record to the log and returns its index.
+func (s *Store) Append(record []byte) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = append(s.log, append([]byte{}, record...))
+	s.logWrites++
+	return len(s.log) - 1
+}
+
+// LogLen returns the number of log records.
+func (s *Store) LogLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.log)
+}
+
+// ReadLog returns copies of log records [from, len).
+func (s *Store) ReadLog(from int) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(s.log) {
+		return nil
+	}
+	out := make([][]byte, 0, len(s.log)-from)
+	for _, r := range s.log[from:] {
+		out = append(out, append([]byte{}, r...))
+	}
+	return out
+}
+
+// TruncateLog discards records with index >= n (used after checkpointing).
+func (s *Store) TruncateLog(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 || n > len(s.log) {
+		return fmt.Errorf("%w: n=%d len=%d", ErrTruncate, n, len(s.log))
+	}
+	s.log = s.log[:n]
+	s.logWrites++
+	return nil
+}
+
+// Writes reports the number of kv and log writes (for write-ahead checks).
+func (s *Store) Writes() (kv, log int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kvWrites, s.logWrites
+}
+
+// Snapshot returns a deep copy of the full store contents, used by tests
+// to compare pre-crash and post-recovery states.
+func (s *Store) Snapshot() (kv map[string][]byte, log [][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kv = make(map[string][]byte, len(s.kv))
+	for k, v := range s.kv {
+		kv[k] = append([]byte{}, v...)
+	}
+	log = make([][]byte, len(s.log))
+	for i, r := range s.log {
+		log[i] = append([]byte{}, r...)
+	}
+	return kv, log
+}

@@ -1,0 +1,179 @@
+package stable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("empty store has key")
+	}
+	s.Put("k", []byte("v1"))
+	v, ok := s.Get("k")
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	s.Put("k", []byte("v2"))
+	v, _ = s.Get("k")
+	if string(v) != "v2" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	s.Delete("k")
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := NewStore()
+	s.Put("k", []byte("abc"))
+	v, _ := s.Get("k")
+	v[0] = 'X'
+	v2, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Fatal("Get aliases internal storage")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	s := NewStore()
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	v, _ := s.Get("k")
+	if string(v) != "abc" {
+		t.Fatal("Put aliases caller buffer")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := NewStore()
+	for _, k := range []string{"c", "a", "b"} {
+		s.Put(k, nil)
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestLogAppendRead(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		idx := s.Append([]byte{byte(i)})
+		if idx != i {
+			t.Fatalf("Append index = %d, want %d", idx, i)
+		}
+	}
+	all := s.ReadLog(0)
+	if len(all) != 5 || all[3][0] != 3 {
+		t.Fatalf("ReadLog = %v", all)
+	}
+	tail := s.ReadLog(3)
+	if len(tail) != 2 || tail[0][0] != 3 {
+		t.Fatalf("ReadLog(3) = %v", tail)
+	}
+	if got := s.ReadLog(99); got != nil {
+		t.Fatalf("ReadLog past end = %v", got)
+	}
+}
+
+func TestTruncateLog(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		s.Append([]byte{byte(i)})
+	}
+	if err := s.TruncateLog(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.LogLen() != 2 {
+		t.Fatalf("LogLen = %d", s.LogLen())
+	}
+	if err := s.TruncateLog(10); !errors.Is(err, ErrTruncate) {
+		t.Fatalf("want ErrTruncate, got %v", err)
+	}
+	if err := s.TruncateLog(-1); !errors.Is(err, ErrTruncate) {
+		t.Fatalf("want ErrTruncate, got %v", err)
+	}
+}
+
+func TestSnapshotIsDeep(t *testing.T) {
+	s := NewStore()
+	s.Put("k", []byte("v"))
+	s.Append([]byte("r"))
+	kv, log := s.Snapshot()
+	kv["k"][0] = 'X'
+	log[0][0] = 'X'
+	v, _ := s.Get("k")
+	if string(v) != "v" || string(s.ReadLog(0)[0]) != "r" {
+		t.Fatal("snapshot aliases storage")
+	}
+}
+
+// Property: the log behaves as an append-only sequence — after any series
+// of appends, ReadLog(0) returns exactly the appended records in order.
+func TestLogSequenceProperty(t *testing.T) {
+	prop := func(records [][]byte) bool {
+		s := NewStore()
+		for _, r := range records {
+			s.Append(r)
+		}
+		got := s.ReadLog(0)
+		if len(got) != len(records) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], records[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Put/Get round-trips for arbitrary key sets.
+func TestKVRoundTripProperty(t *testing.T) {
+	prop := func(pairs map[string][]byte) bool {
+		s := NewStore()
+		for k, v := range pairs {
+			s.Put(k, v)
+		}
+		for k, v := range pairs {
+			got, ok := s.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteCounters(t *testing.T) {
+	s := NewStore()
+	s.Append([]byte("log-first"))
+	s.Put("k", []byte("v"))
+	kv, log := s.Writes()
+	if kv != 1 || log != 1 {
+		t.Fatalf("Writes = %d, %d", kv, log)
+	}
+}
+
+func ExampleStore() {
+	s := NewStore()
+	s.Put("checkpoint/1", []byte("state"))
+	s.Append([]byte("redo: x=5"))
+	v, _ := s.Get("checkpoint/1")
+	fmt.Println(string(v), s.LogLen())
+	// Output: state 1
+}

@@ -1,0 +1,231 @@
+package thesis
+
+import (
+	"fmt"
+
+	"speccat/internal/core/module"
+	"speccat/internal/core/spec"
+	"speccat/internal/core/speclang"
+)
+
+// This file reproduces the paper's Chapter 4 at the *module* level
+// (Figs. 4.3–4.8): each building block becomes an algebraic module
+// specification MOD = (PAR, EXP, IMP, BOD, f, g, h, k) whose export
+// interface carries the properties the block guarantees and whose import
+// interface names the properties it assumes from the layer below; modules
+// compose pairwise through the import=export interface morphism, and the
+// composed module's commuting square is re-verified at every step — the
+// paper's "the final composed module also commutes ... which proves the
+// correctness of the composition".
+
+// moduleLayer describes one building block's interface carving: which of
+// its ops are exported guarantees and which are imported assumptions.
+type moduleLayer struct {
+	name string
+	// spec is the corpus spec the ops and axioms are drawn from.
+	spec string
+	// exports are op names offered to the next layer.
+	exports []string
+	// imports are op names assumed from the layer below.
+	imports []string
+	// own are auxiliary ops of the body only (the paper: "the body may
+	// contain auxiliary sorts and operations which do not belong to any
+	// other part of the module").
+	own []string
+	// axioms are the block's own axioms, stated in the body.
+	axioms []string
+	// paramSorts are the shared parameter sorts.
+	paramSorts []string
+}
+
+// serializabilityTower is the module chain of Figs. 4.3–4.8: broadcast →
+// consensus (composing to the controller) → undo/redo → two-phase locking,
+// the tower that establishes the Serializability property.
+var serializabilityTower = []moduleLayer{
+	{
+		name: "BROADCAST", spec: "BROADCAST",
+		exports:    []string{"Deliver", "Broadcast"},
+		imports:    []string{"Correct"},
+		own:        []string{"Clockbound"},
+		axioms:     []string{"Termbroad", "Agreebroad"},
+		paramSorts: []string{"Processors", "Clockvalues", "Messages"},
+	},
+	{
+		name: "CONSENSUS", spec: "CONSENSUS",
+		exports:    []string{"Decision", "Proposal"},
+		imports:    []string{"Deliver", "Broadcast"},
+		axioms:     []string{"Valiconsensus", "Agreeconsensus"},
+		paramSorts: []string{"Processors", "Clockvalues", "Messages"},
+	},
+	{
+		name: "UNDOREDO", spec: "UNDOREDO",
+		exports:    []string{"Log", "Undo", "Redo"},
+		imports:    []string{"Decision", "Proposal"},
+		own:        []string{"commitD", "abortD"},
+		axioms:     []string{"Storevalues"},
+		paramSorts: []string{"Processors", "Clockvalues", "Messages"},
+	},
+	{
+		name: "TWOPHASELOCK", spec: "TWOPHASELOCK",
+		exports:    []string{"Read", "Write", "Locking", "Unlock"},
+		imports:    []string{"Log", "Undo", "Redo"},
+		axioms:     []string{"Readlock", "Writelock"},
+		paramSorts: []string{"Processors", "Clockvalues", "Messages"},
+	},
+}
+
+// BuildModule carves an algebraic module out of a corpus spec: PAR holds
+// the shared sorts, EXP the exported ops (with their profile sorts), IMP
+// the imported assumptions, and BOD is the layer-local construction —
+// imports + exports + auxiliary ops + the block's own axioms. The four
+// morphisms are inclusions, so the square commutes by construction and
+// Verify re-checks it.
+func BuildModule(env *speclang.Env, layer moduleLayer) (*module.Module, error) {
+	src, err := env.Spec(layer.spec)
+	if err != nil {
+		return nil, err
+	}
+
+	par := spec.New(layer.name + "_PAR")
+	for _, s := range layer.paramSorts {
+		if err := addSortFrom(par, src, s); err != nil {
+			return nil, err
+		}
+	}
+	exp, err := interfaceSpec(layer.name+"_EXP", src, layer.paramSorts, layer.exports)
+	if err != nil {
+		return nil, err
+	}
+	imp, err := interfaceSpec(layer.name+"_IMP", src, layer.paramSorts, layer.imports)
+	if err != nil {
+		return nil, err
+	}
+
+	allOps := append(append(append([]string{}, layer.imports...), layer.exports...), layer.own...)
+	bod, err := interfaceSpec(layer.name+"_BOD", src, layer.paramSorts, allOps)
+	if err != nil {
+		return nil, err
+	}
+	for _, axName := range layer.axioms {
+		ax, ok := src.FindAxiom(axName)
+		if !ok {
+			return nil, fmt.Errorf("%w: axiom %s not in %s", ErrCorpus, axName, src.Name)
+		}
+		if err := bod.AddAxiom(ax.Name, ax.Formula); err != nil {
+			return nil, err
+		}
+	}
+	if err := bod.WellFormed(); err != nil {
+		return nil, fmt.Errorf("module %s body: %w", layer.name, err)
+	}
+
+	f := spec.NewMorphism(layer.name+"_f", par, exp, nil, nil)
+	g := spec.NewMorphism(layer.name+"_g", par, imp, nil, nil)
+	h := spec.NewMorphism(layer.name+"_h", exp, bod, nil, nil)
+	k := spec.NewMorphism(layer.name+"_k", imp, bod, nil, nil)
+	m, err := module.New(layer.name+"_MOD", par, exp, imp, bod, f, g, h, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Verify(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// interfaceSpec builds an interface (EXP or IMP) containing the parameter
+// sorts, the named ops, and every sort those ops mention.
+func interfaceSpec(name string, bod *spec.Spec, paramSorts, ops []string) (*spec.Spec, error) {
+	out := spec.New(name)
+	for _, s := range paramSorts {
+		if err := addSortFrom(out, bod, s); err != nil {
+			return nil, err
+		}
+	}
+	for _, opName := range ops {
+		op, ok := bod.FindOp(opName)
+		if !ok {
+			return nil, fmt.Errorf("%w: interface op %s not in %s", ErrCorpus, opName, bod.Name)
+		}
+		for _, s := range op.Args {
+			if err := addSortFrom(out, bod, s); err != nil {
+				return nil, err
+			}
+		}
+		if op.Result != spec.BoolSort {
+			if err := addSortFrom(out, bod, op.Result); err != nil {
+				return nil, err
+			}
+		}
+		if err := out.AddOp(op); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func addSortFrom(dst, src *spec.Spec, name string) error {
+	if name == "Nat" || name == spec.BoolSort || name == "" {
+		return nil
+	}
+	def := ""
+	for _, s := range src.Sig.Sorts {
+		if s.Name == name {
+			def = s.Def
+		}
+	}
+	return dst.AddSort(name, def)
+}
+
+// ModuleCompositionStep records one Fig. 4.x composition.
+type ModuleCompositionStep struct {
+	Name      string
+	Left      string
+	Right     string
+	BodyOps   int
+	BodySorts int
+	Verified  bool
+}
+
+// ComposeSerializabilityTower composes the four modules of the
+// serializability tower pairwise (Figs. 4.3, 4.5, 4.7), re-verifying the
+// commuting square at every step, and returns the step log plus the final
+// composed module (the module-level PR2).
+func ComposeSerializabilityTower(env *speclang.Env) ([]ModuleCompositionStep, *module.Module, error) {
+	mods := make([]*module.Module, len(serializabilityTower))
+	for i, layer := range serializabilityTower {
+		m, err := BuildModule(env, layer)
+		if err != nil {
+			return nil, nil, fmt.Errorf("layer %s: %w", layer.name, err)
+		}
+		mods[i] = m
+	}
+
+	var steps []ModuleCompositionStep
+	// Compose top-down: each upper module imports what the next lower
+	// module exports (module 1 imports via B1 what module 2 exports via
+	// A2 — Fig. 2.4). The tower's top is TWOPHASELOCK; we fold from the
+	// top: ((2PL ∘ UNDOREDO) ∘ CONSENSUS) ∘ BROADCAST.
+	current := mods[len(mods)-1]
+	for i := len(mods) - 2; i >= 0; i-- {
+		lower := mods[i]
+		s := spec.NewMorphism("s", current.Imp, lower.Exp, nil, nil)
+		t := spec.NewMorphism("t", current.Par, lower.Par, nil, nil)
+		name := fmt.Sprintf("PRmod%d", len(mods)-1-i)
+		comp, err := module.Compose(name, current, lower, s, t)
+		if err != nil {
+			return nil, nil, fmt.Errorf("compose %s with %s: %w", current.Name, lower.Name, err)
+		}
+		verified := comp.Module.Verify() == nil
+		steps = append(steps, ModuleCompositionStep{
+			Name: name, Left: current.Name, Right: lower.Name,
+			BodyOps: len(comp.Module.Bod.Sig.Ops), BodySorts: len(comp.Module.Bod.Sig.Sorts),
+			Verified: verified,
+		})
+		if !verified {
+			return steps, nil, fmt.Errorf("%w: composed module %s does not commute", ErrCorpus, name)
+		}
+		current = comp.Module
+	}
+	return steps, current, nil
+}

@@ -1,0 +1,73 @@
+package thesis
+
+import (
+	"testing"
+)
+
+func TestBuildModulesFromCorpus(t *testing.T) {
+	e := env(t)
+	for _, layer := range serializabilityTower {
+		m, err := BuildModule(e, layer)
+		if err != nil {
+			t.Fatalf("layer %s: %v", layer.name, err)
+		}
+		if err := m.Verify(); err != nil {
+			t.Fatalf("layer %s does not verify: %v", layer.name, err)
+		}
+		// The body must carry the layer's own axioms.
+		if len(m.Bod.Axioms) != len(layer.axioms) {
+			t.Fatalf("layer %s body axioms = %d, want %d", layer.name, len(m.Bod.Axioms), len(layer.axioms))
+		}
+	}
+}
+
+func TestComposeSerializabilityTower(t *testing.T) {
+	e := env(t)
+	steps, final, err := ComposeSerializabilityTower(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three compositions: 2PL∘UNDOREDO, ∘CONSENSUS, ∘BROADCAST.
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d: %+v", len(steps), steps)
+	}
+	for _, s := range steps {
+		if !s.Verified {
+			t.Fatalf("step %s did not verify", s.Name)
+		}
+	}
+	// Body growth is monotone: each pushout adds the lower layer's ops.
+	for i := 1; i < len(steps); i++ {
+		if steps[i].BodyOps < steps[i-1].BodyOps {
+			t.Fatalf("body shrank at %s", steps[i].Name)
+		}
+	}
+	// The final module exports the locking interface and imports the
+	// broadcast layer's assumptions.
+	if _, ok := final.Exp.FindOp("Read"); !ok {
+		t.Error("final module lost the 2PL export interface")
+	}
+	if _, ok := final.Imp.FindOp("Correct"); !ok {
+		t.Error("final module's import is not the base layer's assumption")
+	}
+	// The composed body contains every tower axiom — the module-level
+	// restatement of "PR2 satisfies the properties of all its parents".
+	for _, ax := range []string{"Agreebroad", "Agreeconsensus", "Storevalues", "Readlock", "Writelock"} {
+		if _, ok := final.Bod.FindAxiom(ax); !ok {
+			t.Errorf("composed body missing axiom %s", ax)
+		}
+	}
+	// No spurious symbol duplication: exactly one Deliver/Log in the body.
+	counts := map[string]int{}
+	for _, op := range final.Bod.Sig.Ops {
+		counts[op.Name]++
+	}
+	for name, n := range counts {
+		if n != 1 {
+			t.Errorf("op %s duplicated %d times in composed body", name, n)
+		}
+	}
+	if err := final.Bod.WellFormed(); err != nil {
+		t.Errorf("composed body ill-formed: %v", err)
+	}
+}

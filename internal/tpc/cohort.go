@@ -1,0 +1,404 @@
+package tpc
+
+import (
+	"sort"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+)
+
+// cohortTxn is the cohort's per-transaction state.
+type cohortTxn struct {
+	state State
+	timer *sim.Timer
+	// blockedSince is set when a 2PC cohort becomes uncertain with a dead
+	// coordinator — the blocking window the paper's intro describes.
+	blockedSince sim.Time
+	blocked      bool
+	// termination-protocol bookkeeping (when this cohort is the backup).
+	gathering  bool
+	stateResps map[simnet.NodeID]State
+}
+
+// Cohort is the paper's participant process. Vote decides phase-1 votes;
+// by default every transaction is voteable (yes).
+type Cohort struct {
+	net   *simnet.Network
+	id    simnet.NodeID
+	coord simnet.NodeID
+	peers []simnet.NodeID // all cohorts, including self
+	cfg   Config
+	txns  map[string]*cohortTxn
+	// Vote returns the phase-1 vote for a transaction (nil: always yes).
+	Vote func(txn string) bool
+	// OnDecide fires with the final local outcome.
+	OnDecide func(txn string, d Decision)
+	// OnBlocked fires when a 2PC cohort becomes blocked (uncertain, dead
+	// coordinator). Used by experiment E8.
+	OnBlocked func(txn string)
+	// Trace, when non-nil, observes every FSM transition (Fig. 3.2).
+	Trace     TraceFunc
+	decisions map[string]Decision
+}
+
+// NewCohort creates a cohort on site id for the given coordinator; peers
+// lists all cohort sites (for the termination protocol).
+func NewCohort(net *simnet.Network, id, coord simnet.NodeID, peers []simnet.NodeID, cfg Config) *Cohort {
+	if cfg.Protocol == 0 {
+		cfg.Protocol = ThreePhase
+	}
+	if cfg.PhaseTimeout == 0 {
+		cfg.PhaseTimeout = 4 * net.Delta()
+	}
+	return &Cohort{
+		net: net, id: id, coord: coord, peers: append([]simnet.NodeID{}, peers...),
+		cfg: cfg, txns: map[string]*cohortTxn{}, decisions: map[string]Decision{},
+	}
+}
+
+func (h *Cohort) txn(name string) *cohortTxn {
+	t, ok := h.txns[name]
+	if !ok {
+		t = &cohortTxn{state: StateInitial, stateResps: map[simnet.NodeID]State{}}
+		h.txns[name] = t
+	}
+	return t
+}
+
+// HandleMessage consumes cohort-side protocol traffic.
+func (h *Cohort) HandleMessage(m simnet.Message) bool {
+	switch m.Kind {
+	case KindCommitReq:
+		p, ok := m.Payload.(txnMsg)
+		if !ok {
+			return false
+		}
+		h.onCommitReq(p.Txn)
+		return true
+	case KindPrepare:
+		p, ok := m.Payload.(txnMsg)
+		if !ok {
+			return false
+		}
+		h.onPrepare(p.Txn, m.From)
+		return true
+	case KindCommit:
+		p, ok := m.Payload.(txnMsg)
+		if !ok {
+			return false
+		}
+		h.decide(p.Txn, DecisionCommit, CauseMessage)
+		return true
+	case KindAbort:
+		p, ok := m.Payload.(txnMsg)
+		if !ok {
+			return false
+		}
+		h.decide(p.Txn, DecisionAbort, CauseMessage)
+		return true
+	case KindStateReq:
+		p, ok := m.Payload.(txnMsg)
+		if !ok {
+			return false
+		}
+		t := h.txn(p.Txn)
+		// A decided cohort answers a state request with the decision
+		// itself, so a requester that missed the original dissemination
+		// (message loss) still converges.
+		switch t.state {
+		case StateCommitted:
+			_ = h.net.Send(h.id, m.From, KindCommit, txnMsg{Txn: p.Txn})
+		case StateAborted:
+			_ = h.net.Send(h.id, m.From, KindAbort, txnMsg{Txn: p.Txn})
+		default:
+			_ = h.net.Send(h.id, m.From, KindStateResp, stateResp{Txn: p.Txn, State: t.state})
+		}
+		return true
+	case KindStateResp:
+		p, ok := m.Payload.(stateResp)
+		if !ok {
+			return false
+		}
+		h.onStateResp(p.Txn, m.From, p.State)
+		return true
+	default:
+		return false
+	}
+}
+
+// onCommitReq is the q2 transition: vote and move to w2 (yes) or a2 (no).
+func (h *Cohort) onCommitReq(txn string) {
+	t := h.txn(txn)
+	if t.state != StateInitial {
+		return
+	}
+	yes := h.Vote == nil || h.Vote(txn)
+	if !yes {
+		_ = h.net.Send(h.id, h.coord, KindVoteNo, txnMsg{Txn: txn})
+		h.decide(txn, DecisionAbort, CauseMessage)
+		return
+	}
+	h.emit(txn, t.state, StateWait, CauseMessage)
+	t.state = StateWait
+	h.persist(txn, StateWait)
+	_ = h.net.Send(h.id, h.coord, KindVoteYes, txnMsg{Txn: txn})
+	// Timeout waiting for prepare: coordinator failed in w1.
+	t.timer = h.net.After(h.id, h.cfg.PhaseTimeout, func() {
+		if t.state == StateWait {
+			h.onCoordinatorSilent(txn, t)
+		}
+	})
+}
+
+// onPrepare is the w2 transition: acknowledge and move to p2.
+func (h *Cohort) onPrepare(txn string, from simnet.NodeID) {
+	t := h.txn(txn)
+	if t.state != StateWait {
+		return
+	}
+	if t.timer != nil {
+		t.timer.Cancel()
+	}
+	h.emit(txn, t.state, StatePrepared, CauseMessage)
+	t.state = StatePrepared
+	h.persist(txn, StatePrepared)
+	_ = h.net.Send(h.id, from, KindAck, txnMsg{Txn: txn})
+	// Timeout waiting for commit: coordinator failed in p1.
+	t.timer = h.net.After(h.id, h.cfg.PhaseTimeout, func() {
+		if t.state == StatePrepared {
+			h.onCoordinatorSilent(txn, t)
+		}
+	})
+}
+
+// onCoordinatorSilent handles phase timeouts: either the naive Fig. 3.2
+// transitions, 2PC blocking, or the 3PC termination protocol.
+func (h *Cohort) onCoordinatorSilent(txn string, t *cohortTxn) {
+	switch {
+	case h.cfg.Protocol == TwoPhase:
+		if t.state == StateWait {
+			// 2PC uncertainty window: the cohort voted yes and cannot
+			// decide unilaterally — it blocks holding its locks.
+			if !t.blocked {
+				t.blocked = true
+				t.blockedSince = h.net.Scheduler().Now()
+				if h.OnBlocked != nil {
+					h.OnBlocked(txn)
+				}
+			}
+			// Keep waiting for the coordinator to come back.
+			t.timer = h.net.After(h.id, h.cfg.PhaseTimeout, func() {
+				if t.state == StateWait {
+					h.onCoordinatorSilent(txn, t)
+				}
+			})
+		}
+	case h.cfg.NaiveTimeouts:
+		// Bare Fig. 3.2 timeout transitions (unsafe across a mid-prepare
+		// coordinator crash; kept for the E7 ablation).
+		if t.state == StateWait {
+			h.decide(txn, DecisionAbort, CauseTimeout)
+		} else if t.state == StatePrepared {
+			h.decide(txn, DecisionCommit, CauseTimeout)
+		}
+	default:
+		h.startTermination(txn, t)
+	}
+}
+
+// startTermination runs the termination protocol: the lowest-numbered
+// operational cohort acts as backup coordinator (the voting protocol in
+// miniature — every cohort computes the same backup deterministically),
+// gathers the local states of operational cohorts, applies the
+// non-blocking rules, and disseminates the decision.
+func (h *Cohort) startTermination(txn string, t *cohortTxn) {
+	backup := h.backup()
+	if backup != h.id {
+		// Ask the backup directly (it replies with its state, or with the
+		// decision if it already has one), then retry if still undecided —
+		// this makes termination converge under message loss too.
+		_ = h.net.Send(h.id, backup, KindStateReq, txnMsg{Txn: txn})
+		t.timer = h.net.After(h.id, 2*h.cfg.PhaseTimeout, func() {
+			if t.state == StateWait || t.state == StatePrepared {
+				h.startTermination(txn, t)
+			}
+		})
+		return
+	}
+	if t.gathering {
+		return
+	}
+	t.gathering = true
+	t.stateResps = map[simnet.NodeID]State{h.id: t.state}
+	for _, p := range h.peers {
+		if p == h.id {
+			continue
+		}
+		_ = h.net.Send(h.id, p, KindStateReq, txnMsg{Txn: txn})
+	}
+	h.net.After(h.id, 2*h.net.Delta()+2, func() { h.terminationDecide(txn, t) })
+}
+
+// backup returns the lowest operational cohort, the deterministic election
+// the thesis's voting protocol provides.
+func (h *Cohort) backup() simnet.NodeID {
+	ids := append([]simnet.NodeID{}, h.peers...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if h.net.Up(id) {
+			return id
+		}
+	}
+	return h.id
+}
+
+func (h *Cohort) onStateResp(txn string, from simnet.NodeID, s State) {
+	t := h.txn(txn)
+	if t.gathering {
+		t.stateResps[from] = s
+	}
+}
+
+// terminationDecide applies the non-blocking theorem rules to the gathered
+// states: commit when any operational site has committed or is prepared
+// (its concurrency set contains commit and no operational site aborted);
+// abort otherwise.
+func (h *Cohort) terminationDecide(txn string, t *cohortTxn) {
+	t.gathering = false
+	if t.state == StateCommitted || t.state == StateAborted {
+		return
+	}
+	anyCommittable := false
+	anyAborted := false
+	for _, s := range t.stateResps {
+		if s.Committable() {
+			anyCommittable = true
+		}
+		if s == StateAborted {
+			anyAborted = true
+		}
+	}
+	d := DecisionAbort
+	if anyCommittable && !anyAborted {
+		d = DecisionCommit
+	}
+	// Disseminate to all cohorts, then decide locally.
+	kind := KindAbort
+	if d == DecisionCommit {
+		kind = KindCommit
+	}
+	for _, p := range h.peers {
+		if p != h.id {
+			_ = h.net.Send(h.id, p, kind, txnMsg{Txn: txn})
+		}
+	}
+	h.decide(txn, d, CauseTerminate)
+}
+
+// decide finalizes the local outcome.
+func (h *Cohort) decide(txn string, d Decision, cause Cause) {
+	t := h.txn(txn)
+	if t.state == StateCommitted || t.state == StateAborted {
+		return
+	}
+	if t.timer != nil {
+		t.timer.Cancel()
+	}
+	from := t.state
+	if d == DecisionCommit {
+		t.state = StateCommitted
+	} else {
+		t.state = StateAborted
+	}
+	h.emit(txn, from, t.state, cause)
+	h.persist(txn, t.state)
+	h.persistDecision(txn, d)
+	h.decisions[txn] = d
+	if h.OnDecide != nil {
+		h.OnDecide(txn, d)
+	}
+}
+
+// emit reports a transition to the trace hook.
+func (h *Cohort) emit(txn string, from, to State, cause Cause) {
+	if h.Trace != nil && from != to {
+		h.Trace(txn, Transition{Role: RoleCohort, From: from, To: to, Cause: cause})
+	}
+}
+
+// Decision reports this cohort's outcome for txn.
+func (h *Cohort) Decision(txn string) Decision { return h.decisions[txn] }
+
+// StateOf reports this cohort's FSM state for txn.
+func (h *Cohort) StateOf(txn string) State { return h.txn(txn).state }
+
+// Blocked reports whether this (2PC) cohort is currently blocked on txn,
+// and since when.
+func (h *Cohort) Blocked(txn string) (bool, sim.Time) {
+	t := h.txn(txn)
+	return t.blocked && t.state == StateWait, t.blockedSince
+}
+
+func (h *Cohort) persist(txn string, s State) {
+	st, err := h.net.Store(h.id)
+	if err != nil {
+		return
+	}
+	st.Put(stateKey(txn), []byte(s.String()))
+}
+
+func (h *Cohort) persistDecision(txn string, d Decision) {
+	st, err := h.net.Store(h.id)
+	if err != nil {
+		return
+	}
+	st.Put(decisionKey(txn), []byte(d.String()))
+}
+
+// RecoverAll applies the cohort failure transitions on restart from
+// stable storage alone (independent recovery): q2/w2 abort, p2 commits,
+// decided states are kept. It returns the decisions taken.
+func (h *Cohort) RecoverAll() map[string]Decision {
+	st, err := h.net.Store(h.id)
+	if err != nil {
+		return nil
+	}
+	out := map[string]Decision{}
+	for _, key := range st.Keys() {
+		txn, ok := txnOfStateKey(key)
+		if !ok {
+			continue
+		}
+		raw, _ := st.Get(key)
+		t := h.txn(txn)
+		switch string(raw) {
+		case "q", "w":
+			// Failure transition from w2: abort upon recovery.
+			h.decide(txn, DecisionAbort, CauseFailure)
+			out[txn] = DecisionAbort
+		case "p":
+			// Independent recovery from p2: commit (consistent with the
+			// p2 timeout transition).
+			h.decide(txn, DecisionCommit, CauseFailure)
+			out[txn] = DecisionCommit
+		case "a":
+			t.state = StateAborted
+			h.decisions[txn] = DecisionAbort
+			out[txn] = DecisionAbort
+		case "c":
+			t.state = StateCommitted
+			h.decisions[txn] = DecisionCommit
+			out[txn] = DecisionCommit
+		}
+	}
+	return out
+}
+
+// txnOfStateKey extracts the transaction from "tpc/<txn>/state".
+func txnOfStateKey(key string) (string, bool) {
+	const prefix, suffix = "tpc/", "/state"
+	if len(key) <= len(prefix)+len(suffix) || key[:len(prefix)] != prefix || key[len(key)-len(suffix):] != suffix {
+		return "", false
+	}
+	return key[len(prefix) : len(key)-len(suffix)], true
+}

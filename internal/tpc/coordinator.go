@@ -1,0 +1,280 @@
+package tpc
+
+import (
+	"fmt"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+)
+
+// coordTxn is the coordinator's per-transaction state.
+type coordTxn struct {
+	state State
+	votes map[simnet.NodeID]bool // yes-votes received
+	acks  map[simnet.NodeID]bool
+	timer *sim.Timer
+}
+
+// Coordinator drives commit processing for transactions whose master runs
+// on this site (the paper's Fig. 3.1 master process).
+type Coordinator struct {
+	net     *simnet.Network
+	id      simnet.NodeID
+	cohorts []simnet.NodeID
+	cfg     Config
+	txns    map[string]*coordTxn
+	// OnDecide fires once per transaction with the final outcome.
+	OnDecide func(txn string, d Decision)
+	// Trace, when non-nil, observes every FSM transition (Fig. 3.2).
+	Trace TraceFunc
+	// decisions records outcomes for inspection.
+	decisions map[string]Decision
+}
+
+// NewCoordinator creates a coordinator on site id managing the given
+// cohort sites.
+func NewCoordinator(net *simnet.Network, id simnet.NodeID, cohorts []simnet.NodeID, cfg Config) *Coordinator {
+	if cfg.Protocol == 0 {
+		cfg.Protocol = ThreePhase
+	}
+	if cfg.PhaseTimeout == 0 {
+		cfg.PhaseTimeout = 4 * net.Delta()
+	}
+	return &Coordinator{
+		net: net, id: id, cohorts: append([]simnet.NodeID{}, cohorts...), cfg: cfg,
+		txns: map[string]*coordTxn{}, decisions: map[string]Decision{},
+	}
+}
+
+// Begin starts the commit protocol for txn: the coordinator moves q1→w1
+// and multicasts the commit request to all cohorts.
+func (c *Coordinator) Begin(txn string) error {
+	if _, dup := c.txns[txn]; dup {
+		return fmt.Errorf("tpc: transaction %s already begun", txn)
+	}
+	ct := &coordTxn{state: StateWait, votes: map[simnet.NodeID]bool{}, acks: map[simnet.NodeID]bool{}}
+	c.txns[txn] = ct
+	c.emit(txn, StateInitial, StateWait, CauseMessage)
+	c.persist(txn, StateWait)
+	for _, ch := range c.cohorts {
+		if err := c.net.Send(c.id, ch, KindCommitReq, txnMsg{Txn: txn}); err != nil {
+			return fmt.Errorf("tpc: begin %s: %w", txn, err)
+		}
+	}
+	// Timeout waiting for votes: abort (w1 timeout transition).
+	ct.timer = c.net.After(c.id, c.cfg.PhaseTimeout, func() {
+		if ct.state == StateWait {
+			c.abort(txn, ct, CauseTimeout)
+		}
+	})
+	return nil
+}
+
+// HandleMessage consumes coordinator-side protocol traffic.
+func (c *Coordinator) HandleMessage(m simnet.Message) bool {
+	switch m.Kind {
+	case KindVoteYes:
+		p, ok := m.Payload.(txnMsg)
+		if !ok {
+			return false
+		}
+		c.onVote(p.Txn, m.From, true)
+		return true
+	case KindVoteNo:
+		p, ok := m.Payload.(txnMsg)
+		if !ok {
+			return false
+		}
+		c.onVote(p.Txn, m.From, false)
+		return true
+	case KindAck:
+		p, ok := m.Payload.(txnMsg)
+		if !ok {
+			return false
+		}
+		c.onAck(p.Txn, m.From)
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Coordinator) onVote(txn string, from simnet.NodeID, yes bool) {
+	ct, ok := c.txns[txn]
+	if !ok || ct.state != StateWait {
+		return
+	}
+	if !yes {
+		c.abort(txn, ct, CauseMessage)
+		return
+	}
+	ct.votes[from] = true
+	if len(ct.votes) < len(c.cohorts) {
+		return
+	}
+	// All agreed.
+	if ct.timer != nil {
+		ct.timer.Cancel()
+	}
+	if c.cfg.Protocol == TwoPhase {
+		// 2PC has no prepared phase: commit directly.
+		c.commit(txn, ct, CauseMessage)
+		return
+	}
+	// Second phase: prepare.
+	c.emit(txn, ct.state, StatePrepared, CauseMessage)
+	ct.state = StatePrepared
+	c.persist(txn, StatePrepared)
+	for _, ch := range c.cohorts {
+		_ = c.net.Send(c.id, ch, KindPrepare, txnMsg{Txn: txn})
+	}
+	ct.timer = c.net.After(c.id, c.cfg.PhaseTimeout, func() {
+		if ct.state == StatePrepared {
+			// p1 timeout transition (a cohort failed before acking):
+			// abort and notify everyone, per the paper's narrative.
+			c.abort(txn, ct, CauseTimeout)
+		}
+	})
+}
+
+func (c *Coordinator) onAck(txn string, from simnet.NodeID) {
+	ct, ok := c.txns[txn]
+	if !ok || ct.state != StatePrepared {
+		return
+	}
+	ct.acks[from] = true
+	if len(ct.acks) < len(c.cohorts) {
+		return
+	}
+	if ct.timer != nil {
+		ct.timer.Cancel()
+	}
+	c.commit(txn, ct, CauseMessage)
+}
+
+func (c *Coordinator) commit(txn string, ct *coordTxn, cause Cause) {
+	if ct.state != StateCommitted {
+		c.emit(txn, ct.state, StateCommitted, cause)
+	}
+	ct.state = StateCommitted
+	c.persist(txn, StateCommitted)
+	c.persistDecision(txn, DecisionCommit)
+	for _, ch := range c.cohorts {
+		_ = c.net.Send(c.id, ch, KindCommit, txnMsg{Txn: txn})
+	}
+	c.finish(txn, DecisionCommit)
+}
+
+func (c *Coordinator) abort(txn string, ct *coordTxn, cause Cause) {
+	if ct.timer != nil {
+		ct.timer.Cancel()
+	}
+	if ct.state != StateAborted {
+		c.emit(txn, ct.state, StateAborted, cause)
+	}
+	ct.state = StateAborted
+	c.persist(txn, StateAborted)
+	c.persistDecision(txn, DecisionAbort)
+	for _, ch := range c.cohorts {
+		_ = c.net.Send(c.id, ch, KindAbort, txnMsg{Txn: txn})
+	}
+	c.finish(txn, DecisionAbort)
+}
+
+func (c *Coordinator) finish(txn string, d Decision) {
+	if _, done := c.decisions[txn]; done {
+		return
+	}
+	c.decisions[txn] = d
+	if c.OnDecide != nil {
+		c.OnDecide(txn, d)
+	}
+}
+
+// emit reports a transition to the trace hook.
+func (c *Coordinator) emit(txn string, from, to State, cause Cause) {
+	if c.Trace != nil && from != to {
+		c.Trace(txn, Transition{Role: RoleCoordinator, From: from, To: to, Cause: cause})
+	}
+}
+
+// Decision reports the coordinator's outcome for txn.
+func (c *Coordinator) Decision(txn string) Decision { return c.decisions[txn] }
+
+// StateOf reports the coordinator's FSM state for txn.
+func (c *Coordinator) StateOf(txn string) State {
+	ct, ok := c.txns[txn]
+	if !ok {
+		return StateInitial
+	}
+	return ct.state
+}
+
+// persist writes the FSM state to stable storage (write-ahead of the
+// corresponding sends, per assumption 4).
+func (c *Coordinator) persist(txn string, s State) {
+	st, err := c.net.Store(c.id)
+	if err != nil {
+		return
+	}
+	st.Put(stateKey(txn), []byte(s.String()))
+}
+
+func (c *Coordinator) persistDecision(txn string, d Decision) {
+	st, err := c.net.Store(c.id)
+	if err != nil {
+		return
+	}
+	st.Put(decisionKey(txn), []byte(d.String()))
+}
+
+// RecoverAll applies the coordinator failure transitions of Fig. 3.2 on
+// restart, using only stable storage (independent recovery, assumption 8):
+// a transaction logged in w1 aborts; one logged in p1 commits; decided
+// transactions re-announce their outcome. It returns the decisions taken.
+func (c *Coordinator) RecoverAll() map[string]Decision {
+	st, err := c.net.Store(c.id)
+	if err != nil {
+		return nil
+	}
+	out := map[string]Decision{}
+	for _, key := range st.Keys() {
+		var txn string
+		if _, err := fmt.Sscanf(key, "tpc/%s", &txn); err != nil {
+			continue
+		}
+		const suffix = "/state"
+		if len(txn) <= len(suffix) || txn[len(txn)-len(suffix):] != suffix {
+			continue
+		}
+		txn = txn[:len(txn)-len(suffix)]
+		raw, _ := st.Get(stateKey(txn))
+		ct, ok := c.txns[txn]
+		if !ok {
+			ct = &coordTxn{votes: map[simnet.NodeID]bool{}, acks: map[simnet.NodeID]bool{}}
+			c.txns[txn] = ct
+		}
+		switch string(raw) {
+		case "w":
+			// Failure transition from w1: abort upon recovery.
+			ct.state = StateWait
+			c.abort(txn, ct, CauseFailure)
+			out[txn] = DecisionAbort
+		case "p":
+			// Failure transition from p1: commit upon recovery.
+			ct.state = StatePrepared
+			c.commit(txn, ct, CauseFailure)
+			out[txn] = DecisionCommit
+		case "a":
+			// Re-announce so cohorts blocked on the decision learn it.
+			ct.state = StateAborted
+			c.abort(txn, ct, CauseFailure)
+			out[txn] = DecisionAbort
+		case "c":
+			ct.state = StateCommitted
+			c.commit(txn, ct, CauseFailure)
+			out[txn] = DecisionCommit
+		}
+	}
+	return out
+}

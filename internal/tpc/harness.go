@@ -1,0 +1,111 @@
+package tpc
+
+import (
+	"fmt"
+
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+)
+
+// Group is a wired commit-protocol deployment: one coordinator site and a
+// set of cohort sites on a shared simulated network.
+type Group struct {
+	Net         *simnet.Network
+	Coordinator *Coordinator
+	Cohorts     map[simnet.NodeID]*Cohort
+	CoordID     simnet.NodeID
+	CohortIDs   []simnet.NodeID
+}
+
+// NewGroup builds a network with one coordinator and n cohorts and wires
+// all message handlers.
+func NewGroup(seed int64, n int, cfg Config) *Group {
+	sched := sim.NewScheduler(seed)
+	return NewGroupOn(simnet.New(sched, simnet.DefaultOptions()), n, cfg)
+}
+
+// NewGroupOn wires a commit group onto an existing (empty) network,
+// letting callers customize network options for failure injection.
+func NewGroupOn(net *simnet.Network, n int, cfg Config) *Group {
+	coordID := simnet.NodeID(1)
+	net.AddNode(coordID, nil)
+	var cohortIDs []simnet.NodeID
+	for i := 2; i <= n+1; i++ {
+		id := simnet.NodeID(i)
+		cohortIDs = append(cohortIDs, id)
+		net.AddNode(id, nil)
+	}
+	g := &Group{Net: net, CoordID: coordID, CohortIDs: cohortIDs, Cohorts: map[simnet.NodeID]*Cohort{}}
+	g.Coordinator = NewCoordinator(net, coordID, cohortIDs, cfg)
+	mustSetHandler(net, coordID, func(m simnet.Message) { g.Coordinator.HandleMessage(m) })
+	for _, id := range cohortIDs {
+		h := NewCohort(net, id, coordID, cohortIDs, cfg)
+		g.Cohorts[id] = h
+		mustSetHandler(net, id, func(m simnet.Message) { h.HandleMessage(m) })
+	}
+	return g
+}
+
+func mustSetHandler(net *simnet.Network, id simnet.NodeID, h simnet.Handler) {
+	if err := net.SetHandler(id, h); err != nil {
+		// Nodes were just added; SetHandler cannot fail.
+		panic(fmt.Sprintf("tpc: %v", err))
+	}
+}
+
+// Run starts txn and drives the simulation to quiescence.
+func (g *Group) Run(txn string) error {
+	if err := g.Coordinator.Begin(txn); err != nil {
+		return err
+	}
+	g.Net.Scheduler().Run(0)
+	return nil
+}
+
+// Outcome summarizes one transaction across the group.
+type Outcome struct {
+	Coordinator Decision
+	Cohorts     map[simnet.NodeID]Decision
+}
+
+// Outcome collects the group's decisions for txn.
+func (g *Group) Outcome(txn string) Outcome {
+	o := Outcome{Coordinator: g.Coordinator.Decision(txn), Cohorts: map[simnet.NodeID]Decision{}}
+	for id, h := range g.Cohorts {
+		o.Cohorts[id] = h.Decision(txn)
+	}
+	return o
+}
+
+// Atomic reports whether the outcome satisfies the atomic-commitment
+// safety property over *decided* sites: no site committed while another
+// aborted. Undecided (crashed/blocked) sites do not violate atomicity.
+func (o Outcome) Atomic() bool {
+	commit, abort := o.Coordinator == DecisionCommit, o.Coordinator == DecisionAbort
+	for _, d := range o.Cohorts {
+		switch d {
+		case DecisionCommit:
+			commit = true
+		case DecisionAbort:
+			abort = true
+		}
+	}
+	return !(commit && abort)
+}
+
+// AllDecided reports whether every operational site reached a decision
+// (the liveness half of non-blocking; callers exclude crashed sites).
+func (g *Group) AllDecided(txn string, exclude map[simnet.NodeID]bool) bool {
+	if !exclude[g.CoordID] && g.Net.Up(g.CoordID) && g.Coordinator.Decision(txn) == DecisionNone {
+		return false
+	}
+	for id, h := range g.Cohorts {
+		if exclude[id] || !g.Net.Up(id) {
+			continue
+		}
+		if h.Decision(txn) == DecisionNone {
+			return false
+		}
+	}
+	return true
+}

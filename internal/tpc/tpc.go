@@ -1,0 +1,140 @@
+// Package tpc implements the paper's case-study protocol: the centralized
+// non-blocking three-phase commit (3PC) of Fig. 3.2, with the coordinator
+// FSM (q1, w1, p1, a1, c1), the cohort FSM (q2, w2, p2, a2, c2), timeout
+// and failure transitions, the termination protocol (backup-coordinator
+// election plus the non-blocking decision rules), and independent recovery
+// from stable storage. A two-phase commit (2PC) baseline — identical
+// machinery minus the prepared state — exhibits the blocking behaviour 3PC
+// exists to avoid; the difference is measured in experiments E7/E8.
+package tpc
+
+import (
+	"fmt"
+
+	"speccat/internal/sim"
+)
+
+// State is an FSM state shared by coordinator and cohort (the paper's
+// q/w/p/a/c with site-role suffixes implied by context).
+type State int
+
+// FSM states.
+const (
+	StateInitial   State = iota + 1 // q
+	StateWait                       // w
+	StatePrepared                   // p
+	StateAborted                    // a
+	StateCommitted                  // c
+)
+
+// String renders the state in the paper's notation.
+func (s State) String() string {
+	switch s {
+	case StateInitial:
+		return "q"
+	case StateWait:
+		return "w"
+	case StatePrepared:
+		return "p"
+	case StateAborted:
+		return "a"
+	case StateCommitted:
+		return "c"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Committable reports whether a site in this state may still commit
+// without further information (p and c are "committable" in the paper's
+// non-blocking theorem; q, w are not).
+func (s State) Committable() bool {
+	return s == StatePrepared || s == StateCommitted
+}
+
+// Decision is a transaction outcome.
+type Decision int
+
+// Outcomes.
+const (
+	DecisionNone Decision = iota
+	DecisionCommit
+	DecisionAbort
+)
+
+// String renders the decision.
+func (d Decision) String() string {
+	switch d {
+	case DecisionCommit:
+		return "commit"
+	case DecisionAbort:
+		return "abort"
+	default:
+		return "none"
+	}
+}
+
+// Wire kinds for the commit protocols.
+const (
+	KindCommitReq = "tpc.commitreq" // phase 1: coordinator -> cohorts
+	KindVoteYes   = "tpc.voteyes"   // phase 1: cohort -> coordinator ("agreed")
+	KindVoteNo    = "tpc.voteno"    // phase 1: cohort -> coordinator ("abort")
+	KindPrepare   = "tpc.prepare"   // phase 2: coordinator -> cohorts
+	KindAck       = "tpc.ack"       // phase 2: cohort -> coordinator
+	KindCommit    = "tpc.commit"    // phase 3: coordinator -> cohorts
+	KindAbort     = "tpc.abort"     // any phase: coordinator -> cohorts
+
+	// Termination protocol.
+	KindStateReq  = "tpc.term.statereq"  // backup -> cohorts
+	KindStateResp = "tpc.term.stateresp" // cohort -> backup
+)
+
+// txnMsg is the common payload: every protocol message names its
+// transaction.
+type txnMsg struct {
+	Txn string
+}
+
+// stateResp answers a termination-protocol state request.
+type stateResp struct {
+	Txn   string
+	State State
+}
+
+// Protocol selects 3PC or the 2PC baseline.
+type Protocol int
+
+// Protocols.
+const (
+	ThreePhase Protocol = iota + 1
+	TwoPhase
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	if p == TwoPhase {
+		return "2PC"
+	}
+	return "3PC"
+}
+
+// Config tunes the engines.
+type Config struct {
+	// Protocol selects 3PC (default) or 2PC.
+	Protocol Protocol
+	// PhaseTimeout is the per-phase timeout; zero derives 4δ from the
+	// network at engine construction.
+	PhaseTimeout sim.Time
+	// NaiveTimeouts, when true, uses the bare Fig. 3.2 timeout
+	// transitions (w2→abort, p2→commit) instead of running the
+	// termination protocol. The model checker shows this is unsafe when
+	// the coordinator fails between prepare sends; it exists for the
+	// E7 ablation.
+	NaiveTimeouts bool
+}
+
+// stable-storage key for a transaction's persisted state.
+func stateKey(txn string) string { return "tpc/" + txn + "/state" }
+
+// decisionKey persists final outcomes.
+func decisionKey(txn string) string { return "tpc/" + txn + "/decision" }

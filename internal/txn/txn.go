@@ -1,0 +1,353 @@
+// Package txn implements the distributed transaction execution model of
+// the paper's Fig. 3.1: a master process at the submission site sends
+// startwork messages to cohort processes at the sites holding the data;
+// cohorts execute reads and writes against their local kvstore (strict 2PL
+// + undo/redo WAL) and answer workdone; when all work is done the master
+// runs the commit protocol (3PC by default, 2PC for the baseline) so all
+// sites reach a uniform decision, which each site then applies to its
+// local store.
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"speccat/internal/kvstore"
+	"speccat/internal/sim"
+	"speccat/internal/simnet"
+	"speccat/internal/tpc"
+)
+
+// Wire kinds.
+const (
+	kindWork     = "txn.startwork"
+	kindWorkDone = "txn.workdone"
+	kindWorkFail = "txn.workfail"
+)
+
+// Op is one data operation of a transaction.
+type Op struct {
+	// Site is the node holding the datum.
+	Site simnet.NodeID
+	// Key names the datum.
+	Key string
+	// Value is written when IsWrite; ignored for reads.
+	Value string
+	// IsWrite selects write vs read.
+	IsWrite bool
+}
+
+// workMsg carries a site's slice of a transaction.
+type workMsg struct {
+	Txn string
+	Ops []Op
+}
+
+// doneMsg acknowledges completed work, carrying read results back to the
+// master keyed "site/key".
+type doneMsg struct {
+	Txn   string
+	Reads map[string]string
+}
+
+// ErrUnknownSite is returned for operations on unregistered sites.
+var ErrUnknownSite = errors.New("txn: unknown site")
+
+// Result is the final outcome of a distributed transaction.
+type Result struct {
+	Txn      string
+	Decision tpc.Decision
+	// Reads holds the values observed by read operations, keyed by
+	// "site/key" (populated as workdone messages arrive).
+	Reads map[string]string
+}
+
+// pending is the master's per-transaction state.
+type pending struct {
+	ops     map[simnet.NodeID][]Op
+	done    map[simnet.NodeID]bool
+	failed  bool
+	started bool
+	result  *Result
+	onDone  func(*Result)
+}
+
+// Master coordinates distributed transactions from one site.
+type Master struct {
+	net     *simnet.Network
+	id      simnet.NodeID
+	coord   *tpc.Coordinator
+	pending map[string]*pending
+}
+
+// Site hosts a cohort process plus the local store.
+type Site struct {
+	net      *simnet.Network
+	id       simnet.NodeID
+	Store    *kvstore.Store
+	cohort   *tpc.Cohort
+	masterID simnet.NodeID
+	// failed marks local branches that could not complete their work: the
+	// site votes no for them. Sites with no branch for a transaction vote
+	// yes trivially (they have nothing to make durable).
+	failed map[string]bool
+}
+
+// Cluster is a wired deployment: one master site plus data sites.
+type Cluster struct {
+	Net      *simnet.Network
+	Master   *Master
+	Sites    map[simnet.NodeID]*Site
+	MasterID simnet.NodeID
+	SiteIDs  []simnet.NodeID
+	cfg      tpc.Config
+}
+
+// NewCluster builds a master and n data sites over a fresh network.
+func NewCluster(seed int64, n int, cfg tpc.Config) (*Cluster, error) {
+	sched := sim.NewScheduler(seed)
+	net := simnet.New(sched, simnet.DefaultOptions())
+	masterID := simnet.NodeID(1)
+	net.AddNode(masterID, nil)
+	var siteIDs []simnet.NodeID
+	for i := 2; i <= n+1; i++ {
+		id := simnet.NodeID(i)
+		siteIDs = append(siteIDs, id)
+		net.AddNode(id, nil)
+	}
+	c := &Cluster{Net: net, MasterID: masterID, SiteIDs: siteIDs, Sites: map[simnet.NodeID]*Site{}, cfg: cfg}
+
+	c.Master = &Master{
+		net: net, id: masterID,
+		coord:   tpc.NewCoordinator(net, masterID, siteIDs, cfg),
+		pending: map[string]*pending{},
+	}
+	c.Master.coord.OnDecide = c.Master.onDecide
+	if err := net.SetHandler(masterID, c.Master.handle); err != nil {
+		return nil, err
+	}
+
+	for _, id := range siteIDs {
+		st, err := net.Store(id)
+		if err != nil {
+			return nil, err
+		}
+		store, err := kvstore.Open(st)
+		if err != nil {
+			return nil, err
+		}
+		site := &Site{net: net, id: id, Store: store, masterID: masterID, failed: map[string]bool{}}
+		site.cohort = tpc.NewCohort(net, id, masterID, siteIDs, cfg)
+		site.cohort.Vote = func(txn string) bool { return !site.failed[txn] }
+		site.cohort.OnDecide = site.applyDecision
+		c.Sites[id] = site
+		if err := net.SetHandler(id, site.handle); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Submit starts a distributed transaction; onDone fires with the outcome.
+func (m *Master) Submit(txn string, ops []Op, onDone func(*Result)) error {
+	if _, dup := m.pending[txn]; dup {
+		return fmt.Errorf("txn: %s already submitted", txn)
+	}
+	p := &pending{
+		ops:    map[simnet.NodeID][]Op{},
+		done:   map[simnet.NodeID]bool{},
+		result: &Result{Txn: txn, Reads: map[string]string{}},
+		onDone: onDone,
+	}
+	for _, op := range ops {
+		p.ops[op.Site] = append(p.ops[op.Site], op)
+	}
+	m.pending[txn] = p
+	// Fig. 3.1: startwork to every involved cohort, in parallel.
+	for site, siteOps := range p.ops {
+		if err := m.net.Send(m.id, site, kindWork, workMsg{Txn: txn, Ops: siteOps}); err != nil {
+			return fmt.Errorf("txn: submit %s: %w", txn, err)
+		}
+	}
+	// A transaction touching no data commits trivially via the protocol.
+	if len(p.ops) == 0 {
+		return m.startCommit(txn, p)
+	}
+	// Work timeout: if some site never answers, abort via the protocol.
+	m.net.After(m.id, 8*m.net.Delta(), func() {
+		if !p.started {
+			p.failed = true
+			_ = m.startCommit(txn, p)
+		}
+	})
+	return nil
+}
+
+func (m *Master) handle(msg simnet.Message) {
+	if m.coord.HandleMessage(msg) {
+		return
+	}
+	switch msg.Kind {
+	case kindWorkDone:
+		d, ok := msg.Payload.(doneMsg)
+		if !ok {
+			return
+		}
+		p, ok := m.pending[d.Txn]
+		if !ok || p.started {
+			return
+		}
+		p.done[msg.From] = true
+		for k, v := range d.Reads {
+			p.result.Reads[k] = v
+		}
+		if len(p.done) == len(p.ops) {
+			_ = m.startCommit(d.Txn, p)
+		}
+	case kindWorkFail:
+		d, ok := msg.Payload.(doneMsg)
+		if !ok {
+			return
+		}
+		p, ok := m.pending[d.Txn]
+		if !ok || p.started {
+			return
+		}
+		p.failed = true
+		_ = m.startCommit(d.Txn, p)
+	}
+}
+
+// startCommit launches the atomic commitment protocol. A failed work phase
+// still runs the protocol (the failing site votes no), keeping the
+// decision path uniform.
+func (m *Master) startCommit(txn string, p *pending) error {
+	if p.started {
+		return nil
+	}
+	p.started = true
+	return m.coord.Begin(txn)
+}
+
+func (m *Master) onDecide(txn string, d tpc.Decision) {
+	p, ok := m.pending[txn]
+	if !ok {
+		return
+	}
+	p.result.Decision = d
+	if p.onDone != nil {
+		p.onDone(p.result)
+	}
+}
+
+// Decision returns the master's decision for txn.
+func (m *Master) Decision(txn string) tpc.Decision { return m.coord.Decision(txn) }
+
+// RecoverCoordinator replays the commit engine's failure transitions after
+// the master site recovers from a crash (Fig. 3.2 coordinator recovery).
+func (m *Master) RecoverCoordinator() { m.coord.RecoverAll() }
+
+// handle demultiplexes site-side traffic: commit protocol first, then the
+// work protocol.
+func (s *Site) handle(msg simnet.Message) {
+	if s.cohort.HandleMessage(msg) {
+		return
+	}
+	if msg.Kind != kindWork {
+		return
+	}
+	w, ok := msg.Payload.(workMsg)
+	if !ok {
+		return
+	}
+	reads, err := s.execute(w)
+	if err != nil {
+		// Local failure (conflict/deadlock): report and roll back so the
+		// vote becomes no.
+		s.failed[w.Txn] = true
+		if s.Store.Prepared(w.Txn) {
+			_ = s.Store.Abort(w.Txn)
+		}
+		_ = s.net.Send(s.id, s.masterID, kindWorkFail, doneMsg{Txn: w.Txn})
+		return
+	}
+	_ = s.net.Send(s.id, s.masterID, kindWorkDone, doneMsg{Txn: w.Txn, Reads: reads})
+}
+
+func (s *Site) execute(w workMsg) (map[string]string, error) {
+	if err := s.Store.Begin(w.Txn); err != nil {
+		return nil, err
+	}
+	reads := map[string]string{}
+	for _, op := range w.Ops {
+		if op.IsWrite {
+			if err := s.Store.Put(w.Txn, op.Key, op.Value); err != nil {
+				return nil, err
+			}
+		} else {
+			v, err := s.Store.Get(w.Txn, op.Key)
+			if err != nil {
+				return nil, err
+			}
+			reads[fmt.Sprintf("%d/%s", s.id, op.Key)] = v
+		}
+	}
+	return reads, nil
+}
+
+// applyDecision applies the commit protocol's outcome to the local store.
+func (s *Site) applyDecision(txn string, d tpc.Decision) {
+	if !s.Store.Prepared(txn) {
+		return // no local branch (not involved, or already applied)
+	}
+	if d == tpc.DecisionCommit {
+		_ = s.Store.Commit(txn)
+	} else {
+		_ = s.Store.Abort(txn)
+	}
+}
+
+// SiteFor maps a key to its home site by stable hashing.
+func (c *Cluster) SiteFor(key string) simnet.NodeID {
+	h := 0
+	for _, ch := range key {
+		h = h*31 + int(ch)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return c.SiteIDs[h%len(c.SiteIDs)]
+}
+
+// Run drives the scheduler until quiescence.
+func (c *Cluster) Run() { c.Net.Scheduler().Run(0) }
+
+// TotalOf sums integer values under keys across all sites' committed
+// state (the bank-invariant helper).
+func (c *Cluster) TotalOf(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		site := c.Sites[c.SiteFor(k)]
+		total += atoi(site.Store.Read(k))
+	}
+	return total
+}
+
+func atoi(s string) int {
+	n := 0
+	neg := false
+	for i, ch := range s {
+		if i == 0 && ch == '-' {
+			neg = true
+			continue
+		}
+		if ch < '0' || ch > '9' {
+			return 0
+		}
+		n = n*10 + int(ch-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}

@@ -1,0 +1,209 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+
+	"speccat/internal/kvstore"
+	"speccat/internal/simnet"
+	"speccat/internal/tpc"
+)
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// submitAndRun drives one transaction to completion.
+func submitAndRun(t *testing.T, c *Cluster, name string, ops []Op) *Result {
+	t.Helper()
+	var got *Result
+	mustOK(t, c.Master.Submit(name, ops, func(r *Result) { got = r }))
+	c.Run()
+	if got == nil {
+		t.Fatalf("transaction %s never completed", name)
+	}
+	return got
+}
+
+func TestDistributedCommit(t *testing.T) {
+	c, err := NewCluster(1, 3, tpc.Config{})
+	mustOK(t, err)
+	s2, s3 := c.SiteIDs[0], c.SiteIDs[1]
+	res := submitAndRun(t, c, "t1", []Op{
+		{Site: s2, Key: "x", Value: "1", IsWrite: true},
+		{Site: s3, Key: "y", Value: "2", IsWrite: true},
+	})
+	if res.Decision != tpc.DecisionCommit {
+		t.Fatalf("decision = %s", res.Decision)
+	}
+	if c.Sites[s2].Store.Read("x") != "1" || c.Sites[s3].Store.Read("y") != "2" {
+		t.Fatal("committed values not visible")
+	}
+}
+
+func TestReadOnlyTransaction(t *testing.T) {
+	c, err := NewCluster(2, 2, tpc.Config{})
+	mustOK(t, err)
+	s2 := c.SiteIDs[0]
+	submitAndRun(t, c, "seed", []Op{{Site: s2, Key: "x", Value: "42", IsWrite: true}})
+	res := submitAndRun(t, c, "read", []Op{{Site: s2, Key: "x"}})
+	if res.Decision != tpc.DecisionCommit {
+		t.Fatalf("read txn decision = %s", res.Decision)
+	}
+}
+
+func TestSiteCrashDuringWorkAborts(t *testing.T) {
+	c, err := NewCluster(3, 3, tpc.Config{})
+	mustOK(t, err)
+	s2, s3 := c.SiteIDs[0], c.SiteIDs[1]
+	// Crash a participant before its work arrives.
+	mustOK(t, c.Net.Crash(s3))
+	res := submitAndRun(t, c, "t1", []Op{
+		{Site: s2, Key: "x", Value: "1", IsWrite: true},
+		{Site: s3, Key: "y", Value: "2", IsWrite: true},
+	})
+	if res.Decision != tpc.DecisionAbort {
+		t.Fatalf("decision = %s, want abort", res.Decision)
+	}
+	// The surviving site must have rolled its branch back.
+	if c.Sites[s2].Store.Read("x") != "" {
+		t.Fatalf("partial commit leaked: x=%q", c.Sites[s2].Store.Read("x"))
+	}
+	if c.Sites[s2].Store.OpenTxns() != 0 {
+		t.Fatal("branch left open (locks held)")
+	}
+}
+
+func TestMultiSiteTransferMovesMoney(t *testing.T) {
+	c, err := NewCluster(4, 3, tpc.Config{})
+	mustOK(t, err)
+	sa, sb := c.SiteIDs[0], c.SiteIDs[1]
+	res := submitAndRun(t, c, "seed", []Op{
+		{Site: sa, Key: "src", Value: "100", IsWrite: true},
+		{Site: sb, Key: "dst", Value: "100", IsWrite: true},
+	})
+	if res.Decision != tpc.DecisionCommit {
+		t.Fatal("seed aborted")
+	}
+	res = submitAndRun(t, c, "move", []Op{
+		{Site: sa, Key: "src"},
+		{Site: sb, Key: "dst"},
+		{Site: sa, Key: "src", Value: "90", IsWrite: true},
+		{Site: sb, Key: "dst", Value: "110", IsWrite: true},
+	})
+	if res.Decision != tpc.DecisionCommit {
+		t.Fatal("transfer aborted")
+	}
+	got := fmt.Sprintf("%s/%s", c.Sites[sa].Store.Read("src"), c.Sites[sb].Store.Read("dst"))
+	if got != "90/110" {
+		t.Fatalf("balances = %s", got)
+	}
+}
+
+func TestMasterCrashNonBlocking3PC(t *testing.T) {
+	// The headline behaviour end-to-end: master crashes mid-commit; under
+	// 3PC the sites terminate and release their locks.
+	c, err := NewCluster(5, 3, tpc.Config{})
+	mustOK(t, err)
+	s2, s3 := c.SiteIDs[0], c.SiteIDs[1]
+	mustOK(t, c.Master.Submit("t1", []Op{
+		{Site: s2, Key: "x", Value: "1", IsWrite: true},
+		{Site: s3, Key: "y", Value: "2", IsWrite: true},
+	}, nil))
+	// Let the work phase finish and the commit protocol start, then kill
+	// the master mid-protocol.
+	sched := c.Net.Scheduler()
+	for i := 0; i < 100000; i++ {
+		if !sched.Step() {
+			break
+		}
+		if c.Sites[s2].cohort.StateOf("t1") == tpc.StateWait {
+			mustOK(t, c.Net.Crash(c.MasterID))
+			break
+		}
+	}
+	sched.Run(0)
+	for _, id := range []simnet.NodeID{s2, s3} {
+		if c.Sites[id].cohort.Decision("t1") == tpc.DecisionNone {
+			t.Fatalf("site %d blocked after master crash", id)
+		}
+		if c.Sites[id].Store.OpenTxns() != 0 {
+			t.Fatalf("site %d still holds locks", id)
+		}
+	}
+	// All sites agreed.
+	d := c.Sites[s2].cohort.Decision("t1")
+	if c.Sites[s3].cohort.Decision("t1") != d {
+		t.Fatal("sites disagree after termination")
+	}
+}
+
+func TestMasterCrash2PCBlocksLocks(t *testing.T) {
+	// The same scenario under 2PC: sites stay uncertain, branches stay
+	// open, locks stay held — the paper's "cascading blocking".
+	c, err := NewCluster(6, 3, tpc.Config{Protocol: tpc.TwoPhase})
+	mustOK(t, err)
+	s2, s3 := c.SiteIDs[0], c.SiteIDs[1]
+	mustOK(t, c.Master.Submit("t1", []Op{
+		{Site: s2, Key: "x", Value: "1", IsWrite: true},
+		{Site: s3, Key: "y", Value: "2", IsWrite: true},
+	}, nil))
+	sched := c.Net.Scheduler()
+	for i := 0; i < 100000; i++ {
+		if !sched.Step() {
+			break
+		}
+		if c.Sites[s2].cohort.StateOf("t1") == tpc.StateWait &&
+			c.Sites[s3].cohort.StateOf("t1") == tpc.StateWait {
+			mustOK(t, c.Net.Crash(c.MasterID))
+			break
+		}
+	}
+	sched.RunUntil(sched.Now() + 2000)
+	for _, id := range []simnet.NodeID{s2, s3} {
+		if c.Sites[id].cohort.Decision("t1") != tpc.DecisionNone {
+			t.Fatalf("2PC site %d decided without coordinator", id)
+		}
+		if c.Sites[id].Store.OpenTxns() == 0 {
+			t.Fatalf("2PC site %d released locks while uncertain", id)
+		}
+	}
+}
+
+func TestSiteForStable(t *testing.T) {
+	c, err := NewCluster(7, 3, tpc.Config{})
+	mustOK(t, err)
+	if c.SiteFor("acct001") != c.SiteFor("acct001") {
+		t.Fatal("placement unstable")
+	}
+	spread := map[simnet.NodeID]bool{}
+	for i := 0; i < 50; i++ {
+		spread[c.SiteFor(fmt.Sprintf("acct%03d", i))] = true
+	}
+	if len(spread) < 2 {
+		t.Fatal("placement does not spread keys")
+	}
+}
+
+func TestCrashedSiteRecoversCommittedData(t *testing.T) {
+	c, err := NewCluster(8, 2, tpc.Config{})
+	mustOK(t, err)
+	s2 := c.SiteIDs[0]
+	res := submitAndRun(t, c, "t1", []Op{{Site: s2, Key: "x", Value: "keep", IsWrite: true}})
+	if res.Decision != tpc.DecisionCommit {
+		t.Fatal("setup aborted")
+	}
+	mustOK(t, c.Net.Crash(s2))
+	mustOK(t, c.Net.Recover(s2))
+	// Reopen the store from the (surviving) stable storage.
+	st, err := c.Net.Store(s2)
+	mustOK(t, err)
+	reopened, err := kvstore.Open(st)
+	mustOK(t, err)
+	if reopened.Read("x") != "keep" {
+		t.Fatalf("recovered value = %q", reopened.Read("x"))
+	}
+}

@@ -1,0 +1,236 @@
+// Package wal implements the undo/redo logging protocol (building block 3,
+// Section 3.5.1): every data modification writes an undo/redo record to
+// stable storage *before* the volatile update (write-ahead rule), commit
+// and abort are durable log records, and recovery replays the log — redoing
+// committed transactions and undoing uncommitted ones — idempotently, so a
+// second crash during recovery is harmless.
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"speccat/internal/stable"
+)
+
+// Sentinel errors.
+var (
+	// ErrTxnState is returned for operations in the wrong transaction state.
+	ErrTxnState = errors.New("wal: invalid transaction state")
+	// ErrCorrupt is wrapped when a log record fails to decode.
+	ErrCorrupt = errors.New("wal: corrupt log record")
+)
+
+// RecordKind enumerates log record types.
+type RecordKind int
+
+// Record kinds.
+const (
+	RecBegin RecordKind = iota + 1
+	RecUpdate
+	RecCommit
+	RecAbort
+	RecEnd // written after undo/redo completion during recovery
+)
+
+// String names the record kind.
+func (k RecordKind) String() string {
+	switch k {
+	case RecBegin:
+		return "begin"
+	case RecUpdate:
+		return "update"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	case RecEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Record is one log entry, in the [t, X, v] form of the paper: transaction
+// t wrote value New (undoing to Old) into data item Key.
+type Record struct {
+	Kind RecordKind `json:"k"`
+	Txn  string     `json:"t"`
+	Key  string     `json:"x,omitempty"`
+	Old  string     `json:"o,omitempty"`
+	New  string     `json:"n,omitempty"`
+}
+
+// Log is an undo/redo write-ahead log over one site's stable store. The
+// volatile database it guards is any map[string]string maintained by the
+// caller; Log enforces the write-ahead discipline via LoggedUpdate.
+type Log struct {
+	store *stable.Store
+	// active tracks transactions that have begun but not ended.
+	active map[string]bool
+}
+
+// New opens (or reopens) the log on a stable store.
+func New(store *stable.Store) *Log {
+	return &Log{store: store, active: map[string]bool{}}
+}
+
+// Begin writes a begin record.
+func (l *Log) Begin(txn string) error {
+	if l.active[txn] {
+		return fmt.Errorf("%w: %s already active", ErrTxnState, txn)
+	}
+	l.active[txn] = true
+	l.append(Record{Kind: RecBegin, Txn: txn})
+	return nil
+}
+
+// LoggedUpdate applies an update with write-ahead logging: the undo/redo
+// record hits stable storage strictly before db is modified.
+func (l *Log) LoggedUpdate(txn string, db map[string]string, key, value string) error {
+	if !l.active[txn] {
+		return fmt.Errorf("%w: %s not active", ErrTxnState, txn)
+	}
+	old := db[key]
+	l.append(Record{Kind: RecUpdate, Txn: txn, Key: key, Old: old, New: value})
+	db[key] = value
+	return nil
+}
+
+// Commit writes the commit record; after it returns, the transaction's
+// effects are durable (redo-able).
+func (l *Log) Commit(txn string) error {
+	if !l.active[txn] {
+		return fmt.Errorf("%w: %s not active", ErrTxnState, txn)
+	}
+	delete(l.active, txn)
+	l.append(Record{Kind: RecCommit, Txn: txn})
+	return nil
+}
+
+// Abort writes the abort record; recovery (or the caller via UndoInto)
+// removes the transaction's effects.
+func (l *Log) Abort(txn string) error {
+	if !l.active[txn] {
+		return fmt.Errorf("%w: %s not active", ErrTxnState, txn)
+	}
+	delete(l.active, txn)
+	l.append(Record{Kind: RecAbort, Txn: txn})
+	return nil
+}
+
+// UndoInto rolls a just-aborted transaction's updates back out of db
+// (reverse order), without writing further log records.
+func (l *Log) UndoInto(txn string, db map[string]string) error {
+	recs, err := Records(l.store)
+	if err != nil {
+		return err
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if r.Kind == RecUpdate && r.Txn == txn {
+			db[r.Key] = r.Old
+		}
+	}
+	return nil
+}
+
+func (l *Log) append(r Record) {
+	data, err := json.Marshal(r)
+	if err != nil {
+		// Record is a plain struct of strings; marshal cannot fail.
+		panic("wal: marshal: " + err.Error())
+	}
+	l.store.Append(data)
+}
+
+// Records decodes the full log from a stable store.
+func Records(store *stable.Store) ([]Record, error) {
+	raw := store.ReadLog(0)
+	out := make([]Record, 0, len(raw))
+	for i, b := range raw {
+		var r Record
+		if err := json.Unmarshal(b, &r); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrCorrupt, i, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Outcome summarizes recovery for one transaction.
+type Outcome struct {
+	Txn       string
+	Committed bool
+}
+
+// Recover reconstructs the database state from the log alone: committed
+// transactions' updates are redone, updates of uncommitted or aborted
+// transactions are undone (they never apply). It returns the recovered
+// database and per-transaction outcomes, and is idempotent — recovering
+// twice, or crashing mid-recovery and recovering again, yields the same
+// state, the paper's "undo and redo must function even if there is a
+// second crash during recovery".
+func Recover(store *stable.Store) (map[string]string, []Outcome, error) {
+	recs, err := Records(store)
+	if err != nil {
+		return nil, nil, err
+	}
+	committed := map[string]bool{}
+	seen := map[string]bool{}
+	var order []string
+	for _, r := range recs {
+		if !seen[r.Txn] && r.Txn != "" {
+			seen[r.Txn] = true
+			order = append(order, r.Txn)
+		}
+		if r.Kind == RecCommit {
+			committed[r.Txn] = true
+		}
+	}
+	db := map[string]string{}
+	// Redo pass: apply updates of committed transactions in log order.
+	// Uncommitted/aborted updates are skipped, which equals undoing them
+	// from an initially-empty volatile state.
+	for _, r := range recs {
+		if r.Kind == RecUpdate && committed[r.Txn] {
+			db[r.Key] = r.New
+		}
+	}
+	outcomes := make([]Outcome, 0, len(order))
+	for _, txn := range order {
+		outcomes = append(outcomes, Outcome{Txn: txn, Committed: committed[txn]})
+	}
+	return db, outcomes, nil
+}
+
+// Active returns the names of transactions that are begun but not yet
+// committed or aborted, per the log on stable storage (used by recovery
+// managers to decide who needs the termination protocol).
+func Active(store *stable.Store) ([]string, error) {
+	recs, err := Records(store)
+	if err != nil {
+		return nil, err
+	}
+	state := map[string]bool{}
+	var order []string
+	for _, r := range recs {
+		switch r.Kind {
+		case RecBegin:
+			if !state[r.Txn] {
+				state[r.Txn] = true
+				order = append(order, r.Txn)
+			}
+		case RecCommit, RecAbort:
+			state[r.Txn] = false
+		}
+	}
+	var out []string
+	for _, txn := range order {
+		if state[txn] {
+			out = append(out, txn)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"speccat/internal/simnet"
+	"speccat/internal/tpc"
+	"speccat/internal/txn"
+)
+
+// place is a trivial stub placement for generator-only tests.
+func place(string) simnet.NodeID { return 2 }
+
+func TestGenerateDeterministic(t *testing.T) {
+	mk := func() []Txn {
+		g := New(Config{Kind: Transfers, Accounts: 8, Transactions: 20, Seed: 9}, place)
+		return g.Generate()
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Ops) != len(b[i].Ops) {
+			t.Fatalf("generation nondeterministic at %d", i)
+		}
+		for j := range a[i].Ops {
+			if a[i].Ops[j] != b[i].Ops[j] {
+				t.Fatalf("op mismatch at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestWorkloadShapes(t *testing.T) {
+	for _, kind := range []Kind{Transfers, ReadMostly, Hotspot} {
+		g := New(Config{Kind: kind, Accounts: 10, Transactions: 100, Seed: 1}, place)
+		txns := g.Generate()
+		if len(txns) != 100 {
+			t.Fatalf("%s: generated %d", kind, len(txns))
+		}
+		transfers := 0
+		for _, x := range txns {
+			if x.IsTransfer {
+				transfers++
+				if len(x.Ops) != 4 {
+					t.Fatalf("%s: transfer with %d ops", kind, len(x.Ops))
+				}
+			}
+		}
+		switch kind {
+		case Transfers, Hotspot:
+			if transfers != 100 {
+				t.Fatalf("%s: transfers = %d", kind, transfers)
+			}
+		case ReadMostly:
+			if transfers == 0 || transfers > 40 {
+				t.Fatalf("read-mostly: transfers = %d", transfers)
+			}
+		}
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	g := New(Config{Kind: Hotspot, Accounts: 16, Transactions: 200, Seed: 3}, place)
+	hot := 0
+	for _, x := range g.Generate() {
+		for _, op := range x.Ops {
+			if op.Key == Account(0) {
+				hot++
+				break
+			}
+		}
+	}
+	if hot < 60 {
+		t.Fatalf("hotspot touches hot account in only %d/200 txns", hot)
+	}
+}
+
+func TestLedgerFillAndUndo(t *testing.T) {
+	g := New(Config{Kind: Transfers, Accounts: 4, InitialBalance: 100, Transactions: 1, Seed: 5}, place)
+	l := NewLedger(g)
+	tx := g.Generate()[0]
+	ops, undo := l.Fill(tx, 30)
+	if l.Total() != g.Total() {
+		t.Fatalf("fill broke conservation: %d", l.Total())
+	}
+	// Two write values present.
+	writes := 0
+	for _, op := range ops {
+		if op.IsWrite && op.Value != "" {
+			writes++
+		}
+	}
+	if writes != 2 {
+		t.Fatalf("writes filled = %d", writes)
+	}
+	undo()
+	for _, k := range g.AccountKeys() {
+		if l.Balance(k) != 100 {
+			t.Fatalf("undo failed for %s: %d", k, l.Balance(k))
+		}
+	}
+}
+
+func TestLedgerCapsAtBalance(t *testing.T) {
+	g := New(Config{Kind: Transfers, Accounts: 2, InitialBalance: 5, Transactions: 1, Seed: 7}, place)
+	l := NewLedger(g)
+	tx := g.Generate()[0]
+	_, _ = l.Fill(tx, 1000) // cannot overdraw
+	for _, k := range g.AccountKeys() {
+		if l.Balance(k) < 0 {
+			t.Fatalf("negative balance for %s", k)
+		}
+	}
+	if l.Total() != g.Total() {
+		t.Fatalf("conservation broken: %d", l.Total())
+	}
+}
+
+// TestBankConservationEndToEnd runs the generated workload through the
+// real cluster: committed state conserves the total and matches the
+// mirror ledger (the Fig. 3.1 execution model end to end).
+func TestBankConservationEndToEnd(t *testing.T) {
+	c, err := txn.NewCluster(4, 3, tpc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(Config{Kind: Transfers, Accounts: 8, InitialBalance: 100, Transactions: 30, Seed: 4}, c.SiteFor)
+
+	run := func(name string, ops []txn.Op) tpc.Decision {
+		var got *txn.Result
+		if err := c.Master.Submit(name, ops, func(r *txn.Result) { got = r }); err != nil {
+			t.Fatal(err)
+		}
+		c.Run()
+		if got == nil {
+			t.Fatalf("transaction %s never completed", name)
+		}
+		return got.Decision
+	}
+
+	if run("setup", g.SetupOps()) != tpc.DecisionCommit {
+		t.Fatal("setup aborted")
+	}
+	ledger := NewLedger(g)
+	committed := 0
+	for _, wtxn := range g.Generate() {
+		if !wtxn.IsTransfer {
+			continue
+		}
+		ops, undo := ledger.Fill(wtxn, 10)
+		if run(wtxn.Name, ops) == tpc.DecisionCommit {
+			committed++
+		} else {
+			undo()
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no transfer committed")
+	}
+	if got := c.TotalOf(g.AccountKeys()); got != g.Total() {
+		t.Fatalf("total = %d, want %d", got, g.Total())
+	}
+	for _, key := range g.AccountKeys() {
+		got := c.Sites[c.SiteFor(key)].Store.Read(key)
+		want := fmt.Sprintf("%d", ledger.Balance(key))
+		if got != want {
+			t.Fatalf("account %s = %q, mirror %q", key, got, want)
+		}
+	}
+}
