@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race lint verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Both linting layers: go vet, the Go design-rule analyzers over the whole
+# module, and the spec linter over the thesis corpus.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/speccatlint ./...
+	$(GO) run ./cmd/speccatlint internal/core/speclang/testdata/thesis/*.sw
+
+# The full tier-1 gate: everything CI runs.
+verify: build lint test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ ./...

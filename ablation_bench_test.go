@@ -137,7 +137,10 @@ func BenchmarkAblation_ModelCheck_3Cohorts(b *testing.B) { benchmarkMCCohorts(b,
 // benchmarkCommitGroup measures a full no-failure commit round.
 func benchmarkCommitGroup(b *testing.B, protocol tpc.Protocol, cohorts int) {
 	for i := 0; i < b.N; i++ {
-		g := tpc.NewGroup(int64(i)+1, cohorts, tpc.Config{Protocol: protocol})
+		g, err := tpc.NewGroup(int64(i)+1, cohorts, tpc.Config{Protocol: protocol})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if err := g.Coordinator.Begin("t"); err != nil {
 			b.Fatal(err)
 		}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	speccat [-lenient] [-skip-proofs] [-print name] file.sw...
+//	speccat [-lenient] [-skip-proofs] [-lint] [-print name] file.sw...
 package main
 
 import (
@@ -14,22 +14,24 @@ import (
 	"os"
 
 	"speccat/internal/core/speclang"
+	"speccat/internal/core/speclint"
 )
 
 func main() {
 	lenient := flag.Bool("lenient", false, "tolerate unknown symbols (auto-declare) and unbound identifiers")
 	skipProofs := flag.Bool("skip-proofs", false, "record prove statements without running the prover")
+	lint := flag.Bool("lint", false, "run the spec linter before elaboration; lint errors fail the file")
 	printName := flag.String("print", "", "print the named value after elaboration")
 	quiet := flag.Bool("q", false, "suppress the per-statement summary")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: speccat [-lenient] [-skip-proofs] [-print name] file.sw...")
+		fmt.Fprintln(os.Stderr, "usage: speccat [-lenient] [-skip-proofs] [-lint] [-print name] file.sw...")
 		os.Exit(2)
 	}
 	code := 0
 	for _, path := range flag.Args() {
-		if err := processFile(path, *lenient, *skipProofs, *printName, *quiet); err != nil {
+		if err := processFile(path, *lenient, *skipProofs, *lint, *printName, *quiet); err != nil {
 			fmt.Fprintf(os.Stderr, "speccat: %s: %v\n", path, err)
 			code = 1
 		}
@@ -37,10 +39,19 @@ func main() {
 	os.Exit(code)
 }
 
-func processFile(path string, lenient, skipProofs bool, printName string, quiet bool) error {
+func processFile(path string, lenient, skipProofs, lint bool, printName string, quiet bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
+	}
+	if lint {
+		diags := speclint.LintSource(path, string(src))
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		if speclint.HasErrors(diags) {
+			return fmt.Errorf("spec lint failed")
+		}
 	}
 	env, err := speclang.Run(string(src), speclang.Options{Lenient: lenient, SkipProofs: skipProofs})
 	if err != nil {

@@ -1,0 +1,101 @@
+// Command speccatlint runs the project's two static-analysis layers:
+//
+//   - Go design-rule analyzers (internal/analysis) over package patterns:
+//     nopanic, nowallclock, norand, noglobalstate, errwrap.
+//   - The spec/diagram linter (internal/core/speclint) over .sw files:
+//     undeclared symbols, arity mismatches, duplicate axioms, morphism
+//     totality pre-checks, prove/using consistency, diagram shape.
+//
+// Targets may be mixed freely; anything ending in .sw is linted as a
+// specification file, everything else is treated as a Go package pattern
+// ("./..." expands recursively, skipping testdata).
+//
+// Usage:
+//
+//	speccatlint [-list] [-werror] [target ...]
+//
+// With no targets it lints ./... from the current directory. Exit status
+// is 0 when clean, 1 when findings were reported, 2 on usage or load
+// errors. Spec-lint warnings are printed but do not affect the exit
+// status unless -werror is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"speccat/internal/analysis"
+	"speccat/internal/core/speclint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("speccatlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the Go analyzers and exit")
+	werror := fs.Bool("werror", false, "treat spec-lint warnings as errors")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
+	}
+	var specFiles, goPatterns []string
+	for _, t := range targets {
+		if strings.HasSuffix(t, ".sw") {
+			specFiles = append(specFiles, t)
+		} else {
+			goPatterns = append(goPatterns, t)
+		}
+	}
+
+	failed := false
+	for _, f := range specFiles {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "speccatlint: %v\n", err)
+			return 2
+		}
+		for _, d := range speclint.LintSource(f, string(src)) {
+			fmt.Fprintln(stdout, d)
+			if d.Severity == speclint.SevError || *werror {
+				failed = true
+			}
+		}
+	}
+
+	if len(goPatterns) > 0 {
+		loader, err := analysis.NewLoader(".")
+		if err != nil {
+			fmt.Fprintf(stderr, "speccatlint: %v\n", err)
+			return 2
+		}
+		pkgs, err := loader.Load(goPatterns)
+		if err != nil {
+			fmt.Fprintf(stderr, "speccatlint: %v\n", err)
+			return 2
+		}
+		for _, d := range analysis.Run(pkgs, analysis.Analyzers()) {
+			fmt.Fprintln(stdout, d)
+			failed = true
+		}
+	}
+
+	if failed {
+		return 1
+	}
+	return 0
+}

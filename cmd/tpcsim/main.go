@@ -44,7 +44,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	g := tpc.NewGroup(*seed, *cohorts, cfg)
+	g, err := tpc.NewGroup(*seed, *cohorts, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpcsim:", err)
+		os.Exit(1)
+	}
 	if *veto != 0 {
 		id := simnet.NodeID(*veto)
 		h, ok := g.Cohorts[id]
@@ -155,13 +159,13 @@ func parsePlan(s string, g *tpc.Group) ([]planEvent, error) {
 		} else {
 			n, err := strconv.Atoi(bits[0])
 			if err != nil {
-				return nil, fmt.Errorf("bad site %q: %v", bits[0], err)
+				return nil, fmt.Errorf("bad site %q: %w", bits[0], err)
 			}
 			site = simnet.NodeID(n)
 		}
 		at, err := strconv.ParseInt(bits[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad time %q: %v", bits[1], err)
+			return nil, fmt.Errorf("bad time %q: %w", bits[1], err)
 		}
 		out = append(out, planEvent{site: site, at: sim.Time(at)})
 	}

@@ -7,7 +7,10 @@ import (
 )
 
 func TestParsePlan(t *testing.T) {
-	g := tpc.NewGroup(1, 3, tpc.Config{})
+	g, err := tpc.NewGroup(1, 3, tpc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	plan, err := parsePlan("coord@15, 3@200", g)
 	if err != nil {
 		t.Fatal(err)
@@ -27,7 +30,10 @@ func TestParsePlan(t *testing.T) {
 }
 
 func TestParsePlanErrors(t *testing.T) {
-	g := tpc.NewGroup(1, 3, tpc.Config{})
+	g, err := tpc.NewGroup(1, 3, tpc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, bad := range []string{"coord", "x@5", "2@y", "@@"} {
 		if _, err := parsePlan(bad, g); err == nil {
 			t.Errorf("plan %q accepted", bad)

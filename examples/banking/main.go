@@ -51,7 +51,7 @@ func run() error {
 
 	fmt.Printf("seeding %d accounts × %d across %d sites\n", 12, 100, sites)
 	if d, err := submit("setup", gen.SetupOps()); err != nil || d != tpc.DecisionCommit {
-		return fmt.Errorf("setup failed: %v (%s)", err, d)
+		return fmt.Errorf("setup failed: %w (%s)", err, d)
 	}
 
 	ledger := workload.NewLedger(gen)

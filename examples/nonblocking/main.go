@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"speccat/internal/sim"
 	"speccat/internal/simnet"
@@ -30,9 +31,13 @@ func main() {
 
 // runOnce returns (decided, blocked) cohort counts for one crash point.
 func runOnce(p tpc.Protocol, crashAt sim.Time) (decided, blocked int) {
-	g := tpc.NewGroup(42, 3, tpc.Config{Protocol: p})
-	if err := g.Coordinator.Begin("txn"); err != nil {
-		panic(err)
+	g, err := tpc.NewGroup(42, 3, tpc.Config{Protocol: p})
+	if err == nil {
+		err = g.Coordinator.Begin("txn")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nonblocking:", err)
+		os.Exit(1)
 	}
 	g.Net.Scheduler().RunUntil(crashAt)
 	_ = g.Net.Crash(g.CoordID)

@@ -1,0 +1,183 @@
+// Package analysis is a vet-style multi-analyzer framework over the
+// standard library's go/ast, go/parser and go/types packages. It encodes
+// the repository's DESIGN.md design rules — no panics reachable from
+// exported API, no wall-clock time outside the simulator, no global
+// math/rand source, no package-level mutable state, %w error wrapping —
+// as mechanical checks, in the same spirit as the paper's thesis that
+// composition errors should be caught by cheap static well-formedness
+// checks before any prover (or reviewer) runs.
+//
+// Findings can be suppressed at the site with a reason:
+//
+//	//lint:allow <rule> <reason...>
+//
+// placed either at the end of the offending line or on the line
+// immediately above it. A suppression without a reason is itself a
+// finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one named design-rule check.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and //lint:allow comments.
+	Name string
+	// Doc is a one-line description of the rule.
+	Doc string
+	// Run reports findings on one package through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full rule set in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoPanic,
+		NoWallClock,
+		NoRand,
+		NoGlobalState,
+		ErrWrap,
+	}
+}
+
+// ByName returns the named analyzer, if registered.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Run applies the analyzers to the packages and returns surviving
+// diagnostics (suppressions applied), sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		diags = append(diags, applySuppressions(pkg, pkgDiags)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos    token.Position
+	rule   string
+	reason string
+}
+
+// allowDirectives extracts the //lint:allow comments of one file.
+func allowDirectives(fset *token.FileSet, f *ast.File) []allowDirective {
+	var out []allowDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "lint:allow") {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+			rule, reason, _ := strings.Cut(rest, " ")
+			out = append(out, allowDirective{
+				pos:    fset.Position(c.Pos()),
+				rule:   rule,
+				reason: strings.TrimSpace(reason),
+			})
+		}
+	}
+	return out
+}
+
+// applySuppressions drops diagnostics covered by a //lint:allow directive
+// for the same rule on the same or preceding line, and reports malformed
+// directives (missing rule or reason).
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// file -> rule -> set of lines at which the rule is allowed.
+	allowed := map[string]map[string]map[int]bool{}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, d := range allowDirectives(pkg.Fset, f) {
+			if d.rule == "" || d.reason == "" {
+				out = append(out, Diagnostic{
+					Pos:     d.pos,
+					Rule:    "lint-allow",
+					Message: "malformed suppression: want //lint:allow <rule> <reason>",
+				})
+				continue
+			}
+			byRule := allowed[d.pos.Filename]
+			if byRule == nil {
+				byRule = map[string]map[int]bool{}
+				allowed[d.pos.Filename] = byRule
+			}
+			lines := byRule[d.rule]
+			if lines == nil {
+				lines = map[int]bool{}
+				byRule[d.rule] = lines
+			}
+			// The directive covers its own line (end-of-line comment) and
+			// the next line (comment placed above the offending line).
+			lines[d.pos.Line] = true
+			lines[d.pos.Line+1] = true
+		}
+	}
+	for _, d := range diags {
+		if lines := allowed[d.Pos.Filename][d.Rule]; lines[d.Pos.Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

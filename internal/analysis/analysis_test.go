@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// expectation is one `// want `-style annotation in a fixture file.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
+var chunkRE = regexp.MustCompile("`([^`]+)`")
+
+// collectExpectations scans a fixture package directory for want comments.
+func collectExpectations(t *testing.T, dir string) []expectation {
+	t.Helper()
+	var out []expectation
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			chunks := chunkRE.FindAllStringSubmatch(m[1], -1)
+			if len(chunks) == 0 {
+				t.Fatalf("%s:%d: malformed want comment (use backquoted regexps)", path, i+1)
+			}
+			for _, c := range chunks {
+				re, err := regexp.Compile(c[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", path, i+1, err)
+				}
+				out = append(out, expectation{file: path, line: i + 1, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// runFixture loads one fixture package and runs all analyzers over it.
+func runFixture(t *testing.T, name string) []Diagnostic {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(pkgs, Analyzers())
+}
+
+// checkFixture asserts the diagnostics match the want comments exactly.
+func checkFixture(t *testing.T, name string) {
+	t.Helper()
+	dir, _ := filepath.Abs(filepath.Join("testdata", "src", name))
+	diags := runFixture(t, name)
+	wants := collectExpectations(t, dir)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Rule + ": " + d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestNoPanicFixture(t *testing.T)       { checkFixture(t, "panicfix") }
+func TestNoWallClockFixture(t *testing.T)   { checkFixture(t, "wallclock") }
+func TestNoRandFixture(t *testing.T)        { checkFixture(t, "randfix") }
+func TestNoGlobalStateFixture(t *testing.T) { checkFixture(t, "globalstate") }
+func TestErrWrapFixture(t *testing.T)       { checkFixture(t, "errwrapfix") }
+
+// TestFixturesHaveFindings guards the acceptance criterion that the
+// injected-violation fixtures actually trip the linter (non-zero exit).
+func TestFixturesHaveFindings(t *testing.T) {
+	for _, name := range []string{"panicfix", "wallclock", "randfix", "globalstate", "errwrapfix"} {
+		if len(runFixture(t, name)) == 0 {
+			t.Errorf("fixture %s produced no diagnostics", name)
+		}
+	}
+}
+
+// TestSuppressionRequiresReason checks that a bare //lint:allow is
+// reported as malformed rather than silently honored.
+func TestSuppressionRequiresReason(t *testing.T) {
+	dir := t.TempDir()
+	src := `package broken
+
+import "time"
+
+// T reads the clock with a reasonless suppression.
+func T() time.Time {
+	return time.Now() //lint:allow nowallclock
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, Analyzers())
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	got := fmt.Sprintf("%v", rules)
+	if !strings.Contains(got, "lint-allow") {
+		t.Errorf("expected a lint-allow malformed-suppression finding, got %v", diags)
+	}
+	// The reasonless directive must not suppress the underlying finding.
+	if !strings.Contains(got, "nowallclock") {
+		t.Errorf("expected the nowallclock finding to survive, got %v", diags)
+	}
+}
+
+// TestModuleSelfLoad loads this repository's own module tree, proving the
+// loader handles module-internal imports.
+func TestModuleSelfLoad(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath != "speccat" {
+		t.Fatalf("module path = %q, want speccat", l.ModulePath)
+	}
+	pkgs, err := l.Load([]string{"./internal/core/logic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types.Name() != "logic" {
+		t.Fatalf("unexpected load result: %+v", pkgs)
+	}
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// ErrWrap flags fmt.Errorf calls that forward an error value through %v
+// or %s instead of %w (DESIGN.md: errors wrapped with %w so errors.Is /
+// errors.As keep working through package boundaries).
+var ErrWrap = &Analyzer{ //lint:allow noglobalstate analyzer singleton, assigned once and never mutated
+	Name: "errwrap",
+	Doc:  "error-forwarding fmt.Errorf must use %w, not %v/%s",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Errorf" {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Pkg.Info.Uses[base].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "fmt" {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			verbs := formatVerbs(format)
+			for i, arg := range call.Args[1:] {
+				if i >= len(verbs) {
+					break
+				}
+				v := verbs[i]
+				if v != 'v' && v != 's' {
+					continue
+				}
+				tv, ok := pass.Pkg.Info.Types[arg]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if types.Implements(tv.Type, errType) {
+					pass.Reportf(arg.Pos(), "error argument formatted with %%%c; use %%w so the cause stays unwrappable", v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// formatVerbs returns the verb letter consumed by each successive
+// argument of a Printf-style format string. Width/precision stars and
+// explicit argument indexes are ignored: the mapping is positional,
+// which matches every call site in this codebase.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // literal %%
+			}
+			// Skip flags, width, precision and index digits.
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || c == '*' || c == '[' || c == ']' ||
+				(c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}

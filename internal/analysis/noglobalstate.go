@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoGlobalState flags package-level var declarations that hold mutable
+// state (DESIGN.md: "no package-level mutable state"). Allowed without
+// annotation are the two idioms the design doc endorses:
+//
+//   - sentinel errors: var ErrX = errors.New(...) / fmt.Errorf(...)
+//   - //go:embed file data
+//
+// Anything else — lookup tables included — must either move into a
+// struct, become a constant, or carry a //lint:allow noglobalstate
+// annotation stating why it is safe (e.g. written once, never mutated).
+var NoGlobalState = &Analyzer{ //lint:allow noglobalstate analyzer singleton, assigned once and never mutated
+	Name: "noglobalstate",
+	Doc:  "no mutable package-level vars (sentinel errors and //go:embed excepted)",
+	Run:  runNoGlobalState,
+}
+
+func runNoGlobalState(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, s := range gd.Specs {
+				vs, ok := s.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if isEmbedSpec(gd, vs) || allBlank(vs.Names) {
+					continue
+				}
+				if isSentinelSpec(pass, vs) {
+					continue
+				}
+				pass.Reportf(vs.Pos(), "package-level mutable var %s; move it into a struct, make it a constant, or annotate why it is immutable", nameList(vs.Names))
+			}
+		}
+	}
+}
+
+func nameList(ids []*ast.Ident) string {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = id.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+func allBlank(ids []*ast.Ident) bool {
+	for _, id := range ids {
+		if id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// isEmbedSpec reports whether the declaration carries a //go:embed
+// directive (on the spec or on a single-spec decl).
+func isEmbedSpec(gd *ast.GenDecl, vs *ast.ValueSpec) bool {
+	for _, doc := range []*ast.CommentGroup{gd.Doc, vs.Doc, vs.Comment} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if strings.HasPrefix(c.Text, "//go:embed") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isSentinelSpec reports whether every initializer is an errors.New or
+// fmt.Errorf call — the sentinel-error idiom.
+func isSentinelSpec(pass *Pass, vs *ast.ValueSpec) bool {
+	if len(vs.Values) == 0 || len(vs.Values) != len(vs.Names) {
+		return false
+	}
+	for _, v := range vs.Values {
+		call, ok := v.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		pkgName, ok := pass.Pkg.Info.Uses[base].(*types.PkgName)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkgName.Imported().Path() == "errors" && sel.Sel.Name == "New":
+		case pkgName.Imported().Path() == "fmt" && sel.Sel.Name == "Errorf":
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic flags panic calls in non-test code that are reachable from the
+// package's exported API (DESIGN.md: "no panics across package
+// boundaries"). Reachability is computed over the intra-package call
+// graph: exported functions and methods, main and init are roots; an edge
+// exists for every reference to a package-level function or method
+// (calls and function values alike), so callback registration counts.
+var NoPanic = &Analyzer{ //lint:allow noglobalstate analyzer singleton, assigned once and never mutated
+	Name: "nopanic",
+	Doc:  "no panic reachable from exported API in non-test code",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	// Map each declared function object to its declaration.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	// Build the reference graph and find the roots.
+	edges := map[*types.Func][]*types.Func{}
+	var roots []*types.Func
+	for obj, fd := range decls {
+		name := fd.Name.Name
+		isRoot := ast.IsExported(name) || name == "init" ||
+			(name == "main" && pass.Pkg.Types.Name() == "main")
+		if isRoot {
+			roots = append(roots, obj)
+		}
+		if fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if callee, ok := pass.Pkg.Info.Uses[id].(*types.Func); ok {
+				if _, local := decls[callee]; local {
+					edges[obj] = append(edges[obj], callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// BFS from the roots, remembering a witness root for the message.
+	via := map[*types.Func]*types.Func{}
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		if _, seen := via[r]; !seen {
+			via[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range edges[cur] {
+			if _, seen := via[next]; !seen {
+				via[next] = via[cur]
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	// Report reachable panic sites.
+	for obj, fd := range decls {
+		root, reachable := via[obj]
+		if !reachable || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := pass.Pkg.Info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic reachable from exported %s; return a wrapped error instead", root.Name())
+			return true
+		})
+	}
+}

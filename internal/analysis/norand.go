@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the global, non-reproducible source. Constructors (New,
+// NewSource, NewZipf) and methods on an explicit *rand.Rand are fine.
+var globalRandFuncs = map[string]bool{ //lint:allow noglobalstate immutable lookup table
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// NoRand flags uses of the global math/rand source in non-test code
+// (DESIGN.md: deterministic seeded RNG). Randomness must flow from an
+// explicitly seeded *rand.Rand threaded through the code, as
+// internal/sim's Scheduler does.
+var NoRand = &Analyzer{ //lint:allow noglobalstate analyzer singleton, assigned once and never mutated
+	Name: "norand",
+	Doc:  "no global math/rand source in non-test code; thread a seeded *rand.Rand",
+	Run:  runNoRand,
+}
+
+func runNoRand(pass *Pass) {
+	for _, path := range []string{"math/rand", "math/rand/v2"} {
+		forEachStdlibSelector(pass, path, func(sel *ast.SelectorExpr) {
+			if globalRandFuncs[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "global math/rand source rand.%s; thread a seeded *rand.Rand", sel.Sel.Name)
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallClockFuncs are the package time functions that read or depend on
+// the wall clock. Pure constructors and conversions (Duration, Unix,
+// Date, Parse, ...) are fine.
+var wallClockFuncs = map[string]bool{ //lint:allow noglobalstate immutable lookup table
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// NoWallClock flags wall-clock time access outside the simulator
+// (DESIGN.md: deterministic tests, simulated time). The simulated-time
+// packages internal/sim is the one place allowed to own a clock; every
+// other site must take an injected clock or run on simulated time, or
+// carry a //lint:allow nowallclock annotation with a reason.
+var NoWallClock = &Analyzer{ //lint:allow noglobalstate analyzer singleton, assigned once and never mutated
+	Name: "nowallclock",
+	Doc:  "no time.Now/Sleep/After outside internal/sim without an annotation",
+	Run:  runNoWallClock,
+}
+
+func runNoWallClock(pass *Pass) {
+	if strings.HasSuffix(pass.Pkg.ImportPath, "internal/sim") {
+		return
+	}
+	forEachStdlibSelector(pass, "time", func(sel *ast.SelectorExpr) {
+		if wallClockFuncs[sel.Sel.Name] {
+			pass.Reportf(sel.Pos(), "wall-clock time.%s; inject a clock or use simulated time (internal/sim)", sel.Sel.Name)
+		}
+	})
+}
+
+// forEachStdlibSelector calls fn for every selector expression whose base
+// identifier resolves to an import of the given standard-library path.
+func forEachStdlibSelector(pass *Pass, path string, fn func(*ast.SelectorExpr)) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Pkg.Info.Uses[base].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != path {
+				return true
+			}
+			fn(sel)
+			return true
+		})
+	}
+}

@@ -1,0 +1,35 @@
+// Package errwrapfix is an errwrap analyzer fixture.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBase is a sentinel.
+var ErrBase = errors.New("errwrapfix: base")
+
+// BadV forwards the error with %v.
+func BadV(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want `error argument formatted with %v`
+}
+
+// BadS forwards the error with %s.
+func BadS(err error) error {
+	return fmt.Errorf("load failed: %s", err) // want `error argument formatted with %s`
+}
+
+// BadMixed wraps one error properly and leaks another through %v.
+func BadMixed(cause error) error {
+	return fmt.Errorf("%w: detail %v", ErrBase, cause) // want `error argument formatted with %v`
+}
+
+// GoodW wraps with %w.
+func GoodW(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+// GoodValue formats a non-error with %v.
+func GoodValue(n int) error {
+	return fmt.Errorf("bad count %v", n)
+}

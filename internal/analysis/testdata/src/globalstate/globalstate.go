@@ -1,0 +1,34 @@
+// Package globalstate is a noglobalstate analyzer fixture.
+package globalstate
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors are the endorsed idiom and are not findings.
+var (
+	// ErrPlain is a plain sentinel.
+	ErrPlain = errors.New("globalstate: plain")
+	// ErrFmt is a formatted sentinel.
+	ErrFmt = fmt.Errorf("globalstate: fmt %d", 1)
+)
+
+var counter int // want `package-level mutable var counter`
+
+var cache = map[string]int{} // want `package-level mutable var cache`
+
+var names, ages = []string{"a"}, []int{1} // want `package-level mutable var names, ages`
+
+// table is read-only by convention; the annotation records that.
+var table = map[string]bool{"x": true} //lint:allow noglobalstate immutable lookup table, never written after init
+
+// Touch mutates the counter so the vars are used.
+func Touch(key string) int {
+	counter++
+	cache[key] = counter
+	_ = names
+	_ = ages
+	_ = table
+	return counter
+}

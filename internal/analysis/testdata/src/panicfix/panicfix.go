@@ -1,0 +1,45 @@
+// Package panicfix is a nopanic analyzer fixture.
+package panicfix
+
+import "errors"
+
+// ErrBad is a sentinel.
+var ErrBad = errors.New("panicfix: bad")
+
+// Exported panics directly.
+func Exported() {
+	panic("direct") // want `panic reachable from exported Exported`
+}
+
+// Indirect reaches a panic through an unexported helper.
+func Indirect(n int) int {
+	return helper(n)
+}
+
+func helper(n int) int {
+	if n < 0 {
+		panic("negative") // want `panic reachable from exported Indirect`
+	}
+	return n * 2
+}
+
+// Registered hands a panicking callback to a registry, so the panic is
+// reachable via the function-value reference.
+func Registered(register func(func())) {
+	register(callback)
+}
+
+func callback() {
+	panic("callback") // want `panic reachable from exported Registered`
+}
+
+// unreachable is never referenced from any exported root: its panic is
+// not a finding.
+func unreachable() {
+	panic("dead code")
+}
+
+// Allowed documents a deliberate panic with a suppression.
+func Allowed() {
+	panic("invariant") //lint:allow nopanic fixture demonstrates suppression
+}

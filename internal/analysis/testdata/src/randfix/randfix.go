@@ -1,0 +1,24 @@
+// Package randfix is a norand analyzer fixture.
+package randfix
+
+import "math/rand"
+
+// Roll draws from the global source.
+func Roll() int {
+	return rand.Intn(6) // want `global math/rand source rand.Intn`
+}
+
+// Jitter draws a float from the global source.
+func Jitter() float64 {
+	return rand.Float64() // want `global math/rand source rand.Float64`
+}
+
+// Seeded is the endorsed pattern: an explicit seeded source.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Threaded uses an injected generator.
+func Threaded(rng *rand.Rand) int {
+	return rng.Intn(6)
+}

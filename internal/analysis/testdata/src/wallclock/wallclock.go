@@ -1,0 +1,30 @@
+// Package wallclock is a nowallclock analyzer fixture.
+package wallclock
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want `wall-clock time.Now`
+}
+
+// Nap sleeps for real.
+func Nap() {
+	time.Sleep(time.Millisecond) // want `wall-clock time.Sleep`
+}
+
+// Deadline builds a timer channel.
+func Deadline() <-chan time.Time {
+	return time.After(time.Second) // want `wall-clock time.After`
+}
+
+// Span is fine: time.Duration arithmetic does not read the clock.
+func Span(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// AllowedNow documents a deliberate wall-clock read.
+func AllowedNow() time.Time {
+	//lint:allow nowallclock fixture demonstrates suppression above the line
+	return time.Now()
+}

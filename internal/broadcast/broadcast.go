@@ -131,7 +131,7 @@ func Group(net *simnet.Network, f int) map[simnet.NodeID]*Endpoint {
 		ep := ep
 		// Preserve existing handlers by chaining.
 		if err := net.SetHandler(id, func(m simnet.Message) { ep.HandleMessage(m) }); err != nil {
-			// Nodes came from net.Nodes(); SetHandler cannot fail.
+			//lint:allow nopanic nodes came from net.Nodes() so SetHandler cannot fail; a panic here is a wiring bug in this package
 			panic(err)
 		}
 	}

@@ -33,8 +33,15 @@ const (
 	kindCommit = "checkpoint.commit"
 )
 
-// ErrNoCheckpoint is returned when no permanent checkpoint exists.
-var ErrNoCheckpoint = errors.New("checkpoint: no permanent checkpoint")
+// Sentinel errors.
+var (
+	// ErrNoCheckpoint is returned when no permanent checkpoint exists.
+	ErrNoCheckpoint = errors.New("checkpoint: no permanent checkpoint")
+	// ErrEncode is wrapped when a checkpoint fails to serialize.
+	ErrEncode = errors.New("checkpoint: encode checkpoint")
+	// ErrNoStore is wrapped when the node's own stable store is missing.
+	ErrNoStore = errors.New("checkpoint: own store missing")
+)
 
 // saved is the stable-storage encoding of one checkpoint.
 type saved struct {
@@ -99,80 +106,92 @@ func (n *Node) TakeNow() {
 	}
 }
 
-func (n *Node) store() *stable.Store {
+func (n *Node) store() (*stable.Store, error) {
 	st, err := n.net.Store(n.id)
 	if err != nil {
-		panic(fmt.Sprintf("checkpoint: own store missing: %v", err))
+		return nil, fmt.Errorf("%w: %w", ErrNoStore, err)
 	}
-	return st
+	return st, nil
 }
 
-// HandleMessage consumes checkpoint traffic; returns true when consumed.
-func (n *Node) HandleMessage(m simnet.Message) bool {
+// HandleMessage consumes checkpoint traffic; it reports whether the
+// message was consumed, plus any stable-storage failure (the site should
+// treat one as a crash: a checkpoint it cannot persist must not be acked).
+func (n *Node) HandleMessage(m simnet.Message) (bool, error) {
 	switch m.Kind {
 	case kindTake:
 		tm, ok := m.Payload.(takeMsg)
 		if !ok {
-			return false
+			return false, nil
 		}
-		n.saveTentative(tm.Seq)
+		if err := n.saveTentative(tm.Seq); err != nil {
+			return true, err
+		}
 		_ = n.net.Send(n.id, m.From, kindAck, ackMsg{Seq: tm.Seq})
-		return true
+		return true, nil
 	case kindAck:
 		am, ok := m.Payload.(ackMsg)
 		if !ok {
-			return false
+			return false, nil
 		}
 		if !n.isCoord || n.acked[am.Seq] == nil {
-			return true
+			return true, nil
 		}
 		n.acked[am.Seq][m.From] = true
 		// All *operational* sites must ack before promotion.
 		for _, peer := range n.net.Nodes() {
 			if n.net.Up(peer) && !n.acked[am.Seq][peer] {
-				return true
+				return true, nil
 			}
 		}
 		delete(n.acked, am.Seq)
 		_ = n.net.Broadcast(n.id, kindCommit, commitMsg{Seq: am.Seq})
-		return true
+		return true, nil
 	case kindCommit:
 		cm, ok := m.Payload.(commitMsg)
 		if !ok {
-			return false
+			return false, nil
 		}
-		n.promote(cm.Seq)
-		return true
+		return true, n.promote(cm.Seq)
 	default:
-		return false
+		return false, nil
 	}
 }
 
 // saveTentative writes the tentative checkpoint to stable storage.
-func (n *Node) saveTentative(seq int) {
+func (n *Node) saveTentative(seq int) error {
 	data, err := json.Marshal(saved{Seq: seq, State: n.Capture()})
 	if err != nil {
-		panic("checkpoint: marshal: " + err.Error())
+		return fmt.Errorf("%w: %w", ErrEncode, err)
 	}
-	n.store().Put(keyTentative, data)
+	st, err := n.store()
+	if err != nil {
+		return err
+	}
+	st.Put(keyTentative, data)
+	return nil
 }
 
 // promote turns the matching tentative checkpoint permanent.
-func (n *Node) promote(seq int) {
-	st := n.store()
+func (n *Node) promote(seq int) error {
+	st, err := n.store()
+	if err != nil {
+		return err
+	}
 	data, ok := st.Get(keyTentative)
 	if !ok {
-		return
+		return nil
 	}
 	var s saved
 	if err := json.Unmarshal(data, &s); err != nil || s.Seq != seq {
-		return
+		return nil
 	}
 	st.Put(keyPermanent, data)
 	st.Put("ckpt/lastseq", []byte(strconv.Itoa(seq)))
 	if n.OnPermanent != nil {
 		n.OnPermanent(seq)
 	}
+	return nil
 }
 
 // Permanent reads a site's last permanent checkpoint from its stable store

@@ -118,6 +118,10 @@ type Prover struct {
 	// DisableSOS turns off the set-of-support restriction, saturating the
 	// full clause set from the start (used by the ablation benchmarks).
 	DisableSOS bool
+	// Now supplies the clock used for Limits.Timeout and Stats.Elapsed.
+	// Nil means the wall clock; tests and simulations inject their own so
+	// proof search stays deterministic under a controlled clock.
+	Now func() time.Time
 }
 
 // New returns a Prover with default limits.
@@ -130,7 +134,11 @@ func (p *Prover) Prove(axioms []NamedFormula, goal NamedFormula) (*Result, error
 	if lim.MaxClauses == 0 {
 		lim = DefaultLimits()
 	}
-	start := time.Now()
+	now := p.Now
+	if now == nil {
+		now = time.Now //lint:allow nowallclock the CLI default; tests and sims inject Prover.Now
+	}
+	start := now()
 
 	sc := 0
 	fresh := func() string { sc++; return fmt.Sprintf("sk%d", sc) }
@@ -154,6 +162,7 @@ func (p *Prover) Prove(axioms []NamedFormula, goal NamedFormula) (*Result, error
 	run := func(restrictSOS bool) (*Result, error) {
 		st := &searchState{
 			limits:      lim,
+			now:         now,
 			start:       start,
 			seen:        map[string]int{},
 			deadline:    start.Add(lim.Timeout),
@@ -187,6 +196,7 @@ func (p *Prover) Prove(axioms []NamedFormula, goal NamedFormula) (*Result, error
 // searchState is the mutable state of one proof search.
 type searchState struct {
 	limits      Limits
+	now         func() time.Time
 	start       time.Time
 	deadline    time.Time
 	hasDeadline bool
@@ -249,7 +259,7 @@ func (st *searchState) saturate() (*Result, error) {
 		if st.stats.Iterations > st.limits.MaxIterations {
 			return nil, fmt.Errorf("%w (iterations > %d)", ErrLimit, st.limits.MaxIterations)
 		}
-		if st.hasDeadline && st.stats.Iterations%64 == 0 && time.Now().After(st.deadline) {
+		if st.hasDeadline && st.stats.Iterations%64 == 0 && st.now().After(st.deadline) {
 			return nil, fmt.Errorf("%w (timeout %v)", ErrLimit, st.limits.Timeout)
 		}
 		given := st.pickGiven()
@@ -323,7 +333,7 @@ func clauseSize(c *logic.Clause) int {
 }
 
 func (st *searchState) result(emptyIdx int) (*Result, error) {
-	st.stats.Elapsed = time.Since(st.start)
+	st.stats.Elapsed = st.now().Sub(st.start)
 	proof := extractProof(st.steps, emptyIdx)
 	st.stats.ProofLength = len(proof)
 	return &Result{Stats: st.stats, Proof: proof}, nil

@@ -196,3 +196,60 @@ func TestStatsPopulated(t *testing.T) {
 		t.Errorf("stats not populated: %+v", res.Stats)
 	}
 }
+
+// TestInjectedClockDeadline drives the timeout deterministically: a fake
+// clock that jumps past the deadline must abort the search with ErrLimit
+// regardless of real elapsed time, and Elapsed must come from the same
+// clock.
+func TestInjectedClockDeadline(t *testing.T) {
+	x := logic.Var("x", "")
+	grow := logic.Forall([]*logic.Term{x},
+		logic.Implies(logic.Pred("P", x), logic.Pred("P", logic.App("s", "", x))))
+	base := time.Unix(0, 0)
+	calls := 0
+	p := &Prover{
+		Limits: Limits{
+			MaxClauses:        5000,
+			MaxIterations:     100000,
+			MaxClauseLiterals: 8,
+			MaxTermSize:       50,
+			Timeout:           time.Minute,
+		},
+		Now: func() time.Time {
+			calls++
+			if calls == 1 {
+				return base
+			}
+			return base.Add(time.Hour) // every later read is past the deadline
+		},
+	}
+	_, err := p.Prove(
+		[]NamedFormula{nf("grow", grow), nf("base", logic.Pred("P", logic.Const("z", "")))},
+		nf("goal", logic.Pred("Q")))
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("expected ErrLimit from injected deadline, got %v", err)
+	}
+	if calls < 2 {
+		t.Fatalf("injected clock was read %d times, want at least 2", calls)
+	}
+}
+
+// TestInjectedClockElapsed checks Stats.Elapsed is measured on the
+// injected clock, not the wall clock.
+func TestInjectedClockElapsed(t *testing.T) {
+	pf, q := logic.Pred("P"), logic.Pred("Q")
+	base := time.Unix(100, 0)
+	tick := 0
+	p := New()
+	p.Now = func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick-1) * 7 * time.Second)
+	}
+	res, err := p.Prove([]NamedFormula{nf("p", pf), nf("pq", logic.Implies(pf, q))}, nf("q", q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Elapsed <= 0 || res.Stats.Elapsed%(7*time.Second) != 0 {
+		t.Errorf("Elapsed = %v, want a positive multiple of the injected 7s tick", res.Stats.Elapsed)
+	}
+}

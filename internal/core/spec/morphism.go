@@ -145,7 +145,7 @@ func (m *Morphism) CheckObligations(mode ObligationMode, pr *prover.Prover) erro
 			premises = append(premises, prover.NamedFormula{Name: ta.Name, Formula: ta.Formula})
 		}
 		if _, err := pr.Prove(premises, prover.NamedFormula{Name: ax.Name, Formula: translated}); err != nil {
-			return fmt.Errorf("%w: morphism %s: axiom %s: %v", ErrObligation, m.Name, ax.Name, err)
+			return fmt.Errorf("%w: morphism %s: axiom %s: %w", ErrObligation, m.Name, ax.Name, err)
 		}
 	}
 	return nil

@@ -38,6 +38,7 @@ type SpecExpr struct {
 type SortDecl struct {
 	Name string
 	Def  string
+	Line int
 }
 
 // OpDecl declares an operation: name : args -> result. A declaration
@@ -46,6 +47,7 @@ type OpDecl struct {
 	Name   string
 	Args   []string
 	Result string
+	Line   int
 }
 
 // PropDecl is an axiom or theorem with its formula AST and optional
@@ -53,6 +55,7 @@ type OpDecl struct {
 type PropDecl struct {
 	Name    string
 	Formula FormulaNode
+	Line    int
 }
 
 // TranslateExpr is translate(Source) by {renames}.
@@ -89,6 +92,7 @@ type DiagramExpr struct {
 type DiagramNode struct {
 	Label string
 	Spec  string
+	Line  int
 }
 
 // DiagramArc is `i: a->b ++> <morphism>`.
@@ -97,6 +101,7 @@ type DiagramArc struct {
 	From  string
 	To    string
 	M     Expr // MorphismExpr or MorphismRef
+	Line  int
 }
 
 // ColimitExpr is colimit D.

@@ -189,7 +189,7 @@ func (p *parser) parseIfThenElse() (FormulaNode, error) {
 	return ite, nil
 }
 
-var cmpOps = map[string]bool{"=": true, "<": true, "<=": true, ">": true, ">=": true}
+var cmpOps = map[string]bool{"=": true, "<": true, "<=": true, ">": true, ">=": true} //lint:allow noglobalstate immutable operator table
 
 func (p *parser) peekCmpOp() (string, bool) {
 	t := p.peek()

@@ -39,7 +39,7 @@ func (t token) String() string {
 }
 
 // multi-character operators, longest first.
-var operators = []string{
+var operators = []string{ //lint:allow noglobalstate immutable operator table
 	"++>", "<->", "-->", "<=>", "=>", "->", "<=", ">=", "~(", "(", ")", "{", "}",
 	",", ":", ";", "*", "=", "~", "&", "|", "<", ">", "+", "-", ".",
 }

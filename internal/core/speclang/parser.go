@@ -201,6 +201,7 @@ func (p *parser) parseSpec() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
+			decl.Line = t.line
 			s.Sorts = append(s.Sorts, decl)
 		case "op":
 			p.next()
@@ -208,6 +209,7 @@ func (p *parser) parseSpec() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
+			decl.Line = t.line
 			s.Ops = append(s.Ops, decl)
 		case "axiom", "theorem":
 			p.next()
@@ -222,7 +224,7 @@ func (p *parser) parseSpec() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			decl := PropDecl{Name: name, Formula: f}
+			decl := PropDecl{Name: name, Formula: f, Line: t.line}
 			if t.text == "axiom" {
 				s.Axioms = append(s.Axioms, decl)
 			} else {
@@ -397,6 +399,7 @@ func (p *parser) parseDiagram() (Expr, error) {
 	}
 	d := &DiagramExpr{}
 	for {
+		labelTok := p.peek()
 		label, err := p.expectIdent()
 		if err != nil {
 			return nil, err
@@ -430,7 +433,7 @@ func (p *parser) parseDiagram() (Expr, error) {
 				}
 				m = &MorphismRef{Name: ref}
 			}
-			d.Arcs = append(d.Arcs, DiagramArc{Label: label, From: from, To: to, M: m})
+			d.Arcs = append(d.Arcs, DiagramArc{Label: label, From: from, To: to, M: m, Line: labelTok.line})
 		} else {
 			if err := p.expectMapsTo(); err != nil {
 				return nil, err
@@ -439,7 +442,7 @@ func (p *parser) parseDiagram() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			d.Nodes = append(d.Nodes, DiagramNode{Label: label, Spec: specName})
+			d.Nodes = append(d.Nodes, DiagramNode{Label: label, Spec: specName, Line: labelTok.line})
 		}
 		if p.acceptSymbol(",") {
 			continue

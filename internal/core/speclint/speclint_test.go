@@ -1,0 +1,158 @@
+package speclint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMalformedFixture pins the full diagnostic set for the malformed
+// fixture: every lint rule should fire exactly where expected.
+func TestMalformedFixture(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "malformed.sw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := LintSource("malformed.sw", string(data))
+
+	want := []string{
+		"9: warning: unused-sort",
+		"12: warning: unused-op",
+		"15: error: duplicate-axiom",
+		"24: error: undeclared-sort",
+		"24: warning: unused-op",
+		"25: error: undeclared-symbol",
+		"27: error: arity-mismatch",
+		"38: warning: unused-op",
+		"41: error: rename-unknown-symbol",
+		"44: error: morphism-not-total",
+		"47: error: diagram-disconnected",
+		"52: error: diagram-unknown-node",
+		"53: error: diagram-arc-mismatch",
+		"53: error: diagram-arc-mismatch",
+		"58: error: wrong-kind",
+		"60: error: prove-unknown-axiom",
+		"61: error: prove-unknown-theorem",
+		"62: error: unbound-name",
+		"64: error: unbound-name",
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d: %s: %s", d.Line, d.Severity, d.Rule))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("diagnostic count = %d, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if !HasErrors(diags) {
+		t.Error("malformed fixture should contain errors")
+	}
+}
+
+// TestThesisCorpusClean is the acceptance gate: the three thesis
+// transcriptions must lint with zero errors (warnings are allowed — the
+// corpus genuinely declares one unused sort).
+func TestThesisCorpusClean(t *testing.T) {
+	corpus := filepath.Join("..", "speclang", "testdata", "thesis")
+	entries, err := os.ReadDir(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".sw") {
+			continue
+		}
+		seen++
+		data, err := os.ReadFile(filepath.Join(corpus, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := LintSource(e.Name(), string(data))
+		for _, d := range diags {
+			if d.Severity == SevError {
+				t.Errorf("%s: unexpected error: %s", e.Name(), d)
+			} else {
+				t.Logf("%s: %s", e.Name(), d)
+			}
+		}
+	}
+	if seen != 3 {
+		t.Fatalf("expected 3 thesis corpus files, found %d", seen)
+	}
+}
+
+// TestParseErrorDiagnostic checks that an unparseable file becomes a
+// parse-error diagnostic instead of an error return.
+func TestParseErrorDiagnostic(t *testing.T) {
+	diags := LintSource("bad.sw", "X = spec\nsort\n")
+	if len(diags) != 1 || diags[0].Rule != "parse-error" || diags[0].Severity != SevError {
+		t.Fatalf("got %v, want a single parse-error", diags)
+	}
+	if !strings.Contains(diags[0].String(), "bad.sw:1: error: parse-error") {
+		t.Errorf("rendered diagnostic %q missing standard prefix", diags[0])
+	}
+}
+
+// TestCleanSpecNoFindings sanity-checks that a minimal well-formed file
+// produces no diagnostics at all.
+func TestCleanSpecNoFindings(t *testing.T) {
+	src := `A = spec
+sort S = Nat
+op P : S -> Boolean
+axiom p is
+fa(x:S) P(x)
+theorem q is
+fa(x:S) P(x)
+endspec
+pr = prove q in A using p
+`
+	if diags := LintSource("clean.sw", src); len(diags) != 0 {
+		t.Fatalf("clean spec produced diagnostics: %v", diags)
+	}
+	if HasErrors(nil) {
+		t.Error("HasErrors(nil) should be false")
+	}
+}
+
+// TestColimitApexChecks verifies prove statements resolve against the
+// colimit apex (union of node signatures, with node-qualified names).
+func TestColimitApexChecks(t *testing.T) {
+	src := `A = spec
+sort S = Nat
+op P : S -> Boolean
+axiom base is
+fa(x:S) P(x)
+theorem goal is
+fa(x:S) P(x)
+endspec
+B = spec
+sort S = Nat
+op P : S -> Boolean
+axiom base is
+fa(x:S) P(x)
+endspec
+M = morphism A -> B {}
+D = diagram {
+a ++> A,
+b ++> B,
+i: a->b ++> M
+}
+C = colimit D
+ok = prove goal in C using base a_base b_base
+bad = prove goal in C using nothere
+`
+	diags := LintSource("colimit.sw", src)
+	if len(diags) != 1 {
+		t.Fatalf("got %v, want exactly one finding", diags)
+	}
+	if diags[0].Rule != "prove-unknown-axiom" || !strings.Contains(diags[0].Message, "nothere") {
+		t.Errorf("unexpected diagnostic: %s", diags[0])
+	}
+}

@@ -168,6 +168,7 @@ func Group(net *simnet.Network, interval sim.Time, rhoPPM int64) map[simnet.Node
 	for id, d := range ds {
 		d := d
 		if err := net.SetHandler(id, func(m simnet.Message) { d.HandleMessage(m) }); err != nil {
+			//lint:allow nopanic nodes came from net.Nodes() so SetHandler cannot fail; a panic here is a wiring bug in this package
 			panic(fmt.Sprintf("detector: %v", err))
 		}
 	}

@@ -133,6 +133,7 @@ func Group(net *simnet.Network) map[simnet.NodeID]*Node {
 	for id, nd := range ns {
 		nd := nd
 		if err := net.SetHandler(id, func(m simnet.Message) { nd.HandleMessage(m) }); err != nil {
+			//lint:allow nopanic nodes came from net.Nodes() so SetHandler cannot fail; a panic here is a wiring bug in this package
 			panic(fmt.Sprintf("election: %v", err))
 		}
 	}

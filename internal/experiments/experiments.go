@@ -288,7 +288,10 @@ func E10FailureInjection() ([]E10Row, error) {
 	// Probe 1: reliable network (assumption 2) — drop messages and watch
 	// commit availability collapse while atomicity holds.
 	{
-		g := groupWithOptions(11, 3, tpc.Config{}, simnet.Options{MinDelay: 1, MaxDelay: 10, FIFO: true, DropRate: 0.4})
+		g, err := groupWithOptions(11, 3, tpc.Config{}, simnet.Options{MinDelay: 1, MaxDelay: 10, FIFO: true, DropRate: 0.4})
+		if err != nil {
+			return nil, err
+		}
 		_ = g.Coordinator.Begin("t")
 		g.Net.Scheduler().Run(0)
 		o := g.Outcome("t")
@@ -305,7 +308,10 @@ func E10FailureInjection() ([]E10Row, error) {
 	// the snapshot protocol is the FIFO-sensitive one (tested in
 	// internal/snapshot); here we verify 3PC still terminates.
 	{
-		g := groupWithOptions(13, 3, tpc.Config{}, simnet.Options{MinDelay: 1, MaxDelay: 25, FIFO: false})
+		g, err := groupWithOptions(13, 3, tpc.Config{}, simnet.Options{MinDelay: 1, MaxDelay: 25, FIFO: false})
+		if err != nil {
+			return nil, err
+		}
 		_ = g.Coordinator.Begin("t")
 		g.Net.Scheduler().Run(0)
 		o := g.Outcome("t")
@@ -321,7 +327,10 @@ func E10FailureInjection() ([]E10Row, error) {
 	// the timeout make the coordinator abort live cohorts: safety holds,
 	// availability (commit) is lost.
 	{
-		g := groupWithOptions(17, 3, tpc.Config{PhaseTimeout: 8}, simnet.Options{MinDelay: 10, MaxDelay: 30, FIFO: true})
+		g, err := groupWithOptions(17, 3, tpc.Config{PhaseTimeout: 8}, simnet.Options{MinDelay: 10, MaxDelay: 30, FIFO: true})
+		if err != nil {
+			return nil, err
+		}
 		_ = g.Coordinator.Begin("t")
 		g.Net.Scheduler().Run(0)
 		o := g.Outcome("t")
@@ -356,7 +365,7 @@ func E10FailureInjection() ([]E10Row, error) {
 }
 
 // groupWithOptions is tpc.NewGroup with custom network options.
-func groupWithOptions(seed int64, n int, cfg tpc.Config, opts simnet.Options) *tpc.Group {
+func groupWithOptions(seed int64, n int, cfg tpc.Config, opts simnet.Options) (*tpc.Group, error) {
 	sched := sim.NewScheduler(seed)
 	net := simnet.New(sched, opts)
 	return tpc.NewGroupOn(net, n, cfg)

@@ -22,13 +22,15 @@ import (
 // a string key-value map (what internal/kvstore and the examples use).
 type State map[string]string
 
-// EncodeState serializes a State for checkpointing.
-func EncodeState(s State) []byte {
+// EncodeState serializes a State for checkpointing. Marshal of a string
+// map cannot fail today, but the error is surfaced anyway: a checkpoint
+// capture that silently saved nothing would corrupt recovery.
+func EncodeState(s State) ([]byte, error) {
 	data, err := json.Marshal(s)
 	if err != nil {
-		panic("recovery: marshal: " + err.Error())
+		return nil, fmt.Errorf("recovery: encode state: %w", err)
 	}
-	return data
+	return data, nil
 }
 
 // DecodeState deserializes a checkpointed State.

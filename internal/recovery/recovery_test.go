@@ -11,6 +11,16 @@ import (
 	"speccat/internal/wal"
 )
 
+// mustEncode is the test-side shim for EncodeState's error return.
+func mustEncode(t *testing.T, s State) []byte {
+	t.Helper()
+	data, err := EncodeState(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
 func TestColdStartEmpty(t *testing.T) {
 	st := stable.NewStore()
 	state, rep, err := Recover(st)
@@ -58,10 +68,16 @@ func runCheckpointRound(t *testing.T, state State) *stable.Store {
 	net := simnet.New(sched, simnet.DefaultOptions())
 	net.AddNode(1, nil)
 	net.AddNode(2, nil)
-	n1 := checkpoint.New(net, 1, func() []byte { return EncodeState(State{}) })
-	n2 := checkpoint.New(net, 2, func() []byte { return EncodeState(state) })
-	mustOK(t, net.SetHandler(1, func(m simnet.Message) { n1.HandleMessage(m) }))
-	mustOK(t, net.SetHandler(2, func(m simnet.Message) { n2.HandleMessage(m) }))
+	n1 := checkpoint.New(net, 1, func() []byte { return mustEncode(t, State{}) })
+	n2 := checkpoint.New(net, 2, func() []byte { return mustEncode(t, state) })
+	mustOK(t, net.SetHandler(1, func(m simnet.Message) {
+		_, err := n1.HandleMessage(m)
+		mustOK(t, err)
+	}))
+	mustOK(t, net.SetHandler(2, func(m simnet.Message) {
+		_, err := n2.HandleMessage(m)
+		mustOK(t, err)
+	}))
 	n1.StartCoordinator(0)
 	n1.TakeNow()
 	sched.Run(0)
@@ -121,7 +137,7 @@ func TestTentativeDiscardedOnRecovery(t *testing.T) {
 	// A tentative checkpoint that never committed must not affect
 	// recovery and must be gone afterwards.
 	st := stable.NewStore()
-	st.Put("ckpt/tentative", EncodeState(State{"ghost": "1"}))
+	st.Put("ckpt/tentative", mustEncode(t, State{"ghost": "1"}))
 	state, _, err := Recover(st)
 	mustOK(t, err)
 	if _, ok := state["ghost"]; ok {
@@ -134,7 +150,7 @@ func TestTentativeDiscardedOnRecovery(t *testing.T) {
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	in := State{"k1": "v1", "k2": "v2"}
-	out, err := DecodeState(EncodeState(in))
+	out, err := DecodeState(mustEncode(t, in))
 	mustOK(t, err)
 	if !reflect.DeepEqual(in, out) {
 		t.Fatalf("round trip: %v vs %v", in, out)

@@ -41,7 +41,7 @@ type moduleLayer struct {
 // serializabilityTower is the module chain of Figs. 4.3–4.8: broadcast →
 // consensus (composing to the controller) → undo/redo → two-phase locking,
 // the tower that establishes the Serializability property.
-var serializabilityTower = []moduleLayer{
+var serializabilityTower = []moduleLayer{ //lint:allow noglobalstate immutable transcription of Figs. 4.3-4.8
 	{
 		name: "BROADCAST", spec: "BROADCAST",
 		exports:    []string{"Deliver", "Broadcast"},

@@ -33,7 +33,7 @@ var ErrCorpus = errors.New("thesis: corpus error")
 func Corpus() (*speclang.Env, error) {
 	env, err := speclang.Run(corpusSrc, speclang.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorpus, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorpus, err)
 	}
 	return env, nil
 }
@@ -43,7 +43,7 @@ func Corpus() (*speclang.Env, error) {
 func CorpusWithoutProofs() (*speclang.Env, error) {
 	env, err := speclang.Run(corpusSrc, speclang.Options{SkipProofs: true})
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorpus, err)
+		return nil, fmt.Errorf("%w: %w", ErrCorpus, err)
 	}
 	return env, nil
 }
@@ -62,7 +62,7 @@ type PropertyResult struct {
 
 // property descriptors, mirroring the thesis's p1/p2/p3 prove statements
 // (plus p4 for the sequential-division-2 functionality).
-var properties = []struct {
+var properties = []struct { //lint:allow noglobalstate immutable transcription of the thesis prove statements
 	theorem   string
 	composite string
 	using     []string
@@ -154,14 +154,14 @@ type ChainStep struct {
 
 // chain definitions matching Figs. 3.4 and 3.5.
 var (
-	division1 = [][3]string{
+	division1 = [][3]string{ //lint:allow noglobalstate immutable transcription of Fig. 3.4
 		{"CONTROLLER", "BROADCAST", "CONSENSUS"},
 		{"PR1", "CONTROLLER", "UNDOREDO"},
 		{"PR2", "PR1", "TWOPHASELOCK"},
 		{"PR3", "PR2", "CHECKPOINTING"},
 		{"PR4", "PR3", "RECOVERY"},
 	}
-	division2 = [][3]string{
+	division2 = [][3]string{ //lint:allow noglobalstate immutable transcription of Fig. 3.5
 		{"CONTROLLER", "BROADCAST", "CONSENSUS"},
 		{"PR5", "CONTROLLER", "SNAPSHOT"},
 		{"PR6", "PR5", "DECISIONMAKING"},

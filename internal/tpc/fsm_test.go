@@ -51,7 +51,7 @@ func TestEngineRefinesFig32(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		n := 2 + r.Intn(3)
 		naive := r.Intn(3) == 0
-		g := NewGroup(seed, n, Config{NaiveTimeouts: naive})
+		g := mustGroup(t, seed, n, Config{NaiveTimeouts: naive})
 		tc := &traceCollector{}
 		g.Coordinator.Trace = tc.hook()
 		for _, h := range g.Cohorts {
@@ -102,7 +102,7 @@ func TestEngineRefinesFig32(t *testing.T) {
 // transitions; a coordinator-crash run includes termination or timeout
 // causes.
 func TestTraceCausesMeaningful(t *testing.T) {
-	g := NewGroup(99, 3, Config{})
+	g := mustGroup(t, 99, 3, Config{})
 	tc := &traceCollector{}
 	g.Coordinator.Trace = tc.hook()
 	for _, h := range g.Cohorts {
@@ -118,7 +118,7 @@ func TestTraceCausesMeaningful(t *testing.T) {
 		}
 	}
 
-	g2 := NewGroup(100, 3, Config{})
+	g2 := mustGroup(t, 100, 3, Config{})
 	tc2 := &traceCollector{}
 	for _, h := range g2.Cohorts {
 		h.Trace = tc2.hook()

@@ -1,6 +1,7 @@
 package tpc
 
 import (
+	"errors"
 	"fmt"
 
 	"speccat/internal/sim"
@@ -17,16 +18,19 @@ type Group struct {
 	CohortIDs   []simnet.NodeID
 }
 
+// ErrWire is wrapped when a group's message handlers cannot be installed.
+var ErrWire = errors.New("tpc: wire handler")
+
 // NewGroup builds a network with one coordinator and n cohorts and wires
 // all message handlers.
-func NewGroup(seed int64, n int, cfg Config) *Group {
+func NewGroup(seed int64, n int, cfg Config) (*Group, error) {
 	sched := sim.NewScheduler(seed)
 	return NewGroupOn(simnet.New(sched, simnet.DefaultOptions()), n, cfg)
 }
 
 // NewGroupOn wires a commit group onto an existing (empty) network,
 // letting callers customize network options for failure injection.
-func NewGroupOn(net *simnet.Network, n int, cfg Config) *Group {
+func NewGroupOn(net *simnet.Network, n int, cfg Config) (*Group, error) {
 	coordID := simnet.NodeID(1)
 	net.AddNode(coordID, nil)
 	var cohortIDs []simnet.NodeID
@@ -37,20 +41,17 @@ func NewGroupOn(net *simnet.Network, n int, cfg Config) *Group {
 	}
 	g := &Group{Net: net, CoordID: coordID, CohortIDs: cohortIDs, Cohorts: map[simnet.NodeID]*Cohort{}}
 	g.Coordinator = NewCoordinator(net, coordID, cohortIDs, cfg)
-	mustSetHandler(net, coordID, func(m simnet.Message) { g.Coordinator.HandleMessage(m) })
+	if err := net.SetHandler(coordID, func(m simnet.Message) { g.Coordinator.HandleMessage(m) }); err != nil {
+		return nil, fmt.Errorf("%w: coordinator %d: %w", ErrWire, coordID, err)
+	}
 	for _, id := range cohortIDs {
 		h := NewCohort(net, id, coordID, cohortIDs, cfg)
 		g.Cohorts[id] = h
-		mustSetHandler(net, id, func(m simnet.Message) { h.HandleMessage(m) })
+		if err := net.SetHandler(id, func(m simnet.Message) { h.HandleMessage(m) }); err != nil {
+			return nil, fmt.Errorf("%w: cohort %d: %w", ErrWire, id, err)
+		}
 	}
-	return g
-}
-
-func mustSetHandler(net *simnet.Network, id simnet.NodeID, h simnet.Handler) {
-	if err := net.SetHandler(id, h); err != nil {
-		// Nodes were just added; SetHandler cannot fail.
-		panic(fmt.Sprintf("tpc: %v", err))
-	}
+	return g, nil
 }
 
 // Run starts txn and drives the simulation to quiescence.

@@ -1,0 +1,13 @@
+package tpc
+
+import "testing"
+
+// mustGroup is the test-side shim for NewGroup's error return.
+func mustGroup(t testing.TB, seed int64, n int, cfg Config) *Group {
+	t.Helper()
+	g, err := NewGroup(seed, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -11,7 +11,7 @@ import (
 // every cohort abort via the w2 timeout transition, no termination
 // protocol involved.
 func TestNaiveTimeoutsAbortInW2(t *testing.T) {
-	g := NewGroup(21, 3, Config{NaiveTimeouts: true})
+	g := mustGroup(t, 21, 3, Config{NaiveTimeouts: true})
 	if err := g.Coordinator.Begin("t"); err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestNaiveTimeoutsAbortInW2(t *testing.T) {
 // prepared — p2 timeout transitions commit, consistent with the
 // coordinator's p1 failure transition.
 func TestNaiveTimeoutsCommitInP2(t *testing.T) {
-	g := NewGroup(22, 3, Config{NaiveTimeouts: true})
+	g := mustGroup(t, 22, 3, Config{NaiveTimeouts: true})
 	if err := g.Coordinator.Begin("t"); err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestNaiveTimeoutsCommitInP2(t *testing.T) {
 // transitions never violate atomicity here, at any crash point.
 func TestNaiveTimeoutsSweepStaysAtomicInEngine(t *testing.T) {
 	for crashAt := sim.Time(0); crashAt <= 120; crashAt += 5 {
-		g := NewGroup(23, 3, Config{NaiveTimeouts: true})
+		g := mustGroup(t, 23, 3, Config{NaiveTimeouts: true})
 		if err := g.Coordinator.Begin("t"); err != nil {
 			t.Fatal(err)
 		}

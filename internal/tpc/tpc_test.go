@@ -10,7 +10,7 @@ import (
 )
 
 func TestAllYesCommits(t *testing.T) {
-	g := NewGroup(1, 3, Config{})
+	g := mustGroup(t, 1, 3, Config{})
 	if err := g.Run("t1"); err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestAllYesCommits(t *testing.T) {
 }
 
 func TestAnyNoAborts(t *testing.T) {
-	g := NewGroup(2, 3, Config{})
+	g := mustGroup(t, 2, 3, Config{})
 	g.Cohorts[3].Vote = func(string) bool { return false }
 	if err := g.Run("t1"); err != nil {
 		t.Fatal(err)
@@ -43,7 +43,7 @@ func TestAnyNoAborts(t *testing.T) {
 }
 
 func TestCohortCrashBeforeVoteAborts(t *testing.T) {
-	g := NewGroup(3, 3, Config{})
+	g := mustGroup(t, 3, 3, Config{})
 	if err := g.Net.Crash(3); err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestCoordinatorCrashInW1CohortsTerminate(t *testing.T) {
 	// Coordinator crashes right after the commit requests go out: cohorts
 	// time out in w2 and the termination protocol aborts everywhere —
 	// non-blocking.
-	g := NewGroup(4, 3, Config{})
+	g := mustGroup(t, 4, 3, Config{})
 	if err := g.Coordinator.Begin("t1"); err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestCoordinatorCrashAfterPrepareCohortsCommit(t *testing.T) {
 	// Crash the coordinator after every cohort acked (it is in p1 about
 	// to commit): cohorts are all in p2; termination must COMMIT, and the
 	// recovering coordinator (failure transition p1→commit) agrees.
-	g := NewGroup(5, 3, Config{})
+	g := mustGroup(t, 5, 3, Config{})
 	if err := g.Coordinator.Begin("t1"); err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestCohortCrashAfterVoteThenRecovers(t *testing.T) {
 	// A cohort crashes in w2 (after voting yes, before prepare arrives);
 	// the coordinator times out in p1 and aborts; the crashed cohort's
 	// failure transition from w2 also aborts on recovery: consistent.
-	g := NewGroup(6, 3, Config{})
+	g := mustGroup(t, 6, 3, Config{})
 	if err := g.Coordinator.Begin("t1"); err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestNonBlockingSingleFailureAlwaysDecides(t *testing.T) {
 	// run; in every case all operational sites must decide (non-blocking)
 	// and agree (atomicity). This is the heart of E7's dynamic check.
 	for crashAt := sim.Time(0); crashAt <= 120; crashAt += 3 {
-		g := NewGroup(7, 3, Config{})
+		g := mustGroup(t, 7, 3, Config{})
 		if err := g.Coordinator.Begin("t1"); err != nil {
 			t.Fatal(err)
 		}
@@ -219,7 +219,7 @@ func TestTwoPCBlocksOnCoordinatorCrash(t *testing.T) {
 	// The comparison experiment: under 2PC, cohorts that voted yes are
 	// stuck once the coordinator dies — they never decide until it
 	// recovers.
-	g := NewGroup(8, 3, Config{Protocol: TwoPhase})
+	g := mustGroup(t, 8, 3, Config{Protocol: TwoPhase})
 	if err := g.Coordinator.Begin("t1"); err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestTwoPCBlocksOnCoordinatorCrash(t *testing.T) {
 func TestThreePCNeverBlocksWhereTwoPCBlocks(t *testing.T) {
 	// Same crash point, both protocols: 3PC decides, 2PC does not.
 	run := func(p Protocol) (decided bool) {
-		g := NewGroup(9, 3, Config{Protocol: p})
+		g := mustGroup(t, 9, 3, Config{Protocol: p})
 		if err := g.Coordinator.Begin("t1"); err != nil {
 			t.Fatal(err)
 		}
@@ -311,7 +311,7 @@ func TestThreePCNeverBlocksWhereTwoPCBlocks(t *testing.T) {
 }
 
 func TestMultipleConcurrentTransactions(t *testing.T) {
-	g := NewGroup(10, 3, Config{})
+	g := mustGroup(t, 10, 3, Config{})
 	g.Cohorts[2].Vote = func(txn string) bool { return txn != "tB" }
 	for _, txn := range []string{"tA", "tB", "tC"} {
 		if err := g.Coordinator.Begin(txn); err != nil {
@@ -342,7 +342,7 @@ func TestRandomCrashScheduleProperty(t *testing.T) {
 	for seed := int64(0); seed < 120; seed++ {
 		r := rand.New(rand.NewSource(seed))
 		n := 2 + r.Intn(3)
-		g := NewGroup(seed, n, Config{})
+		g := mustGroup(t, seed, n, Config{})
 		victimIdx := r.Intn(n + 1)
 		victim := g.CoordID
 		if victimIdx > 0 {

@@ -20,6 +20,9 @@ var (
 	ErrTxnState = errors.New("wal: invalid transaction state")
 	// ErrCorrupt is wrapped when a log record fails to decode.
 	ErrCorrupt = errors.New("wal: corrupt log record")
+	// ErrEncode is wrapped when a log record fails to serialize before the
+	// write-ahead append.
+	ErrEncode = errors.New("wal: encode log record")
 )
 
 // RecordKind enumerates log record types.
@@ -82,8 +85,7 @@ func (l *Log) Begin(txn string) error {
 		return fmt.Errorf("%w: %s already active", ErrTxnState, txn)
 	}
 	l.active[txn] = true
-	l.append(Record{Kind: RecBegin, Txn: txn})
-	return nil
+	return l.append(Record{Kind: RecBegin, Txn: txn})
 }
 
 // LoggedUpdate applies an update with write-ahead logging: the undo/redo
@@ -93,7 +95,9 @@ func (l *Log) LoggedUpdate(txn string, db map[string]string, key, value string) 
 		return fmt.Errorf("%w: %s not active", ErrTxnState, txn)
 	}
 	old := db[key]
-	l.append(Record{Kind: RecUpdate, Txn: txn, Key: key, Old: old, New: value})
+	if err := l.append(Record{Kind: RecUpdate, Txn: txn, Key: key, Old: old, New: value}); err != nil {
+		return err
+	}
 	db[key] = value
 	return nil
 }
@@ -105,8 +109,7 @@ func (l *Log) Commit(txn string) error {
 		return fmt.Errorf("%w: %s not active", ErrTxnState, txn)
 	}
 	delete(l.active, txn)
-	l.append(Record{Kind: RecCommit, Txn: txn})
-	return nil
+	return l.append(Record{Kind: RecCommit, Txn: txn})
 }
 
 // Abort writes the abort record; recovery (or the caller via UndoInto)
@@ -116,8 +119,7 @@ func (l *Log) Abort(txn string) error {
 		return fmt.Errorf("%w: %s not active", ErrTxnState, txn)
 	}
 	delete(l.active, txn)
-	l.append(Record{Kind: RecAbort, Txn: txn})
-	return nil
+	return l.append(Record{Kind: RecAbort, Txn: txn})
 }
 
 // UndoInto rolls a just-aborted transaction's updates back out of db
@@ -136,13 +138,16 @@ func (l *Log) UndoInto(txn string, db map[string]string) error {
 	return nil
 }
 
-func (l *Log) append(r Record) {
+func (l *Log) append(r Record) error {
 	data, err := json.Marshal(r)
 	if err != nil {
-		// Record is a plain struct of strings; marshal cannot fail.
-		panic("wal: marshal: " + err.Error())
+		// Record is a plain struct of strings, so this is unreachable today;
+		// still surfaced as an error because a silent write-ahead failure
+		// would break the recovery protocol's durability assumption.
+		return fmt.Errorf("%w: %w", ErrEncode, err)
 	}
 	l.store.Append(data)
+	return nil
 }
 
 // Records decodes the full log from a stable store.
@@ -152,7 +157,7 @@ func Records(store *stable.Store) ([]Record, error) {
 	for i, b := range raw {
 		var r Record
 		if err := json.Unmarshal(b, &r); err != nil {
-			return nil, fmt.Errorf("%w: record %d: %v", ErrCorrupt, i, err)
+			return nil, fmt.Errorf("%w: record %d: %w", ErrCorrupt, i, err)
 		}
 		out = append(out, r)
 	}
