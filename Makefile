@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint verify bench
+.PHONY: build test race lint explore verify bench
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,19 @@ lint:
 	$(GO) run ./cmd/speccatlint ./...
 	$(GO) run ./cmd/speccatlint internal/core/speclang/testdata/thesis/*.sw
 
+# Deterministic fault-exploration smoke suite: the explorer must rediscover
+# the naive-3PC atomicity violation and 2PC blocking end to end, full 3PC
+# must run clean, and the checked-in shrunk counterexamples must replay
+# byte-for-byte. Budget counts simulated runs, not wall time.
+explore:
+	$(GO) run ./cmd/tpcexplore -protocol 3pc-naive -seeds 40 -budget 400 -expect atomicity
+	$(GO) run ./cmd/tpcexplore -protocol 2pc -seeds 40 -budget 400 -expect progress
+	$(GO) run ./cmd/tpcexplore -protocol 3pc -seeds 80 -budget 400 -expect none
+	$(GO) run ./cmd/tpcexplore -replay internal/explore/testdata/naive3pc_atomicity.json
+	$(GO) run ./cmd/tpcexplore -replay internal/explore/testdata/2pc_blocking.json
+
 # The full tier-1 gate: everything CI runs.
-verify: build lint test race
+verify: build lint test race explore
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ ./...

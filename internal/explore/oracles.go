@@ -1,0 +1,219 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"speccat/internal/tpc"
+	"speccat/internal/wal"
+)
+
+// Oracle names, in evaluation order.
+const (
+	OracleAtomicity       = "atomicity"
+	OracleDurability      = "durability"
+	OracleSerializability = "serializability"
+	OracleProgress        = "progress"
+)
+
+// checkOracles evaluates every end-to-end correctness property against the
+// finished run. Evaluation is read-only and iterates in deterministic
+// order, so the violation list is part of the replayable trace.
+func (r *runner) checkOracles() []Violation {
+	var out []Violation
+	out = append(out, r.checkAtomicity()...)
+	out = append(out, r.checkDurability()...)
+	out = append(out, r.checkSerializability()...)
+	out = append(out, r.checkProgress()...)
+	return out
+}
+
+// checkAtomicity: no transaction may have one node durably commit while
+// another durably aborts. Durable (persisted) decisions are the ground
+// truth — they are what each node acts on across any future crash, so a
+// split here is unrepairable.
+func (r *runner) checkAtomicity() []Violation {
+	var out []Violation
+	for _, name := range r.submitted {
+		commit, abort := r.durableDecisions(name)
+		if len(commit) > 0 && len(abort) > 0 {
+			out = append(out, Violation{
+				Oracle: OracleAtomicity,
+				Txn:    name,
+				Detail: fmt.Sprintf("nodes %v durably committed while nodes %v durably aborted", commit, abort),
+			})
+		}
+	}
+	return out
+}
+
+// checkDurability: each site's state, recovered from its WAL alone (as if
+// the site crashed at the end of the run), must equal the writes of exactly
+// the transactions whose commit the site applied, in application order.
+// Lost committed writes and resurrected aborted writes both surface here.
+func (r *runner) checkDurability() []Violation {
+	var out []Violation
+	for _, id := range r.cluster.SiteIDs {
+		st, err := r.net.Store(id)
+		if err != nil {
+			continue
+		}
+		recovered, _, err := wal.Recover(st)
+		if err != nil {
+			out = append(out, Violation{
+				Oracle: OracleDurability,
+				Site:   id,
+				Detail: fmt.Sprintf("WAL recovery failed: %v", err),
+			})
+			continue
+		}
+		expected := map[string]string{}
+		for _, name := range r.applied[id] {
+			w := r.writes[name][id]
+			keys := make([]string, 0, len(w))
+			for k := range w {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				expected[k] = w[k]
+			}
+		}
+		keys := map[string]bool{}
+		for k := range expected {
+			keys[k] = true
+		}
+		for k := range recovered {
+			keys[k] = true
+		}
+		sorted := make([]string, 0, len(keys))
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		for _, k := range sorted {
+			if expected[k] != recovered[k] {
+				out = append(out, Violation{
+					Oracle: OracleDurability,
+					Site:   id,
+					Detail: fmt.Sprintf("key %s: recovered %q, committed history says %q", k, recovered[k], expected[k]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkSerializability: the conflict graph over committed transactions —
+// an edge t1→t2 when t1 touched a key before t2 at some site and at least
+// one access was a write — must be acyclic. Strict 2PL guarantees this;
+// a cycle means isolation broke.
+func (r *runner) checkSerializability() []Violation {
+	committed := map[string]bool{}
+	for _, name := range r.submitted {
+		if r.durableOutcome(name) == tpc.DecisionCommit {
+			committed[name] = true
+		}
+	}
+	edges := map[string]map[string]bool{}
+	addEdge := func(from, to string) {
+		if edges[from] == nil {
+			edges[from] = map[string]bool{}
+		}
+		edges[from][to] = true
+	}
+	for _, id := range r.cluster.SiteIDs {
+		type access struct {
+			txn   string
+			write bool
+		}
+		perKey := map[string][]access{}
+		for _, op := range r.opLog[id] {
+			if !committed[op.txn] {
+				continue
+			}
+			for _, prev := range perKey[op.key] {
+				if prev.txn != op.txn && (prev.write || op.write) {
+					addEdge(prev.txn, op.txn)
+				}
+			}
+			perKey[op.key] = append(perKey[op.key], access{txn: op.txn, write: op.write})
+		}
+	}
+	// Cycle detection by iterative DFS over sorted nodes/neighbors.
+	nodes := make([]string, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var cycleAt string
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		nbrs := make([]string, 0, len(edges[n]))
+		for m := range edges[n] {
+			nbrs = append(nbrs, m)
+		}
+		sort.Strings(nbrs)
+		for _, m := range nbrs {
+			switch color[m] {
+			case gray:
+				cycleAt = m
+				return true
+			case white:
+				if visit(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white && visit(n) {
+			return []Violation{{
+				Oracle: OracleSerializability,
+				Txn:    cycleAt,
+				Detail: fmt.Sprintf("conflict graph over committed transactions has a cycle through %s", cycleAt),
+			}}
+		}
+	}
+	return nil
+}
+
+// checkProgress: under the paper's design fault tolerance — at most one
+// site failure, reliable bounded-delay network — every operational site
+// must have decided every transaction it participated in by the horizon.
+// An up site stuck in w or p is the blocked cohort 3PC exists to prevent
+// (and exactly where 2PC blocks after a coordinator crash). Outside that
+// fault envelope the property is not claimed, so the oracle stands down.
+func (r *runner) checkProgress() []Violation {
+	if r.spec.CrashCount() > 1 || r.spec.UnreliableNetwork() {
+		return nil
+	}
+	var out []Violation
+	for _, name := range r.submitted {
+		for _, id := range r.cluster.SiteIDs {
+			if !r.net.Up(id) {
+				continue
+			}
+			site := r.cluster.Sites[id]
+			st := site.StateOf(name)
+			if st != tpc.StateWait && st != tpc.StatePrepared {
+				continue
+			}
+			detail := fmt.Sprintf("up site still in %s at horizon (undecided)", st)
+			if blocked, since := site.Blocked(name); blocked {
+				detail = fmt.Sprintf("up site blocked in %s since t=%d", st, since)
+			}
+			out = append(out, Violation{Oracle: OracleProgress, Txn: name, Site: id, Detail: detail})
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package explore
+
+import (
+	"fmt"
+
+	"speccat/internal/sim"
+)
+
+// Shrink minimizes a failing schedule to a smaller counterexample that
+// still violates the given oracle, delta-debugging style:
+//
+//  1. drop faults one at a time while the failure persists (ddmin over the
+//     fault list — with the generator's 1–2 faults this mostly certifies
+//     that every fault is load-bearing);
+//  2. reduce the workload, re-placing the crash fault for each candidate
+//     size: a schedule with fewer transactions has a different send-
+//     sequence range and quiescence time, so the original fault coordinate
+//     rarely transfers. For a single crash fault the re-placement is an
+//     exhaustive scan of the smaller run's fault space (every send index,
+//     or a time grid), which both finds a transfer if one exists and makes
+//     the result a *minimal* reproduction, independent of the original
+//     seed's luck.
+//
+// Shrink returns the smallest failing schedule found and its run result.
+// On budget exhaustion it returns the best schedule so far. Shrinking is
+// deterministic: candidates are enumerated in a fixed order.
+func Shrink(spec Schedule, oracle string, budget *Budget) (Schedule, *RunResult, error) {
+	spec = spec.Normalize()
+	fails := func(s Schedule) *RunResult {
+		res, err := runCounted(s, budget)
+		if err != nil {
+			return nil
+		}
+		for _, v := range res.Violations {
+			if v.Oracle == oracle {
+				return res
+			}
+		}
+		return nil
+	}
+
+	best := spec
+	bestRes := fails(best)
+	if bestRes == nil {
+		return spec, nil, fmt.Errorf("explore: schedule does not violate %s oracle (or budget exhausted)", oracle)
+	}
+
+	// Phase 1: remove redundant faults.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(best.Faults) && len(best.Faults) > 1; i++ {
+			cand := best
+			cand.Faults = append(append([]Fault{}, best.Faults[:i]...), best.Faults[i+1:]...)
+			if res := fails(cand); res != nil {
+				best, bestRes = cand, res
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Phase 2: reduce the workload, re-placing the fault at each size.
+	for _, t := range txnCandidates(best.Txns) {
+		cand, res, ok := rePlace(best, t, fails, budget)
+		if ok {
+			best, bestRes = cand, res
+			break // candidates ascend, so the first hit is minimal
+		}
+	}
+	return best, bestRes, nil
+}
+
+// txnCandidates enumerates ascending workload sizes below n.
+func txnCandidates(n int) []int {
+	var out []int
+	for _, t := range []int{1, 2, 3, 4, 6, 8} {
+		if t < n {
+			out = append(out, t)
+		}
+	}
+	for t := 12; t < n; t *= 2 {
+		out = append(out, t)
+	}
+	return out
+}
+
+// rePlace tries to reproduce the failure with t transactions. Single-crash
+// schedules get an exhaustive scan of the resized run's fault space; other
+// shapes just retry the original faults at the new size.
+func rePlace(spec Schedule, t int, fails func(Schedule) *RunResult, budget *Budget) (Schedule, *RunResult, bool) {
+	sized := spec
+	sized.Txns = t
+	pr, err := probe(sized, budget)
+	if err != nil {
+		return Schedule{}, nil, false
+	}
+	sized.Horizon = pr.Stats.End + horizonMargin
+
+	single := singleCrash(spec.Faults)
+	switch {
+	case single != nil && single.Kind == FaultCrashAtSend:
+		for seq := pr.Stats.SetupSends; seq < pr.Stats.TotalSends; seq++ {
+			cand := sized
+			cand.Faults = []Fault{{Kind: FaultCrashAtSend, Seq: seq}}
+			if res := fails(cand); res != nil {
+				return cand, res, true
+			}
+		}
+	case single != nil && single.Kind == FaultCrashAtTime:
+		// Preserve the crash→recovery offset if the schedule recovers the
+		// victim, and scan crash times on a δ grid.
+		var recoverAfter sim.Time = -1
+		for _, f := range spec.Faults {
+			if f.Kind == FaultRecoverAtTime && f.Site == single.Site {
+				recoverAfter = f.At - single.At
+			}
+		}
+		for at := setupHorizon + 1; at <= pr.Stats.End; at += r3Delta {
+			cand := sized
+			cand.Faults = []Fault{{Kind: FaultCrashAtTime, Site: single.Site, At: at}}
+			if recoverAfter >= 0 {
+				cand.Faults = append(cand.Faults, Fault{
+					Kind: FaultRecoverAtTime, Site: single.Site, At: at + recoverAfter,
+				})
+			}
+			if res := fails(cand); res != nil {
+				return cand, res, true
+			}
+		}
+	default:
+		cand := sized
+		if res := fails(cand); res != nil {
+			return cand, res, true
+		}
+	}
+	return Schedule{}, nil, false
+}
+
+// singleCrash returns the schedule's crash fault when there is exactly one
+// and every other fault (if any) is its paired recovery; nil otherwise.
+func singleCrash(faults []Fault) *Fault {
+	var crash *Fault
+	for i := range faults {
+		switch faults[i].Kind {
+		case FaultCrashAtSend, FaultCrashAtTime:
+			if crash != nil {
+				return nil
+			}
+			crash = &faults[i]
+		case FaultRecoverAtTime:
+			// allowed companion
+		default:
+			return nil
+		}
+	}
+	if crash == nil {
+		return nil
+	}
+	for _, f := range faults {
+		if f.Kind == FaultRecoverAtTime && (crash.Kind != FaultCrashAtTime || f.Site != crash.Site) {
+			return nil
+		}
+	}
+	return crash
+}

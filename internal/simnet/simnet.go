@@ -4,7 +4,11 @@
 // crash/recovery of sites (volatile state lost, stable storage kept), and
 // timeout timers. Failure injection hooks (message drop, delay inflation)
 // exist so tests can deliberately violate each assumption and observe which
-// protocol invariants break (experiment E10).
+// protocol invariants break (experiment E10). The SendHook schedule
+// injection API additionally lets a fault explorer (internal/explore)
+// target individual sends — dropping or delaying message #k, or crashing
+// the sender between two sends of one fan-out, the interleaving that
+// distinguishes the protocol variants in internal/mc.
 package simnet
 
 import (
@@ -34,6 +38,27 @@ type Handler func(msg Message)
 // RecoverFunc is invoked when a crashed node restarts; the protocol layer
 // rebuilds volatile state from stable storage inside it.
 type RecoverFunc func()
+
+// SendFault is a per-send fault injected by a SendHook. The zero value
+// means "no fault": the send proceeds normally.
+type SendFault struct {
+	// Drop discards the message (it is never delivered).
+	Drop bool
+	// Delay adds extra latency on top of the sampled delivery delay.
+	Delay sim.Time
+	// CrashSender crashes the sending node *before* this message is
+	// transmitted: the message is lost and the sender is down. This is the
+	// interleaving the paper's assumption 3 (synchronous state transition)
+	// rules out — a site failing between two sends of one fan-out — and it
+	// is exactly where internal/mc shows naive 3PC loses atomicity.
+	CrashSender bool
+}
+
+// SendHook observes every send attempt by an operational node and may
+// inject a fault. seq is a global, deterministic send sequence number
+// (the i-th Send call by any up node is seq i, starting at 0), which
+// gives fault schedules a stable coordinate system across replays.
+type SendHook func(seq uint64, msg Message) SendFault
 
 // Sentinel errors.
 var (
@@ -84,8 +109,16 @@ type Network struct {
 	partitioned map[[2]NodeID]bool
 	// stats
 	sent, delivered, dropped int
+	// sendSeq numbers every send attempt by an up node (see SendHook).
+	sendSeq uint64
+	// OnSend, when non-nil, is consulted on every send attempt and may
+	// inject a per-message fault (the schedule injection API).
+	OnSend SendHook
 	// Trace, when non-nil, receives every delivered message.
 	Trace func(Message)
+	// OnCrash, when non-nil, observes every crash (explicit Crash calls
+	// and SendFault.CrashSender injections alike).
+	OnCrash func(id NodeID)
 }
 
 // New creates a network over the given scheduler.
@@ -199,7 +232,25 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 	n.sent++
 	msg := Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: n.sched.Now()}
 
+	var fault SendFault
+	seq := n.sendSeq
+	n.sendSeq++
+	if n.OnSend != nil {
+		fault = n.OnSend(seq, msg)
+	}
+	if fault.CrashSender {
+		// The sender dies before this message leaves: the message is lost
+		// and every later send from this node fails with ErrNodeDown.
+		n.crash(src)
+		n.dropped++
+		return fmt.Errorf("%w: %d (crashed at send %d)", ErrNodeDown, from, seq)
+	}
+
 	if n.isPartitioned(from, to) {
+		n.dropped++
+		return nil
+	}
+	if fault.Drop {
 		n.dropped++
 		return nil
 	}
@@ -212,6 +263,7 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) error {
 	if span := n.opts.MaxDelay - n.opts.MinDelay; span > 0 {
 		delay += sim.Time(n.sched.Rand().Int63n(int64(span) + 1))
 	}
+	delay += fault.Delay
 	at := n.sched.Now() + delay
 	if n.opts.FIFO {
 		ch := [2]NodeID{from, to}
@@ -270,12 +322,22 @@ func (n *Network) Crash(id NodeID) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
 	}
+	n.crash(nd)
+	return nil
+}
+
+func (n *Network) crash(nd *node) {
+	if !nd.up {
+		return
+	}
 	nd.up = false
 	for _, t := range nd.timers {
 		t.Cancel()
 	}
 	nd.timers = nil
-	return nil
+	if n.OnCrash != nil {
+		n.OnCrash(nd.id)
+	}
 }
 
 // Recover restarts a crashed node and invokes its recovery callback.
@@ -314,6 +376,11 @@ func pairKey(a, b NodeID) [2]NodeID {
 func (n *Network) Stats() (sent, delivered, dropped int) {
 	return n.sent, n.delivered, n.dropped
 }
+
+// SendSeq returns the next send sequence number — equivalently, how many
+// send attempts by up nodes have occurred. Fault explorers probe a run
+// once to learn this range and then place send-targeted faults inside it.
+func (n *Network) SendSeq() uint64 { return n.sendSeq }
 
 // Delta returns the network's message delay bound (the paper's δ).
 func (n *Network) Delta() sim.Time { return n.opts.MaxDelay }

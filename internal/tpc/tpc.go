@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"speccat/internal/sim"
+	"speccat/internal/stable"
 )
 
 // State is an FSM state shared by coordinator and cohort (the paper's
@@ -138,3 +139,45 @@ func stateKey(txn string) string { return "tpc/" + txn + "/state" }
 
 // decisionKey persists final outcomes.
 func decisionKey(txn string) string { return "tpc/" + txn + "/decision" }
+
+// DurableDecision reads the outcome a site persisted for txn from its
+// stable store — what the site would decide on recovery, independent of
+// any volatile state. Fault explorers use it as the ground truth for
+// cross-site atomicity checks that span crashes.
+func DurableDecision(st *stable.Store, txn string) Decision {
+	raw, ok := st.Get(decisionKey(txn))
+	if !ok {
+		return DecisionNone
+	}
+	switch string(raw) {
+	case "commit":
+		return DecisionCommit
+	case "abort":
+		return DecisionAbort
+	default:
+		return DecisionNone
+	}
+}
+
+// DurableState reads the FSM state a site persisted for txn (StateInitial
+// when none was written).
+func DurableState(st *stable.Store, txn string) State {
+	raw, ok := st.Get(stateKey(txn))
+	if !ok {
+		return StateInitial
+	}
+	switch string(raw) {
+	case "q":
+		return StateInitial
+	case "w":
+		return StateWait
+	case "p":
+		return StatePrepared
+	case "a":
+		return StateAborted
+	case "c":
+		return StateCommitted
+	default:
+		return StateInitial
+	}
+}

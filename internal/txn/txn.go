@@ -11,11 +11,13 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"speccat/internal/kvstore"
 	"speccat/internal/sim"
 	"speccat/internal/simnet"
 	"speccat/internal/tpc"
+	"speccat/internal/wal"
 )
 
 // Wire kinds.
@@ -91,6 +93,14 @@ type Site struct {
 	// site votes no for them. Sites with no branch for a transaction vote
 	// yes trivially (they have nothing to make durable).
 	failed map[string]bool
+	// OnOp, when non-nil, observes every data operation this site executes,
+	// in execution order (= lock acquisition order under strict 2PL). Fault
+	// explorers derive the serializability conflict graph from it.
+	OnOp func(txn string, op Op)
+	// OnApply, when non-nil, observes every commit-protocol decision applied
+	// to the local store (the moment a local branch's effects become
+	// committed or are rolled back).
+	OnApply func(txn string, d tpc.Decision)
 }
 
 // Cluster is a wired deployment: one master site plus data sites.
@@ -106,7 +116,15 @@ type Cluster struct {
 // NewCluster builds a master and n data sites over a fresh network.
 func NewCluster(seed int64, n int, cfg tpc.Config) (*Cluster, error) {
 	sched := sim.NewScheduler(seed)
-	net := simnet.New(sched, simnet.DefaultOptions())
+	return NewClusterOn(simnet.New(sched, simnet.DefaultOptions()), n, cfg)
+}
+
+// NewClusterOn wires a cluster onto an existing (empty) network, letting
+// callers customize network options and install failure-injection hooks.
+// Crash recovery is wired: when simnet recovers a site, the site reopens
+// its store from stable storage and replays the commit protocol's failure
+// transitions; a recovered master replays the coordinator's.
+func NewClusterOn(net *simnet.Network, n int, cfg tpc.Config) (*Cluster, error) {
 	masterID := simnet.NodeID(1)
 	net.AddNode(masterID, nil)
 	var siteIDs []simnet.NodeID
@@ -126,6 +144,9 @@ func NewCluster(seed int64, n int, cfg tpc.Config) (*Cluster, error) {
 	if err := net.SetHandler(masterID, c.Master.handle); err != nil {
 		return nil, err
 	}
+	if err := net.SetRecover(masterID, c.Master.RecoverCoordinator); err != nil {
+		return nil, err
+	}
 
 	for _, id := range siteIDs {
 		st, err := net.Store(id)
@@ -142,6 +163,9 @@ func NewCluster(seed int64, n int, cfg tpc.Config) (*Cluster, error) {
 		site.cohort.OnDecide = site.applyDecision
 		c.Sites[id] = site
 		if err := net.SetHandler(id, site.handle); err != nil {
+			return nil, err
+		}
+		if err := net.SetRecover(id, func() { _ = site.Recover() }); err != nil {
 			return nil, err
 		}
 	}
@@ -163,9 +187,16 @@ func (m *Master) Submit(txn string, ops []Op, onDone func(*Result)) error {
 		p.ops[op.Site] = append(p.ops[op.Site], op)
 	}
 	m.pending[txn] = p
-	// Fig. 3.1: startwork to every involved cohort, in parallel.
-	for site, siteOps := range p.ops {
-		if err := m.net.Send(m.id, site, kindWork, workMsg{Txn: txn, Ops: siteOps}); err != nil {
+	// Fig. 3.1: startwork to every involved cohort, in parallel. Sites are
+	// contacted in ID order so the global send sequence — the coordinate
+	// system fault schedules target — is identical across replays.
+	sites := make([]simnet.NodeID, 0, len(p.ops))
+	for site := range p.ops {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, site := range sites {
+		if err := m.net.Send(m.id, site, kindWork, workMsg{Txn: txn, Ops: p.ops[site]}); err != nil {
 			return fmt.Errorf("txn: submit %s: %w", txn, err)
 		}
 	}
@@ -244,8 +275,28 @@ func (m *Master) onDecide(txn string, d tpc.Decision) {
 func (m *Master) Decision(txn string) tpc.Decision { return m.coord.Decision(txn) }
 
 // RecoverCoordinator replays the commit engine's failure transitions after
-// the master site recovers from a crash (Fig. 3.2 coordinator recovery).
-func (m *Master) RecoverCoordinator() { m.coord.RecoverAll() }
+// the master site recovers from a crash (Fig. 3.2 coordinator recovery):
+// transactions logged in w1 abort, p1 commits, decided outcomes are
+// re-announced. Submitted transactions whose commit protocol never began
+// have no persisted coordinator state; the master restarts the protocol
+// for them (treating its submission queue as durable — a real deployment
+// would log submissions) so cohort branches don't hold locks forever.
+func (m *Master) RecoverCoordinator() {
+	recovered := m.coord.RecoverAll()
+	var unstarted []string
+	for txn, p := range m.pending {
+		if _, done := recovered[txn]; done {
+			continue
+		}
+		if !p.started {
+			unstarted = append(unstarted, txn)
+		}
+	}
+	sort.Strings(unstarted) // deterministic send order across replays
+	for _, txn := range unstarted {
+		_ = m.startCommit(txn, m.pending[txn])
+	}
+}
 
 // handle demultiplexes site-side traffic: commit protocol first, then the
 // work protocol.
@@ -291,6 +342,9 @@ func (s *Site) execute(w workMsg) (map[string]string, error) {
 			}
 			reads[fmt.Sprintf("%d/%s", s.id, op.Key)] = v
 		}
+		if s.OnOp != nil {
+			s.OnOp(w.Txn, op)
+		}
 	}
 	return reads, nil
 }
@@ -305,7 +359,72 @@ func (s *Site) applyDecision(txn string, d tpc.Decision) {
 	} else {
 		_ = s.Store.Abort(txn)
 	}
+	if s.OnApply != nil {
+		s.OnApply(txn, d)
+	}
 }
+
+// Recover rebuilds the site after a crash, from stable storage alone: the
+// commit protocol's failure transitions settle every branch with a
+// persisted FSM state (a branch persisted in p2 commits, q2/w2 aborts,
+// decided states are kept); branches whose yes-vote never reached stable
+// storage cannot have been decided commit anywhere (the vote is written
+// ahead of its send), so they resolve to abort; then the store reopens,
+// replaying the WAL over the resolved log. simnet invokes this via the
+// RecoverFunc wired by NewClusterOn.
+func (s *Site) Recover() error {
+	st, err := s.net.Store(s.id)
+	if err != nil {
+		return fmt.Errorf("txn: recover site %d: %w", s.id, err)
+	}
+	// Failure transitions (Fig. 3.2). For branches the pre-crash Store
+	// object still had open this appends the commit/abort record via
+	// applyDecision; the volatile half of that object is discarded below.
+	decisions := s.cohort.RecoverAll()
+	// Settle any branch still in doubt on the log.
+	active, err := wal.Active(st)
+	if err != nil {
+		return fmt.Errorf("txn: recover site %d: %w", s.id, err)
+	}
+	for _, txn := range active {
+		d, ok := decisions[txn]
+		if !ok {
+			d = s.cohort.Decision(txn)
+		}
+		if d != tpc.DecisionCommit {
+			d = tpc.DecisionAbort
+		}
+		if err := wal.Resolve(st, txn, d == tpc.DecisionCommit); err != nil {
+			return fmt.Errorf("txn: recover site %d: %w", s.id, err)
+		}
+		if s.OnApply != nil {
+			s.OnApply(txn, d)
+		}
+	}
+	store, err := kvstore.Open(st)
+	if err != nil {
+		return fmt.Errorf("txn: recover site %d: %w", s.id, err)
+	}
+	s.Store = store
+	s.failed = map[string]bool{}
+	return nil
+}
+
+// ID returns the site's node ID.
+func (s *Site) ID() simnet.NodeID { return s.id }
+
+// Decision reports this site's commit-protocol outcome for txn.
+func (s *Site) Decision(txn string) tpc.Decision { return s.cohort.Decision(txn) }
+
+// StateOf reports this site's commit-protocol FSM state for txn.
+func (s *Site) StateOf(txn string) tpc.State { return s.cohort.StateOf(txn) }
+
+// Blocked reports whether this (2PC) site is blocked on txn, and since
+// when — the uncertainty window the paper's introduction describes.
+func (s *Site) Blocked(txn string) (bool, sim.Time) { return s.cohort.Blocked(txn) }
+
+// SetOnBlocked installs the blocked-cohort observer.
+func (s *Site) SetOnBlocked(f func(txn string)) { s.cohort.OnBlocked = f }
 
 // SiteFor maps a key to its home site by stable hashing.
 func (c *Cluster) SiteFor(key string) simnet.NodeID {

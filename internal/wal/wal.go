@@ -150,6 +150,24 @@ func (l *Log) append(r Record) error {
 	return nil
 }
 
+// Resolve appends a commit or abort record for an in-doubt transaction
+// directly on stable storage, without an open Log session. Recovery
+// managers use it after a crash to settle branches whose fate the commit
+// protocol decided (from the persisted FSM state) while the local Log
+// object was lost with the volatile state.
+func Resolve(store *stable.Store, txn string, commit bool) error {
+	kind := RecAbort
+	if commit {
+		kind = RecCommit
+	}
+	data, err := json.Marshal(Record{Kind: kind, Txn: txn})
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrEncode, err)
+	}
+	store.Append(data)
+	return nil
+}
+
 // Records decodes the full log from a stable store.
 func Records(store *stable.Store) ([]Record, error) {
 	raw := store.ReadLog(0)

@@ -49,8 +49,14 @@ type Config struct {
 	InitialBalance int
 	// Transactions to generate.
 	Transactions int
-	// Seed drives the deterministic generator.
+	// Seed drives the deterministic generator when Rand is nil.
 	Seed int64
+	// Rand, when non-nil, is the random source the generator draws from
+	// instead of constructing its own from Seed. Callers that compose the
+	// workload with other randomized machinery (the fault explorer) pass a
+	// child of one root-seeded source here, so a whole run replays from a
+	// single seed.
+	Rand *rand.Rand
 }
 
 // Account names account i.
@@ -72,7 +78,11 @@ func New(cfg Config, siteFor func(string) simnet.NodeID) *Generator {
 	if cfg.InitialBalance == 0 {
 		cfg.InitialBalance = 100
 	}
-	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), SiteFor: siteFor}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return &Generator{cfg: cfg, rng: rng, SiteFor: siteFor}
 }
 
 // SetupOps returns the operations that seed every account with its
