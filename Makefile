@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint explore verify bench
+.PHONY: build test race lint fsm fsm-check explore verify bench
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Both linting layers: go vet, the Go design-rule analyzers over the whole
-# module, and the spec linter over the thesis corpus.
+# All three linting layers: go vet, the Go design-rule analyzers plus the
+# fsmcheck protocol extraction over the whole module, the spec linter over
+# the thesis corpus, and the generated-FSM-docs staleness gate.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/speccatlint ./...
 	$(GO) run ./cmd/speccatlint internal/core/speclang/testdata/thesis/*.sw
+	$(GO) run ./cmd/speccatlint -fsm-check docs/fsm ./internal/...
+
+# Regenerate docs/fsm from the //fsm:* annotations in the sources. The
+# output is deterministic; commit it, and CI fails when it drifts.
+fsm:
+	$(GO) run ./cmd/speccatlint -fsm docs/fsm ./internal/...
+
+# Fail (without writing) when docs/fsm is stale relative to the sources.
+fsm-check:
+	$(GO) run ./cmd/speccatlint -fsm-check docs/fsm ./internal/...
 
 # Deterministic fault-exploration smoke suite: the explorer must rediscover
 # the naive-3PC atomicity violation and 2PC blocking end to end, full 3PC

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 
+	"speccat/internal/analysis"
+	"speccat/internal/analysis/fsmcheck"
 	"speccat/internal/core/speclang"
 	"speccat/internal/core/speclint"
 )
@@ -30,6 +32,9 @@ func main() {
 		os.Exit(2)
 	}
 	code := 0
+	if *lint && lintGoLayers(os.Stderr) > 0 {
+		code = 1
+	}
 	for _, path := range flag.Args() {
 		if err := processFile(path, *lenient, *skipProofs, *lint, *printName, *quiet); err != nil {
 			fmt.Fprintf(os.Stderr, "speccat: %s: %v\n", path, err)
@@ -37,6 +42,29 @@ func main() {
 		}
 	}
 	os.Exit(code)
+}
+
+// lintGoLayers runs the Go design-rule analyzers and the fsmcheck
+// protocol extraction over the enclosing module, so -lint covers all
+// three analysis layers, and returns the finding count. Outside a Go
+// module it is a no-op.
+func lintGoLayers(stderr *os.File) int {
+	loader, err := analysis.NewLoader(".")
+	if err != nil || loader.ModulePath == "" {
+		return 0
+	}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		fmt.Fprintf(stderr, "speccat: go lint: %v\n", err)
+		return 1
+	}
+	diags := analysis.Run(pkgs, analysis.Analyzers())
+	_, fsmDiags := fsmcheck.Run(pkgs)
+	diags = append(diags, fsmDiags...)
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	return len(diags)
 }
 
 func processFile(path string, lenient, skipProofs, lint bool, printName string, quiet bool) error {

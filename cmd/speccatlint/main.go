@@ -1,7 +1,11 @@
-// Command speccatlint runs the project's two static-analysis layers:
+// Command speccatlint runs the project's three static-analysis layers:
 //
 //   - Go design-rule analyzers (internal/analysis) over package patterns:
 //     nopanic, nowallclock, norand, noglobalstate, errwrap.
+//   - Protocol state-machine extraction (internal/analysis/fsmcheck) over
+//     the same packages: exhaustiveness, determinism, dead states/kinds,
+//     codec totality, and cross-validation of the extracted tpc machines
+//     against internal/mc's transition relation.
 //   - The spec/diagram linter (internal/core/speclint) over .sw files:
 //     undeclared symbols, arity mismatches, duplicate axioms, morphism
 //     totality pre-checks, prove/using consistency, diagram shape.
@@ -12,21 +16,27 @@
 //
 // Usage:
 //
-//	speccatlint [-list] [-werror] [target ...]
+//	speccatlint [-list] [-werror] [-fsm dir] [-fsm-check dir] [target ...]
 //
-// With no targets it lints ./... from the current directory. Exit status
-// is 0 when clean, 1 when findings were reported, 2 on usage or load
-// errors. Spec-lint warnings are printed but do not affect the exit
-// status unless -werror is given.
+// With -fsm the extracted machines are rendered as markdown + DOT into
+// dir (the generated docs/fsm/ artifacts); with -fsm-check the rendering
+// is instead compared against dir and staleness is a failure. With no
+// targets it lints ./... from the current directory. Exit status is 0
+// when clean, 1 when findings were reported, 2 on usage or load errors.
+// Spec-lint warnings are printed but do not affect the exit status unless
+// -werror is given.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"speccat/internal/analysis"
+	"speccat/internal/analysis/fsmcheck"
 	"speccat/internal/core/speclint"
 )
 
@@ -39,6 +49,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the Go analyzers and exit")
 	werror := fs.Bool("werror", false, "treat spec-lint warnings as errors")
+	fsmDir := fs.String("fsm", "", "write the extracted machine docs (markdown + DOT) into this directory")
+	fsmCheck := fs.String("fsm-check", "", "fail if the generated machine docs in this directory are stale")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -46,6 +58,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		for _, a := range analysis.Analyzers() {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(stdout, "%-14s %s\n", "fsm-*", "protocol state-machine extraction, totality and model cross-validation (fsmcheck)")
 		return 0
 	}
 
@@ -88,9 +101,25 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stderr, "speccatlint: %v\n", err)
 			return 2
 		}
-		for _, d := range analysis.Run(pkgs, analysis.Analyzers()) {
+		diags := analysis.Run(pkgs, analysis.Analyzers())
+		rep, fsmDiags := fsmcheck.Run(pkgs)
+		diags = append(diags, fsmDiags...)
+		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 			failed = true
+		}
+		docs := fsmcheck.Docs(rep, loader.ModuleRoot)
+		if *fsmDir != "" {
+			if err := writeDocs(*fsmDir, docs); err != nil {
+				fmt.Fprintf(stderr, "speccatlint: %v\n", err)
+				return 2
+			}
+		}
+		if *fsmCheck != "" {
+			for _, msg := range staleDocs(*fsmCheck, docs) {
+				fmt.Fprintln(stdout, msg)
+				failed = true
+			}
 		}
 	}
 
@@ -98,4 +127,53 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// writeDocs materializes the rendered machine docs into dir.
+func writeDocs(dir string, docs map[string]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("write fsm docs: %w", err)
+	}
+	for name, content := range docs {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return fmt.Errorf("write fsm docs: %w", err)
+		}
+	}
+	return nil
+}
+
+// staleDocs compares the rendered docs against the checked-in directory
+// and describes every divergence: missing, out-of-date and orphaned files.
+func staleDocs(dir string, docs map[string]string) []string {
+	var out []string
+	names := make([]string, 0, len(docs))
+	for name := range docs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			out = append(out, fmt.Sprintf("%s: missing generated doc; run make fsm", path))
+			continue
+		}
+		if string(data) != docs[name] {
+			out = append(out, fmt.Sprintf("%s: stale generated doc; run make fsm", path))
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return out
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || (!strings.HasSuffix(name, ".md") && !strings.HasSuffix(name, ".dot")) {
+			continue
+		}
+		if _, ok := docs[name]; !ok {
+			out = append(out, fmt.Sprintf("%s: orphaned generated doc (machine no longer extracted); run make fsm and delete it", filepath.Join(dir, name)))
+		}
+	}
+	return out
 }

@@ -1,109 +1,28 @@
-package analysis
+package analysis_test
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"regexp"
 	"strings"
 	"testing"
+
+	"speccat/internal/analysis"
+	"speccat/internal/analysis/analysistest"
 )
 
-// expectation is one `// want `-style annotation in a fixture file.
-type expectation struct {
-	file string
-	line int
-	re   *regexp.Regexp
-}
-
-var wantRE = regexp.MustCompile("//\\s*want\\s+(.*)$")
-var chunkRE = regexp.MustCompile("`([^`]+)`")
-
-// collectExpectations scans a fixture package directory for want comments.
-func collectExpectations(t *testing.T, dir string) []expectation {
-	t.Helper()
-	var out []expectation
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		path := filepath.Join(dir, e.Name())
-		data, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i, line := range strings.Split(string(data), "\n") {
-			m := wantRE.FindStringSubmatch(line)
-			if m == nil {
-				continue
-			}
-			chunks := chunkRE.FindAllStringSubmatch(m[1], -1)
-			if len(chunks) == 0 {
-				t.Fatalf("%s:%d: malformed want comment (use backquoted regexps)", path, i+1)
-			}
-			for _, c := range chunks {
-				re, err := regexp.Compile(c[1])
-				if err != nil {
-					t.Fatalf("%s:%d: bad want regexp: %v", path, i+1, err)
-				}
-				out = append(out, expectation{file: path, line: i + 1, re: re})
-			}
-		}
-	}
-	return out
-}
-
 // runFixture loads one fixture package and runs all analyzers over it.
-func runFixture(t *testing.T, name string) []Diagnostic {
+func runFixture(t *testing.T, name string) []analysis.Diagnostic {
 	t.Helper()
-	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
-	if err != nil {
-		t.Fatal(err)
-	}
-	l, err := NewLoader(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkgs, err := l.Load([]string{dir})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return Run(pkgs, Analyzers())
+	dir := analysistest.FixtureDir(t, name)
+	return analysis.Run(analysistest.Load(t, dir), analysis.Analyzers())
 }
 
 // checkFixture asserts the diagnostics match the want comments exactly.
 func checkFixture(t *testing.T, name string) {
 	t.Helper()
-	dir, _ := filepath.Abs(filepath.Join("testdata", "src", name))
-	diags := runFixture(t, name)
-	wants := collectExpectations(t, dir)
-
-	matched := make([]bool, len(wants))
-	for _, d := range diags {
-		found := false
-		for i, w := range wants {
-			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
-				continue
-			}
-			if w.re.MatchString(d.Rule + ": " + d.Message) {
-				matched[i] = true
-				found = true
-				break
-			}
-		}
-		if !found {
-			t.Errorf("unexpected diagnostic: %s", d)
-		}
-	}
-	for i, w := range wants {
-		if !matched[i] {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
-		}
-	}
+	dir := analysistest.FixtureDir(t, name)
+	analysistest.Check(t, dir, runFixture(t, name))
 }
 
 func TestNoPanicFixture(t *testing.T)       { checkFixture(t, "panicfix") }
@@ -122,11 +41,20 @@ func TestFixturesHaveFindings(t *testing.T) {
 	}
 }
 
+// loadSource type-checks one in-memory file as its own package.
+func loadSource(t *testing.T, src string) []*analysis.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "src.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return analysistest.Load(t, dir)
+}
+
 // TestSuppressionRequiresReason checks that a bare //lint:allow is
 // reported as malformed rather than silently honored.
 func TestSuppressionRequiresReason(t *testing.T) {
-	dir := t.TempDir()
-	src := `package broken
+	diags := analysis.Run(loadSource(t, `package broken
 
 import "time"
 
@@ -134,19 +62,7 @@ import "time"
 func T() time.Time {
 	return time.Now() //lint:allow nowallclock
 }
-`
-	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte(src), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	l, err := NewLoader(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkgs, err := l.Load([]string{dir})
-	if err != nil {
-		t.Fatal(err)
-	}
-	diags := Run(pkgs, Analyzers())
+`), analysis.Analyzers())
 	var rules []string
 	for _, d := range diags {
 		rules = append(rules, d.Rule)
@@ -161,10 +77,44 @@ func T() time.Time {
 	}
 }
 
+// TestSuppressionIsRuleScoped pins the driver semantics the fsmcheck layer
+// relies on: when one line trips two analyzers, a //lint:allow naming one
+// rule suppresses only that rule and the other finding survives.
+func TestSuppressionIsRuleScoped(t *testing.T) {
+	diags := analysis.Run(loadSource(t, `package broken
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seed mixes the wall clock into a global PRNG draw; the same line trips
+// both nowallclock and norand, but only nowallclock is allowed.
+func Seed() int64 {
+	//lint:allow nowallclock fixture exercises rule-scoped suppression
+	return time.Now().UnixNano() + rand.Int63()
+}
+`), analysis.Analyzers())
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	got := fmt.Sprintf("%v", rules)
+	if strings.Contains(got, "nowallclock") {
+		t.Errorf("nowallclock finding should be suppressed by the directive, got %v", diags)
+	}
+	if !strings.Contains(got, "norand") {
+		t.Errorf("norand finding on the same line must survive a nowallclock allow, got %v", diags)
+	}
+	if strings.Contains(got, "lint-allow") {
+		t.Errorf("the reasoned directive must not be reported as malformed, got %v", diags)
+	}
+}
+
 // TestModuleSelfLoad loads this repository's own module tree, proving the
 // loader handles module-internal imports.
 func TestModuleSelfLoad(t *testing.T) {
-	l, err := NewLoader(".")
+	l, err := analysis.NewLoader(".")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,136 @@
+// Package fsmbad seeds one instance of every fsmcheck mutation class the
+// analyzer must catch: a deleted handler arm, a silently dropping default
+// and payload assert, a duplicated wire value, a cross-role case, dead
+// states and kinds, an unresolvable emit argument, malformed directives,
+// and a codec that is not total. The want comments pin the findings.
+package fsmbad
+
+// Msg is the toy wire message.
+type Msg struct {
+	Kind    string
+	Payload any
+}
+
+// State is the toy protocol state.
+type State int
+
+// Toy protocol states. StateGone appears in no transition.
+const (
+	StateIdle State = iota + 1 //fsm:state bad i
+	StateBusy                  //fsm:state bad b
+	StateGone                  //fsm:state bad g // want `fsm-dead: state StateGone \(g\) of machine bad appears in no extracted transition`
+)
+
+// Wire kinds. kindPing lost its handler arm, kindEcho duplicates
+// kindPing's wire value, kindLost is never produced, and the peer role has
+// no handler at all.
+const (
+	kindPing  = "bad.ping" //fsm:msg bad node
+	kindEcho  = "bad.ping" //fsm:msg bad node // want `fsm-determinism: kind kindEcho shares wire value "bad.ping" with kindPing`
+	kindLost  = "bad.lost" //fsm:msg bad node // want `fsm-dead: kind kindLost of machine bad is consumed but never produced`
+	kindPeer  = "bad.peer" //fsm:msg bad peer // want `fsm-exhaustive: kind kindPeer: no ..fsm:handler for role "peer" of machine bad consumes it`
+	kindOther = "bad.meta" //fsm:msg bad watcher
+)
+
+type echoMsg struct{}
+
+// Node is the toy engine.
+type Node struct {
+	state State
+}
+
+//fsm:frobnicate all the things // want `fsm-extract: unknown directive ..fsm:frobnicate`
+
+//fsm:ignore // want `fsm-extract: ..fsm:ignore needs a reason`
+
+//fsm:state bad z // want `fsm-extract: ..fsm:state is not attached to a declaration`
+
+// emit records one transition.
+//
+//fsm:emit bad node
+func (n *Node) emit(from, to State) { n.state = to }
+
+// Handle is the node role's terminal handler: its kindPing arm was
+// deleted, its default drops silently, and a failed payload assert
+// returns bare.
+//
+//fsm:handler bad node
+func (n *Node) Handle(m Msg) { // want `fsm-exhaustive: handler Handle does not handle declared kind kindPing`
+	switch m.Kind {
+	case kindEcho:
+		e, ok := m.Payload.(echoMsg)
+		if !ok {
+			return // want `fsm-silent-drop: handler Handle drops a message with an undecodable payload without accounting`
+		}
+		n.onEcho(e)
+	case kindLost:
+		n.onLost()
+	case kindOther: // want `fsm-determinism: kind kindOther is declared for role "watcher" but consumed by "node" handler Handle`
+		n.onLost()
+	default:
+		return // want `fsm-silent-drop: terminal handler Handle drops unknown kinds without accounting in its default`
+	}
+}
+
+// Watch is the watcher role's demux handler; declining is fine here.
+//
+//fsm:handler bad watcher
+func (n *Node) Watch(m Msg) bool {
+	switch m.Kind {
+	case kindOther:
+		return true
+	}
+	return false
+}
+
+// onEcho transitions with an unconstrained dynamic from-state.
+func (n *Node) onEcho(echoMsg) {
+	n.emit(n.state, StateBusy) // want `fsm-extract: cannot determine the from-states of this bad transition`
+}
+
+// onLost enters the busy state from idle.
+func (n *Node) onLost() {
+	if n.state != StateIdle {
+		return
+	}
+	n.emit(StateIdle, StateBusy)
+}
+
+// send builds an outbound message.
+func send(kind string, payload any) Msg { return Msg{Kind: kind, Payload: payload} }
+
+// Probe produces every kind except kindLost.
+func Probe() []Msg {
+	return []Msg{
+		send(kindPing, nil),
+		send(kindEcho, echoMsg{}),
+		send(kindPeer, nil),
+		send(kindOther, nil),
+	}
+}
+
+// String encodes the state; StateGone's case is deliberately missing.
+//
+//fsm:encode bad
+func (s State) String() string { // want `fsm-codec: constant StateGone of .*State has no case in encoder String`
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateBusy:
+		return "busy"
+	}
+	return "unknown"
+}
+
+// ParseState decodes a state; "busy" is not decoded and unknown bytes
+// silently alias to StateIdle.
+//
+//fsm:decode bad
+func ParseState(v string) (State, error) { // want `fsm-codec: encoding "busy" \(for StateBusy\) has no case in decoder ParseState` `fsm-codec: decoder ParseState maps unknown input to a constant instead of returning an error`
+	switch v {
+	case "idle":
+		return StateIdle, nil
+	default:
+		return StateIdle, nil
+	}
+}

@@ -1,0 +1,125 @@
+// Package fsmclean is a zero-finding fsmcheck fixture: a complete
+// two-state toy protocol exercising every annotation — state and msg
+// constants, a terminal handler with full dispatch and accounted drops, an
+// emit function resolved through constants, a trailing alias annotation
+// and a dominating guard, and a total encode/decode pair whose decoder
+// errors on unknown input.
+package fsmclean
+
+import "errors"
+
+// Msg is the toy wire message.
+type Msg struct {
+	Kind    string
+	Payload any
+}
+
+// State is the toy protocol state.
+type State int
+
+// Toy protocol states.
+const (
+	StateIdle State = iota + 1 //fsm:state toy i
+	StateBusy                  //fsm:state toy b
+)
+
+// Wire kinds of the toy protocol.
+const (
+	kindGo   = "toy.go"   //fsm:msg toy server
+	kindStop = "toy.stop" //fsm:msg toy server
+)
+
+type goMsg struct{}
+
+// ErrState is returned for undecodable stored states.
+var ErrState = errors.New("fsmclean: unknown state")
+
+// Server runs the toy machine.
+type Server struct {
+	state State
+	trace []string
+	drops int
+}
+
+// emit records one transition.
+//
+//fsm:emit toy server
+func (s *Server) emit(from, to State) {
+	s.trace = append(s.trace, from.String()+"->"+to.String())
+	s.state = to
+}
+
+// Handle applies one message; unknown traffic and undecodable payloads are
+// counted, never silently dropped.
+//
+//fsm:handler toy server
+func (s *Server) Handle(m Msg) {
+	switch m.Kind {
+	case kindGo:
+		g, ok := m.Payload.(goMsg)
+		if !ok {
+			s.drops++
+			return
+		}
+		s.onGo(g)
+	case kindStop:
+		s.onStop()
+	default:
+		s.drops++
+	}
+}
+
+// onGo starts work from the idle state.
+func (s *Server) onGo(goMsg) {
+	if s.state != StateIdle {
+		return
+	}
+	s.emit(StateIdle, StateBusy)
+}
+
+// onStop returns to idle; the dynamic from-state is pinned both by the
+// guard and by the trailing annotation.
+func (s *Server) onStop() {
+	if s.state == StateIdle {
+		return
+	}
+	s.emit(s.state, StateIdle) //fsm:from b
+}
+
+// Go builds the start message.
+func (s *Server) Go() Msg { return s.send(kindGo, goMsg{}) }
+
+// Stop builds the stop message.
+func (s *Server) Stop() Msg { return s.send(kindStop, nil) }
+
+// send builds an outbound message.
+func (s *Server) send(kind string, payload any) Msg {
+	return Msg{Kind: kind, Payload: payload}
+}
+
+// String encodes the state for stable storage.
+//
+//fsm:encode toy
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateBusy:
+		return "busy"
+	}
+	return "unknown"
+}
+
+// ParseState decodes a stored state, erroring on corrupt bytes.
+//
+//fsm:decode toy
+func ParseState(v string) (State, error) {
+	switch v {
+	case "idle":
+		return StateIdle, nil
+	case "busy":
+		return StateBusy, nil
+	default:
+		return 0, ErrState
+	}
+}

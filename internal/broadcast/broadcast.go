@@ -15,7 +15,7 @@ import (
 )
 
 // msgKind tags broadcast relay messages on the wire.
-const msgKind = "broadcast.relay"
+const msgKind = "broadcast.relay" //fsm:msg broadcast endpoint
 
 // payload carries one broadcast instance.
 type payload struct {
@@ -74,12 +74,15 @@ func (e *Endpoint) Broadcast(body any) (string, error) {
 func Kind() string { return msgKind }
 
 // HandleMessage processes an incoming relay; returns true when consumed.
+//
+//fsm:handler broadcast endpoint
 func (e *Endpoint) HandleMessage(m simnet.Message) bool {
 	if m.Kind != msgKind {
 		return false
 	}
 	p, ok := m.Payload.(payload)
 	if !ok {
+		//fsm:ignore demux handler declines an undecodable relay so the site's terminal handler accounts for it
 		return false
 	}
 	if e.seen[p.ID] {

@@ -16,7 +16,7 @@ import (
 )
 
 // msgKind tags consensus messages on the wire.
-const msgKind = "consensus.flood"
+const msgKind = "consensus.flood" //fsm:msg consensus node
 
 // Value is a proposable value (protocol decisions are strings such as
 // "commit"/"abort").
@@ -113,12 +113,15 @@ func (n *Node) decide(name string, inst *instance) {
 }
 
 // HandleMessage consumes consensus messages; returns true when consumed.
+//
+//fsm:handler consensus node
 func (n *Node) HandleMessage(m simnet.Message) bool {
 	if m.Kind != msgKind {
 		return false
 	}
 	fm, ok := m.Payload.(floodMsg)
 	if !ok {
+		//fsm:ignore demux handler declines an undecodable flood so the site's terminal handler accounts for it
 		return false
 	}
 	inst, ok := n.instances[fm.Instance]

@@ -16,9 +16,9 @@ import (
 
 // Wire kinds.
 const (
-	kindPing    = "detector.ping"
-	kindAck     = "detector.ack"
-	kindSuspect = "detector.suspect"
+	kindPing    = "detector.ping"    //fsm:msg detector node
+	kindAck     = "detector.ack"     //fsm:msg detector node
+	kindSuspect = "detector.suspect" //fsm:msg detector node
 )
 
 // ping carries a sequence number to match acks to probes.
@@ -110,11 +110,14 @@ func (d *Detector) declareFailed(victim simnet.NodeID) {
 }
 
 // HandleMessage consumes detector traffic; returns true when consumed.
+//
+//fsm:handler detector node
 func (d *Detector) HandleMessage(m simnet.Message) bool {
 	switch m.Kind {
 	case kindPing:
 		p, ok := m.Payload.(ping)
 		if !ok {
+			//fsm:ignore demux handler declines an undecodable ping so the site's terminal handler accounts for it
 			return false
 		}
 		_ = d.net.Send(d.id, m.From, kindAck, ack{Seq: p.Seq})
@@ -122,6 +125,7 @@ func (d *Detector) HandleMessage(m simnet.Message) bool {
 	case kindAck:
 		a, ok := m.Payload.(ack)
 		if !ok {
+			//fsm:ignore demux handler declines an undecodable ack so the site's terminal handler accounts for it
 			return false
 		}
 		if d.pending[m.From] == a.Seq {
@@ -131,6 +135,7 @@ func (d *Detector) HandleMessage(m simnet.Message) bool {
 	case kindSuspect:
 		n, ok := m.Payload.(suspectNote)
 		if !ok {
+			//fsm:ignore demux handler declines an undecodable suspicion so the site's terminal handler accounts for it
 			return false
 		}
 		if n.Victim != d.id && !d.suspected[n.Victim] {

@@ -16,9 +16,9 @@ import (
 
 // Wire kinds.
 const (
-	kindChallenge = "election.challenge"
-	kindOK        = "election.ok"
-	kindCoord     = "election.coordinator"
+	kindChallenge = "election.challenge"   //fsm:msg election node
+	kindOK        = "election.ok"          //fsm:msg election node
+	kindCoord     = "election.coordinator" //fsm:msg election node
 )
 
 // announce carries the elected coordinator.
@@ -101,6 +101,8 @@ func (n *Node) setCoordinator(c simnet.NodeID) {
 }
 
 // HandleMessage consumes election traffic; returns true when consumed.
+//
+//fsm:handler election node
 func (n *Node) HandleMessage(m simnet.Message) bool {
 	switch m.Kind {
 	case kindChallenge:
@@ -114,6 +116,7 @@ func (n *Node) HandleMessage(m simnet.Message) bool {
 	case kindCoord:
 		a, ok := m.Payload.(announce)
 		if !ok {
+			//fsm:ignore demux handler declines an undecodable announcement so the site's terminal handler accounts for it
 			return false
 		}
 		n.electing = false

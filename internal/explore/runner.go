@@ -350,7 +350,14 @@ func (r *runner) durableDecisions(name string) (commit, abort []simnet.NodeID) {
 		if err != nil {
 			continue
 		}
-		switch tpc.DurableDecision(st, name) {
+		// A corrupt record decodes to an error; the node is treated as
+		// undecided, exactly like the pre-sentinel DecisionNone fallback,
+		// but the corruption is no longer silent to direct callers.
+		d, err := tpc.DurableDecision(st, name)
+		if err != nil {
+			continue
+		}
+		switch d {
 		case tpc.DecisionCommit:
 			commit = append(commit, id)
 		case tpc.DecisionAbort:

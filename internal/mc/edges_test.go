@@ -1,0 +1,113 @@
+package mc
+
+import "testing"
+
+// edgeSet is a lookup helper over an Edges result.
+func edgeSet(t *testing.T, v Variant, opts ModelOptions) map[Edge]bool {
+	t.Helper()
+	edges, err := Edges(v, 2, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[Edge]bool{}
+	for _, e := range edges {
+		set[e] = true
+	}
+	return set
+}
+
+// The 3PC model must contain the happy-path edges of Fig. 3.2 for both
+// roles, and must not contain transitions the protocol forbids (an aborted
+// site can never commit, a committed site never aborts).
+func TestEdgesThreePC(t *testing.T) {
+	set := edgeSet(t, Model3PC, ModelOptions{AllowRecovery: true})
+	want := []Edge{
+		{EdgeRoleCoordinator, 'q', 'w'},
+		{EdgeRoleCoordinator, 'w', 'p'},
+		{EdgeRoleCoordinator, 'w', 'a'},
+		{EdgeRoleCoordinator, 'p', 'c'},
+		{EdgeRoleCoordinator, 'p', 'a'},
+		{EdgeRoleCohort, 'q', 'w'},
+		{EdgeRoleCohort, 'q', 'a'},
+		{EdgeRoleCohort, 'w', 'p'},
+		{EdgeRoleCohort, 'w', 'a'},
+		{EdgeRoleCohort, 'w', 'c'}, // termination-protocol commit
+		{EdgeRoleCohort, 'p', 'c'},
+		{EdgeRoleCohort, 'p', 'a'},
+	}
+	for _, e := range want {
+		if !set[e] {
+			t.Errorf("3PC model is missing edge %s", e)
+		}
+	}
+	forbidden := []Edge{
+		{EdgeRoleCoordinator, 'a', 'c'},
+		{EdgeRoleCoordinator, 'c', 'a'},
+		{EdgeRoleCohort, 'a', 'c'},
+		{EdgeRoleCohort, 'c', 'a'},
+	}
+	for _, e := range forbidden {
+		if set[e] {
+			t.Errorf("3PC model contains forbidden edge %s", e)
+		}
+	}
+}
+
+// 2PC has no prepared phase on the coordinator's commit path: the w->c
+// edge exists (direct commit) and w->p does not.
+func TestEdgesTwoPC(t *testing.T) {
+	set := edgeSet(t, Model2PC, ModelOptions{AllowRecovery: true})
+	if !set[Edge{EdgeRoleCoordinator, 'w', 'c'}] {
+		t.Error("2PC model is missing the direct coordinator w->c commit edge")
+	}
+	if set[Edge{EdgeRoleCoordinator, 'w', 'p'}] {
+		t.Error("2PC model unexpectedly contains a coordinator prepare edge w->p")
+	}
+}
+
+// Lockstep and interleaved enumerations agree on the site-local relation
+// for 3PC: interleaving refines *when* crashes land, not which per-site
+// edges exist.
+func TestEdgesLockstepSubset(t *testing.T) {
+	interleaved := edgeSet(t, Model3PC, ModelOptions{AllowRecovery: true})
+	lockstep := edgeSet(t, Model3PC, ModelOptions{Lockstep: true, AllowRecovery: true})
+	for e := range lockstep {
+		if !interleaved[e] {
+			t.Errorf("lockstep edge %s missing from interleaved relation", e)
+		}
+	}
+}
+
+// The enumeration is deterministic and sorted — it is an API other
+// packages diff against, so ordering is part of the contract.
+func TestEdgesDeterministic(t *testing.T) {
+	a, err := Edges(Model3PC, 2, 1, ModelOptions{AllowRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Edges(Model3PC, 2, 1, ModelOptions{AllowRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic edge count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic edge order at %d: %s vs %s", i, a[i], b[i])
+		}
+		if i > 0 && !less(a[i-1], a[i]) {
+			t.Fatalf("edges not strictly sorted at %d: %s, %s", i, a[i-1], a[i])
+		}
+	}
+}
+
+func less(a, b Edge) bool {
+	if a.Role != b.Role {
+		return a.Role < b.Role
+	}
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}

@@ -1,0 +1,89 @@
+package tpc
+
+import (
+	"errors"
+	"testing"
+
+	"speccat/internal/stable"
+)
+
+// Every State constant must round-trip through its stable-storage
+// encoding. The loop runs over the integer range so a newly added
+// constant cannot dodge the test by being left out of a hand-written
+// list.
+func TestStateRoundTrip(t *testing.T) {
+	states := []State{StateInitial, StateWait, StatePrepared, StateAborted, StateCommitted}
+	if len(states) != int(StateCommitted) {
+		t.Fatalf("state list covers %d constants, want %d — update this test with the new constant", len(states), int(StateCommitted))
+	}
+	for _, s := range states {
+		got, err := ParseState(s.String())
+		if err != nil {
+			t.Errorf("ParseState(%q): %v", s.String(), err)
+			continue
+		}
+		if got != s {
+			t.Errorf("round trip %v -> %q -> %v", s, s.String(), got)
+		}
+	}
+}
+
+// Every Decision constant must round-trip likewise.
+func TestDecisionRoundTrip(t *testing.T) {
+	decisions := []Decision{DecisionNone, DecisionCommit, DecisionAbort}
+	if len(decisions) != int(DecisionAbort)+1 {
+		t.Fatalf("decision list covers %d constants, want %d — update this test with the new constant", len(decisions), int(DecisionAbort)+1)
+	}
+	for _, d := range decisions {
+		got, err := ParseDecision(d.String())
+		if err != nil {
+			t.Errorf("ParseDecision(%q): %v", d.String(), err)
+			continue
+		}
+		if got != d {
+			t.Errorf("round trip %v -> %q -> %v", d, d.String(), got)
+		}
+	}
+}
+
+// Unknown encodings must surface ErrCorrupt instead of silently decoding
+// to the zero-ish defaults (the pre-PR behaviour this bugfix removes).
+func TestParseCorruptIsError(t *testing.T) {
+	if _, err := ParseState("x"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("ParseState(corrupt) err = %v, want ErrCorrupt", err)
+	}
+	if _, err := ParseDecision("maybe"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("ParseDecision(corrupt) err = %v, want ErrCorrupt", err)
+	}
+}
+
+// DurableState/DurableDecision distinguish "no record" (zero value, nil
+// error) from "corrupt record" (wrapped ErrCorrupt).
+func TestDurableCorruptStore(t *testing.T) {
+	st := stable.NewStore()
+
+	if d, err := DurableDecision(st, "t1"); err != nil || d != DecisionNone {
+		t.Fatalf("missing record: got (%v, %v), want (none, nil)", d, err)
+	}
+	if s, err := DurableState(st, "t1"); err != nil || s != StateInitial {
+		t.Fatalf("missing record: got (%v, %v), want (q, nil)", s, err)
+	}
+
+	st.Put(decisionKey("t1"), []byte("garbage"))
+	st.Put(stateKey("t1"), []byte("z"))
+	if _, err := DurableDecision(st, "t1"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt decision err = %v, want ErrCorrupt", err)
+	}
+	if _, err := DurableState(st, "t1"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt state err = %v, want ErrCorrupt", err)
+	}
+
+	st.Put(decisionKey("t2"), []byte("commit"))
+	st.Put(stateKey("t2"), []byte("p"))
+	if d, err := DurableDecision(st, "t2"); err != nil || d != DecisionCommit {
+		t.Errorf("valid decision: got (%v, %v), want (commit, nil)", d, err)
+	}
+	if s, err := DurableState(st, "t2"); err != nil || s != StatePrepared {
+		t.Errorf("valid state: got (%v, %v), want (p, nil)", s, err)
+	}
+}

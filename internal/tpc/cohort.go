@@ -37,8 +37,12 @@ type Cohort struct {
 	// coordinator). Used by experiment E8.
 	OnBlocked func(txn string)
 	// Trace, when non-nil, observes every FSM transition (Fig. 3.2).
-	Trace     TraceFunc
-	decisions map[string]Decision
+	Trace TraceFunc
+	// OnMalformed, when non-nil, observes protocol messages whose payload
+	// failed to decode. They are counted either way; see Malformed.
+	OnMalformed func(m simnet.Message)
+	decisions   map[string]Decision
+	malformed   int
 }
 
 // NewCohort creates a cohort on site id for the given coordinator; peers
@@ -66,40 +70,42 @@ func (h *Cohort) txn(name string) *cohortTxn {
 }
 
 // HandleMessage consumes cohort-side protocol traffic.
+//
+//fsm:handler tpc cohort
 func (h *Cohort) HandleMessage(m simnet.Message) bool {
 	switch m.Kind {
 	case KindCommitReq:
 		p, ok := m.Payload.(txnMsg)
 		if !ok {
-			return false
+			return h.badPayload(m)
 		}
 		h.onCommitReq(p.Txn)
 		return true
 	case KindPrepare:
 		p, ok := m.Payload.(txnMsg)
 		if !ok {
-			return false
+			return h.badPayload(m)
 		}
 		h.onPrepare(p.Txn, m.From)
 		return true
 	case KindCommit:
 		p, ok := m.Payload.(txnMsg)
 		if !ok {
-			return false
+			return h.badPayload(m)
 		}
 		h.decide(p.Txn, DecisionCommit, CauseMessage)
 		return true
 	case KindAbort:
 		p, ok := m.Payload.(txnMsg)
 		if !ok {
-			return false
+			return h.badPayload(m)
 		}
 		h.decide(p.Txn, DecisionAbort, CauseMessage)
 		return true
 	case KindStateReq:
 		p, ok := m.Payload.(txnMsg)
 		if !ok {
-			return false
+			return h.badPayload(m)
 		}
 		t := h.txn(p.Txn)
 		// A decided cohort answers a state request with the decision
@@ -117,7 +123,7 @@ func (h *Cohort) HandleMessage(m simnet.Message) bool {
 	case KindStateResp:
 		p, ok := m.Payload.(stateResp)
 		if !ok {
-			return false
+			return h.badPayload(m)
 		}
 		h.onStateResp(p.Txn, m.From, p.State)
 		return true
@@ -125,6 +131,20 @@ func (h *Cohort) HandleMessage(m simnet.Message) bool {
 		return false
 	}
 }
+
+// badPayload accounts for a cohort-consumed kind whose payload failed to
+// decode, then declines the message.
+func (h *Cohort) badPayload(m simnet.Message) bool {
+	h.malformed++
+	if h.OnMalformed != nil {
+		h.OnMalformed(m)
+	}
+	return false
+}
+
+// Malformed reports how many protocol messages this cohort rejected
+// because their payload did not decode.
+func (h *Cohort) Malformed() int { return h.malformed }
 
 // onCommitReq is the q2 transition: vote and move to w2 (yes) or a2 (no).
 func (h *Cohort) onCommitReq(txn string) {
@@ -310,7 +330,12 @@ func (h *Cohort) decide(txn string, d Decision, cause Cause) {
 	} else {
 		t.state = StateAborted
 	}
-	h.emit(txn, from, t.state, cause)
+	// The q->c edge below is outside the abstract model's relation: under
+	// message loss a cohort that never saw the commit request can still
+	// receive the disseminated commit, which the model's reliable channels
+	// exclude. fsmcheck requires that justification to stay checked in.
+	//fsm:model-extra tpc cohort q->c decision dissemination can reach a cohort that never received the commit request when messages are dropped; the mc model assumes reliable channels
+	h.emit(txn, from, t.state, cause) //fsm:from q,w,p //fsm:to a,c
 	h.persist(txn, t.state)
 	h.persistDecision(txn, d)
 	h.decisions[txn] = d
@@ -319,7 +344,10 @@ func (h *Cohort) decide(txn string, d Decision, cause Cause) {
 	}
 }
 
-// emit reports a transition to the trace hook.
+// emit reports a transition to the trace hook. Call sites are the edges
+// fsmcheck extracts for the cohort machine.
+//
+//fsm:emit tpc cohort
 func (h *Cohort) emit(txn string, from, to State, cause Cause) {
 	if h.Trace != nil && from != to {
 		h.Trace(txn, Transition{Role: RoleCohort, From: from, To: to, Cause: cause})

@@ -27,8 +27,13 @@ type Coordinator struct {
 	OnDecide func(txn string, d Decision)
 	// Trace, when non-nil, observes every FSM transition (Fig. 3.2).
 	Trace TraceFunc
+	// OnMalformed, when non-nil, observes protocol messages whose payload
+	// failed to decode (a peer speaking the right kind with the wrong
+	// body). They are counted either way; see Malformed.
+	OnMalformed func(m simnet.Message)
 	// decisions records outcomes for inspection.
 	decisions map[string]Decision
+	malformed int
 }
 
 // NewCoordinator creates a coordinator on site id managing the given
@@ -71,26 +76,28 @@ func (c *Coordinator) Begin(txn string) error {
 }
 
 // HandleMessage consumes coordinator-side protocol traffic.
+//
+//fsm:handler tpc coordinator
 func (c *Coordinator) HandleMessage(m simnet.Message) bool {
 	switch m.Kind {
 	case KindVoteYes:
 		p, ok := m.Payload.(txnMsg)
 		if !ok {
-			return false
+			return c.badPayload(m)
 		}
 		c.onVote(p.Txn, m.From, true)
 		return true
 	case KindVoteNo:
 		p, ok := m.Payload.(txnMsg)
 		if !ok {
-			return false
+			return c.badPayload(m)
 		}
 		c.onVote(p.Txn, m.From, false)
 		return true
 	case KindAck:
 		p, ok := m.Payload.(txnMsg)
 		if !ok {
-			return false
+			return c.badPayload(m)
 		}
 		c.onAck(p.Txn, m.From)
 		return true
@@ -98,6 +105,21 @@ func (c *Coordinator) HandleMessage(m simnet.Message) bool {
 		return false
 	}
 }
+
+// badPayload accounts for a message of a coordinator-consumed kind whose
+// payload failed to decode, then declines it so a later handler (or the
+// site's terminal drop accounting) sees it.
+func (c *Coordinator) badPayload(m simnet.Message) bool {
+	c.malformed++
+	if c.OnMalformed != nil {
+		c.OnMalformed(m)
+	}
+	return false
+}
+
+// Malformed reports how many protocol messages this coordinator rejected
+// because their payload did not decode.
+func (c *Coordinator) Malformed() int { return c.malformed }
 
 func (c *Coordinator) onVote(txn string, from simnet.NodeID, yes bool) {
 	ct, ok := c.txns[txn]
@@ -154,7 +176,7 @@ func (c *Coordinator) onAck(txn string, from simnet.NodeID) {
 
 func (c *Coordinator) commit(txn string, ct *coordTxn, cause Cause) {
 	if ct.state != StateCommitted {
-		c.emit(txn, ct.state, StateCommitted, cause)
+		c.emit(txn, ct.state, StateCommitted, cause) //fsm:from w,p
 	}
 	ct.state = StateCommitted
 	c.persist(txn, StateCommitted)
@@ -170,7 +192,7 @@ func (c *Coordinator) abort(txn string, ct *coordTxn, cause Cause) {
 		ct.timer.Cancel()
 	}
 	if ct.state != StateAborted {
-		c.emit(txn, ct.state, StateAborted, cause)
+		c.emit(txn, ct.state, StateAborted, cause) //fsm:from q,w,p
 	}
 	ct.state = StateAborted
 	c.persist(txn, StateAborted)
@@ -191,7 +213,10 @@ func (c *Coordinator) finish(txn string, d Decision) {
 	}
 }
 
-// emit reports a transition to the trace hook.
+// emit reports a transition to the trace hook. Call sites are the edges
+// fsmcheck extracts for the coordinator machine.
+//
+//fsm:emit tpc coordinator
 func (c *Coordinator) emit(txn string, from, to State, cause Cause) {
 	if c.Trace != nil && from != to {
 		c.Trace(txn, Transition{Role: RoleCoordinator, From: from, To: to, Cause: cause})

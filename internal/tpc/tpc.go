@@ -9,6 +9,7 @@
 package tpc
 
 import (
+	"errors"
 	"fmt"
 
 	"speccat/internal/sim"
@@ -16,19 +17,27 @@ import (
 )
 
 // State is an FSM state shared by coordinator and cohort (the paper's
-// q/w/p/a/c with site-role suffixes implied by context).
+// q/w/p/a/c with site-role suffixes implied by context). The //fsm:state
+// annotations bind each constant to its letter in the abstract model of
+// internal/mc — the alias map fsmcheck's cross-validation resolves
+// extracted edges through.
 type State int
 
 // FSM states.
 const (
-	StateInitial   State = iota + 1 // q
-	StateWait                       // w
-	StatePrepared                   // p
-	StateAborted                    // a
-	StateCommitted                  // c
+	StateInitial   State = iota + 1 //fsm:state tpc q
+	StateWait                       //fsm:state tpc w
+	StatePrepared                   //fsm:state tpc p
+	StateAborted                    //fsm:state tpc a
+	StateCommitted                  //fsm:state tpc c
 )
 
-// String renders the state in the paper's notation.
+// String renders the state in the paper's notation. It is also the
+// stable-storage encoding persist writes; ParseState is its inverse, and
+// fsmcheck's codec-totality check keeps the pair in sync with the
+// constant set.
+//
+//fsm:encode tpc
 func (s State) String() string {
 	switch s {
 	case StateInitial:
@@ -63,9 +72,14 @@ const (
 	DecisionAbort
 )
 
-// String renders the decision.
+// String renders the decision; it doubles as the stable-storage encoding
+// (see ParseDecision).
+//
+//fsm:encode tpc
 func (d Decision) String() string {
 	switch d {
+	case DecisionNone:
+		return "none"
 	case DecisionCommit:
 		return "commit"
 	case DecisionAbort:
@@ -75,19 +89,65 @@ func (d Decision) String() string {
 	}
 }
 
-// Wire kinds for the commit protocols.
-const (
-	KindCommitReq = "tpc.commitreq" // phase 1: coordinator -> cohorts
-	KindVoteYes   = "tpc.voteyes"   // phase 1: cohort -> coordinator ("agreed")
-	KindVoteNo    = "tpc.voteno"    // phase 1: cohort -> coordinator ("abort")
-	KindPrepare   = "tpc.prepare"   // phase 2: coordinator -> cohorts
-	KindAck       = "tpc.ack"       // phase 2: cohort -> coordinator
-	KindCommit    = "tpc.commit"    // phase 3: coordinator -> cohorts
-	KindAbort     = "tpc.abort"     // any phase: coordinator -> cohorts
+// ErrCorrupt is wrapped by the stable-storage decoders when a persisted
+// byte sequence matches no known encoding. Before this sentinel existed,
+// an unknown byte silently decoded to StateInitial/DecisionNone — exactly
+// the kind of drift fsmcheck's codec-totality check now forbids.
+var ErrCorrupt = errors.New("tpc: corrupt persisted record")
 
-	// Termination protocol.
-	KindStateReq  = "tpc.term.statereq"  // backup -> cohorts
-	KindStateResp = "tpc.term.stateresp" // cohort -> backup
+// ParseState decodes a persisted FSM state. Every encoding State.String
+// produces must decode; anything else is a wrapped ErrCorrupt.
+//
+//fsm:decode tpc
+func ParseState(raw string) (State, error) {
+	switch raw {
+	case "q":
+		return StateInitial, nil
+	case "w":
+		return StateWait, nil
+	case "p":
+		return StatePrepared, nil
+	case "a":
+		return StateAborted, nil
+	case "c":
+		return StateCommitted, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown state encoding %q", ErrCorrupt, raw)
+	}
+}
+
+// ParseDecision decodes a persisted outcome; unknown bytes are a wrapped
+// ErrCorrupt rather than a silent DecisionNone.
+//
+//fsm:decode tpc
+func ParseDecision(raw string) (Decision, error) {
+	switch raw {
+	case "none":
+		return DecisionNone, nil
+	case "commit":
+		return DecisionCommit, nil
+	case "abort":
+		return DecisionAbort, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown decision encoding %q", ErrCorrupt, raw)
+	}
+}
+
+// Wire kinds for the commit protocols. The //fsm:msg annotation names the
+// machine and the role whose handler must consume the kind (phase 1 flows
+// cohort->coordinator, so its votes are coordinator-consumed, etc.).
+const (
+	KindCommitReq = "tpc.commitreq" //fsm:msg tpc cohort
+	KindVoteYes   = "tpc.voteyes"   //fsm:msg tpc coordinator
+	KindVoteNo    = "tpc.voteno"    //fsm:msg tpc coordinator
+	KindPrepare   = "tpc.prepare"   //fsm:msg tpc cohort
+	KindAck       = "tpc.ack"       //fsm:msg tpc coordinator
+	KindCommit    = "tpc.commit"    //fsm:msg tpc cohort
+	KindAbort     = "tpc.abort"     //fsm:msg tpc cohort
+
+	// Termination protocol (backup <-> cohorts).
+	KindStateReq  = "tpc.term.statereq"  //fsm:msg tpc cohort
+	KindStateResp = "tpc.term.stateresp" //fsm:msg tpc cohort
 )
 
 // txnMsg is the common payload: every protocol message names its
@@ -143,41 +203,32 @@ func decisionKey(txn string) string { return "tpc/" + txn + "/decision" }
 // DurableDecision reads the outcome a site persisted for txn from its
 // stable store — what the site would decide on recovery, independent of
 // any volatile state. Fault explorers use it as the ground truth for
-// cross-site atomicity checks that span crashes.
-func DurableDecision(st *stable.Store, txn string) Decision {
+// cross-site atomicity checks that span crashes. A missing record is
+// (DecisionNone, nil); a record that decodes to nothing known is a
+// wrapped ErrCorrupt, never a silent DecisionNone.
+func DurableDecision(st *stable.Store, txn string) (Decision, error) {
 	raw, ok := st.Get(decisionKey(txn))
 	if !ok {
-		return DecisionNone
+		return DecisionNone, nil
 	}
-	switch string(raw) {
-	case "commit":
-		return DecisionCommit
-	case "abort":
-		return DecisionAbort
-	default:
-		return DecisionNone
+	d, err := ParseDecision(string(raw))
+	if err != nil {
+		return DecisionNone, fmt.Errorf("tpc: durable decision of %s: %w", txn, err)
 	}
+	return d, nil
 }
 
 // DurableState reads the FSM state a site persisted for txn (StateInitial
-// when none was written).
-func DurableState(st *stable.Store, txn string) State {
+// when none was written; a wrapped ErrCorrupt when the record exists but
+// decodes to no known state).
+func DurableState(st *stable.Store, txn string) (State, error) {
 	raw, ok := st.Get(stateKey(txn))
 	if !ok {
-		return StateInitial
+		return StateInitial, nil
 	}
-	switch string(raw) {
-	case "q":
-		return StateInitial
-	case "w":
-		return StateWait
-	case "p":
-		return StatePrepared
-	case "a":
-		return StateAborted
-	case "c":
-		return StateCommitted
-	default:
-		return StateInitial
+	s, err := ParseState(string(raw))
+	if err != nil {
+		return StateInitial, fmt.Errorf("tpc: durable state of %s: %w", txn, err)
 	}
+	return s, nil
 }

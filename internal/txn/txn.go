@@ -20,11 +20,11 @@ import (
 	"speccat/internal/wal"
 )
 
-// Wire kinds.
+// Wire kinds. Work flows master->site; completion reports flow back.
 const (
-	kindWork     = "txn.startwork"
-	kindWorkDone = "txn.workdone"
-	kindWorkFail = "txn.workfail"
+	kindWork     = "txn.startwork" //fsm:msg txn site
+	kindWorkDone = "txn.workdone"  //fsm:msg txn master
+	kindWorkFail = "txn.workfail"  //fsm:msg txn master
 )
 
 // Op is one data operation of a transaction.
@@ -80,7 +80,25 @@ type Master struct {
 	id      simnet.NodeID
 	coord   *tpc.Coordinator
 	pending map[string]*pending
+	// OnUnhandled, when non-nil, observes messages the master dropped —
+	// unknown kinds and undecodable payloads. They are counted either way
+	// (see Unhandled); before this hook existed both cases were a silent
+	// bare return.
+	OnUnhandled func(m simnet.Message)
+	unhandled   int
 }
+
+// noteUnhandled accounts for a message the master could not dispatch.
+func (m *Master) noteUnhandled(msg simnet.Message) {
+	m.unhandled++
+	if m.OnUnhandled != nil {
+		m.OnUnhandled(msg)
+	}
+}
+
+// Unhandled reports how many messages the master dropped (unknown kind or
+// undecodable payload).
+func (m *Master) Unhandled() int { return m.unhandled }
 
 // Site hosts a cohort process plus the local store.
 type Site struct {
@@ -101,7 +119,25 @@ type Site struct {
 	// to the local store (the moment a local branch's effects become
 	// committed or are rolled back).
 	OnApply func(txn string, d tpc.Decision)
+	// OnUnhandled, when non-nil, observes messages the site dropped —
+	// unknown kinds and undecodable payloads. They are counted either way
+	// (see Unhandled); before this hook existed both cases were a silent
+	// bare return.
+	OnUnhandled func(m simnet.Message)
+	unhandled   int
 }
+
+// noteUnhandled accounts for a message the site could not dispatch.
+func (s *Site) noteUnhandled(msg simnet.Message) {
+	s.unhandled++
+	if s.OnUnhandled != nil {
+		s.OnUnhandled(msg)
+	}
+}
+
+// Unhandled reports how many messages the site dropped (unknown kind or
+// undecodable payload).
+func (s *Site) Unhandled() int { return s.unhandled }
 
 // Cluster is a wired deployment: one master site plus data sites.
 type Cluster struct {
@@ -214,6 +250,12 @@ func (m *Master) Submit(txn string, ops []Op, onDone func(*Result)) error {
 	return nil
 }
 
+// handle demultiplexes master-side traffic: commit protocol first, then
+// the work protocol. It is the terminal handler for its node, so anything
+// it does not dispatch is accounted through noteUnhandled rather than
+// silently dropped.
+//
+//fsm:handler txn master
 func (m *Master) handle(msg simnet.Message) {
 	if m.coord.HandleMessage(msg) {
 		return
@@ -222,6 +264,7 @@ func (m *Master) handle(msg simnet.Message) {
 	case kindWorkDone:
 		d, ok := msg.Payload.(doneMsg)
 		if !ok {
+			m.noteUnhandled(msg)
 			return
 		}
 		p, ok := m.pending[d.Txn]
@@ -238,6 +281,7 @@ func (m *Master) handle(msg simnet.Message) {
 	case kindWorkFail:
 		d, ok := msg.Payload.(doneMsg)
 		if !ok {
+			m.noteUnhandled(msg)
 			return
 		}
 		p, ok := m.pending[d.Txn]
@@ -246,6 +290,8 @@ func (m *Master) handle(msg simnet.Message) {
 		}
 		p.failed = true
 		_ = m.startCommit(d.Txn, p)
+	default:
+		m.noteUnhandled(msg)
 	}
 }
 
@@ -299,16 +345,21 @@ func (m *Master) RecoverCoordinator() {
 }
 
 // handle demultiplexes site-side traffic: commit protocol first, then the
-// work protocol.
+// work protocol. Like the master's handler it is terminal for its node, so
+// undispatched traffic is accounted rather than silently dropped.
+//
+//fsm:handler txn site
 func (s *Site) handle(msg simnet.Message) {
 	if s.cohort.HandleMessage(msg) {
 		return
 	}
 	if msg.Kind != kindWork {
+		s.noteUnhandled(msg)
 		return
 	}
 	w, ok := msg.Payload.(workMsg)
 	if !ok {
+		s.noteUnhandled(msg)
 		return
 	}
 	reads, err := s.execute(w)
