@@ -1,6 +1,11 @@
 GO ?= go
+# Benchmark knobs: BENCHTIME per testing -benchtime (1x = one iteration,
+# CI smoke; 5x or 2s for real measurements), BENCHOUT the report path
+# (empty = BENCH_<date>.json in the working directory).
+BENCHTIME ?= 1x
+BENCHOUT ?=
 
-.PHONY: build test race lint fsm fsm-check explore verify bench
+.PHONY: build test race lint fsm fsm-check explore verify bench bench-go
 
 build:
 	$(GO) build ./...
@@ -43,5 +48,12 @@ explore:
 # The full tier-1 gate: everything CI runs.
 verify: build lint test race explore
 
+# Benchmark regression harness: runs the E0..E10 + E14 suite via
+# cmd/specbench and writes the machine-readable BENCH_<date>.json report
+# (schema: internal/benchsuite.Report). bench-go runs the same bodies
+# through `go test -bench` for interactive use.
 bench:
-	$(GO) test -bench . -benchtime 1x -run ^$$ ./...
+	$(GO) run ./cmd/specbench -benchtime $(BENCHTIME) -out "$(BENCHOUT)"
+
+bench-go:
+	$(GO) test -bench . -benchtime $(BENCHTIME) -run ^$$ ./...

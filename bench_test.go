@@ -1,172 +1,22 @@
 // Package speccat's root benchmarks regenerate every evaluation artifact
 // of the paper (see DESIGN.md's experiment index): one benchmark per
-// experiment E1..E10, timing exactly the code path cmd/tpcverify prints.
+// experiment E0..E10 plus the E14 sequential-versus-parallel proof
+// pipeline, timing exactly the code paths cmd/tpcverify prints.
+//
+// The bodies live in internal/benchsuite, shared with the cmd/specbench
+// regression driver, so `go test -bench` and `make bench` measure the
+// same thing. The corpus environment is cached behind a sync.Once there —
+// safe under -race at any parallelism.
 package speccat_test
 
 import (
 	"testing"
 
-	"speccat/internal/core/speclang"
-	"speccat/internal/experiments"
-	"speccat/internal/thesis"
-	"speccat/internal/tpc"
+	"speccat/internal/benchsuite"
 )
 
-// corpus is elaborated once (proofs skipped: benchmarks re-run them).
-var corpus *speclang.Env
-
-func corpusEnv(b *testing.B) *speclang.Env {
-	b.Helper()
-	if corpus == nil {
-		env, err := thesis.CorpusWithoutProofs()
-		if err != nil {
-			b.Fatal(err)
-		}
-		corpus = env
-	}
-	return corpus
-}
-
-// BenchmarkE0_CorpusElaboration times the full pipeline: parse, elaborate,
-// translate, build all ten colimits (no proofs).
-func BenchmarkE0_CorpusElaboration(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := thesis.CorpusWithoutProofs(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkE1_Table31_BuildingBlocks regenerates Table 3.1.
-func BenchmarkE1_Table31_BuildingBlocks(b *testing.B) {
-	env := corpusEnv(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E1Table31(env)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(rows) != 12 {
-			b.Fatalf("rows = %d", len(rows))
-		}
-	}
-}
-
-// BenchmarkE2_Fig34_SeqDivision1 re-verifies the Fig. 3.4 chain.
-func BenchmarkE2_Fig34_SeqDivision1(b *testing.B) {
-	env := corpusEnv(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E2SeqDivision1(env); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkE3_Fig35_SeqDivision2 re-verifies the Fig. 3.5 chain.
-func BenchmarkE3_Fig35_SeqDivision2(b *testing.B) {
-	env := corpusEnv(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E3SeqDivision2(env); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// benchmarkProof times one global-property proof (Figs. 4.2/4.10/4.18).
-func benchmarkProof(b *testing.B, property string) {
-	env := corpusEnv(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := thesis.ProveProperty(env, property)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Proof.Stats.ProofLength == 0 {
-			b.Fatal("empty proof")
-		}
-	}
-}
-
-// BenchmarkE4_Fig42_Serializability proves Serialize in PR2 (thesis p1).
-func BenchmarkE4_Fig42_Serializability(b *testing.B) { benchmarkProof(b, "Serialize") }
-
-// BenchmarkE5_Fig410_ConsistentState proves CSM in PR6 (thesis p2).
-func BenchmarkE5_Fig410_ConsistentState(b *testing.B) { benchmarkProof(b, "CSM") }
-
-// BenchmarkE6_Fig418_RollbackRecovery proves RBR in PR4 (thesis p3).
-func BenchmarkE6_Fig418_RollbackRecovery(b *testing.B) { benchmarkProof(b, "RBR") }
-
-// BenchmarkE7_Fig32_ModelCheck3PC explores the 3PC state space under the
-// thesis assumptions and checks both non-blocking rules.
-func BenchmarkE7_Fig32_ModelCheck3PC(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.E7ModelCheck(2)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !rows[0].Atomic || rows[0].Blocking != 0 {
-			b.Fatal("3PC model-check failed")
-		}
-	}
-}
-
-// BenchmarkE8_Fig31_DistributedTxn_3PC runs the end-to-end transfer
-// workload with a mid-run coordinator crash under 3PC.
-func BenchmarkE8_Fig31_DistributedTxn_3PC(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.E8Distributed(int64(i)+1, 20, tpc.ThreePhase)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if r.Committed == 0 {
-			b.Fatal("nothing committed")
-		}
-	}
-}
-
-// BenchmarkE8_Fig31_DistributedTxn_2PC is the blocking baseline.
-func BenchmarkE8_Fig31_DistributedTxn_2PC(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E8Distributed(int64(i)+1, 20, tpc.TwoPhase); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkE9_Ablation_ModularVsMonolithic contrasts compositional and
-// flat verification of all four properties.
-func BenchmarkE9_Ablation_Modular(b *testing.B) {
-	env := corpusEnv(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for _, prop := range thesis.GlobalProperties() {
-			if _, err := thesis.ProveProperty(env, prop); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-}
-
-// BenchmarkE9_Ablation_Monolithic is the flat-verification arm.
-func BenchmarkE9_Ablation_Monolithic(b *testing.B) {
-	env := corpusEnv(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for _, prop := range thesis.GlobalProperties() {
-			if _, err := thesis.ProveMonolithic(env, prop); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-}
-
-// BenchmarkE10_FailureInjection runs the assumption-violation matrix.
-func BenchmarkE10_FailureInjection(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := experiments.E10FailureInjection(); err != nil {
-			b.Fatal(err)
-		}
+func BenchmarkSuite(b *testing.B) {
+	for _, bm := range benchsuite.Suite() {
+		b.Run(bm.Name, bm.Fn)
 	}
 }

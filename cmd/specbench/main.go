@@ -1,0 +1,140 @@
+// Command specbench runs the repository's benchmark suite (the same
+// bodies `go test -bench` uses, see internal/benchsuite) outside the test
+// harness and emits a machine-readable regression report.
+//
+// Usage:
+//
+//	specbench [-out BENCH_<date>.json] [-benchtime 1x] [-workers n] [-run regexp] [-list]
+//
+// The report (schema internal/benchsuite.Report, version 1) records
+// ns/op, allocs/op and B/op per experiment benchmark plus the E14
+// headline: total time to discharge the corpus's five proof obligations
+// sequentially versus on a worker pool, and the speedup between them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"speccat/internal/benchsuite"
+)
+
+func main() {
+	testing.Init()
+	out := flag.String("out", "", "output path (default BENCH_<date>.json in the current directory)")
+	benchtime := flag.String("benchtime", "1x", "benchmark duration per testing -benchtime (e.g. 1x, 5x, 2s)")
+	workers := flag.Int("workers", 0, "worker count for the parallel proof arm (0 = GOMAXPROCS)")
+	run := flag.String("run", "", "only run suite benchmarks matching this regexp")
+	list := flag.Bool("list", false, "list suite benchmark names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, bm := range benchsuite.Suite() {
+			fmt.Println(bm.Name)
+		}
+		return
+	}
+	if err := runSuite(*out, *benchtime, *workers, *run); err != nil {
+		fmt.Fprintf(os.Stderr, "specbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runSuite(out, benchtime string, workers int, run string) error {
+	filter, err := regexp.Compile(run)
+	if err != nil {
+		return fmt.Errorf("bad -run regexp: %w", err)
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return fmt.Errorf("bad -benchtime: %w", err)
+	}
+
+	report := &benchsuite.Report{
+		SchemaVersion: benchsuite.SchemaVersion,
+		Date:          time.Now().UTC().Format("2006-01-02"), //lint:allow nowallclock report date stamp
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		BenchTime:     benchtime,
+	}
+
+	measured := map[string]testing.BenchmarkResult{}
+	for _, bm := range benchsuite.Suite() {
+		if !filter.MatchString(bm.Name) {
+			continue
+		}
+		fmt.Printf("%-32s ", bm.Name)
+		r := testing.Benchmark(bm.Fn)
+		if r.N == 0 {
+			fmt.Println("FAILED")
+			return fmt.Errorf("benchmark %s failed", bm.Name)
+		}
+		fmt.Printf("%12d ns/op %10d allocs/op\n", r.NsPerOp(), r.AllocsPerOp())
+		measured[bm.Name] = r
+		report.Benchmarks = append(report.Benchmarks, benchsuite.BenchResult{
+			Name:        bm.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("no suite benchmarks match -run %q", run)
+	}
+
+	seq, par, err := corpusProveArms(measured, workers)
+	if err != nil {
+		return err
+	}
+	effWorkers := workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	seqNs := float64(seq.T.Nanoseconds()) / float64(seq.N)
+	parNs := float64(par.T.Nanoseconds()) / float64(par.N)
+	report.CorpusProve = benchsuite.CorpusProve{
+		SequentialNs: seqNs,
+		ParallelNs:   parNs,
+		Workers:      effWorkers,
+		Speedup:      seqNs / parNs,
+	}
+	fmt.Printf("corpus prove: %.0f ns sequential, %.0f ns on %d workers (%.2fx)\n",
+		seqNs, parNs, effWorkers, report.CorpusProve.Speedup)
+
+	if out == "" {
+		out = "BENCH_" + report.Date + ".json"
+	}
+	if err := report.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// corpusProveArms returns the sequential and parallel E14 measurements,
+// reusing suite results when the -run filter already produced them (with
+// default workers) and running dedicated arms otherwise.
+func corpusProveArms(measured map[string]testing.BenchmarkResult, workers int) (seq, par testing.BenchmarkResult, err error) {
+	seq, okSeq := measured["E14_CorpusProve_Sequential"]
+	par, okPar := measured["E14_CorpusProve_Parallel"]
+	if !okSeq {
+		seq = testing.Benchmark(benchsuite.CorpusProveBench(1))
+		if seq.N == 0 {
+			return seq, par, fmt.Errorf("sequential corpus-prove benchmark failed")
+		}
+	}
+	if !okPar || workers > 0 {
+		par = testing.Benchmark(benchsuite.CorpusProveBench(workers))
+		if par.N == 0 {
+			return seq, par, fmt.Errorf("parallel corpus-prove benchmark failed")
+		}
+	}
+	return seq, par, nil
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	speccat [-lenient] [-skip-proofs] [-lint] [-print name] file.sw...
+//	speccat [-lenient] [-skip-proofs] [-lint] [-j workers] [-print name] file.sw...
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"speccat/internal/analysis"
 	"speccat/internal/analysis/fsmcheck"
+	"speccat/internal/core/provesched"
 	"speccat/internal/core/speclang"
 	"speccat/internal/core/speclint"
 )
@@ -23,12 +24,13 @@ func main() {
 	lenient := flag.Bool("lenient", false, "tolerate unknown symbols (auto-declare) and unbound identifiers")
 	skipProofs := flag.Bool("skip-proofs", false, "record prove statements without running the prover")
 	lint := flag.Bool("lint", false, "run the spec linter before elaboration; lint errors fail the file")
+	jobs := flag.Int("j", 1, "discharge prove statements on this many workers (0 = GOMAXPROCS); results are bit-identical to -j 1")
 	printName := flag.String("print", "", "print the named value after elaboration")
 	quiet := flag.Bool("q", false, "suppress the per-statement summary")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: speccat [-lenient] [-skip-proofs] [-lint] [-print name] file.sw...")
+		fmt.Fprintln(os.Stderr, "usage: speccat [-lenient] [-skip-proofs] [-lint] [-j workers] [-print name] file.sw...")
 		os.Exit(2)
 	}
 	code := 0
@@ -36,7 +38,7 @@ func main() {
 		code = 1
 	}
 	for _, path := range flag.Args() {
-		if err := processFile(path, *lenient, *skipProofs, *lint, *printName, *quiet); err != nil {
+		if err := processFile(path, *lenient, *skipProofs, *lint, *jobs, *printName, *quiet); err != nil {
 			fmt.Fprintf(os.Stderr, "speccat: %s: %v\n", path, err)
 			code = 1
 		}
@@ -67,7 +69,7 @@ func lintGoLayers(stderr *os.File) int {
 	return len(diags)
 }
 
-func processFile(path string, lenient, skipProofs, lint bool, printName string, quiet bool) error {
+func processFile(path string, lenient, skipProofs, lint bool, jobs int, printName string, quiet bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -81,7 +83,7 @@ func processFile(path string, lenient, skipProofs, lint bool, printName string, 
 			return fmt.Errorf("spec lint failed")
 		}
 	}
-	env, err := speclang.Run(string(src), speclang.Options{Lenient: lenient, SkipProofs: skipProofs})
+	env, err := elaborate(string(src), lenient, skipProofs, jobs)
 	if err != nil {
 		return err
 	}
@@ -99,6 +101,29 @@ func processFile(path string, lenient, skipProofs, lint bool, printName string, 
 		fmt.Println(render(v))
 	}
 	return nil
+}
+
+// elaborate runs the pipeline. With jobs == 1 the elaborator discharges
+// prove statements inline; otherwise proofs are skipped during elaboration
+// and discharged afterwards on a worker pool (bit-identical results, see
+// internal/core/provesched).
+func elaborate(src string, lenient, skipProofs bool, jobs int) (*speclang.Env, error) {
+	if skipProofs || jobs == 1 {
+		return speclang.Run(src, speclang.Options{Lenient: lenient, SkipProofs: skipProofs})
+	}
+	env, err := speclang.Run(src, speclang.Options{Lenient: lenient, SkipProofs: true})
+	if err != nil {
+		return nil, err
+	}
+	obs, err := provesched.Extract(src)
+	if err != nil {
+		return nil, err
+	}
+	results := (&provesched.Scheduler{Workers: jobs}).Run(env, obs)
+	if err := provesched.Bind(env, results); err != nil {
+		return nil, err
+	}
+	return env, nil
 }
 
 func describe(v *speclang.Value) string {

@@ -1,9 +1,10 @@
-// Command tpcverify runs the full reproduction suite — experiments E1..E10
-// from DESIGN.md — and prints each regenerated artifact: Table 3.1, the
-// Fig. 3.4/3.5 composition chains, the three global-property proofs, the
-// model-checked non-blocking theorem, the end-to-end 3PC/2PC comparison,
-// the modular-vs-monolithic verification ablation, and the
-// assumption-violation matrix.
+// Command tpcverify runs the full reproduction suite — experiments E1..E11
+// plus the E14 parallel proof pipeline from DESIGN.md — and prints each
+// regenerated artifact: Table 3.1, the Fig. 3.4/3.5 composition chains,
+// the three global-property proofs, the model-checked non-blocking
+// theorem, the end-to-end 3PC/2PC comparison, the modular-vs-monolithic
+// verification ablation, the assumption-violation matrix, and the
+// worker-pool proof schedule (-only e14, -workers n).
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"strings"
 
 	"speccat/internal/conformance"
+	"speccat/internal/core/speclang"
 	"speccat/internal/experiments"
 	"speccat/internal/thesis"
 	"speccat/internal/tpc"
@@ -22,6 +24,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment list (e.g. e1,e7); empty = all")
 	seed := flag.Int64("seed", 2026, "simulation seed for E8/E10")
 	txns := flag.Int("txns", 30, "transactions for E8")
+	workers := flag.Int("workers", 1, "discharge the corpus proofs (p1..p5) on this many workers (0 = GOMAXPROCS); verdicts are bit-identical to -workers 1")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -32,14 +35,14 @@ func main() {
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
-	if err := run(sel, *seed, *txns); err != nil {
+	if err := run(sel, *seed, *txns, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "tpcverify:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sel func(string) bool, seed int64, txns int) error {
-	env, err := thesis.Corpus()
+func run(sel func(string) bool, seed int64, txns, workers int) error {
+	env, err := corpusEnv(workers)
 	if err != nil {
 		return err
 	}
@@ -162,6 +165,22 @@ func run(sel func(string) bool, seed int64, txns int) error {
 		fmt.Println()
 	}
 
+	if sel("e14") {
+		fmt.Println("== E14: parallel proof pipeline — corpus obligations on a worker pool ==")
+		rows, err := experiments.E14ParallelProofs(workers)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-4s %-15s %-4s %5s %8s %6s %9s %10s\n",
+			"stmt", "theorem", "in", "depth", "premises", "steps", "generated", "elapsed")
+		for _, r := range rows {
+			fmt.Printf("  %-4s %-15s %-4s %5d %8d %6d %9d %10v\n",
+				r.Obligation, r.Theorem, r.Composite, r.Depth, r.Premises,
+				r.Steps, r.Generated, r.Elapsed.Round(10_000))
+		}
+		fmt.Println()
+	}
+
 	if sel("e11") {
 		fmt.Println("== E11: axiom conformance — proof axioms observed on execution traces ==")
 		rows, err := conformance.CheckAll(seed)
@@ -178,6 +197,17 @@ func run(sel func(string) bool, seed int64, txns int) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// corpusEnv elaborates the corpus: with one worker through the sequential
+// elaborator, otherwise through the parallel proof scheduler — the two
+// paths produce bit-identical environments (see internal/core/provesched).
+func corpusEnv(workers int) (*speclang.Env, error) {
+	if workers == 1 {
+		return thesis.Corpus()
+	}
+	env, _, err := thesis.CorpusParallel(workers)
+	return env, err
 }
 
 func printChain(steps []thesis.ChainStep, err error) error {

@@ -1,0 +1,136 @@
+package benchsuite
+
+import (
+	"errors"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validReport() *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Date:          "2026-08-05",
+		GoVersion:     "go1.24.0",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		NumCPU:        4,
+		BenchTime:     "1x",
+		Benchmarks: []BenchResult{
+			{Name: "E0_CorpusElaboration", Iterations: 1, NsPerOp: 2e6, AllocsPerOp: 100, BytesPerOp: 4096},
+			{Name: "E14_CorpusProve_Parallel", Iterations: 1, NsPerOp: 9e7},
+		},
+		CorpusProve: CorpusProve{SequentialNs: 1.8e8, ParallelNs: 9e7, Workers: 4, Speedup: 2.0},
+	}
+}
+
+func TestReportSchemaRoundTrip(t *testing.T) {
+	r := validReport()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_2026-08-05.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || got.Date != r.Date || len(got.Benchmarks) != 2 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if got.CorpusProve != r.CorpusProve {
+		t.Errorf("corpus_prove round trip: %+v != %+v", got.CorpusProve, r.CorpusProve)
+	}
+}
+
+func TestReportValidateRejections(t *testing.T) {
+	cases := []struct {
+		label  string
+		mutate func(*Report)
+	}{
+		{"wrong schema version", func(r *Report) { r.SchemaVersion = 99 }},
+		{"bad date", func(r *Report) { r.Date = "05/08/2026" }},
+		{"missing go version", func(r *Report) { r.GoVersion = "" }},
+		{"zero cpus", func(r *Report) { r.NumCPU = 0 }},
+		{"missing bench time", func(r *Report) { r.BenchTime = "" }},
+		{"no benchmarks", func(r *Report) { r.Benchmarks = nil }},
+		{"unnamed benchmark", func(r *Report) { r.Benchmarks[0].Name = "" }},
+		{"duplicate benchmark", func(r *Report) { r.Benchmarks[1].Name = r.Benchmarks[0].Name }},
+		{"nonpositive ns", func(r *Report) { r.Benchmarks[0].NsPerOp = 0 }},
+		{"zero workers", func(r *Report) { r.CorpusProve.Workers = 0 }},
+		{"nonpositive speedup", func(r *Report) { r.CorpusProve.Speedup = 0 }},
+	}
+	for _, tc := range cases {
+		r := validReport()
+		tc.mutate(r)
+		err := r.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.label)
+			continue
+		}
+		if !errors.Is(err, ErrReport) {
+			t.Errorf("%s: error does not wrap ErrReport: %v", tc.label, err)
+		}
+	}
+}
+
+func TestReadReportRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if _, err := ReadReport(path); !errors.Is(err, ErrReport) {
+		t.Errorf("missing file: %v", err)
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 14 {
+		t.Fatalf("suite has %d benchmarks", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, bm := range suite {
+		if bm.Name == "" || bm.Fn == nil {
+			t.Errorf("degenerate entry: %+v", bm)
+		}
+		if seen[bm.Name] {
+			t.Errorf("duplicate benchmark %s", bm.Name)
+		}
+		seen[bm.Name] = true
+		if strings.HasPrefix(bm.Name, "Benchmark") {
+			t.Errorf("%s: names must not carry the Benchmark prefix", bm.Name)
+		}
+	}
+	for _, want := range []string{"E14_CorpusProve_Sequential", "E14_CorpusProve_Parallel"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("suite missing %s", want)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup found a benchmark that does not exist")
+	}
+}
+
+// TestCorpusProveBenchRuns smoke-tests both E14 arms through the testing
+// package for one iteration each, the same way cmd/specbench drives them.
+func TestCorpusProveBenchRuns(t *testing.T) {
+	prev := flag.Lookup("test.benchtime").Value.String()
+	if err := flag.Set("test.benchtime", "1x"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := flag.Set("test.benchtime", prev); err != nil {
+			t.Errorf("restoring test.benchtime: %v", err)
+		}
+	}()
+	for _, workers := range []int{1, 0} {
+		r := testing.Benchmark(CorpusProveBench(workers))
+		if r.N == 0 {
+			t.Fatalf("workers=%d: benchmark did not run", workers)
+		}
+		if r.T <= 0 {
+			t.Fatalf("workers=%d: no time measured", workers)
+		}
+	}
+}

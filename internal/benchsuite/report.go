@@ -1,0 +1,124 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+// SchemaVersion is the current BENCH_<date>.json schema version; bump it
+// on any incompatible field change so regression tooling can refuse
+// mixed-schema comparisons.
+const SchemaVersion = 1
+
+// ErrReport is wrapped by every report validation or IO failure.
+var ErrReport = errors.New("benchsuite: bad report")
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// CorpusProve is the E14 sequential-versus-parallel headline: total time
+// to discharge all five corpus proof obligations at one worker and at
+// Workers workers, and the resulting speedup.
+type CorpusProve struct {
+	SequentialNs float64 `json:"sequential_ns"`
+	ParallelNs   float64 `json:"parallel_ns"`
+	Workers      int     `json:"workers"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// Report is the BENCH_<date>.json document.
+type Report struct {
+	SchemaVersion int           `json:"schema_version"`
+	Date          string        `json:"date"` // YYYY-MM-DD (UTC)
+	GoVersion     string        `json:"go_version"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	NumCPU        int           `json:"num_cpu"`
+	BenchTime     string        `json:"bench_time"`
+	Benchmarks    []BenchResult `json:"benchmarks"`
+	CorpusProve   CorpusProve   `json:"corpus_prove"`
+}
+
+var datePattern = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`) //lint:allow noglobalstate compiled constant
+
+// Validate checks the report against the schema regression tooling relies
+// on: version pinned, date machine-sortable, every measurement positive.
+func (r *Report) Validate() error {
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("%w: schema_version %d, want %d", ErrReport, r.SchemaVersion, SchemaVersion)
+	}
+	if !datePattern.MatchString(r.Date) {
+		return fmt.Errorf("%w: date %q not YYYY-MM-DD", ErrReport, r.Date)
+	}
+	if r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
+		return fmt.Errorf("%w: missing toolchain/platform fields", ErrReport)
+	}
+	if r.NumCPU < 1 {
+		return fmt.Errorf("%w: num_cpu %d", ErrReport, r.NumCPU)
+	}
+	if r.BenchTime == "" {
+		return fmt.Errorf("%w: missing bench_time", ErrReport)
+	}
+	if len(r.Benchmarks) == 0 {
+		return fmt.Errorf("%w: no benchmarks", ErrReport)
+	}
+	seen := map[string]bool{}
+	for _, bm := range r.Benchmarks {
+		if bm.Name == "" {
+			return fmt.Errorf("%w: unnamed benchmark", ErrReport)
+		}
+		if seen[bm.Name] {
+			return fmt.Errorf("%w: duplicate benchmark %s", ErrReport, bm.Name)
+		}
+		seen[bm.Name] = true
+		if bm.Iterations < 1 || bm.NsPerOp <= 0 {
+			return fmt.Errorf("%w: %s: iterations=%d ns_per_op=%g", ErrReport, bm.Name, bm.Iterations, bm.NsPerOp)
+		}
+	}
+	cp := r.CorpusProve
+	if cp.SequentialNs <= 0 || cp.ParallelNs <= 0 || cp.Workers < 1 || cp.Speedup <= 0 {
+		return fmt.Errorf("%w: corpus_prove %+v", ErrReport, cp)
+	}
+	return nil
+}
+
+// WriteFile validates the report and writes it as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrReport, err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("%w: %w", ErrReport, err)
+	}
+	return nil
+}
+
+// ReadReport loads and validates a BENCH_<date>.json file.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrReport, err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%w: %s: %w", ErrReport, path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

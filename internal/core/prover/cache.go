@@ -1,0 +1,62 @@
+package prover
+
+import (
+	"sync"
+
+	"speccat/internal/core/logic"
+)
+
+// ClauseCache memoizes clausification across Prove calls. The same
+// building-block axioms (Agreebroad, Agreeconsensus, ...) appear in the
+// premise sets of every downstream theorem; without a cache each proof
+// re-runs NNF conversion, skolemization and CNF distribution on them.
+//
+// A cache entry is keyed by the formula's name and body, and Prove
+// namespaces skolem symbols per formula (see Prover.clausify), so the
+// cached clause set is a pure function of the key: searches that hit the
+// cache derive bit-identical proofs to searches that rebuild the clauses.
+//
+// The cache is safe for concurrent use by multiple provers; the clause
+// sets it hands out are shared and must be treated as immutable (the
+// prover never mutates clauses — resolution and factoring build fresh
+// ones).
+type ClauseCache struct {
+	mu     sync.Mutex
+	m      map[string][]*logic.Clause
+	hits   int
+	misses int
+}
+
+// NewClauseCache returns an empty clause cache.
+func NewClauseCache() *ClauseCache {
+	return &ClauseCache{m: map[string][]*logic.Clause{}}
+}
+
+// clauses returns the clause set for key, building and storing it on first
+// use. Concurrent callers may race to build the same entry; both builds
+// are identical (clausification is deterministic), so whichever result is
+// stored or returned is safe to share.
+func (c *ClauseCache) clauses(key string, build func() []*logic.Clause) []*logic.Clause {
+	c.mu.Lock()
+	if cs, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return cs
+	}
+	c.mu.Unlock()
+	cs := build()
+	c.mu.Lock()
+	c.m[key] = cs
+	c.misses++
+	c.mu.Unlock()
+	return cs
+}
+
+// Stats reports cache effectiveness: hits are clausifications avoided,
+// misses are formulas actually clausified (one per distinct entry, plus
+// any lost build races).
+func (c *ClauseCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

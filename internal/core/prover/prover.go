@@ -122,7 +122,16 @@ type Prover struct {
 	// Nil means the wall clock; tests and simulations inject their own so
 	// proof search stays deterministic under a controlled clock.
 	Now func() time.Time
+	// Cache, when non-nil, memoizes clausification of premises and goals
+	// across Prove calls. Skolem symbols are namespaced per formula, so
+	// cached and uncached searches derive bit-identical proofs. The cache
+	// may be shared by provers running concurrently.
+	Cache *ClauseCache
 }
+
+// deadlineCheckInterval is how often, in given-clause iterations, the
+// saturation loop samples the clock against the wall-clock deadline.
+const deadlineCheckInterval = 64
 
 // New returns a Prover with default limits.
 func New() *Prover { return &Prover{Limits: DefaultLimits()} }
@@ -140,9 +149,6 @@ func (p *Prover) Prove(axioms []NamedFormula, goal NamedFormula) (*Result, error
 	}
 	start := now()
 
-	sc := 0
-	fresh := func() string { sc++; return fmt.Sprintf("sk%d", sc) }
-
 	type tagged struct {
 		clause *logic.Clause
 		sos    bool // descends from the negated conjecture
@@ -150,12 +156,12 @@ func (p *Prover) Prove(axioms []NamedFormula, goal NamedFormula) (*Result, error
 	}
 	var inputs []tagged
 	for _, ax := range axioms {
-		for _, c := range logic.ClausifyWith(ax.Formula, fresh) {
+		for _, c := range p.clausify(ax.Name, ax.Formula) {
 			inputs = append(inputs, tagged{clause: c, origin: ax.Name})
 		}
 	}
 	negGoal := logic.Not(logic.Closure(goal.Formula))
-	for _, c := range logic.ClausifyWith(negGoal, fresh) {
+	for _, c := range p.clausify("~"+goal.Name, negGoal) {
 		inputs = append(inputs, tagged{clause: c, sos: true, origin: "~" + goal.Name})
 	}
 
@@ -191,6 +197,23 @@ func (p *Prover) Prove(axioms []NamedFormula, goal NamedFormula) (*Result, error
 		return run(false)
 	}
 	return res, err
+}
+
+// clausify converts one named formula to clauses. Skolem symbols are
+// namespaced by the formula's name (premise names are unique within a
+// spec; the goal is keyed under "~name"), so the clause set is a pure
+// function of (name, formula) — the property that makes memoization sound
+// and keeps cached and uncached searches bit-identical.
+func (p *Prover) clausify(name string, f *logic.Formula) []*logic.Clause {
+	build := func() []*logic.Clause {
+		n := 0
+		fresh := func() string { n++; return fmt.Sprintf("sk_%s_%d", name, n) }
+		return logic.ClausifyWith(f, fresh)
+	}
+	if p.Cache == nil {
+		return build()
+	}
+	return p.Cache.clauses(name+"\x00"+f.String(), build)
 }
 
 // searchState is the mutable state of one proof search.
@@ -259,9 +282,6 @@ func (st *searchState) saturate() (*Result, error) {
 		if st.stats.Iterations > st.limits.MaxIterations {
 			return nil, fmt.Errorf("%w (iterations > %d)", ErrLimit, st.limits.MaxIterations)
 		}
-		if st.hasDeadline && st.stats.Iterations%64 == 0 && st.now().After(st.deadline) {
-			return nil, fmt.Errorf("%w (timeout %v)", ErrLimit, st.limits.Timeout)
-		}
 		given := st.pickGiven()
 		st.active = append(st.active, given)
 
@@ -290,6 +310,15 @@ func (st *searchState) saturate() (*Result, error) {
 			if len(st.steps) >= st.limits.MaxClauses {
 				return nil, fmt.Errorf("%w (clauses >= %d)", ErrLimit, st.limits.MaxClauses)
 			}
+		}
+		// The deadline is sampled after the given clause is processed and
+		// only while unprocessed clauses remain: when the timeout fires on
+		// the same iteration the clause set saturates, the search still
+		// reports the definitive ErrExhausted (non-entailment), never the
+		// inconclusive ErrLimit.
+		if len(st.queue) > 0 && st.hasDeadline &&
+			st.stats.Iterations%deadlineCheckInterval == 0 && st.now().After(st.deadline) {
+			return nil, fmt.Errorf("%w (timeout %v)", ErrLimit, st.limits.Timeout)
 		}
 	}
 	return nil, ErrExhausted

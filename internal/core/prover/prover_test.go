@@ -2,6 +2,7 @@ package prover
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -251,5 +252,167 @@ func TestInjectedClockElapsed(t *testing.T) {
 	}
 	if res.Stats.Elapsed <= 0 || res.Stats.Elapsed%(7*time.Second) != 0 {
 		t.Errorf("Elapsed = %v, want a positive multiple of the injected 7s tick", res.Stats.Elapsed)
+	}
+}
+
+// saturationInputs builds n mutually irresolvable unit facts P0..P(n-2)
+// plus the unprovable goal Q: the search saturates after exactly n
+// given-clause iterations (one per input clause, no resolvents).
+func saturationInputs(n int) ([]NamedFormula, NamedFormula) {
+	axioms := make([]NamedFormula, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		axioms = append(axioms, nf(fmt.Sprintf("fact%d", i), logic.Pred(fmt.Sprintf("P%d", i))))
+	}
+	return axioms, nf("goal", logic.Pred("Q"))
+}
+
+// expiredClock returns a clock whose first reading is the start time and
+// every later reading is far past any deadline.
+func expiredClock() func() time.Time {
+	base := time.Unix(0, 0)
+	calls := 0
+	return func() time.Time {
+		calls++
+		if calls == 1 {
+			return base
+		}
+		return base.Add(time.Hour)
+	}
+}
+
+// TestTimeoutAtSaturationBoundary pins the result classification when the
+// wall-clock timeout fires on the same iteration the clause set saturates:
+// the search must still report the definitive ErrExhausted (the goal is
+// not entailed), never the inconclusive ErrLimit. The input count is sized
+// so the queue drains exactly on a deadline-check iteration.
+func TestTimeoutAtSaturationBoundary(t *testing.T) {
+	axioms, goal := saturationInputs(deadlineCheckInterval)
+	p := &Prover{
+		Limits: Limits{
+			MaxClauses:        5000,
+			MaxIterations:     100000,
+			MaxClauseLiterals: 8,
+			MaxTermSize:       50,
+			Timeout:           time.Millisecond,
+		},
+		Now: expiredClock(),
+	}
+	_, err := p.Prove(axioms, goal)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("saturation on the deadline iteration: got %v, want ErrExhausted", err)
+	}
+}
+
+// TestTimeoutWithWorkRemaining pins the companion sentinel: when the
+// deadline fires while unprocessed clauses remain, the verdict is the
+// inconclusive ErrLimit.
+func TestTimeoutWithWorkRemaining(t *testing.T) {
+	axioms, goal := saturationInputs(2 * deadlineCheckInterval)
+	p := &Prover{
+		Limits: Limits{
+			MaxClauses:        5000,
+			MaxIterations:     100000,
+			MaxClauseLiterals: 8,
+			MaxTermSize:       50,
+			Timeout:           time.Millisecond,
+		},
+		Now: expiredClock(),
+	}
+	_, err := p.Prove(axioms, goal)
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("deadline with work remaining: got %v, want ErrLimit", err)
+	}
+}
+
+// TestDefaultLimitsHaveTimeout guards the CI-hang backstop: the default
+// limits (used by zero-value provers and the corpus elaborator) must carry
+// a non-zero wall-clock timeout.
+func TestDefaultLimitsHaveTimeout(t *testing.T) {
+	if DefaultLimits().Timeout <= 0 {
+		t.Fatal("DefaultLimits().Timeout must be non-zero")
+	}
+}
+
+func renderProof(res *Result) string {
+	var b []byte
+	for _, s := range res.Proof {
+		b = append(b, s.String()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// TestClauseCacheBitIdentical pins memoization soundness: with skolem
+// names namespaced per formula, proofs derived through a shared cache are
+// byte-identical to proofs that re-clausify everything.
+func TestClauseCacheBitIdentical(t *testing.T) {
+	x, y := logic.Var("x", ""), logic.Var("y", "")
+	// The negated universal goal skolemizes, exercising skolem naming.
+	ax := nf("imp", logic.Forall([]*logic.Term{x},
+		logic.Implies(logic.Pred("P", x), logic.Pred("Q", x))))
+	base := nf("base", logic.Forall([]*logic.Term{y}, logic.Pred("P", y)))
+	goal := nf("allq", logic.Forall([]*logic.Term{y}, logic.Pred("Q", y)))
+
+	plain := mustProve(t, []NamedFormula{ax, base}, goal)
+
+	cache := NewClauseCache()
+	first, second := New(), New()
+	first.Cache, second.Cache = cache, cache
+	res1, err := first.Prove([]NamedFormula{ax, base}, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := second.Prove([]NamedFormula{ax, base}, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderProof(res1) != renderProof(plain) || renderProof(res2) != renderProof(plain) {
+		t.Errorf("cached proof differs from uncached:\ncached:\n%s\nuncached:\n%s", renderProof(res1), renderProof(plain))
+	}
+	hits, misses := cache.Stats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("cache not exercised: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestClauseCacheConcurrent drives one cache from many provers at once;
+// run under -race this pins the cache's thread safety, and every proof
+// must match the sequential rendering.
+func TestClauseCacheConcurrent(t *testing.T) {
+	x := logic.Var("x", "")
+	ax := nf("imp", logic.Forall([]*logic.Term{x},
+		logic.Implies(logic.Pred("P", x), logic.Pred("Q", x))))
+	base := nf("base", logic.Pred("P", logic.Const("c", "")))
+	goal := nf("qc", logic.Pred("Q", logic.Const("c", "")))
+	want := renderProof(mustProve(t, []NamedFormula{ax, base}, goal))
+
+	cache := NewClauseCache()
+	const n = 8
+	got := make([]string, n)
+	errs := make([]error, n)
+	done := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			p := New()
+			p.Cache = cache
+			res, err := p.Prove([]NamedFormula{ax, base}, goal)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = renderProof(res)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if got[i] != want {
+			t.Errorf("worker %d proof differs from sequential", i)
+		}
 	}
 }

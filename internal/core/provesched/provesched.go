@@ -1,0 +1,295 @@
+// Package provesched extracts the proof obligations of a speclang file
+// and discharges them on a worker pool.
+//
+// A prove statement only reads the spec it names, so once elaboration has
+// built every spec the obligations are mutually independent and can run
+// concurrently. The scheduler still computes the spec-dependency DAG
+// (imports, translations, morphisms, diagram nodes, colimits): the DAG
+// fixes the deterministic result order (source order, which is a
+// topological order of the DAG), and its depth drives the start order —
+// obligations over the deepest composites carry the largest premise sets
+// and are dispatched first, shrinking the tail of the schedule.
+//
+// Results are deterministic and bit-identical to the sequential
+// elaborator path at any worker count: each Prove call is a pure function
+// of its premise set, and the shared clause cache memoizes a pure
+// function of each named formula (see prover.ClauseCache).
+package provesched
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"speccat/internal/core/prover"
+	"speccat/internal/core/speclang"
+)
+
+// ErrObligation is wrapped when an obligation references a spec, theorem,
+// or axiom the environment does not carry.
+var ErrObligation = errors.New("provesched: bad obligation")
+
+// Obligation is one prove statement, annotated with its position in the
+// spec-dependency DAG.
+type Obligation struct {
+	// Name is the statement's binding name (p1..p5 in the corpus).
+	Name string
+	// Index is the statement's position in the source file; results are
+	// emitted in Index order.
+	Index int
+	// Line is the statement's source line.
+	Line int
+	// In is the spec carrying the theorem.
+	In string
+	// Theorem is the goal to prove.
+	Theorem string
+	// Using lists the premise axioms; empty means every axiom of In (the
+	// monolithic proof).
+	Using []string
+	// Deps are the names in In's spec-dependency closure, sorted — the
+	// DAG ancestry the premises descend along.
+	Deps []string
+	// Depth is the longest reference path from In down to a DAG root;
+	// deeper composites accumulate larger premise sets.
+	Depth int
+}
+
+// Extract parses src and returns its prove obligations in source order,
+// each annotated with the spec-dependency closure and depth of the spec
+// it proves in. References that do not resolve within the file are
+// ignored here; elaboration reports them.
+func Extract(src string) ([]Obligation, error) {
+	f, err := speclang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromFile(f), nil
+}
+
+// FromFile computes the obligations of an already-parsed file.
+func FromFile(f *speclang.File) []Obligation {
+	n := len(f.Stmts)
+	// Resolve each statement's references to the latest earlier binding of
+	// that name (re-binding shadows), making the graph acyclic by
+	// construction.
+	bound := map[string]int{}
+	refs := make([][]int, n)
+	for i, stmt := range f.Stmts {
+		for _, name := range exprRefs(stmt.Expr) {
+			if j, ok := bound[name]; ok {
+				refs[i] = append(refs[i], j)
+			}
+		}
+		if stmt.Name != "" {
+			bound[stmt.Name] = i
+		}
+	}
+	// Depth and transitive closure, in order (references point backwards).
+	depth := make([]int, n)
+	closure := make([]map[int]bool, n)
+	for i := 0; i < n; i++ {
+		closure[i] = map[int]bool{}
+		for _, j := range refs[i] {
+			if d := depth[j] + 1; d > depth[i] {
+				depth[i] = d
+			}
+			closure[i][j] = true
+			for k := range closure[j] {
+				closure[i][k] = true
+			}
+		}
+	}
+	var out []Obligation
+	for i, stmt := range f.Stmts {
+		pe, ok := stmt.Expr.(*speclang.ProveExpr)
+		if !ok {
+			continue
+		}
+		ob := Obligation{
+			Name:    stmt.Name,
+			Index:   i,
+			Line:    stmt.Line,
+			In:      pe.In,
+			Theorem: pe.Theorem,
+			Using:   append([]string{}, pe.Using...),
+		}
+		if j, resolved := latestBefore(f, pe.In, i); resolved {
+			ob.Depth = depth[j]
+			seen := map[string]bool{}
+			for k := range closure[j] {
+				if name := f.Stmts[k].Name; name != "" && !seen[name] {
+					seen[name] = true
+					ob.Deps = append(ob.Deps, name)
+				}
+			}
+			sort.Strings(ob.Deps)
+		}
+		out = append(out, ob)
+	}
+	return out
+}
+
+// latestBefore resolves name to the latest statement before index i.
+func latestBefore(f *speclang.File, name string, i int) (int, bool) {
+	for j := i - 1; j >= 0; j-- {
+		if f.Stmts[j].Name == name {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
+// exprRefs lists the names an expression references.
+func exprRefs(e speclang.Expr) []string {
+	switch x := e.(type) {
+	case *speclang.SpecExpr:
+		return x.Imports
+	case *speclang.TranslateExpr:
+		return []string{x.Source}
+	case *speclang.MorphismExpr:
+		return []string{x.Source, x.Target}
+	case *speclang.MorphismRef:
+		return []string{x.Name}
+	case *speclang.DiagramExpr:
+		var out []string
+		for _, node := range x.Nodes {
+			out = append(out, node.Spec)
+		}
+		for _, arc := range x.Arcs {
+			out = append(out, exprRefs(arc.M)...)
+		}
+		return out
+	case *speclang.ColimitExpr:
+		return []string{x.Diagram}
+	case *speclang.ProveExpr:
+		return []string{x.In}
+	case *speclang.PrintExpr:
+		return []string{x.Name}
+	default:
+		return nil
+	}
+}
+
+// Result is the outcome of one scheduled obligation.
+type Result struct {
+	Obligation Obligation
+	// Proof is the refutation; nil when Err is set.
+	Proof *prover.Result
+	// Err carries a failed verdict (wrapping prover.ErrExhausted or
+	// prover.ErrLimit) or an ErrObligation lookup failure.
+	Err error
+}
+
+// Scheduler runs proof obligations on a worker pool.
+type Scheduler struct {
+	// Workers is the pool size; values <= 0 mean GOMAXPROCS.
+	Workers int
+	// Limits bounds each proof search. The zero value means
+	// prover.DefaultLimits — the same limits the sequential elaborator
+	// uses, so verdicts match it exactly.
+	Limits prover.Limits
+	// Cache memoizes clausification across obligations; nil means a
+	// fresh cache private to each Run call.
+	Cache *prover.ClauseCache
+}
+
+// Run discharges the obligations against env. Results are indexed like
+// obs (source order) regardless of worker count or completion
+// interleaving, and each proof is bit-identical to what the sequential
+// elaborator derives for the same statement.
+func (s *Scheduler) Run(env *speclang.Env, obs []Obligation) []Result {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache := s.Cache
+	if cache == nil {
+		cache = prover.NewClauseCache()
+	}
+	// Dispatch deepest-first (largest premise sets first), ties in source
+	// order: starting the long searches early shortens the schedule tail.
+	order := make([]int, len(obs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if obs[order[a]].Depth != obs[order[b]].Depth {
+			return obs[order[a]].Depth > obs[order[b]].Depth
+		}
+		return obs[order[a]].Index < obs[order[b]].Index
+	})
+
+	results := make([]Result, len(obs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = s.proveOne(env, cache, obs[i])
+			}
+		}()
+	}
+	for _, i := range order {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// proveOne discharges a single obligation, mirroring the premise
+// construction of the sequential elaborator's prove statement exactly.
+func (s *Scheduler) proveOne(env *speclang.Env, cache *prover.ClauseCache, ob Obligation) Result {
+	sp, err := env.Spec(ob.In)
+	if err != nil {
+		return Result{Obligation: ob, Err: fmt.Errorf("%w: %w", ErrObligation, err)}
+	}
+	th, ok := sp.FindTheorem(ob.Theorem)
+	if !ok {
+		return Result{Obligation: ob, Err: fmt.Errorf("%w: theorem %s not in %s", ErrObligation, ob.Theorem, ob.In)}
+	}
+	var premises []prover.NamedFormula
+	if len(ob.Using) > 0 {
+		for _, name := range ob.Using {
+			ax, ok := sp.FindAxiom(name)
+			if !ok {
+				return Result{Obligation: ob, Err: fmt.Errorf("%w: axiom %s not in %s", ErrObligation, name, ob.In)}
+			}
+			premises = append(premises, prover.NamedFormula{Name: ax.Name, Formula: ax.Formula})
+		}
+	} else {
+		for _, ax := range sp.Axioms {
+			premises = append(premises, prover.NamedFormula{Name: ax.Name, Formula: ax.Formula})
+		}
+	}
+	lim := s.Limits
+	if lim == (prover.Limits{}) {
+		lim = prover.DefaultLimits()
+	}
+	pr := &prover.Prover{Limits: lim, Cache: cache}
+	res, err := pr.Prove(premises, prover.NamedFormula{Name: th.Name, Formula: th.Formula})
+	if err != nil {
+		return Result{Obligation: ob, Err: fmt.Errorf("prove %s in %s: %w", ob.Theorem, ob.In, err)}
+	}
+	return Result{Obligation: ob, Proof: res}
+}
+
+// Bind attaches successful results to env under their statement names
+// (replacing the "skipped" markers a SkipProofs elaboration left), making
+// the environment interchangeable with a sequential proofs-included run.
+// It returns the first failed result's error, in source order, if any.
+func Bind(env *speclang.Env, results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s (line %d): %w", r.Obligation.Name, r.Obligation.Line, r.Err)
+		}
+	}
+	for _, r := range results {
+		env.Bind(r.Obligation.Name, &speclang.Value{Kind: speclang.KindProof, Proof: r.Proof})
+	}
+	return nil
+}

@@ -74,6 +74,12 @@ func (e *Env) Spec(name string) (*spec.Spec, error) {
 	}
 }
 
+// Bind binds name to v. When name is already bound, its original
+// definition position is preserved — proof schedulers use this to attach
+// proof results discharged outside the elaborator in place of the skipped
+// prove statements, keeping Names() order identical to a sequential run.
+func (e *Env) Bind(name string, v *Value) { e.bind(name, v) }
+
 func (e *Env) bind(name string, v *Value) {
 	if name == "" {
 		name = fmt.Sprintf("_anon%d", len(e.order))

@@ -364,6 +364,49 @@ func E10FailureInjection() ([]E10Row, error) {
 	return out, nil
 }
 
+// E14Row is one scheduled proof obligation from the parallel pipeline.
+type E14Row struct {
+	// Obligation is the corpus statement name (p1..p5).
+	Obligation string
+	// Theorem and Composite identify the goal and the spec it lives in.
+	Theorem   string
+	Composite string
+	// Depth is the obligation's height in the spec-dependency DAG.
+	Depth int
+	// Premises counts the axioms handed to the prover.
+	Premises int
+	// Steps and Generated are the refutation's length and total derived
+	// clauses — identical at any worker count.
+	Steps, Generated int
+	// Elapsed is this obligation's own search time (timing, not verdict).
+	Elapsed time.Duration
+}
+
+// E14ParallelProofs discharges the corpus's five proof obligations on a
+// worker pool (workers <= 0 means GOMAXPROCS) and reports one row per
+// obligation in corpus source order. The verdicts and proof shapes are
+// bit-identical to the sequential elaborator's; only Elapsed varies.
+func E14ParallelProofs(workers int) ([]E14Row, error) {
+	_, results, err := thesis.CorpusParallel(workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]E14Row, 0, len(results))
+	for _, r := range results {
+		out = append(out, E14Row{
+			Obligation: r.Obligation.Name,
+			Theorem:    r.Obligation.Theorem,
+			Composite:  r.Obligation.In,
+			Depth:      r.Obligation.Depth,
+			Premises:   len(r.Obligation.Using),
+			Steps:      r.Proof.Stats.ProofLength,
+			Generated:  r.Proof.Stats.Generated,
+			Elapsed:    r.Proof.Stats.Elapsed,
+		})
+	}
+	return out, nil
+}
+
 // groupWithOptions is tpc.NewGroup with custom network options.
 func groupWithOptions(seed int64, n int, cfg tpc.Config, opts simnet.Options) (*tpc.Group, error) {
 	sched := sim.NewScheduler(seed)

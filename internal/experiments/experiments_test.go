@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"sync"
 	"testing"
 
 	"speccat/internal/core/speclang"
@@ -8,16 +9,19 @@ import (
 	"speccat/internal/tpc"
 )
 
-var cachedEnv *speclang.Env
+// cachedEnv is elaborated once per test binary; sync.Once keeps the lazy
+// initialization safe under t.Parallel and -race.
+var (
+	cachedOnce sync.Once
+	cachedEnv  *speclang.Env
+	cachedErr  error
+)
 
 func env(t *testing.T) *speclang.Env {
 	t.Helper()
-	if cachedEnv == nil {
-		e, err := thesis.CorpusWithoutProofs()
-		if err != nil {
-			t.Fatal(err)
-		}
-		cachedEnv = e
+	cachedOnce.Do(func() { cachedEnv, cachedErr = thesis.CorpusWithoutProofs() })
+	if cachedErr != nil {
+		t.Fatal(cachedErr)
 	}
 	return cachedEnv
 }
@@ -126,6 +130,32 @@ func TestE9MonolithicNeverCheaper(t *testing.T) {
 		}
 		if r.MonolithicGenerated < r.ModularGenerated {
 			t.Errorf("%s: monolithic generated %d < modular %d", r.Property, r.MonolithicGenerated, r.ModularGenerated)
+		}
+	}
+}
+
+func TestE14ParallelProofsDeterministic(t *testing.T) {
+	one, err := E14ParallelProofs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := E14ParallelProofs(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 5 || len(four) != 5 {
+		t.Fatalf("rows = %d / %d, want 5", len(one), len(four))
+	}
+	for i := range one {
+		a, b := one[i], four[i]
+		// Everything but Elapsed (a clock reading) must match across pool
+		// sizes.
+		a.Elapsed, b.Elapsed = 0, 0
+		if a != b {
+			t.Errorf("row %d differs across worker counts:\n1: %+v\n4: %+v", i, a, b)
+		}
+		if a.Steps == 0 || a.Generated == 0 || a.Premises == 0 {
+			t.Errorf("degenerate row: %+v", a)
 		}
 	}
 }

@@ -1,0 +1,130 @@
+package thesis
+
+import (
+	"strings"
+	"testing"
+
+	"speccat/internal/core/prover"
+	"speccat/internal/core/speclang"
+)
+
+func renderResult(r *prover.Result) string {
+	var b strings.Builder
+	for _, s := range r.Proof {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// corpusProofRenderings collects the rendered refutations of p1..p5 from an
+// elaborated environment, keyed by statement name.
+func corpusProofRenderings(t *testing.T, e *speclang.Env) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, p := range []string{"p1", "p2", "p3", "p4", "p5"} {
+		v, ok := e.Lookup(p)
+		if !ok || v.Kind != speclang.KindProof || v.Proof == nil {
+			t.Fatalf("%s: proof missing (kind=%v)", p, v.Kind)
+		}
+		out[p] = renderResult(v.Proof)
+	}
+	return out
+}
+
+// TestCorpusParallelMatchesSequential runs the corpus through the parallel
+// scheduler at 1, 4, and 8 workers and requires verdicts, rendered proofs,
+// and environment name order to be bit-identical to the sequential
+// elaborator at every pool size.
+func TestCorpusParallelMatchesSequential(t *testing.T) {
+	seq := env(t)
+	seqNames := strings.Join(seq.Names(), " ")
+	seqProofs := corpusProofRenderings(t, seq)
+
+	for _, workers := range []int{1, 4, 8} {
+		par, results, err := CorpusParallel(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := strings.Join(par.Names(), " "); got != seqNames {
+			t.Errorf("workers=%d: env name order differs\nseq: %s\npar: %s", workers, seqNames, got)
+		}
+		if len(results) != 5 {
+			t.Fatalf("workers=%d: results = %d, want 5", workers, len(results))
+		}
+		// Results must come back in corpus source order (the corpus states
+		// p3 before p2), regardless of completion interleaving.
+		for i, r := range results {
+			want := []string{"p1", "p3", "p2", "p4", "p5"}[i]
+			if r.Obligation.Name != want {
+				t.Errorf("workers=%d: result %d is %s, want %s", workers, i, r.Obligation.Name, want)
+			}
+			if r.Err != nil {
+				t.Errorf("workers=%d: %s failed: %v", workers, r.Obligation.Name, r.Err)
+			}
+		}
+		for p, want := range seqProofs {
+			got := corpusProofRenderings(t, par)[p]
+			if got != want {
+				t.Errorf("workers=%d: %s proof differs from sequential elaborator", workers, p)
+			}
+		}
+	}
+}
+
+// TestCorpusParallelExperimentArtifacts runs the E4/E5/E6 property proofs
+// against a parallel-scheduled environment and requires the rendered
+// artifacts to match the sequential environment's exactly (timing fields
+// excluded — they are clock readings, not verdicts).
+func TestCorpusParallelExperimentArtifacts(t *testing.T) {
+	seq := env(t)
+	par, _, err := CorpusParallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prop := range GlobalProperties() {
+		sres, err := ProveProperty(seq, prop)
+		if err != nil {
+			t.Fatalf("sequential %s: %v", prop, err)
+		}
+		pres, err := ProveProperty(par, prop)
+		if err != nil {
+			t.Fatalf("parallel %s: %v", prop, err)
+		}
+		if sres.Composite != pres.Composite {
+			t.Errorf("%s: composite %s vs %s", prop, sres.Composite, pres.Composite)
+		}
+		if renderResult(sres.Proof) != renderResult(pres.Proof) {
+			t.Errorf("%s: proof artifact differs between sequential and parallel env", prop)
+		}
+		ss, ps := sres.Proof.Stats, pres.Proof.Stats
+		if ss.InputClauses != ps.InputClauses || ss.Generated != ps.Generated ||
+			ss.Retained != ps.Retained || ss.ProofLength != ps.ProofLength {
+			t.Errorf("%s: proof stats differ: %+v vs %+v", prop, ss, ps)
+		}
+	}
+}
+
+// TestObligationsMatchCorpus pins the DAG annotation of the corpus's five
+// prove statements.
+func TestObligationsMatchCorpus(t *testing.T) {
+	obs, err := Obligations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 5 {
+		t.Fatalf("obligations = %d, want 5", len(obs))
+	}
+	wantNames := []string{"p1", "p3", "p2", "p4", "p5"} // corpus source order
+	for i, ob := range obs {
+		if ob.Name != wantNames[i] {
+			t.Errorf("obligation %d = %s, want %s", i, ob.Name, wantNames[i])
+		}
+		if ob.Depth == 0 {
+			t.Errorf("%s: depth 0 — composites should sit above the DAG roots", ob.Name)
+		}
+		if len(ob.Deps) == 0 {
+			t.Errorf("%s: empty dependency closure", ob.Name)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"speccat/internal/core/prover"
+	"speccat/internal/core/provesched"
 	"speccat/internal/core/spec"
 	"speccat/internal/core/speclang"
 )
@@ -46,6 +47,39 @@ func CorpusWithoutProofs() (*speclang.Env, error) {
 		return nil, fmt.Errorf("%w: %w", ErrCorpus, err)
 	}
 	return env, nil
+}
+
+// Obligations extracts the corpus's prove statements (p1..p5) annotated
+// with their spec-dependency closure and DAG depth, in source order.
+func Obligations() ([]provesched.Obligation, error) {
+	obs, err := provesched.Extract(corpusSrc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorpus, err)
+	}
+	return obs, nil
+}
+
+// CorpusParallel elaborates the corpus with proofs skipped, then
+// discharges the prove statements on a pool of the given number of
+// workers (<= 0 means GOMAXPROCS) and binds each proof back into the
+// environment under its statement name. The returned environment is
+// interchangeable with Corpus()'s — same names, same order, bit-identical
+// proofs at any worker count — and the results are in corpus source
+// order.
+func CorpusParallel(workers int) (*speclang.Env, []provesched.Result, error) {
+	env, err := CorpusWithoutProofs()
+	if err != nil {
+		return nil, nil, err
+	}
+	obs, err := Obligations()
+	if err != nil {
+		return nil, nil, err
+	}
+	results := (&provesched.Scheduler{Workers: workers}).Run(env, obs)
+	if err := provesched.Bind(env, results); err != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrCorpus, err)
+	}
+	return env, results, nil
 }
 
 // PropertyResult is the outcome of establishing one global property.

@@ -1,22 +1,25 @@
 package thesis
 
 import (
+	"sync"
 	"testing"
 
 	"speccat/internal/core/speclang"
 )
 
 // corpusEnv elaborates the corpus once per test binary (proofs included).
-var corpusEnv *speclang.Env
+// sync.Once keeps the lazy initialization safe under t.Parallel and -race.
+var (
+	corpusOnce sync.Once
+	corpusEnv  *speclang.Env
+	corpusErr  error
+)
 
 func env(t *testing.T) *speclang.Env {
 	t.Helper()
-	if corpusEnv == nil {
-		e, err := Corpus()
-		if err != nil {
-			t.Fatalf("corpus failed to elaborate: %v", err)
-		}
-		corpusEnv = e
+	corpusOnce.Do(func() { corpusEnv, corpusErr = Corpus() })
+	if corpusErr != nil {
+		t.Fatalf("corpus failed to elaborate: %v", corpusErr)
 	}
 	return corpusEnv
 }
