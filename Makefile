@@ -16,12 +16,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# All three linting layers: go vet, the Go design-rule analyzers plus the
-# fsmcheck protocol extraction over the whole module, the spec linter over
-# the thesis corpus, and the generated-FSM-docs staleness gate.
+# All four linting layers: go vet, the Go design-rule analyzers plus the
+# fsmcheck protocol extraction and the durcheck durability-ordering
+# analysis over the whole module, the spec linter over the thesis corpus,
+# and the generated-FSM-docs staleness gate.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/speccatlint ./...
+	$(GO) run ./cmd/speccatlint -dur ./...
 	$(GO) run ./cmd/speccatlint internal/core/speclang/testdata/thesis/*.sw
 	$(GO) run ./cmd/speccatlint -fsm-check docs/fsm ./internal/...
 

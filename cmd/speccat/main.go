@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"speccat/internal/analysis"
+	"speccat/internal/analysis/durcheck"
 	"speccat/internal/analysis/fsmcheck"
 	"speccat/internal/core/provesched"
 	"speccat/internal/core/speclang"
@@ -46,10 +47,10 @@ func main() {
 	os.Exit(code)
 }
 
-// lintGoLayers runs the Go design-rule analyzers and the fsmcheck
-// protocol extraction over the enclosing module, so -lint covers all
-// three analysis layers, and returns the finding count. Outside a Go
-// module it is a no-op.
+// lintGoLayers runs the Go design-rule analyzers, the fsmcheck protocol
+// extraction and the durcheck durability-ordering analysis over the
+// enclosing module, so -lint covers all four analysis layers, and
+// returns the finding count. Outside a Go module it is a no-op.
 func lintGoLayers(stderr *os.File) int {
 	loader, err := analysis.NewLoader(".")
 	if err != nil || loader.ModulePath == "" {
@@ -63,6 +64,8 @@ func lintGoLayers(stderr *os.File) int {
 	diags := analysis.Run(pkgs, analysis.Analyzers())
 	_, fsmDiags := fsmcheck.Run(pkgs)
 	diags = append(diags, fsmDiags...)
+	_, durDiags := durcheck.Run(pkgs)
+	diags = append(diags, durDiags...)
 	for _, d := range diags {
 		fmt.Fprintln(stderr, d)
 	}

@@ -1,4 +1,4 @@
-// Command speccatlint runs the project's three static-analysis layers:
+// Command speccatlint runs the project's four static-analysis layers:
 //
 //   - Go design-rule analyzers (internal/analysis) over package patterns:
 //     nopanic, nowallclock, norand, noglobalstate, errwrap.
@@ -6,6 +6,10 @@
 //     the same packages: exhaustiveness, determinism, dead states/kinds,
 //     codec totality, and cross-validation of the extracted tpc machines
 //     against internal/mc's transition relation.
+//   - Durability-ordering dataflow (internal/analysis/durcheck, opt-in
+//     via -dur): write-ahead discipline over the protocol handlers —
+//     //dur:requires sends dominated by the matching durable write,
+//     //dur:volatile writes dominated by some durable write.
 //   - The spec/diagram linter (internal/core/speclint) over .sw files:
 //     undeclared symbols, arity mismatches, duplicate axioms, morphism
 //     totality pre-checks, prove/using consistency, diagram shape.
@@ -16,11 +20,13 @@
 //
 // Usage:
 //
-//	speccatlint [-list] [-werror] [-fsm dir] [-fsm-check dir] [target ...]
+//	speccatlint [-list] [-werror] [-dur] [-json] [-fsm dir] [-fsm-check dir] [target ...]
 //
 // With -fsm the extracted machines are rendered as markdown + DOT into
 // dir (the generated docs/fsm/ artifacts); with -fsm-check the rendering
-// is instead compared against dir and staleness is a failure. With no
+// is instead compared against dir and staleness is a failure. With -json
+// the findings of all layers are emitted as one JSON array of
+// {file,line,col,severity,rule,message} objects instead of text. With no
 // targets it lints ./... from the current directory. Exit status is 0
 // when clean, 1 when findings were reported, 2 on usage or load errors.
 // Spec-lint warnings are printed but do not affect the exit status unless
@@ -28,6 +34,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,9 +43,20 @@ import (
 	"strings"
 
 	"speccat/internal/analysis"
+	"speccat/internal/analysis/durcheck"
 	"speccat/internal/analysis/fsmcheck"
 	"speccat/internal/core/speclint"
 )
+
+// finding is the unified JSON shape of one diagnostic from any layer.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col,omitempty"`
+	Severity string `json:"severity"`
+	Rule     string `json:"rule"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -49,6 +67,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the Go analyzers and exit")
 	werror := fs.Bool("werror", false, "treat spec-lint warnings as errors")
+	dur := fs.Bool("dur", false, "run the durability-ordering dataflow layer (durcheck)")
+	jsonOut := fs.Bool("json", false, "emit findings of all layers as a JSON array")
 	fsmDir := fs.String("fsm", "", "write the extracted machine docs (markdown + DOT) into this directory")
 	fsmCheck := fs.String("fsm-check", "", "fail if the generated machine docs in this directory are stale")
 	if err := fs.Parse(args); err != nil {
@@ -59,8 +79,10 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		fmt.Fprintf(stdout, "%-14s %s\n", "fsm-*", "protocol state-machine extraction, totality and model cross-validation (fsmcheck)")
+		fmt.Fprintf(stdout, "%-14s %s\n", "dur-*", "write-ahead / durability-ordering dataflow analysis (durcheck, -dur)")
 		return 0
 	}
+	var findings []finding
 
 	targets := fs.Args()
 	if len(targets) == 0 {
@@ -83,7 +105,13 @@ func run(args []string, stdout, stderr *os.File) int {
 			return 2
 		}
 		for _, d := range speclint.LintSource(f, string(src)) {
-			fmt.Fprintln(stdout, d)
+			findings = append(findings, finding{
+				File: d.File, Line: d.Line,
+				Severity: d.Severity.String(), Rule: d.Rule, Message: d.Message,
+			})
+			if !*jsonOut {
+				fmt.Fprintln(stdout, d)
+			}
 			if d.Severity == speclint.SevError || *werror {
 				failed = true
 			}
@@ -104,8 +132,18 @@ func run(args []string, stdout, stderr *os.File) int {
 		diags := analysis.Run(pkgs, analysis.Analyzers())
 		rep, fsmDiags := fsmcheck.Run(pkgs)
 		diags = append(diags, fsmDiags...)
+		if *dur {
+			_, durDiags := durcheck.Run(pkgs)
+			diags = append(diags, durDiags...)
+		}
 		for _, d := range diags {
-			fmt.Fprintln(stdout, d)
+			findings = append(findings, finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Severity: "error", Rule: d.Rule, Message: d.Message,
+			})
+			if !*jsonOut {
+				fmt.Fprintln(stdout, d)
+			}
 			failed = true
 		}
 		docs := fsmcheck.Docs(rep, loader.ModuleRoot)
@@ -117,9 +155,24 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		if *fsmCheck != "" {
 			for _, msg := range staleDocs(*fsmCheck, docs) {
-				fmt.Fprintln(stdout, msg)
+				findings = append(findings, finding{Severity: "error", Rule: "fsm-docs", Message: msg})
+				if !*jsonOut {
+					fmt.Fprintln(stdout, msg)
+				}
 				failed = true
 			}
+		}
+	}
+
+	if *jsonOut {
+		if findings == nil {
+			findings = []finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "speccatlint: %v\n", err)
+			return 2
 		}
 	}
 

@@ -1,10 +1,12 @@
 // Command tpcverify runs the full reproduction suite — experiments E1..E11
-// plus the E14 parallel proof pipeline from DESIGN.md — and prints each
-// regenerated artifact: Table 3.1, the Fig. 3.4/3.5 composition chains,
-// the three global-property proofs, the model-checked non-blocking
-// theorem, the end-to-end 3PC/2PC comparison, the modular-vs-monolithic
-// verification ablation, the assumption-violation matrix, and the
-// worker-pool proof schedule (-only e14, -workers n).
+// plus the E14 parallel proof pipeline and the E15 durability
+// cross-validation from DESIGN.md — and prints each regenerated
+// artifact: Table 3.1, the Fig. 3.4/3.5 composition chains, the three
+// global-property proofs, the model-checked non-blocking theorem, the
+// end-to-end 3PC/2PC comparison, the modular-vs-monolithic verification
+// ablation, the assumption-violation matrix, the worker-pool proof
+// schedule (-only e14, -workers n), and the static-durability
+// cross-validation verdicts (-only e15).
 package main
 
 import (
@@ -177,6 +179,25 @@ func run(sel func(string) bool, seed int64, txns, workers int) error {
 			fmt.Printf("  %-4s %-15s %-4s %5d %8d %6d %9d %10v\n",
 				r.Obligation, r.Theorem, r.Composite, r.Depth, r.Premises,
 				r.Steps, r.Generated, r.Elapsed.Round(10_000))
+		}
+		fmt.Println()
+	}
+
+	if sel("e15") {
+		fmt.Println("== E15: durability cross-validation — static durcheck + staged crash schedules ==")
+		res, err := experiments.E15Durability([]int64{1, 2, 3})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  static: %d findings over the module (%d roots, %d functions, %d requiring kinds, %d write summaries, %d volatiles)\n",
+			res.Findings, res.Roots, res.Analyzed, res.Requires, res.Writes, res.Volatiles)
+		for _, r := range res.Rows {
+			if r.Witness {
+				fmt.Printf("  %-18s WITNESS seed=%d faults=%d violates %s\n",
+					r.Protocol, r.Seed, r.Faults, strings.Join(r.Violated, ","))
+			} else {
+				fmt.Printf("  %-18s survives the staged crash-at-dissemination schedule\n", r.Protocol)
+			}
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,103 @@
+// Package durbad seeds one instance of every durcheck mutation class
+// against the durclean engine: a decision send hoisted above its durable
+// write, a durable write on only one branch, a volatile apply before the
+// write-ahead record, a durable-write helper missing its //dur:writes
+// annotation, a stale //dur:writes on a function that never reaches
+// stable storage, a malformed and an unattached directive, and a send
+// whose kind the analysis cannot resolve. Each carries a want comment
+// pinning the exact finding.
+package durbad
+
+import (
+	"speccat/internal/simnet"
+	"speccat/internal/stable"
+	"speccat/internal/wal"
+)
+
+// Wire kinds; kindCommit reuses the real engine's wire value so the test
+// can hand this fixture's finding to the dynamic cross-validation.
+const (
+	kindDo     = "bad.do"
+	kindVote   = "bad.vote"   //dur:requires state
+	kindCommit = "tpc.commit" //dur:requires decision
+	kindBad    = "bad.kind"   //dur:requires // want `dur-extract: malformed .?.?dur:requires: want exactly one argument, got 0`
+)
+
+// Node is the mutated toy engine.
+type Node struct {
+	net *simnet.Network
+	id  simnet.NodeID
+	st  *stable.Store
+	log *wal.Log
+	// cache is the volatile database guarded by the write-ahead log.
+	cache map[string]string //dur:volatile
+	mem   string
+}
+
+// send forwards to the network; durcheck checks its call sites against
+// the forwarded kind parameter.
+func (n *Node) send(to simnet.NodeID, kind string, payload any) {
+	_ = n.net.Send(n.id, to, kind, payload)
+}
+
+// persist records the protocol state durably.
+//
+//dur:writes state
+func (n *Node) persist(v string) {
+	n.st.Put("state", []byte(v))
+}
+
+// persistDecision reaches stable storage but lacks its //dur:writes
+// annotation — the missing-summary mutation.
+func (n *Node) persistDecision(v string) {
+	n.st.Put("decision", []byte(v))
+}
+
+// noteDecision claims a durable write it never performs — the stale
+// summary mutation.
+//
+//dur:writes decision
+func (n *Node) noteDecision(v string) { // want `dur-summary: function Node\.noteDecision declares //dur:writes decision but never reaches stable storage`
+	n.mem = v
+}
+
+// HandleMessage dispatches one case per send-ordering mutation.
+//
+//dur:handler
+func (n *Node) HandleMessage(m simnet.Message) bool {
+	switch m.Kind {
+	case kindDo:
+		n.send(m.From, kindCommit, nil) // want `dur-send: send of kindCommit requires a durable "decision" write that no path provides`
+		n.persist("c")
+	case kindVote:
+		if m.Payload != nil {
+			n.persist("w")
+		}
+		n.send(m.From, kindVote, nil) // want `dur-send: send of kindVote is not dominated by a durable "state" write; the branch at durbad\.go:\d+ skips it`
+	case kindCommit:
+		n.persistDecision("c")
+		n.send(m.From, kindCommit, nil) // want `dur-summary: send of kindCommit is dominated only by unannotated durable write Node\.persistDecision; annotate it with //dur:writes`
+	case kindBad:
+		n.noteDecision("c")
+		n.echo(m.From)
+	}
+	return true
+}
+
+// echo sends a computed kind the analysis cannot resolve statically.
+func (n *Node) echo(to simnet.NodeID) {
+	k := "echo." + n.mem
+	_ = n.net.Send(n.id, to, k, nil) // want `dur-extract: cannot statically resolve the message kind of this send`
+}
+
+// applyBad writes the volatile cache before the write-ahead record.
+func (n *Node) applyBad(k, v string) {
+	n.cache[k] = v // want `dur-volatile: write to volatile Node\.cache is not dominated by a durable write`
+	_ = n.log.LoggedUpdate("t1", n.cache, k, v)
+}
+
+// misc hosts the unattached-directive mutation.
+func (n *Node) misc() {
+	//dur:volatile // want `dur-extract: .?.?dur:volatile is not attached to a declaration`
+	n.mem = ""
+}

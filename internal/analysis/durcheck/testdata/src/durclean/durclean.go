@@ -1,0 +1,97 @@
+// Package durclean is a zero-finding durcheck fixture: a miniature
+// commit engine exercising every annotation and every analysis feature —
+// a requiring kind satisfied through a send wrapper, an asserted
+// //dur:writes summary one call away from stable storage, a variable
+// message kind resolved to all its constants, a durable write genned in
+// an if-init statement, a //dur:volatile map applied under the
+// write-ahead rule, and a reasoned //dur:ignore on a send justified by a
+// state-machine invariant the dataflow cannot see.
+package durclean
+
+import (
+	"speccat/internal/simnet"
+	"speccat/internal/stable"
+	"speccat/internal/wal"
+)
+
+// Wire kinds of the toy engine.
+const (
+	kindDo     = "clean.do"
+	kindVote   = "clean.vote"   //dur:requires state
+	kindCommit = "clean.commit" //dur:requires decision
+	kindAbort  = "clean.abort"  //dur:requires decision
+)
+
+// Node is the toy engine.
+type Node struct {
+	net *simnet.Network
+	id  simnet.NodeID
+	st  *stable.Store
+	log *wal.Log
+	// cache is the volatile database guarded by the write-ahead log.
+	cache map[string]string //dur:volatile
+}
+
+// send forwards to the network; durcheck checks its call sites against
+// the forwarded kind parameter.
+func (n *Node) send(to simnet.NodeID, kind string, payload any) {
+	_ = n.net.Send(n.id, to, kind, payload)
+}
+
+// persist records the protocol state durably.
+//
+//dur:writes state
+func (n *Node) persist(v string) {
+	n.st.Put("state", []byte(v))
+}
+
+// persistDecision records the decision durably, one summary level above
+// the stable store.
+//
+//dur:writes state decision
+func (n *Node) persistDecision(v string) {
+	n.persist(v)
+}
+
+// HandleMessage dispatches the toy engine.
+//
+//fsm:handler toy node
+func (n *Node) HandleMessage(m simnet.Message) bool {
+	switch m.Kind {
+	case kindDo:
+		if err := n.apply("x", "1"); err != nil {
+			return true
+		}
+		n.persist("w")
+		n.send(m.From, kindVote, nil)
+	case kindVote:
+		kind := kindAbort
+		if m.Payload != nil {
+			kind = kindCommit
+		}
+		n.persistDecision("decided")
+		for _, p := range n.net.Nodes() {
+			n.send(p, kind, nil)
+		}
+	}
+	return true
+}
+
+// Replay answers a state query after the fact; entering the decided state
+// is only possible through persistDecision, which the dataflow cannot see
+// across handler invocations.
+//
+//dur:handler
+func (n *Node) Replay(to simnet.NodeID) {
+	n.send(to, kindCommit, nil) //dur:ignore the decided state is only entered after persistDecision
+}
+
+// apply performs one logged update: the undo/redo record reaches stable
+// storage in the if-init call before the volatile map changes.
+func (n *Node) apply(k, v string) error {
+	if err := n.log.LoggedUpdate("t1", n.cache, k, v); err != nil {
+		return err
+	}
+	delete(n.cache, k+".old")
+	return nil
+}

@@ -26,10 +26,12 @@ const (
 	keyPermanent = "ckpt/permanent"
 )
 
-// Wire kinds.
+// Wire kinds. An ack announces "my tentative checkpoint is on stable
+// storage", so it must be write-ahead of that save (//dur:requires);
+// take and commit only order work and carry no durability claim.
 const (
 	kindTake   = "checkpoint.take"
-	kindAck    = "checkpoint.ack"
+	kindAck    = "checkpoint.ack" //dur:requires checkpoint
 	kindCommit = "checkpoint.commit"
 )
 
@@ -117,6 +119,8 @@ func (n *Node) store() (*stable.Store, error) {
 // HandleMessage consumes checkpoint traffic; it reports whether the
 // message was consumed, plus any stable-storage failure (the site should
 // treat one as a crash: a checkpoint it cannot persist must not be acked).
+//
+//dur:handler
 func (n *Node) HandleMessage(m simnet.Message) (bool, error) {
 	switch m.Kind {
 	case kindTake:
@@ -159,6 +163,8 @@ func (n *Node) HandleMessage(m simnet.Message) (bool, error) {
 }
 
 // saveTentative writes the tentative checkpoint to stable storage.
+//
+//dur:writes checkpoint
 func (n *Node) saveTentative(seq int) error {
 	data, err := json.Marshal(saved{Seq: seq, State: n.Capture()})
 	if err != nil {
@@ -173,6 +179,8 @@ func (n *Node) saveTentative(seq int) error {
 }
 
 // promote turns the matching tentative checkpoint permanent.
+//
+//dur:writes checkpoint
 func (n *Node) promote(seq int) error {
 	st, err := n.store()
 	if err != nil {

@@ -8,10 +8,16 @@
 // before proof obligations are ever generated.
 //
 // Checks: axioms/theorems referencing undeclared symbols, arity
-// mismatches, duplicate axiom/theorem names, unused sorts and ops
-// (warning), morphism totality pre-checks (every source symbol needs an
-// image in the target), `prove ... using` lists naming axioms absent
-// from the spec, and ill-shaped or disconnected colimit diagrams.
+// mismatches, duplicate axiom/theorem names, unused sorts, ops and
+// axioms (warning), morphism totality pre-checks (every source symbol
+// needs an image in the target), `prove ... using` lists naming axioms
+// absent from the spec, and ill-shaped or disconnected colimit
+// diagrams.
+//
+// Individual findings can be suppressed with a
+// `% lint:allow <rule> <reason>` comment, either trailing on the
+// flagged line or stand-alone on the line above it; the reason is
+// mandatory.
 package speclint
 
 import (
@@ -58,6 +64,12 @@ func (d Diagnostic) String() string {
 // LintSource parses and lints one source file. Parse failures are
 // reported as a single parse-error diagnostic rather than an error: a
 // file that does not parse is the ultimate well-formedness finding.
+//
+// Because the lexer discards % comments, suppression is handled here
+// over the raw source: a `% lint:allow <rule> <reason>` comment
+// suppresses findings of that rule on its own line (trailing comment)
+// or on the line below (stand-alone comment line). The reason is
+// mandatory — an allow that cannot say why is itself a finding.
 func LintSource(file, src string) []Diagnostic {
 	f, err := speclang.Parse(src)
 	if err != nil {
@@ -69,7 +81,53 @@ func LintSource(file, src string) []Diagnostic {
 			Message:  err.Error(),
 		}}
 	}
-	return Lint(file, f)
+	return applyAllows(file, src, Lint(file, f))
+}
+
+// applyAllows filters diags through the file's `% lint:allow` comments
+// and appends findings for malformed allows.
+func applyAllows(file, src string, diags []Diagnostic) []Diagnostic {
+	allowed := map[int]map[string]bool{} // line -> rules suppressed there
+	var extra []Diagnostic
+	for i, ln := range strings.Split(src, "\n") {
+		pos := strings.Index(ln, "%")
+		if pos < 0 {
+			continue
+		}
+		rest, ok := strings.CutPrefix(strings.TrimSpace(ln[pos+1:]), "lint:allow")
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		lineNo := i + 1
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			extra = append(extra, Diagnostic{
+				File:     file,
+				Line:     lineNo,
+				Rule:     "malformed-allow",
+				Severity: SevWarning,
+				Message:  "% lint:allow needs a rule name and a reason",
+			})
+			continue
+		}
+		target := lineNo
+		if strings.TrimSpace(ln[:pos]) == "" {
+			target = lineNo + 1 // a stand-alone comment covers the next line
+		}
+		if allowed[target] == nil {
+			allowed[target] = map[string]bool{}
+		}
+		allowed[target][fields[0]] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !allowed[d.Line][d.Rule] {
+			out = append(out, d)
+		}
+	}
+	out = append(out, extra...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
 }
 
 // Lint checks a parsed file.
@@ -172,10 +230,11 @@ type declSite struct {
 type linter struct {
 	file      string
 	env       map[string]*binding
-	used      map[string]bool // symbol names referenced anywhere
-	sortDecls []declSite
-	opDecls   []declSite
-	diags     []Diagnostic
+	used       map[string]bool // symbol names referenced anywhere
+	sortDecls  []declSite
+	opDecls    []declSite
+	axiomDecls []declSite
+	diags      []Diagnostic
 }
 
 func (l *linter) report(line int, rule string, sev Severity, format string, args ...any) {
@@ -288,6 +347,9 @@ func (l *linter) checkSpec(name string, e *speclang.SpecExpr, line int) *symSpec
 			l.report(ax.Line, "duplicate-axiom", SevError, "duplicate axiom name %s", ax.Name)
 		}
 		own["a:"+ax.Name] = true
+		if !s.axioms[ax.Name] {
+			l.axiomDecls = append(l.axiomDecls, declSite{name: ax.Name, line: ax.Line, in: name})
+		}
 		s.axioms[ax.Name] = true
 		l.checkFormula(s, ax.Formula, map[string]bool{}, ax.Line)
 	}
@@ -677,6 +739,16 @@ func (l *linter) reportUnused() {
 		if !l.used[d.name] {
 			l.report(d.line, "unused-op", SevWarning,
 				"op %s declared in %s is never referenced", d.name, d.in)
+		}
+	}
+	// An axiom is "used" when its name appears anywhere — typically a
+	// `prove ... using` list, or (thesis convention) when it shares its
+	// name with the op it constrains. An axiom nothing can ever cite is
+	// usually a misspelling of that op name.
+	for _, d := range l.axiomDecls {
+		if !l.used[d.name] {
+			l.report(d.line, "unused-axiom", SevWarning,
+				"axiom %s declared in %s is never cited by a proof or op name", d.name, d.in)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
@@ -175,5 +176,35 @@ func TestE10MatrixShape(t *testing.T) {
 		if r.Holds != wantHolds {
 			t.Errorf("probe %q: holds = %v, want %v", r.Probe, r.Holds, wantHolds)
 		}
+	}
+}
+
+func TestE15Durability(t *testing.T) {
+	res, err := E15Durability([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Findings != 0 {
+		t.Errorf("static findings = %d, want a write-ahead-clean tree", res.Findings)
+	}
+	if res.Roots == 0 || res.Requires == 0 || res.Writes == 0 || res.Volatiles == 0 || res.Analyzed < 20 {
+		t.Errorf("coverage collapsed: %+v", res)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want the write-ahead engine and the unsafe-termination variant", len(res.Rows))
+	}
+	if safe := res.Rows[0]; safe.Protocol != "3pc" || safe.Witness {
+		t.Errorf("write-ahead engine row = %+v, want no witness", safe)
+	}
+	unsafe := res.Rows[1]
+	if unsafe.Protocol != "3pc-unsafe-term" || !unsafe.Witness {
+		t.Fatalf("unsafe-termination row = %+v, want a witness", unsafe)
+	}
+	violated := strings.Join(unsafe.Violated, " ")
+	if !strings.Contains(violated, "atomicity") && !strings.Contains(violated, "durability") {
+		t.Errorf("witness violates %v, want atomicity or durability", unsafe.Violated)
+	}
+	if unsafe.Faults != 4 {
+		t.Errorf("witness faults = %d, want drop+crash+crash-at-send+recover", unsafe.Faults)
 	}
 }

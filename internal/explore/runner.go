@@ -106,6 +106,18 @@ func (r *RunResult) ViolatedOracles() []string {
 	return out
 }
 
+// SendInfo is one network send observed during a logged run, in global
+// sequence order. The log lets callers (the durcheck cross-validation)
+// locate protocol moments — a prepare fan-out, a decision dissemination —
+// and aim send-targeted faults at their sequence numbers.
+type SendInfo struct {
+	Seq  uint64
+	From simnet.NodeID
+	To   simnet.NodeID
+	Kind string
+	At   sim.Time
+}
+
 // runner executes one schedule and gathers oracle evidence.
 type runner struct {
 	spec    Schedule
@@ -114,6 +126,12 @@ type runner struct {
 	cluster *txn.Cluster
 
 	events []Event
+
+	// logSends, when set, records every send into sendLog. The log is not
+	// part of the trace format, so logged and unlogged runs of the same
+	// schedule stay byte-identical.
+	logSends bool
+	sendLog  []SendInfo
 
 	// submitted lists transaction names in submission order (setup first).
 	submitted []string
@@ -145,27 +163,40 @@ func (r *runner) ev(format string, args ...any) {
 // from Schedule.Seed, and every observation is gathered in deterministic
 // order.
 func Run(spec Schedule) (*RunResult, error) {
+	res, _, err := run(spec, false)
+	return res, err
+}
+
+// RunLogged is Run plus the chronological send log of the run. The extra
+// observation changes nothing about the execution: the trace (and so every
+// golden) is byte-identical to Run's.
+func RunLogged(spec Schedule) (*RunResult, []SendInfo, error) {
+	return run(spec, true)
+}
+
+func run(spec Schedule, logSends bool) (*RunResult, []SendInfo, error) {
 	spec = spec.Normalize()
 	cfg, err := spec.Config()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if spec.Horizon == 0 && len(spec.Faults) > 0 {
-		return nil, fmt.Errorf("explore: schedule with faults needs a horizon (a blocked cohort never quiesces)")
+		return nil, nil, fmt.Errorf("explore: schedule with faults needs a horizon (a blocked cohort never quiesces)")
 	}
 
 	r := &runner{
-		spec:    spec,
-		sched:   sim.NewScheduler(spec.Seed),
-		results: map[string]*txn.Result{},
-		writes:  map[string]map[simnet.NodeID]map[string]string{},
-		applied: map[simnet.NodeID][]string{},
-		opLog:   map[simnet.NodeID][]opEvent{},
+		spec:     spec,
+		sched:    sim.NewScheduler(spec.Seed),
+		results:  map[string]*txn.Result{},
+		writes:   map[string]map[simnet.NodeID]map[string]string{},
+		applied:  map[simnet.NodeID][]string{},
+		opLog:    map[simnet.NodeID][]opEvent{},
+		logSends: logSends,
 	}
 	r.net = simnet.New(r.sched, simnet.DefaultOptions())
 	r.cluster, err = txn.NewClusterOn(r.net, spec.Sites, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("explore: build cluster: %w", err)
+		return nil, nil, fmt.Errorf("explore: build cluster: %w", err)
 	}
 	r.net.OnCrash = func(id simnet.NodeID) { r.ev("crash node=%d", id) }
 	for _, id := range r.cluster.SiteIDs {
@@ -223,7 +254,7 @@ func Run(spec Schedule) (*RunResult, error) {
 	res.Stats = r.stats(setupSends)
 	res.Violations = r.checkOracles()
 	res.Events = r.events // oracle evaluation appends nothing, but keep in sync
-	return res, nil
+	return res, r.sendLog, nil
 }
 
 // submit registers a transaction's intended writes and hands it to the
@@ -271,8 +302,13 @@ func (r *runner) installFaults() {
 			bySeq[f.Seq] = sf
 		}
 	}
-	if len(bySeq) > 0 {
+	if len(bySeq) > 0 || r.logSends {
 		r.net.OnSend = func(seq uint64, msg simnet.Message) simnet.SendFault {
+			if r.logSends {
+				r.sendLog = append(r.sendLog, SendInfo{
+					Seq: seq, From: msg.From, To: msg.To, Kind: msg.Kind, At: r.sched.Now(),
+				})
+			}
 			sf, ok := bySeq[seq]
 			if !ok {
 				return simnet.SendFault{}

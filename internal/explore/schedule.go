@@ -73,6 +73,10 @@ const (
 	Proto3PC      = "3pc"
 	Proto3PCNaive = "3pc-naive"
 	Proto2PC      = "2pc"
+	// Proto3PCUnsafeTerm is full 3PC with the pre-durcheck termination
+	// ordering (disseminate before persist); see tpc.Config.UnsafeTermination.
+	// It exists for the E15 static↔dynamic cross-validation ablation.
+	Proto3PCUnsafeTerm = "3pc-unsafe-term"
 )
 
 // Schedule is a complete, replayable description of one simulated run:
@@ -104,10 +108,12 @@ func (s Schedule) Config() (tpc.Config, error) {
 		return tpc.Config{Protocol: tpc.ThreePhase}, nil
 	case Proto3PCNaive:
 		return tpc.Config{Protocol: tpc.ThreePhase, NaiveTimeouts: true}, nil
+	case Proto3PCUnsafeTerm:
+		return tpc.Config{Protocol: tpc.ThreePhase, UnsafeTermination: true}, nil
 	case Proto2PC:
 		return tpc.Config{Protocol: tpc.TwoPhase}, nil
 	default:
-		return tpc.Config{}, fmt.Errorf("explore: unknown protocol %q (want 3pc, 3pc-naive, or 2pc)", s.Protocol)
+		return tpc.Config{}, fmt.Errorf("explore: unknown protocol %q (want 3pc, 3pc-naive, 3pc-unsafe-term, or 2pc)", s.Protocol)
 	}
 }
 

@@ -27,7 +27,9 @@ var (
 
 // Store is one site's transactional KV store.
 type Store struct {
-	data  map[string]string
+	// data is the volatile database the WAL guards: every post-open
+	// mutation must flow through the write-ahead log (//dur:volatile).
+	data  map[string]string //dur:volatile
 	locks *locking.Manager
 	log   *wal.Log
 	st    *stable.Store

@@ -6,6 +6,13 @@
 // uncommitted ones — before the site rejoins the computation. Because
 // checkpoints are coordinated (internal/checkpoint) recovery of one site
 // never rolls back others: no domino effect.
+//
+// Durability annotations (//dur:*): none are needed here. Recovery sends
+// no protocol messages and only reads stable storage, except for settling
+// in-doubt branches via wal.Resolve — a durable write with no dependent
+// send in this package. The durcheck layer therefore has nothing to
+// check; the package is listed in its cross-package inventory for the
+// record (DESIGN.md S30).
 package recovery
 
 import (

@@ -331,6 +331,11 @@ func (n *Network) crash(nd *node) {
 		return
 	}
 	nd.up = false
+	// Freeze the node's stable storage: a crashed site cannot force
+	// anything more to disk, even if handler code on its stack keeps
+	// running (e.g. a SendFault that crashes the sender mid-handler).
+	// Reads stay live — stable contents survive the crash.
+	nd.store.SetFrozen(true)
 	for _, t := range nd.timers {
 		t.Cancel()
 	}
@@ -350,6 +355,9 @@ func (n *Network) Recover(id NodeID) error {
 		return nil
 	}
 	nd.up = true
+	// Thaw before the recovery callback runs: recovery reads the frozen
+	// contents and must be able to persist its own repairs.
+	nd.store.SetFrozen(false)
 	if nd.onRecover != nil {
 		nd.onRecover()
 	}

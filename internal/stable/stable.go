@@ -24,15 +24,39 @@ type Store struct {
 	// write counters let tests assert write-ahead ordering.
 	kvWrites  int
 	logWrites int
+	// frozen models the medium of a crashed site: reads still work (the
+	// contents survive the crash), but mutations are silently discarded —
+	// a dead site cannot force anything to disk. The simulator freezes a
+	// site's store for the duration of its crash.
+	frozen bool
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{} }
 
+// SetFrozen freezes or thaws the store. While frozen, Put, Delete, Append,
+// and TruncateLog are silently discarded (counters included) and reads see
+// the contents as of the freeze — the storage a crashed site leaves behind.
+func (s *Store) SetFrozen(frozen bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frozen = frozen
+}
+
+// Frozen reports whether mutations are currently discarded.
+func (s *Store) Frozen() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frozen
+}
+
 // Put stores a copy of value under key.
 func (s *Store) Put(key string, value []byte) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.frozen {
+		return
+	}
 	if s.kv == nil {
 		s.kv = map[string][]byte{}
 	}
@@ -55,6 +79,9 @@ func (s *Store) Get(key string) ([]byte, bool) {
 func (s *Store) Delete(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.frozen {
+		return
+	}
 	delete(s.kv, key)
 	s.kvWrites++
 }
@@ -75,6 +102,9 @@ func (s *Store) Keys() []string {
 func (s *Store) Append(record []byte) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.frozen {
+		return len(s.log) - 1
+	}
 	s.log = append(s.log, append([]byte{}, record...))
 	s.logWrites++
 	return len(s.log) - 1
@@ -110,6 +140,9 @@ func (s *Store) TruncateLog(n int) error {
 	defer s.mu.Unlock()
 	if n < 0 || n > len(s.log) {
 		return fmt.Errorf("%w: n=%d len=%d", ErrTruncate, n, len(s.log))
+	}
+	if s.frozen {
+		return nil
 	}
 	s.log = s.log[:n]
 	s.logWrites++

@@ -41,8 +41,13 @@ type Cohort struct {
 	// OnMalformed, when non-nil, observes protocol messages whose payload
 	// failed to decode. They are counted either way; see Malformed.
 	OnMalformed func(m simnet.Message)
+	// OnSendError, when non-nil, observes every protocol send that the
+	// network refused (dead peer, crashed self). Failed sends are counted
+	// either way; see SendErrors.
+	OnSendError func(to simnet.NodeID, kind string, err error)
 	decisions   map[string]Decision
 	malformed   int
+	sendErrors  int
 }
 
 // NewCohort creates a cohort on site id for the given coordinator; peers
@@ -110,14 +115,17 @@ func (h *Cohort) HandleMessage(m simnet.Message) bool {
 		t := h.txn(p.Txn)
 		// A decided cohort answers a state request with the decision
 		// itself, so a requester that missed the original dissemination
-		// (message loss) still converges.
+		// (message loss) still converges. The decided guards below are why
+		// the durability checker stands down: a cohort only ever enters
+		// StateCommitted/StateAborted through decide(), which persists the
+		// outcome first.
 		switch t.state {
 		case StateCommitted:
-			_ = h.net.Send(h.id, m.From, KindCommit, txnMsg{Txn: p.Txn})
+			h.send(m.From, KindCommit, txnMsg{Txn: p.Txn}) //dur:ignore StateCommitted is only entered via decide(), which persisted the decision
 		case StateAborted:
-			_ = h.net.Send(h.id, m.From, KindAbort, txnMsg{Txn: p.Txn})
+			h.send(m.From, KindAbort, txnMsg{Txn: p.Txn}) //dur:ignore StateAborted is only entered via decide(), which persisted the decision
 		default:
-			_ = h.net.Send(h.id, m.From, KindStateResp, stateResp{Txn: p.Txn, State: t.state})
+			h.send(m.From, KindStateResp, stateResp{Txn: p.Txn, State: t.state})
 		}
 		return true
 	case KindStateResp:
@@ -146,6 +154,22 @@ func (h *Cohort) badPayload(m simnet.Message) bool {
 // because their payload did not decode.
 func (h *Cohort) Malformed() int { return h.malformed }
 
+// SendErrors reports how many protocol sends the network refused.
+func (h *Cohort) SendErrors() int { return h.sendErrors }
+
+// send transmits one protocol message, routing refusals through the
+// send-error accounting (SendErrors, OnSendError) instead of dropping
+// them silently: the protocol cannot act on a failed send (timeouts and
+// the termination protocol own that recovery), but observers can.
+func (h *Cohort) send(to simnet.NodeID, kind string, payload any) {
+	if err := h.net.Send(h.id, to, kind, payload); err != nil {
+		h.sendErrors++
+		if h.OnSendError != nil {
+			h.OnSendError(to, kind, err)
+		}
+	}
+}
+
 // onCommitReq is the q2 transition: vote and move to w2 (yes) or a2 (no).
 func (h *Cohort) onCommitReq(txn string) {
 	t := h.txn(txn)
@@ -154,14 +178,14 @@ func (h *Cohort) onCommitReq(txn string) {
 	}
 	yes := h.Vote == nil || h.Vote(txn)
 	if !yes {
-		_ = h.net.Send(h.id, h.coord, KindVoteNo, txnMsg{Txn: txn})
+		h.send(h.coord, KindVoteNo, txnMsg{Txn: txn})
 		h.decide(txn, DecisionAbort, CauseMessage)
 		return
 	}
 	h.emit(txn, t.state, StateWait, CauseMessage)
 	t.state = StateWait
 	h.persist(txn, StateWait)
-	_ = h.net.Send(h.id, h.coord, KindVoteYes, txnMsg{Txn: txn})
+	h.send(h.coord, KindVoteYes, txnMsg{Txn: txn})
 	// Timeout waiting for prepare: coordinator failed in w1.
 	t.timer = h.net.After(h.id, h.cfg.PhaseTimeout, func() {
 		if t.state == StateWait {
@@ -182,7 +206,7 @@ func (h *Cohort) onPrepare(txn string, from simnet.NodeID) {
 	h.emit(txn, t.state, StatePrepared, CauseMessage)
 	t.state = StatePrepared
 	h.persist(txn, StatePrepared)
-	_ = h.net.Send(h.id, from, KindAck, txnMsg{Txn: txn})
+	h.send(from, KindAck, txnMsg{Txn: txn})
 	// Timeout waiting for commit: coordinator failed in p1.
 	t.timer = h.net.After(h.id, h.cfg.PhaseTimeout, func() {
 		if t.state == StatePrepared {
@@ -237,7 +261,7 @@ func (h *Cohort) startTermination(txn string, t *cohortTxn) {
 		// Ask the backup directly (it replies with its state, or with the
 		// decision if it already has one), then retry if still undecided —
 		// this makes termination converge under message loss too.
-		_ = h.net.Send(h.id, backup, KindStateReq, txnMsg{Txn: txn})
+		h.send(backup, KindStateReq, txnMsg{Txn: txn})
 		t.timer = h.net.After(h.id, 2*h.cfg.PhaseTimeout, func() {
 			if t.state == StateWait || t.state == StatePrepared {
 				h.startTermination(txn, t)
@@ -254,7 +278,7 @@ func (h *Cohort) startTermination(txn string, t *cohortTxn) {
 		if p == h.id {
 			continue
 		}
-		_ = h.net.Send(h.id, p, KindStateReq, txnMsg{Txn: txn})
+		h.send(p, KindStateReq, txnMsg{Txn: txn})
 	}
 	h.net.After(h.id, 2*h.net.Delta()+2, func() { h.terminationDecide(txn, t) })
 }
@@ -302,20 +326,42 @@ func (h *Cohort) terminationDecide(txn string, t *cohortTxn) {
 	if anyCommittable && !anyAborted {
 		d = DecisionCommit
 	}
-	// Disseminate to all cohorts, then decide locally.
 	kind := KindAbort
 	if d == DecisionCommit {
 		kind = KindCommit
 	}
+	if h.cfg.UnsafeTermination {
+		// Pre-durcheck ordering, kept for the E15 ablation: disseminate
+		// before persisting. If the backup crashes between two of these
+		// sends, one peer holds a durable outcome the backup's own stable
+		// storage never recorded — on recovery the backup decides from w,
+		// aborts, and atomicity splits. durcheck flags this shape as
+		// dur-send; the suppressions below keep the ablation compiling
+		// against a clean lint run.
+		for _, p := range h.peers {
+			if p != h.id {
+				h.send(p, kind, txnMsg{Txn: txn}) //dur:ignore E15 ablation deliberately preserves the unsafe disseminate-before-persist ordering behind Config.UnsafeTermination
+			}
+		}
+		h.decide(txn, d, CauseTerminate)
+		return
+	}
+	// Write-ahead rule: persist the decision locally (decide) BEFORE any
+	// peer can learn it. The original ordering disseminated first — the
+	// violation durcheck was built to catch (see Config.UnsafeTermination).
+	h.decide(txn, d, CauseTerminate)
 	for _, p := range h.peers {
 		if p != h.id {
-			_ = h.net.Send(h.id, p, kind, txnMsg{Txn: txn})
+			h.send(p, kind, txnMsg{Txn: txn})
 		}
 	}
-	h.decide(txn, d, CauseTerminate)
 }
 
-// decide finalizes the local outcome.
+// decide finalizes the local outcome: it persists the decided state and
+// the decision before any observer (OnDecide, subsequent sends) can act
+// on them.
+//
+//dur:writes state decision
 func (h *Cohort) decide(txn string, d Decision, cause Cause) {
 	t := h.txn(txn)
 	if t.state == StateCommitted || t.state == StateAborted {
@@ -367,6 +413,9 @@ func (h *Cohort) Blocked(txn string) (bool, sim.Time) {
 	return t.blocked && t.state == StateWait, t.blockedSince
 }
 
+// persist forces the protocol state for txn to stable storage.
+//
+//dur:writes state
 func (h *Cohort) persist(txn string, s State) {
 	st, err := h.net.Store(h.id)
 	if err != nil {
@@ -375,6 +424,9 @@ func (h *Cohort) persist(txn string, s State) {
 	st.Put(stateKey(txn), []byte(s.String()))
 }
 
+// persistDecision forces the final outcome for txn to stable storage.
+//
+//dur:writes decision
 func (h *Cohort) persistDecision(txn string, d Decision) {
 	st, err := h.net.Store(h.id)
 	if err != nil {
@@ -386,6 +438,8 @@ func (h *Cohort) persistDecision(txn string, d Decision) {
 // RecoverAll applies the cohort failure transitions on restart from
 // stable storage alone (independent recovery): q2/w2 abort, p2 commits,
 // decided states are kept. It returns the decisions taken.
+//
+//dur:handler
 func (h *Cohort) RecoverAll() map[string]Decision {
 	st, err := h.net.Store(h.id)
 	if err != nil {

@@ -31,9 +31,14 @@ type Coordinator struct {
 	// failed to decode (a peer speaking the right kind with the wrong
 	// body). They are counted either way; see Malformed.
 	OnMalformed func(m simnet.Message)
+	// OnSendError, when non-nil, observes every protocol send the network
+	// refused (dead cohort, crashed self). Failed sends are counted either
+	// way; see SendErrors.
+	OnSendError func(to simnet.NodeID, kind string, err error)
 	// decisions records outcomes for inspection.
-	decisions map[string]Decision
-	malformed int
+	decisions  map[string]Decision
+	malformed  int
+	sendErrors int
 }
 
 // NewCoordinator creates a coordinator on site id managing the given
@@ -52,7 +57,10 @@ func NewCoordinator(net *simnet.Network, id simnet.NodeID, cohorts []simnet.Node
 }
 
 // Begin starts the commit protocol for txn: the coordinator moves q1→w1
-// and multicasts the commit request to all cohorts.
+// and multicasts the commit request to all cohorts. It is not message
+// dispatch, so it opts into the durability analysis explicitly.
+//
+//dur:handler
 func (c *Coordinator) Begin(txn string) error {
 	if _, dup := c.txns[txn]; dup {
 		return fmt.Errorf("tpc: transaction %s already begun", txn)
@@ -121,6 +129,22 @@ func (c *Coordinator) badPayload(m simnet.Message) bool {
 // because their payload did not decode.
 func (c *Coordinator) Malformed() int { return c.malformed }
 
+// SendErrors reports how many protocol sends the network refused.
+func (c *Coordinator) SendErrors() int { return c.sendErrors }
+
+// send transmits one protocol message, routing refusals through the
+// send-error accounting (SendErrors, OnSendError) instead of dropping
+// them silently. Begin keeps its direct error-returning sends: a commit
+// request that cannot even leave the coordinator fails the whole Begin.
+func (c *Coordinator) send(to simnet.NodeID, kind string, payload any) {
+	if err := c.net.Send(c.id, to, kind, payload); err != nil {
+		c.sendErrors++
+		if c.OnSendError != nil {
+			c.OnSendError(to, kind, err)
+		}
+	}
+}
+
 func (c *Coordinator) onVote(txn string, from simnet.NodeID, yes bool) {
 	ct, ok := c.txns[txn]
 	if !ok || ct.state != StateWait {
@@ -148,7 +172,7 @@ func (c *Coordinator) onVote(txn string, from simnet.NodeID, yes bool) {
 	ct.state = StatePrepared
 	c.persist(txn, StatePrepared)
 	for _, ch := range c.cohorts {
-		_ = c.net.Send(c.id, ch, KindPrepare, txnMsg{Txn: txn})
+		c.send(ch, KindPrepare, txnMsg{Txn: txn})
 	}
 	ct.timer = c.net.After(c.id, c.cfg.PhaseTimeout, func() {
 		if ct.state == StatePrepared {
@@ -182,7 +206,7 @@ func (c *Coordinator) commit(txn string, ct *coordTxn, cause Cause) {
 	c.persist(txn, StateCommitted)
 	c.persistDecision(txn, DecisionCommit)
 	for _, ch := range c.cohorts {
-		_ = c.net.Send(c.id, ch, KindCommit, txnMsg{Txn: txn})
+		c.send(ch, KindCommit, txnMsg{Txn: txn})
 	}
 	c.finish(txn, DecisionCommit)
 }
@@ -198,7 +222,7 @@ func (c *Coordinator) abort(txn string, ct *coordTxn, cause Cause) {
 	c.persist(txn, StateAborted)
 	c.persistDecision(txn, DecisionAbort)
 	for _, ch := range c.cohorts {
-		_ = c.net.Send(c.id, ch, KindAbort, txnMsg{Txn: txn})
+		c.send(ch, KindAbort, txnMsg{Txn: txn})
 	}
 	c.finish(txn, DecisionAbort)
 }
@@ -237,6 +261,8 @@ func (c *Coordinator) StateOf(txn string) State {
 
 // persist writes the FSM state to stable storage (write-ahead of the
 // corresponding sends, per assumption 4).
+//
+//dur:writes state
 func (c *Coordinator) persist(txn string, s State) {
 	st, err := c.net.Store(c.id)
 	if err != nil {
@@ -245,6 +271,9 @@ func (c *Coordinator) persist(txn string, s State) {
 	st.Put(stateKey(txn), []byte(s.String()))
 }
 
+// persistDecision forces the final outcome for txn to stable storage.
+//
+//dur:writes decision
 func (c *Coordinator) persistDecision(txn string, d Decision) {
 	st, err := c.net.Store(c.id)
 	if err != nil {
@@ -257,6 +286,8 @@ func (c *Coordinator) persistDecision(txn string, d Decision) {
 // restart, using only stable storage (independent recovery, assumption 8):
 // a transaction logged in w1 aborts; one logged in p1 commits; decided
 // transactions re-announce their outcome. It returns the decisions taken.
+//
+//dur:handler
 func (c *Coordinator) RecoverAll() map[string]Decision {
 	st, err := c.net.Store(c.id)
 	if err != nil {

@@ -136,14 +136,22 @@ func ParseDecision(raw string) (Decision, error) {
 // Wire kinds for the commit protocols. The //fsm:msg annotation names the
 // machine and the role whose handler must consume the kind (phase 1 flows
 // cohort->coordinator, so its votes are coordinator-consumed, etc.).
+//
+// The //dur:requires annotations declare the write-ahead rule per kind: a
+// send of the kind must be dominated by a durable write of the named class
+// ("state" = the sender persisted the protocol state it is announcing,
+// "decision" = the sender persisted the final outcome it is announcing).
+// KindVoteNo carries no requirement: presumed abort means a no-vote is
+// safe to lose and safe to send from any state. KindStateReq and
+// KindStateResp only query and report state, they announce nothing new.
 const (
-	KindCommitReq = "tpc.commitreq" //fsm:msg tpc cohort
-	KindVoteYes   = "tpc.voteyes"   //fsm:msg tpc coordinator
+	KindCommitReq = "tpc.commitreq" //fsm:msg tpc cohort //dur:requires state
+	KindVoteYes   = "tpc.voteyes"   //fsm:msg tpc coordinator //dur:requires state
 	KindVoteNo    = "tpc.voteno"    //fsm:msg tpc coordinator
-	KindPrepare   = "tpc.prepare"   //fsm:msg tpc cohort
-	KindAck       = "tpc.ack"       //fsm:msg tpc coordinator
-	KindCommit    = "tpc.commit"    //fsm:msg tpc cohort
-	KindAbort     = "tpc.abort"     //fsm:msg tpc cohort
+	KindPrepare   = "tpc.prepare"   //fsm:msg tpc cohort //dur:requires state
+	KindAck       = "tpc.ack"       //fsm:msg tpc coordinator //dur:requires state
+	KindCommit    = "tpc.commit"    //fsm:msg tpc cohort //dur:requires decision
+	KindAbort     = "tpc.abort"     //fsm:msg tpc cohort //dur:requires decision
 
 	// Termination protocol (backup <-> cohorts).
 	KindStateReq  = "tpc.term.statereq"  //fsm:msg tpc cohort
@@ -192,6 +200,14 @@ type Config struct {
 	// the coordinator fails between prepare sends; it exists for the
 	// E7 ablation.
 	NaiveTimeouts bool
+	// UnsafeTermination, when true, restores the pre-durcheck backup
+	// ordering: the termination decision is disseminated to the peers
+	// BEFORE it is persisted locally. A backup that crashes between two
+	// dissemination sends has then told one peer an outcome its own
+	// stable storage never recorded — the write-ahead violation durcheck
+	// flags statically and the E15 cross-validation exhibits dynamically
+	// as an atomicity split. It exists for that ablation only.
+	UnsafeTermination bool
 }
 
 // stable-storage key for a transaction's persisted state.

@@ -21,6 +21,12 @@ import (
 )
 
 // Wire kinds. Work flows master->site; completion reports flow back.
+// None carries a //dur:requires class: work assignment and completion
+// reports announce volatile progress only — durability enters with the
+// commit protocol (tpc kinds), whose sends these handlers delegate. The
+// txn handlers still participate in the durcheck analysis as roots (via
+// //fsm:handler), so any stable write or requiring send added here later
+// falls under the dominance checks automatically.
 const (
 	kindWork     = "txn.startwork" //fsm:msg txn site
 	kindWorkDone = "txn.workdone"  //fsm:msg txn master

@@ -89,7 +89,11 @@ func (l *Log) Begin(txn string) error {
 }
 
 // LoggedUpdate applies an update with write-ahead logging: the undo/redo
-// record hits stable storage strictly before db is modified.
+// record hits stable storage strictly before db is modified. The
+// //dur:applies annotation tells durcheck that assignments into db are
+// the volatile applies the log write must dominate.
+//
+//dur:applies db
 func (l *Log) LoggedUpdate(txn string, db map[string]string, key, value string) error {
 	if !l.active[txn] {
 		return fmt.Errorf("%w: %s not active", ErrTxnState, txn)
@@ -138,6 +142,9 @@ func (l *Log) UndoInto(txn string, db map[string]string) error {
 	return nil
 }
 
+// append forces one record to the stable log.
+//
+//dur:writes log
 func (l *Log) append(r Record) error {
 	data, err := json.Marshal(r)
 	if err != nil {
