@@ -5,7 +5,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCHOUT ?=
 
-.PHONY: build test race lint fsm fsm-check explore verify bench bench-go
+.PHONY: build test race lint fsm fsm-check explore verify bench bench-go bench-compare
 
 build:
 	$(GO) build ./...
@@ -16,13 +16,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# All four linting layers: go vet, the Go design-rule analyzers plus the
-# fsmcheck protocol extraction and the durcheck durability-ordering
-# analysis over the whole module, the spec linter over the thesis corpus,
-# and the generated-FSM-docs staleness gate.
+# All five linting layers: go vet, then the Go design-rule analyzers plus
+# the fsmcheck protocol extraction, the durcheck durability-ordering
+# analysis and the portcheck runtime-boundary/state-confinement analysis
+# over the whole module, the spec linter over the thesis corpus, and the
+# generated-FSM-docs staleness gate. speccatlint -only <layer> reruns any
+# single layer in isolation.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/speccatlint -dur ./...
+	$(GO) run ./cmd/speccatlint -dur -port ./...
 	$(GO) run ./cmd/speccatlint internal/core/speclang/testdata/thesis/*.sw
 	$(GO) run ./cmd/speccatlint -fsm-check docs/fsm ./internal/...
 
@@ -58,3 +60,18 @@ bench:
 
 bench-go:
 	$(GO) test -bench . -benchtime $(BENCHTIME) -run ^$$ ./...
+
+# Regression gate: rerun the suite and fail on any benchmark (or E14
+# proof-pipeline arm) slower than the checked-in BASELINE report by more
+# than TOLERANCE. The default 20% is meant for quiet machines and
+# time-based BENCHTIMEs (100ms gives microbenchmarks thousands of
+# iterations); CI calls this with a much looser tolerance as a
+# gross-regression smoke gate, since shared runners jitter the
+# single-iteration heavyweight arms by 1.5x or more.
+BASELINE ?= BENCH_2026-08-09.json
+TOLERANCE ?= 0.20
+# The compare run writes its own report (never the default BENCH_<date>
+# name, which could clobber a same-day baseline).
+COMPAREOUT ?= BENCH_compare.json
+bench-compare:
+	$(GO) run ./cmd/specbench -benchtime $(BENCHTIME) -out "$(COMPAREOUT)" -compare "$(BASELINE)" -tolerance $(TOLERANCE)

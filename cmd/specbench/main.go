@@ -5,11 +5,20 @@
 // Usage:
 //
 //	specbench [-out BENCH_<date>.json] [-benchtime 1x] [-workers n] [-run regexp] [-list]
+//	          [-compare baseline.json] [-tolerance 0.20]
 //
 // The report (schema internal/benchsuite.Report, version 1) records
 // ns/op, allocs/op and B/op per experiment benchmark plus the E14
 // headline: total time to discharge the corpus's five proof obligations
 // sequentially versus on a worker pool, and the speedup between them.
+//
+// With -compare the fresh run is additionally checked against a
+// checked-in baseline report: any benchmark (or proof-pipeline arm)
+// slower than baseline by more than -tolerance (a fraction; default
+// 0.20, i.e. 20%) is printed as a regression and the exit status is 1.
+// Raise the tolerance for 1-iteration CI smoke runs, where scheduling
+// noise dwarfs real regressions and only gross slowdowns are
+// actionable.
 package main
 
 import (
@@ -31,6 +40,8 @@ func main() {
 	workers := flag.Int("workers", 0, "worker count for the parallel proof arm (0 = GOMAXPROCS)")
 	run := flag.String("run", "", "only run suite benchmarks matching this regexp")
 	list := flag.Bool("list", false, "list suite benchmark names and exit")
+	compare := flag.String("compare", "", "fail on regressions against this baseline BENCH_<date>.json")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional slowdown for -compare (0.20 = +20%)")
 	flag.Parse()
 
 	if *list {
@@ -39,13 +50,13 @@ func main() {
 		}
 		return
 	}
-	if err := runSuite(*out, *benchtime, *workers, *run); err != nil {
+	if err := runSuite(*out, *benchtime, *workers, *run, *compare, *tolerance); err != nil {
 		fmt.Fprintf(os.Stderr, "specbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func runSuite(out, benchtime string, workers int, run string) error {
+func runSuite(out, benchtime string, workers int, run, compare string, tolerance float64) error {
 	filter, err := regexp.Compile(run)
 	if err != nil {
 		return fmt.Errorf("bad -run regexp: %w", err)
@@ -115,6 +126,24 @@ func runSuite(out, benchtime string, workers int, run string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)
+
+	if compare != "" {
+		baseline, err := benchsuite.ReadReport(compare)
+		if err != nil {
+			return err
+		}
+		regs, err := benchsuite.Compare(baseline, report, tolerance)
+		if err != nil {
+			return err
+		}
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Printf("REGRESSION %s\n", r)
+			}
+			return fmt.Errorf("%d regression(s) beyond %.0f%% of baseline %s", len(regs), tolerance*100, compare)
+		}
+		fmt.Printf("no regressions beyond %.0f%% of baseline %s\n", tolerance*100, compare)
+	}
 	return nil
 }
 

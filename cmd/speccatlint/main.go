@@ -1,18 +1,23 @@
-// Command speccatlint runs the project's four static-analysis layers:
+// Command speccatlint runs the project's five static-analysis layers:
 //
-//   - Go design-rule analyzers (internal/analysis) over package patterns:
-//     nopanic, nowallclock, norand, noglobalstate, errwrap.
-//   - Protocol state-machine extraction (internal/analysis/fsmcheck) over
-//     the same packages: exhaustiveness, determinism, dead states/kinds,
-//     codec totality, and cross-validation of the extracted tpc machines
-//     against internal/mc's transition relation.
-//   - Durability-ordering dataflow (internal/analysis/durcheck, opt-in
-//     via -dur): write-ahead discipline over the protocol handlers —
+//   - base: Go design-rule analyzers (internal/analysis) over package
+//     patterns: nopanic, nowallclock, norand, noglobalstate, errwrap.
+//   - fsm: protocol state-machine extraction (internal/analysis/fsmcheck)
+//     over the same packages: exhaustiveness, determinism, dead
+//     states/kinds, codec totality, and cross-validation of the extracted
+//     tpc machines against internal/mc's transition relation.
+//   - dur: durability-ordering dataflow (internal/analysis/durcheck,
+//     opt-in via -dur): write-ahead discipline over the protocol handlers —
 //     //dur:requires sends dominated by the matching durable write,
 //     //dur:volatile writes dominated by some durable write.
-//   - The spec/diagram linter (internal/core/speclint) over .sw files:
-//     undeclared symbols, arity mismatches, duplicate axioms, morphism
-//     totality pre-checks, prove/using consistency, diagram shape.
+//   - port: runtime-boundary + state-confinement analysis
+//     (internal/analysis/portcheck, opt-in via -port): //rt:engine
+//     packages speak only the rt interfaces, handler state stays confined
+//     to its event loop, and //dur:requires sends follow the in-memory
+//     transition they advertise.
+//   - spec: the spec/diagram linter (internal/core/speclint) over .sw
+//     files: undeclared symbols, arity mismatches, duplicate axioms,
+//     morphism totality pre-checks, prove/using consistency, diagram shape.
 //
 // Targets may be mixed freely; anything ending in .sw is linted as a
 // specification file, everything else is treated as a Go package pattern
@@ -20,17 +25,25 @@
 //
 // Usage:
 //
-//	speccatlint [-list] [-werror] [-dur] [-json] [-fsm dir] [-fsm-check dir] [target ...]
+//	speccatlint [-list] [-werror] [-dur] [-port] [-only layer] [-json] [-fsm dir] [-fsm-check dir] [target ...]
 //
-// With -fsm the extracted machines are rendered as markdown + DOT into
-// dir (the generated docs/fsm/ artifacts); with -fsm-check the rendering
-// is instead compared against dir and staleness is a failure. With -json
-// the findings of all layers are emitted as one JSON array of
-// {file,line,col,severity,rule,message} objects instead of text. With no
-// targets it lints ./... from the current directory. Exit status is 0
-// when clean, 1 when findings were reported, 2 on usage or load errors.
-// Spec-lint warnings are printed but do not affect the exit status unless
-// -werror is given.
+// By default the base, fsm and spec layers run; -dur and -port opt the
+// heavier dataflow layers in. -only base|fsm|dur|port|spec runs exactly
+// one layer (ignoring -dur/-port), so CI and bisection scripts can
+// attribute findings to a layer without re-running the other four. With
+// -fsm the extracted machines are rendered as markdown + DOT into dir
+// (the generated docs/fsm/ artifacts); with -fsm-check the rendering is
+// instead compared against dir and staleness is a failure (both belong
+// to the fsm layer). With -json the findings of all layers are emitted
+// as one JSON array of {file,line,col,severity,rule,layer,message}
+// objects instead of text. With no targets it lints ./... from the
+// current directory.
+//
+// Exit status is identical across all layers and layer combinations:
+// 0 when every requested layer ran clean, 1 when any layer reported
+// findings, 2 on usage or load errors (unknown -only layer, unreadable
+// target, type-check failure). Spec-lint warnings are printed but do not
+// affect the exit status unless -werror is given.
 package main
 
 import (
@@ -45,8 +58,12 @@ import (
 	"speccat/internal/analysis"
 	"speccat/internal/analysis/durcheck"
 	"speccat/internal/analysis/fsmcheck"
+	"speccat/internal/analysis/portcheck"
 	"speccat/internal/core/speclint"
 )
+
+// layerNames are the selectable analysis layers, in run order.
+var layerNames = []string{"base", "fsm", "dur", "port", "spec"} //lint:allow noglobalstate immutable lookup table
 
 // finding is the unified JSON shape of one diagnostic from any layer.
 type finding struct {
@@ -55,6 +72,7 @@ type finding struct {
 	Col      int    `json:"col,omitempty"`
 	Severity string `json:"severity"`
 	Rule     string `json:"rule"`
+	Layer    string `json:"layer"`
 	Message  string `json:"message"`
 }
 
@@ -68,11 +86,40 @@ func run(args []string, stdout, stderr *os.File) int {
 	list := fs.Bool("list", false, "list the Go analyzers and exit")
 	werror := fs.Bool("werror", false, "treat spec-lint warnings as errors")
 	dur := fs.Bool("dur", false, "run the durability-ordering dataflow layer (durcheck)")
+	port := fs.Bool("port", false, "run the runtime-boundary / state-confinement layer (portcheck)")
+	only := fs.String("only", "", "run exactly one layer: base, fsm, dur, port or spec")
 	jsonOut := fs.Bool("json", false, "emit findings of all layers as a JSON array")
 	fsmDir := fs.String("fsm", "", "write the extracted machine docs (markdown + DOT) into this directory")
 	fsmCheck := fs.String("fsm-check", "", "fail if the generated machine docs in this directory are stale")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *only != "" {
+		known := false
+		for _, name := range layerNames {
+			if *only == name {
+				known = true
+			}
+		}
+		if !known {
+			fmt.Fprintf(stderr, "speccatlint: unknown layer %q for -only (want %s)\n", *only, strings.Join(layerNames, ", "))
+			return 2
+		}
+	}
+	// enabled reports whether a layer should run under the current flags:
+	// -only selects exactly one layer; otherwise base/fsm/spec always run
+	// and dur/port are opt-in.
+	enabled := func(layer string) bool {
+		if *only != "" {
+			return *only == layer
+		}
+		switch layer {
+		case "dur":
+			return *dur
+		case "port":
+			return *port
+		}
+		return true
 	}
 	if *list {
 		for _, a := range analysis.Analyzers() {
@@ -80,6 +127,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 		fmt.Fprintf(stdout, "%-14s %s\n", "fsm-*", "protocol state-machine extraction, totality and model cross-validation (fsmcheck)")
 		fmt.Fprintf(stdout, "%-14s %s\n", "dur-*", "write-ahead / durability-ordering dataflow analysis (durcheck, -dur)")
+		fmt.Fprintf(stdout, "%-14s %s\n", "rt-*", "runtime-boundary / state-confinement analysis (portcheck, -port)")
 		return 0
 	}
 	var findings []finding
@@ -98,27 +146,30 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	failed := false
-	for _, f := range specFiles {
-		src, err := os.ReadFile(f)
-		if err != nil {
-			fmt.Fprintf(stderr, "speccatlint: %v\n", err)
-			return 2
-		}
-		for _, d := range speclint.LintSource(f, string(src)) {
-			findings = append(findings, finding{
-				File: d.File, Line: d.Line,
-				Severity: d.Severity.String(), Rule: d.Rule, Message: d.Message,
-			})
-			if !*jsonOut {
-				fmt.Fprintln(stdout, d)
+	if enabled("spec") {
+		for _, f := range specFiles {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				fmt.Fprintf(stderr, "speccatlint: %v\n", err)
+				return 2
 			}
-			if d.Severity == speclint.SevError || *werror {
-				failed = true
+			for _, d := range speclint.LintSource(f, string(src)) {
+				findings = append(findings, finding{
+					File: d.File, Line: d.Line,
+					Severity: d.Severity.String(), Rule: d.Rule, Layer: "spec", Message: d.Message,
+				})
+				if !*jsonOut {
+					fmt.Fprintln(stdout, d)
+				}
+				if d.Severity == speclint.SevError || *werror {
+					failed = true
+				}
 			}
 		}
 	}
 
-	if len(goPatterns) > 0 {
+	wantGo := enabled("base") || enabled("fsm") || enabled("dur") || enabled("port")
+	if len(goPatterns) > 0 && wantGo {
 		loader, err := analysis.NewLoader(".")
 		if err != nil {
 			fmt.Fprintf(stderr, "speccatlint: %v\n", err)
@@ -129,33 +180,57 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stderr, "speccatlint: %v\n", err)
 			return 2
 		}
-		diags := analysis.Run(pkgs, analysis.Analyzers())
-		rep, fsmDiags := fsmcheck.Run(pkgs)
-		diags = append(diags, fsmDiags...)
-		if *dur {
-			_, durDiags := durcheck.Run(pkgs)
-			diags = append(diags, durDiags...)
+		// diags pairs each Go-layer diagnostic with its originating layer.
+		type layered struct {
+			layer string
+			diag  analysis.Diagnostic
 		}
-		for _, d := range diags {
+		var diags []layered
+		if enabled("base") {
+			for _, d := range analysis.Run(pkgs, analysis.Analyzers()) {
+				diags = append(diags, layered{"base", d})
+			}
+		}
+		var docs map[string]string
+		if enabled("fsm") {
+			rep, fsmDiags := fsmcheck.Run(pkgs)
+			for _, d := range fsmDiags {
+				diags = append(diags, layered{"fsm", d})
+			}
+			docs = fsmcheck.Docs(rep, loader.ModuleRoot)
+		}
+		if enabled("dur") {
+			_, durDiags := durcheck.Run(pkgs)
+			for _, d := range durDiags {
+				diags = append(diags, layered{"dur", d})
+			}
+		}
+		if enabled("port") {
+			_, portDiags := portcheck.Run(pkgs)
+			for _, d := range portDiags {
+				diags = append(diags, layered{"port", d})
+			}
+		}
+		for _, ld := range diags {
+			d := ld.diag
 			findings = append(findings, finding{
 				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
-				Severity: "error", Rule: d.Rule, Message: d.Message,
+				Severity: "error", Rule: d.Rule, Layer: ld.layer, Message: d.Message,
 			})
 			if !*jsonOut {
 				fmt.Fprintln(stdout, d)
 			}
 			failed = true
 		}
-		docs := fsmcheck.Docs(rep, loader.ModuleRoot)
-		if *fsmDir != "" {
+		if *fsmDir != "" && docs != nil {
 			if err := writeDocs(*fsmDir, docs); err != nil {
 				fmt.Fprintf(stderr, "speccatlint: %v\n", err)
 				return 2
 			}
 		}
-		if *fsmCheck != "" {
+		if *fsmCheck != "" && docs != nil {
 			for _, msg := range staleDocs(*fsmCheck, docs) {
-				findings = append(findings, finding{Severity: "error", Rule: "fsm-docs", Message: msg})
+				findings = append(findings, finding{Severity: "error", Rule: "fsm-docs", Layer: "fsm", Message: msg})
 				if !*jsonOut {
 					fmt.Fprintln(stdout, msg)
 				}

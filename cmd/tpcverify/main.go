@@ -1,12 +1,14 @@
 // Command tpcverify runs the full reproduction suite — experiments E1..E11
 // plus the E14 parallel proof pipeline and the E15 durability
-// cross-validation from DESIGN.md — and prints each regenerated
+// cross-validation and the E16 real-goroutine conformance replay from
+// DESIGN.md — and prints each regenerated
 // artifact: Table 3.1, the Fig. 3.4/3.5 composition chains, the three
 // global-property proofs, the model-checked non-blocking theorem, the
 // end-to-end 3PC/2PC comparison, the modular-vs-monolithic verification
 // ablation, the assumption-violation matrix, the worker-pool proof
 // schedule (-only e14, -workers n), and the static-durability
-// cross-validation verdicts (-only e15).
+// cross-validation verdicts (-only e15), and the live-vs-replay
+// conformance table (-only e16).
 package main
 
 import (
@@ -198,6 +200,24 @@ func run(sel func(string) bool, seed int64, txns, workers int) error {
 			} else {
 				fmt.Printf("  %-18s survives the staged crash-at-dissemination schedule\n", r.Protocol)
 			}
+		}
+		fmt.Println()
+	}
+
+	if sel("e16") {
+		fmt.Println("== E16: real-goroutine conformance — live run recorded and replayed deterministically ==")
+		rows, err := experiments.E16LiveConformance()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			verdict := "CONFORMS"
+			if !r.Agree() {
+				verdict = fmt.Sprintf("DIVERGES (replay=%v durable=%v)", r.ReplayAgree, r.DurableAgree)
+			}
+			fmt.Printf("  %-4s %d txns, %3d deliveries traced: commit=%v abort=%v — %s\n",
+				r.Protocol, r.Txns, r.Messages,
+				r.Decisions["t-commit"], r.Decisions["t-abort"], verdict)
 		}
 		fmt.Println()
 	}

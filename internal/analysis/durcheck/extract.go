@@ -671,12 +671,18 @@ func isWalMutator(obj types.Object) bool {
 }
 
 // sendKindIndex reports whether obj is an externally visible send
-// primitive and, if so, which argument carries the message kind.
+// primitive and, if so, which argument carries the message kind. Both
+// faces of the runtime boundary count: the simulator's concrete
+// simnet.Network (harness code) and the rt.Transport interface the
+// ported engines call through — without the latter the repo-wide dur
+// run would go vacuous after the rt port.
 func sendKindIndex(obj types.Object) (int, bool) {
-	if isMethodOn(obj, "internal/simnet", "Network", "Send") {
+	if isMethodOn(obj, "internal/simnet", "Network", "Send") ||
+		isMethodOn(obj, "internal/rt", "Transport", "Send") {
 		return 2, true
 	}
-	if isMethodOn(obj, "internal/simnet", "Network", "Broadcast") {
+	if isMethodOn(obj, "internal/simnet", "Network", "Broadcast") ||
+		isMethodOn(obj, "internal/rt", "Transport", "Broadcast") {
 		return 1, true
 	}
 	return 0, false

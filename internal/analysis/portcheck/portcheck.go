@@ -1,0 +1,173 @@
+// Package portcheck is the fifth static-analysis layer of speccatlint: a
+// runtime-boundary and state-confinement analysis that mechanically gates
+// the port of the protocol engines off the deterministic simulator. The
+// engines were written against internal/sim + internal/simnet, where a
+// single-threaded scheduler makes every interleaving safe by construction;
+// the rt runtime boundary (internal/rt) re-hosts the same handler code on
+// real goroutines (internal/rt/live). portcheck proves the two properties
+// that make that re-hosting sound:
+//
+//   - the engines speak only the rt interfaces (never the simulator's
+//     concrete types), so swapping the runtime cannot change behaviour;
+//   - each handler's mutable state stays confined to its node's event
+//     loop, so the per-node serialization the rt contract guarantees is
+//     the only synchronization the engines need.
+//
+// Scope: packages whose package doc carries //rt:engine. Within them the
+// confined role types are the receiver types of //fsm:handler and
+// //dur:handler methods, and the analysis walks the static call graph
+// rooted at those handlers.
+//
+// Annotation grammar:
+//
+//	//rt:engine                  in the package doc comment: this package
+//	                             is a protocol engine; portcheck applies
+//	//rt:guard <kind> <reason>   trailing a struct field: the field is
+//	                             safe to touch off the event loop because
+//	                             of <kind> (mutex | channel | loop);
+//	                             reason mandatory
+//
+// Rules reported:
+//
+//	rt-boundary   an //rt:engine package imports internal/sim or
+//	              internal/simnet (suppressible per import line for
+//	              simulator-harness files), or type-asserts an rt
+//	              interface value back to a concrete simulator type
+//	              (never suppressible in spirit: assert rt.Quiescer
+//	              instead)
+//	rt-confine    confined handler state escapes its event loop: a
+//	              reachable function spawns a goroutine referencing the
+//	              receiver or protocol state, stores a closure capturing
+//	              it into a package-level variable, or returns an
+//	              interior pointer (a reference-typed field) of a
+//	              confined struct — unless every touched field carries
+//	              //rt:guard
+//	rt-sendorder  a send whose kind carries //dur:requires (it advertises
+//	              a durable protocol step) appears before the in-memory
+//	              state transition in the same function: on a real
+//	              runtime the receiver could act on the message and
+//	              re-enter this node before the transition lands.
+//	              durcheck orders sends against stable storage; this rule
+//	              orders them against the volatile state machine
+//	rt-extract    malformed or unattached //rt:* annotations
+//
+// Findings are suppressed with the repository-wide convention
+// //lint:allow <rule> <reason> on the offending or preceding line;
+// reasonless allows are reported by the base design-rule layer, not
+// re-reported here.
+//
+// The dynamic halves of this layer live elsewhere: experiment E16 runs
+// the ported tpc stack on the live adapter and replays the recorded
+// trace deterministically, and internal/rt/live's race probe seeds the
+// exact goroutine-escape mutation the portbad fixture pins and shows the
+// race detector reports it at runtime.
+package portcheck
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"speccat/internal/analysis"
+)
+
+// Rule names reported by this layer.
+const (
+	RuleBoundary  = "rt-boundary"
+	RuleConfine   = "rt-confine"
+	RuleSendOrder = "rt-sendorder"
+	RuleExtract   = "rt-extract"
+)
+
+// guardKinds are the accepted //rt:guard mechanisms.
+var guardKinds = map[string]bool{"mutex": true, "channel": true, "loop": true} //lint:allow noglobalstate immutable lookup table
+
+// Report describes what the analysis covered, so tests can pin coverage
+// (a clean run that saw zero engines would be vacuous, not clean).
+type Report struct {
+	// Engines are the //rt:engine package import paths, sorted.
+	Engines []string
+	// Confined are the confined role types as "pkg.Type", sorted.
+	Confined []string
+	// Roots are the handler analysis roots as "Type.Func", sorted.
+	Roots []string
+	// Analyzed counts the functions reachable from the roots.
+	Analyzed int
+	// Guards maps //rt:guard-annotated fields ("Type.field") to their
+	// guard kind.
+	Guards map[string]string
+}
+
+// directive is one parsed //rt:<verb> annotation.
+type directive struct {
+	verb string
+	args []string
+	rest string
+	pos  token.Position
+}
+
+// parseDirectives extracts the rt: directives of one comment. The comment
+// must begin with a directive, but the leading directive may belong to
+// another layer (//fsm:..., //dur:...) with //rt: segments appended; each
+// layer reads its own segments and skips the others'.
+func parseDirectives(text string, pos token.Position) []directive {
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(body, "rt:") && !strings.HasPrefix(body, "fsm:") && !strings.HasPrefix(body, "dur:") {
+		return nil
+	}
+	var out []directive
+	for _, seg := range strings.Split(body, "//") {
+		seg = strings.TrimSpace(seg)
+		rest, ok := strings.CutPrefix(seg, "rt:")
+		if !ok {
+			continue
+		}
+		verb, args, _ := strings.Cut(rest, " ")
+		args = strings.TrimSpace(args)
+		out = append(out, directive{
+			verb: verb,
+			args: strings.Fields(args),
+			rest: args,
+			pos:  pos,
+		})
+	}
+	return out
+}
+
+// Run analyzes the loaded packages and returns the coverage report and
+// the surviving diagnostics (reasoned //lint:allow suppressions applied),
+// sorted by position.
+func Run(pkgs []*analysis.Package) (*Report, []analysis.Diagnostic) {
+	x := newExtractor(pkgs)
+	rep := x.extract()
+	diags := x.suppress(x.diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return rep, diags
+}
+
+// suppress drops diagnostics covered by a reasoned //lint:allow for the
+// same rule on the same or preceding line. Malformed allows (missing rule
+// or reason) are the base design-rule layer's finding, not re-reported
+// here; they simply never suppress.
+func (x *extractor) suppress(diags []analysis.Diagnostic) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if lines := x.allowed[d.Pos.Filename][d.Rule]; lines[d.Pos.Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

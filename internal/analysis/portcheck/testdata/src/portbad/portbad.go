@@ -1,0 +1,98 @@
+// Package portbad seeds one violation of every portcheck rule class: a
+// bare simulator import, a type assertion reaching around the rt
+// boundary, the three confinement escapes (spawned goroutine, stored
+// closure, returned interior pointer), a requiring send hoisted above
+// the state transition it advertises, and the malformed-annotation
+// variants of rt-extract.
+//
+//rt:engine
+package portbad
+
+import (
+	"speccat/internal/rt"
+	"speccat/internal/simnet" // want `rt-boundary: engine package imports the simulator package speccat/internal/simnet`
+)
+
+// State is the toy engine's state machine.
+type State string
+
+// States of the toy engine.
+const (
+	StateIdle State = "idle" //fsm:state
+	StateDone State = "done" //fsm:state
+)
+
+// Wire kinds of the toy engine.
+const (
+	kindGo     = "bad.go"
+	kindCommit = "bad.commit" //dur:requires decision
+)
+
+//rt:bogus an unknown verb // want `rt-extract: unknown directive .*rt:bogus`
+
+// Node is the toy engine's confined role struct.
+type Node struct {
+	net   rt.Transport
+	id    rt.NodeID
+	state State
+	count int
+	// cache is per-node volatile bookkeeping.
+	cache map[string]int //rt:guard mutex // want `rt-extract: malformed .*rt:guard: want`
+}
+
+//rt:engine // want `rt-extract: .*rt:engine must appear in the package doc comment`
+
+// leaked is the package-level home of the stored-closure escape.
+var leaked func()
+
+// send forwards to the transport.
+func (n *Node) send(to rt.NodeID, kind string, payload any) {
+	_ = n.net.Send(n.id, to, kind, payload)
+}
+
+// HandleMessage dispatches the toy engine.
+//
+//fsm:handler toy node
+func (n *Node) HandleMessage(m rt.Message) bool {
+	switch m.Kind {
+	case kindGo:
+		// The send advertises the decision before the in-memory
+		// transition lands: on a real runtime the receiver can act on it
+		// and re-enter this node in the stale state.
+		n.send(m.From, kindCommit, nil) // want `rt-sendorder: send of kindCommit races ahead of the in-memory state transition`
+		n.state = StateDone
+		n.offload()
+		n.stash()
+		_ = n.snapshot()
+		n.drain()
+	}
+	return true
+}
+
+// offload ships the counter update to a goroutine — the exact mutation
+// the live race probe seeds, and a data race once real goroutines
+// replace the simulator's single thread.
+func (n *Node) offload() {
+	go func() { // want `rt-confine: handler state \(n\) escapes to a spawned goroutine`
+		n.count++
+	}()
+}
+
+// stash parks a closure over the receiver in a package-level variable,
+// letting confined state outlive its event-loop turn.
+func (n *Node) stash() {
+	leaked = func() { n.count++ } // want `rt-confine: closure capturing handler state \(n\) is stored in package-level leaked`
+}
+
+// snapshot hands out the live map instead of a copy.
+func (n *Node) snapshot() map[string]int {
+	return n.cache // want `rt-confine: confined method returns an interior pointer to handler state \(n\.cache\)`
+}
+
+// drain reaches around the rt boundary for the simulator's concrete
+// network to drive it synchronously.
+func (n *Node) drain() {
+	if sn, ok := n.net.(*simnet.Network); ok { // want `rt-boundary: type assertion reaches around the rt boundary to the concrete simulator type simnet\.Network`
+		sn.RunToQuiescence()
+	}
+}

@@ -1,0 +1,55 @@
+package benchsuite
+
+import "fmt"
+
+// Regression is one measurement of the current report that slowed beyond
+// the comparison tolerance relative to the baseline.
+type Regression struct {
+	Name       string
+	BaselineNs float64
+	CurrentNs  float64
+	// Ratio is CurrentNs / BaselineNs (1.25 = 25% slower).
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (%.2fx)", r.Name, r.BaselineNs, r.CurrentNs, r.Ratio)
+}
+
+// Compare checks the current report against a baseline and returns every
+// regression: a benchmark present in both reports whose ns/op grew by
+// more than tolerance (a fraction: 0.20 allows a 20% slowdown), plus the
+// E14 proof-pipeline headline arms, compared as the pseudo-benchmarks
+// corpus_prove/sequential and corpus_prove/parallel. Benchmarks that
+// appear in only one report are additions or retirements, not
+// regressions. Both reports must validate, which pins them to the same
+// schema version; mixed-schema comparisons fail instead of mismeasuring.
+func Compare(baseline, current *Report, tolerance float64) ([]Regression, error) {
+	if tolerance < 0 {
+		return nil, fmt.Errorf("%w: negative tolerance %g", ErrReport, tolerance)
+	}
+	if err := baseline.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := current.Validate(); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	base := make(map[string]float64, len(baseline.Benchmarks))
+	for _, bm := range baseline.Benchmarks {
+		base[bm.Name] = bm.NsPerOp
+	}
+	var out []Regression
+	check := func(name string, b, c float64) {
+		if ratio := c / b; ratio > 1+tolerance {
+			out = append(out, Regression{Name: name, BaselineNs: b, CurrentNs: c, Ratio: ratio})
+		}
+	}
+	for _, bm := range current.Benchmarks {
+		if b, ok := base[bm.Name]; ok {
+			check(bm.Name, b, bm.NsPerOp)
+		}
+	}
+	check("corpus_prove/sequential", baseline.CorpusProve.SequentialNs, current.CorpusProve.SequentialNs)
+	check("corpus_prove/parallel", baseline.CorpusProve.ParallelNs, current.CorpusProve.ParallelNs)
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package benchsuite
+
+import (
+	"errors"
+	"testing"
+)
+
+// compareReport builds a minimal valid report with the given ns/op per
+// benchmark name and proof-arm timings.
+func compareReport(bench map[string]float64, seqNs, parNs float64) *Report {
+	r := &Report{
+		SchemaVersion: SchemaVersion,
+		Date:          "2026-08-09",
+		GoVersion:     "go-test",
+		GOOS:          "linux",
+		GOARCH:        "amd64",
+		NumCPU:        4,
+		BenchTime:     "1x",
+		CorpusProve:   CorpusProve{SequentialNs: seqNs, ParallelNs: parNs, Workers: 4, Speedup: seqNs / parNs},
+	}
+	for name, ns := range bench {
+		r.Benchmarks = append(r.Benchmarks, BenchResult{Name: name, Iterations: 1, NsPerOp: ns})
+	}
+	return r
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	baseline := compareReport(map[string]float64{
+		"E1": 100, "E2": 100, "E3": 100, "retired": 100,
+	}, 1000, 500)
+	current := compareReport(map[string]float64{
+		"E1":  119, // within the 20% tolerance
+		"E2":  121, // beyond it
+		"E3":  50,  // an improvement
+		"new": 1e9,
+	}, 1000, 500)
+
+	regs, err := Compare(baseline, current, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Name != "E2" {
+		t.Fatalf("regressions = %v, want exactly E2", regs)
+	}
+	if regs[0].Ratio < 1.20 || regs[0].Ratio > 1.22 {
+		t.Errorf("E2 ratio = %g, want ~1.21", regs[0].Ratio)
+	}
+}
+
+func TestCompareCoversProofArms(t *testing.T) {
+	bench := map[string]float64{"E1": 100}
+	baseline := compareReport(bench, 1000, 500)
+	current := compareReport(bench, 1300, 500)
+	regs, err := Compare(baseline, current, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Name != "corpus_prove/sequential" {
+		t.Fatalf("regressions = %v, want the sequential proof arm", regs)
+	}
+}
+
+func TestCompareRejectsBadInput(t *testing.T) {
+	good := compareReport(map[string]float64{"E1": 100}, 1000, 500)
+	if _, err := Compare(good, good, -0.1); !errors.Is(err, ErrReport) {
+		t.Errorf("negative tolerance: err = %v, want ErrReport", err)
+	}
+	stale := compareReport(map[string]float64{"E1": 100}, 1000, 500)
+	stale.SchemaVersion = SchemaVersion + 1
+	if _, err := Compare(stale, good, 0.2); !errors.Is(err, ErrReport) {
+		t.Errorf("schema mismatch: err = %v, want ErrReport", err)
+	}
+}

@@ -5,13 +5,14 @@
 // on first receipt a process schedules A-delivery at local time T + Δ with
 // Δ = (f+1)·δ, which yields the Termination, Validity, Integrity, Uniform
 // Agreement and Timeliness properties the paper lists.
+//
+//rt:engine
 package broadcast
 
 import (
 	"fmt"
 
-	"speccat/internal/sim"
-	"speccat/internal/simnet"
+	"speccat/internal/rt"
 )
 
 // msgKind tags broadcast relay messages on the wire.
@@ -20,25 +21,25 @@ const msgKind = "broadcast.relay" //fsm:msg broadcast endpoint
 // payload carries one broadcast instance.
 type payload struct {
 	ID     string
-	Origin simnet.NodeID
+	Origin rt.NodeID
 	Body   any
-	SentAt sim.Time
+	SentAt rt.Time
 }
 
 // Delivery is one A-delivered message.
 type Delivery struct {
 	ID          string
-	Origin      simnet.NodeID
+	Origin      rt.NodeID
 	Body        any
-	BroadcastAt sim.Time
-	DeliveredAt sim.Time
+	BroadcastAt rt.Time
+	DeliveredAt rt.Time
 }
 
 // Endpoint is the per-site broadcast engine. Wire its HandleMessage into
 // the site's demultiplexer and call Broadcast to A-broadcast.
 type Endpoint struct {
-	net     *simnet.Network
-	id      simnet.NodeID
+	net     rt.Transport
+	id      rt.NodeID
 	f       int
 	nextSeq int
 	// seen marks R-delivered broadcast IDs (integrity: at most once).
@@ -50,20 +51,20 @@ type Endpoint struct {
 }
 
 // New creates a broadcast endpoint for site id tolerating f crash faults.
-func New(net *simnet.Network, id simnet.NodeID, f int) *Endpoint {
+func New(net rt.Transport, id rt.NodeID, f int) *Endpoint {
 	return &Endpoint{net: net, id: id, f: f, seen: map[string]bool{}}
 }
 
 // Delta returns the A-delivery delay Δ = (f+1)·δ.
-func (e *Endpoint) Delta() sim.Time {
-	return sim.Time(e.f+1) * e.net.Delta()
+func (e *Endpoint) Delta() rt.Time {
+	return rt.Time(e.f+1) * e.net.Delta()
 }
 
 // Broadcast A-broadcasts body to every site (including the sender).
 func (e *Endpoint) Broadcast(body any) (string, error) {
 	e.nextSeq++
 	id := fmt.Sprintf("b%d.%d", e.id, e.nextSeq)
-	p := payload{ID: id, Origin: e.id, Body: body, SentAt: e.net.Scheduler().Now()}
+	p := payload{ID: id, Origin: e.id, Body: body, SentAt: e.net.Now()}
 	if err := e.net.Broadcast(e.id, msgKind, p); err != nil {
 		return "", fmt.Errorf("broadcast %s: %w", id, err)
 	}
@@ -76,7 +77,7 @@ func Kind() string { return msgKind }
 // HandleMessage processes an incoming relay; returns true when consumed.
 //
 //fsm:handler broadcast endpoint
-func (e *Endpoint) HandleMessage(m simnet.Message) bool {
+func (e *Endpoint) HandleMessage(m rt.Message) bool {
 	if m.Kind != msgKind {
 		return false
 	}
@@ -98,10 +99,10 @@ func (e *Endpoint) HandleMessage(m simnet.Message) bool {
 	}
 	// Schedule A-delivery at T + Δ (timeliness bound).
 	deliverAt := p.SentAt + e.Delta()
-	e.net.After(e.id, maxTime(0, deliverAt-e.net.Scheduler().Now()), func() {
+	e.net.After(e.id, maxTime(0, deliverAt-e.net.Now()), func() {
 		d := Delivery{
 			ID: p.ID, Origin: p.Origin, Body: p.Body,
-			BroadcastAt: p.SentAt, DeliveredAt: e.net.Scheduler().Now(),
+			BroadcastAt: p.SentAt, DeliveredAt: e.net.Now(),
 		}
 		e.delivered = append(e.delivered, d)
 		if e.Deliver != nil {
@@ -116,7 +117,7 @@ func (e *Endpoint) Delivered() []Delivery {
 	return append([]Delivery{}, e.delivered...)
 }
 
-func maxTime(a, b sim.Time) sim.Time {
+func maxTime(a, b rt.Time) rt.Time {
 	if a > b {
 		return a
 	}
@@ -125,15 +126,15 @@ func maxTime(a, b sim.Time) sim.Time {
 
 // Group wires one endpoint per node of a network and returns them keyed by
 // node ID; it installs a shared demultiplexing handler per node.
-func Group(net *simnet.Network, f int) map[simnet.NodeID]*Endpoint {
-	eps := map[simnet.NodeID]*Endpoint{}
+func Group(net rt.Transport, f int) map[rt.NodeID]*Endpoint {
+	eps := map[rt.NodeID]*Endpoint{}
 	for _, id := range net.Nodes() {
 		eps[id] = New(net, id, f)
 	}
 	for id, ep := range eps {
 		ep := ep
 		// Preserve existing handlers by chaining.
-		if err := net.SetHandler(id, func(m simnet.Message) { ep.HandleMessage(m) }); err != nil {
+		if err := net.SetHandler(id, func(m rt.Message) { ep.HandleMessage(m) }); err != nil {
 			//lint:allow nopanic nodes came from net.Nodes() so SetHandler cannot fail; a panic here is a wiring bug in this package
 			panic(err)
 		}

@@ -7,6 +7,8 @@
 // always forms a consistent system state and recovery of one site never
 // forces others back (no domino effect). Sites checkpoint periodically
 // with a common period Π.
+//
+//rt:engine
 package checkpoint
 
 import (
@@ -15,8 +17,7 @@ import (
 	"fmt"
 	"strconv"
 
-	"speccat/internal/sim"
-	"speccat/internal/simnet"
+	"speccat/internal/rt"
 	"speccat/internal/stable"
 )
 
@@ -62,8 +63,8 @@ type commitMsg struct{ Seq int }
 
 // Node is one site's checkpointing engine.
 type Node struct {
-	net *simnet.Network
-	id  simnet.NodeID
+	net rt.Transport
+	id  rt.NodeID
 	// Capture returns the site's current volatile state for saving.
 	Capture func() []byte
 	// OnPermanent fires when a checkpoint becomes permanent.
@@ -71,20 +72,20 @@ type Node struct {
 
 	// coordinator state
 	isCoord bool
-	period  sim.Time
+	period  rt.Time
 	seq     int
-	acked   map[int]map[simnet.NodeID]bool
+	acked   map[int]map[rt.NodeID]bool
 }
 
 // New creates a checkpointing node.
-func New(net *simnet.Network, id simnet.NodeID, capture func() []byte) *Node {
-	return &Node{net: net, id: id, Capture: capture, acked: map[int]map[simnet.NodeID]bool{}}
+func New(net rt.Transport, id rt.NodeID, capture func() []byte) *Node {
+	return &Node{net: net, id: id, Capture: capture, acked: map[int]map[rt.NodeID]bool{}}
 }
 
 // StartCoordinator makes this node the checkpoint coordinator with the
 // given period Π (the paper requires Π > β+δ; callers pass a period well
 // above the network delay bound).
-func (n *Node) StartCoordinator(period sim.Time) {
+func (n *Node) StartCoordinator(period rt.Time) {
 	n.isCoord = true
 	n.period = period
 	n.net.After(n.id, period, n.round)
@@ -94,7 +95,7 @@ func (n *Node) StartCoordinator(period sim.Time) {
 func (n *Node) round() {
 	n.seq++
 	seq := n.seq
-	n.acked[seq] = map[simnet.NodeID]bool{}
+	n.acked[seq] = map[rt.NodeID]bool{}
 	_ = n.net.Broadcast(n.id, kindTake, takeMsg{Seq: seq})
 	if n.period > 0 {
 		n.net.After(n.id, n.period, n.round)
@@ -121,7 +122,7 @@ func (n *Node) store() (*stable.Store, error) {
 // treat one as a crash: a checkpoint it cannot persist must not be acked).
 //
 //dur:handler
-func (n *Node) HandleMessage(m simnet.Message) (bool, error) {
+func (n *Node) HandleMessage(m rt.Message) (bool, error) {
 	switch m.Kind {
 	case kindTake:
 		tm, ok := m.Payload.(takeMsg)

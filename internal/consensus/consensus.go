@@ -5,14 +5,15 @@
 // rounds all correct sites hold the same set and decide its minimum.
 // This yields Termination, Integrity (at most one decision), Validity
 // (decided values were proposed) and Uniform Agreement.
+//
+//rt:engine
 package consensus
 
 import (
 	"fmt"
 	"sort"
 
-	"speccat/internal/sim"
-	"speccat/internal/simnet"
+	"speccat/internal/rt"
 )
 
 // msgKind tags consensus messages on the wire.
@@ -32,8 +33,8 @@ type floodMsg struct {
 // Node is one site's consensus engine; it multiplexes any number of named
 // instances.
 type Node struct {
-	net *simnet.Network
-	id  simnet.NodeID
+	net rt.Transport
+	id  rt.NodeID
 	f   int
 	// Decide fires once per instance on decision.
 	Decide func(instance string, v Value)
@@ -50,14 +51,14 @@ type instance struct {
 }
 
 // New creates a consensus node tolerating f crash faults.
-func New(net *simnet.Network, id simnet.NodeID, f int) *Node {
+func New(net rt.Transport, id rt.NodeID, f int) *Node {
 	return &Node{net: net, id: id, f: f, instances: map[string]*instance{}}
 }
 
 // RoundDuration is the synchronous round length: long enough that every
 // message sent at a round's start arrives before its end (δ plus FIFO
 // pushback slack).
-func (n *Node) RoundDuration() sim.Time { return 4 * n.net.Delta() }
+func (n *Node) RoundDuration() rt.Time { return 4 * n.net.Delta() }
 
 // Rounds returns the number of rounds run, f+1.
 func (n *Node) Rounds() int { return n.f + 1 }
@@ -115,7 +116,7 @@ func (n *Node) decide(name string, inst *instance) {
 // HandleMessage consumes consensus messages; returns true when consumed.
 //
 //fsm:handler consensus node
-func (n *Node) HandleMessage(m simnet.Message) bool {
+func (n *Node) HandleMessage(m rt.Message) bool {
 	if m.Kind != msgKind {
 		return false
 	}
@@ -163,14 +164,14 @@ func sortedVals(set map[Value]bool) []Value {
 }
 
 // Group builds one consensus node per network node and installs handlers.
-func Group(net *simnet.Network, f int) map[simnet.NodeID]*Node {
-	nodes := map[simnet.NodeID]*Node{}
+func Group(net rt.Transport, f int) map[rt.NodeID]*Node {
+	nodes := map[rt.NodeID]*Node{}
 	for _, id := range net.Nodes() {
 		nodes[id] = New(net, id, f)
 	}
 	for id, nd := range nodes {
 		nd := nd
-		if err := net.SetHandler(id, func(m simnet.Message) { nd.HandleMessage(m) }); err != nil {
+		if err := net.SetHandler(id, func(m rt.Message) { nd.HandleMessage(m) }); err != nil {
 			//lint:allow nopanic nodes came from net.Nodes() so SetHandler cannot fail; a panic here is a wiring bug in this package
 			panic(fmt.Sprintf("consensus: %v", err))
 		}

@@ -5,13 +5,14 @@
 // suspicion is broadcast so every operational site learns of the failure.
 // Under the paper's reliable-network assumption the detector is accurate
 // (no false suspicions); tests violate the assumption to show the trade-off.
+//
+//rt:engine
 package detector
 
 import (
 	"fmt"
 
-	"speccat/internal/sim"
-	"speccat/internal/simnet"
+	"speccat/internal/rt"
 )
 
 // Wire kinds.
@@ -28,31 +29,31 @@ type ping struct{ Seq int }
 type ack struct{ Seq int }
 
 // suspectNote disseminates a failure verdict.
-type suspectNote struct{ Victim simnet.NodeID }
+type suspectNote struct{ Victim rt.NodeID }
 
 // Detector is one site's failure detector.
 type Detector struct {
-	net      *simnet.Network
-	id       simnet.NodeID
-	interval sim.Time
+	net      rt.Transport
+	id       rt.NodeID
+	interval rt.Time
 	rhoPPM   int64
 	seq      int
 	// pending[peer] = outstanding ping seq awaiting ack.
-	pending map[simnet.NodeID]int
+	pending map[rt.NodeID]int
 	// suspected marks peers declared failed.
-	suspected map[simnet.NodeID]bool
+	suspected map[rt.NodeID]bool
 	// OnSuspect fires when a peer is (locally or remotely) declared failed.
-	OnSuspect func(victim simnet.NodeID)
+	OnSuspect func(victim rt.NodeID)
 	running   bool
 }
 
 // New creates a detector for site id probing every interval ticks with
 // drift rate rhoPPM (parts per million).
-func New(net *simnet.Network, id simnet.NodeID, interval sim.Time, rhoPPM int64) *Detector {
+func New(net rt.Transport, id rt.NodeID, interval rt.Time, rhoPPM int64) *Detector {
 	return &Detector{
 		net: net, id: id, interval: interval, rhoPPM: rhoPPM,
-		pending:   map[simnet.NodeID]int{},
-		suspected: map[simnet.NodeID]bool{},
+		pending:   map[rt.NodeID]int{},
+		suspected: map[rt.NodeID]bool{},
 	}
 }
 
@@ -61,8 +62,8 @@ func New(net *simnet.Network, id simnet.NodeID, interval sim.Time, rhoPPM int64)
 // time units after its sending, the result is that Q has crashed" — plus
 // one δ of slack because the simulated FIFO channels can push a burst's
 // delivery marginally past the nominal bound.
-func (d *Detector) Timeout() sim.Time {
-	c := sim.Clock{RhoPPM: d.rhoPPM}
+func (d *Detector) Timeout() rt.Time {
+	c := rt.DriftClock{RhoPPM: d.rhoPPM}
 	return c.TimeoutFor(2*d.net.Delta()) + d.net.Delta()
 }
 
@@ -96,7 +97,7 @@ func (d *Detector) probe() {
 	d.net.After(d.id, d.interval, d.probe)
 }
 
-func (d *Detector) declareFailed(victim simnet.NodeID) {
+func (d *Detector) declareFailed(victim rt.NodeID) {
 	if d.suspected[victim] {
 		return
 	}
@@ -112,7 +113,7 @@ func (d *Detector) declareFailed(victim simnet.NodeID) {
 // HandleMessage consumes detector traffic; returns true when consumed.
 //
 //fsm:handler detector node
-func (d *Detector) HandleMessage(m simnet.Message) bool {
+func (d *Detector) HandleMessage(m rt.Message) bool {
 	switch m.Kind {
 	case kindPing:
 		p, ok := m.Payload.(ping)
@@ -151,8 +152,8 @@ func (d *Detector) HandleMessage(m simnet.Message) bool {
 }
 
 // Suspects returns the currently suspected peers.
-func (d *Detector) Suspects() []simnet.NodeID {
-	var out []simnet.NodeID
+func (d *Detector) Suspects() []rt.NodeID {
+	var out []rt.NodeID
 	for _, id := range d.net.Nodes() {
 		if d.suspected[id] {
 			out = append(out, id)
@@ -162,17 +163,17 @@ func (d *Detector) Suspects() []simnet.NodeID {
 }
 
 // Suspected reports whether peer is suspected.
-func (d *Detector) Suspected(peer simnet.NodeID) bool { return d.suspected[peer] }
+func (d *Detector) Suspected(peer rt.NodeID) bool { return d.suspected[peer] }
 
 // Group builds one detector per node and installs handlers.
-func Group(net *simnet.Network, interval sim.Time, rhoPPM int64) map[simnet.NodeID]*Detector {
-	ds := map[simnet.NodeID]*Detector{}
+func Group(net rt.Transport, interval rt.Time, rhoPPM int64) map[rt.NodeID]*Detector {
+	ds := map[rt.NodeID]*Detector{}
 	for _, id := range net.Nodes() {
 		ds[id] = New(net, id, interval, rhoPPM)
 	}
 	for id, d := range ds {
 		d := d
-		if err := net.SetHandler(id, func(m simnet.Message) { d.HandleMessage(m) }); err != nil {
+		if err := net.SetHandler(id, func(m rt.Message) { d.HandleMessage(m) }); err != nil {
 			//lint:allow nopanic nodes came from net.Nodes() so SetHandler cannot fail; a panic here is a wiring bug in this package
 			panic(fmt.Sprintf("detector: %v", err))
 		}

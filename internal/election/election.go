@@ -5,13 +5,14 @@
 // sites; if none answers within 2δ it declares itself coordinator and
 // broadcasts the result — which matches the paper's master/slave structure
 // and its requirement that the elected backup announce itself to all sites.
+//
+//rt:engine
 package election
 
 import (
 	"fmt"
 
-	"speccat/internal/sim"
-	"speccat/internal/simnet"
+	"speccat/internal/rt"
 )
 
 // Wire kinds.
@@ -22,31 +23,31 @@ const (
 )
 
 // announce carries the elected coordinator.
-type announce struct{ Coord simnet.NodeID }
+type announce struct{ Coord rt.NodeID }
 
 // Node is one site's election engine.
 type Node struct {
-	net *simnet.Network
-	id  simnet.NodeID
+	net rt.Transport
+	id  rt.NodeID
 	// coordinator is the currently known coordinator (0 = unknown).
-	coordinator simnet.NodeID
+	coordinator rt.NodeID
 	// electing marks an election in progress on this site.
 	electing bool
 	gotOK    bool
 	// OnElected fires when a new coordinator is learned.
-	OnElected func(coord simnet.NodeID)
+	OnElected func(coord rt.NodeID)
 }
 
 // New creates an election node.
-func New(net *simnet.Network, id simnet.NodeID) *Node {
+func New(net rt.Transport, id rt.NodeID) *Node {
 	return &Node{net: net, id: id}
 }
 
 // Coordinator returns the known coordinator (0 if none yet).
-func (n *Node) Coordinator() simnet.NodeID { return n.coordinator }
+func (n *Node) Coordinator() rt.NodeID { return n.coordinator }
 
 // timeout is the challenge answer deadline, 2δ.
-func (n *Node) timeout() sim.Time { return 2 * n.net.Delta() }
+func (n *Node) timeout() rt.Time { return 2 * n.net.Delta() }
 
 // StartElection begins a bully election from this site (typically invoked
 // by the termination protocol when the failure detector reports the
@@ -90,7 +91,7 @@ func (n *Node) declareSelf() {
 	_ = n.net.Broadcast(n.id, kindCoord, announce{Coord: n.id})
 }
 
-func (n *Node) setCoordinator(c simnet.NodeID) {
+func (n *Node) setCoordinator(c rt.NodeID) {
 	if n.coordinator == c {
 		return
 	}
@@ -103,7 +104,7 @@ func (n *Node) setCoordinator(c simnet.NodeID) {
 // HandleMessage consumes election traffic; returns true when consumed.
 //
 //fsm:handler election node
-func (n *Node) HandleMessage(m simnet.Message) bool {
+func (n *Node) HandleMessage(m rt.Message) bool {
 	switch m.Kind {
 	case kindChallenge:
 		// A lower site challenged: answer and take over the election.
@@ -128,14 +129,14 @@ func (n *Node) HandleMessage(m simnet.Message) bool {
 }
 
 // Group builds one election node per network node and installs handlers.
-func Group(net *simnet.Network) map[simnet.NodeID]*Node {
-	ns := map[simnet.NodeID]*Node{}
+func Group(net rt.Transport) map[rt.NodeID]*Node {
+	ns := map[rt.NodeID]*Node{}
 	for _, id := range net.Nodes() {
 		ns[id] = New(net, id)
 	}
 	for id, nd := range ns {
 		nd := nd
-		if err := net.SetHandler(id, func(m simnet.Message) { nd.HandleMessage(m) }); err != nil {
+		if err := net.SetHandler(id, func(m rt.Message) { nd.HandleMessage(m) }); err != nil {
 			//lint:allow nopanic nodes came from net.Nodes() so SetHandler cannot fail; a panic here is a wiring bug in this package
 			panic(fmt.Sprintf("election: %v", err))
 		}

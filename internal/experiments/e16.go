@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"speccat/internal/rt"
+	"speccat/internal/rt/live"
+	"speccat/internal/stable"
+	"speccat/internal/tpc"
+)
+
+// E16 — real-goroutine conformance replay. The tpc engines, ported to
+// the rt runtime boundary, run on the live adapter (one goroutine per
+// node, wall-clock timers); the adapter records the global delivery
+// trace; the trace is then replayed through a single-threaded replay
+// transport driving the very same engine code, and the decisions and
+// durable stores of the two runs must agree. Together with portcheck
+// (static) and the race detector (dynamic, when the test suite runs
+// with -race) this is the evidence ROADMAP item 1 asks for: the port
+// off the simulator is checked, not trusted.
+
+// E16Row is one protocol's live-vs-replay comparison.
+type E16Row struct {
+	Protocol string
+	// Txns is the number of transactions driven (one commit, one abort).
+	Txns int
+	// Messages is the length of the recorded live delivery trace.
+	Messages int
+	// Decisions maps txn -> live coordinator decision.
+	Decisions map[string]tpc.Decision
+	// ReplayAgree is true when every site's decision in the replay run
+	// matches the live run.
+	ReplayAgree bool
+	// DurableAgree is true when the persisted coordinator decision
+	// records of the two runs match.
+	DurableAgree bool
+}
+
+// Agree reports full conformance for the row.
+func (r E16Row) Agree() bool { return r.ReplayAgree && r.DurableAgree }
+
+// e16Tick is the wall duration of one tick in live runs: fast enough
+// for quick tests, slow enough that phase timeouts (inflated below)
+// never fire on a loaded CI machine.
+const e16Tick = 200 * time.Microsecond
+
+// E16LiveConformance runs the commit stack on the live adapter and
+// replays the recorded trace deterministically, for 3PC and the 2PC
+// baseline. One transaction commits (all yes-votes), one aborts (one
+// no-voter).
+func E16LiveConformance() ([]E16Row, error) {
+	var rows []E16Row
+	for _, p := range []tpc.Protocol{tpc.ThreePhase, tpc.TwoPhase} {
+		row, err := e16Run(p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// e16Run executes one protocol's live run + replay.
+func e16Run(p tpc.Protocol) (E16Row, error) {
+	const cohorts = 3
+	// A huge phase timeout (in ticks) keeps timers from firing during a
+	// healthy live run, so the trace contains every cause of every
+	// transition and the timer-free replay cannot diverge.
+	cfg := tpc.Config{Protocol: p, PhaseTimeout: 50_000}
+	noVoter := func(txn string) bool { return txn != "t-abort" }
+
+	lnet := live.New(live.Options{Tick: e16Tick, Delta: 10})
+	defer lnet.Close()
+	d, err := tpc.Deploy(lnet, cohorts, cfg)
+	if err != nil {
+		return E16Row{}, fmt.Errorf("e16: live deploy: %w", err)
+	}
+	// Wire votes and decision observers before any message flows. The
+	// decided channel hands each site's outcome to this goroutine; all
+	// volatile reads below happen after Close(), which joins every loop.
+	type decided struct {
+		node rt.NodeID
+		txn  string
+		d    tpc.Decision
+	}
+	decCh := make(chan decided, 4*(cohorts+1))
+	d.Coordinator.OnDecide = func(txn string, dec tpc.Decision) {
+		decCh <- decided{d.CoordID, txn, dec}
+	}
+	for id, h := range d.Cohorts {
+		id, h := id, h
+		h.Vote = noVoter
+		h.OnDecide = func(txn string, dec tpc.Decision) {
+			decCh <- decided{id, txn, dec}
+		}
+	}
+
+	txns := []string{"t-commit", "t-abort"}
+	liveDec := map[rt.NodeID]map[string]tpc.Decision{}
+	for _, txn := range txns {
+		txn := txn
+		// Begin must run on the coordinator's own event loop — calling it
+		// from this goroutine would mutate confined coordinator state off
+		// the loop, the exact bug class rt-confine exists to flag.
+		errCh := make(chan error, 1)
+		lnet.After(d.CoordID, 0, func() { errCh <- d.Coordinator.Begin(txn) })
+		select {
+		case err := <-errCh:
+			if err != nil {
+				return E16Row{}, fmt.Errorf("e16: live begin %s: %w", txn, err)
+			}
+		case <-time.After(5 * time.Second): //lint:allow nowallclock live-run watchdog: bounds a wall-clock run that has genuinely hung
+			return E16Row{}, fmt.Errorf("e16: live begin %s: timed out", txn)
+		}
+		// Every site decides every transaction in a healthy run.
+		for i := 0; i < cohorts+1; i++ {
+			select {
+			case dec := <-decCh:
+				m := liveDec[dec.node]
+				if m == nil {
+					m = map[string]tpc.Decision{}
+					liveDec[dec.node] = m
+				}
+				m[dec.txn] = dec.d
+			case <-time.After(5 * time.Second): //lint:allow nowallclock live-run watchdog: bounds a wall-clock run that has genuinely hung
+				return E16Row{}, fmt.Errorf("e16: live run %s: decision %d/%d timed out", txn, i+1, cohorts+1)
+			}
+		}
+	}
+	// Join every event loop: all engine state is quiesced and safely
+	// readable from here on.
+	lnet.Close()
+	trace := lnet.Trace()
+
+	// Replay: same engines, single-threaded, fed the recorded deliveries
+	// in global order (which preserves each node's delivery order). Sends
+	// are dropped — the trace already contains their deliveries — and
+	// timers are inert, which is sound because none fired live.
+	rnet := newReplayNet(10)
+	rd, err := tpc.Deploy(rnet, cohorts, cfg)
+	if err != nil {
+		return E16Row{}, fmt.Errorf("e16: replay deploy: %w", err)
+	}
+	for _, h := range rd.Cohorts {
+		h.Vote = noVoter
+	}
+	for _, txn := range txns {
+		if err := rd.Coordinator.Begin(txn); err != nil {
+			return E16Row{}, fmt.Errorf("e16: replay begin %s: %w", txn, err)
+		}
+	}
+	for _, e := range trace {
+		if err := rnet.Deliver(e.Msg); err != nil {
+			return E16Row{}, fmt.Errorf("e16: replay deliver: %w", err)
+		}
+	}
+
+	row := E16Row{
+		Protocol:    p.String(),
+		Txns:        len(txns),
+		Messages:    len(trace),
+		Decisions:   map[string]tpc.Decision{},
+		ReplayAgree: true,
+	}
+	for _, txn := range txns {
+		row.Decisions[txn] = liveDec[d.CoordID][txn]
+		if rd.Coordinator.Decision(txn) != liveDec[d.CoordID][txn] {
+			row.ReplayAgree = false
+		}
+		for id := range d.Cohorts {
+			if rd.Cohorts[id].Decision(txn) != liveDec[id][txn] {
+				row.ReplayAgree = false
+			}
+		}
+	}
+	row.DurableAgree = reflect.DeepEqual(d.Coordinator.RecoverAll(), rd.Coordinator.RecoverAll())
+	for id, h := range d.Cohorts {
+		if !reflect.DeepEqual(h.RecoverAll(), rd.Cohorts[id].RecoverAll()) {
+			row.DurableAgree = false
+		}
+	}
+	return row, nil
+}
+
+// replayNet is the deterministic replay face of rt.Transport: handlers
+// run synchronously on the caller's stack, sends are dropped (the trace
+// being replayed already contains their deliveries), timers are inert,
+// and time stands still. It exists only to re-drive recorded live runs.
+type replayNet struct {
+	delta    rt.Time
+	order    []rt.NodeID
+	handlers map[rt.NodeID]rt.Handler
+	stores   map[rt.NodeID]*stable.Store
+}
+
+func newReplayNet(delta rt.Time) *replayNet {
+	return &replayNet{delta: delta, handlers: map[rt.NodeID]rt.Handler{}, stores: map[rt.NodeID]*stable.Store{}}
+}
+
+func (r *replayNet) Send(from, to rt.NodeID, kind string, payload any) error { return nil }
+func (r *replayNet) Broadcast(from rt.NodeID, kind string, payload any) error {
+	return nil
+}
+
+func (r *replayNet) Deliver(msg rt.Message) error {
+	h, ok := r.handlers[msg.To]
+	if !ok {
+		return fmt.Errorf("replay: unknown node %d", msg.To)
+	}
+	if h != nil {
+		h(msg)
+	}
+	return nil
+}
+
+// inertTimer never fires; replay runs are driven purely by the trace.
+type inertTimer struct{}
+
+func (inertTimer) Cancel() {}
+
+func (r *replayNet) After(id rt.NodeID, d rt.Time, fn func()) rt.Timer { return inertTimer{} }
+func (r *replayNet) Now() rt.Time                                      { return 0 }
+func (r *replayNet) LocalTime(id rt.NodeID) rt.Time                    { return 0 }
+func (r *replayNet) Delta() rt.Time                                    { return r.delta }
+
+func (r *replayNet) AddNode(id rt.NodeID, h rt.Handler) *stable.Store {
+	if s, ok := r.stores[id]; ok {
+		r.handlers[id] = h
+		return s
+	}
+	r.order = append(r.order, id)
+	r.handlers[id] = h
+	r.stores[id] = stable.NewStore()
+	return r.stores[id]
+}
+
+func (r *replayNet) SetHandler(id rt.NodeID, h rt.Handler) error {
+	if _, ok := r.stores[id]; !ok {
+		return fmt.Errorf("replay: unknown node %d", id)
+	}
+	r.handlers[id] = h
+	return nil
+}
+
+func (r *replayNet) SetRecover(id rt.NodeID, f rt.RecoverFunc) error { return nil }
+
+func (r *replayNet) Store(id rt.NodeID) (*stable.Store, error) {
+	s, ok := r.stores[id]
+	if !ok {
+		return nil, fmt.Errorf("replay: unknown node %d", id)
+	}
+	return s, nil
+}
+
+func (r *replayNet) Nodes() []rt.NodeID   { return append([]rt.NodeID(nil), r.order...) }
+func (r *replayNet) UpNodes() []rt.NodeID { return r.Nodes() }
+func (r *replayNet) Up(id rt.NodeID) bool { _, ok := r.stores[id]; return ok }
+
+var _ rt.Transport = (*replayNet)(nil)

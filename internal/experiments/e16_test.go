@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+
+	"speccat/internal/tpc"
+)
+
+// TestE16LiveConformance runs the ported tpc stack on the real-goroutine
+// adapter and replays the recorded trace deterministically. Under
+// `go test -race` (the CI race job) this doubles as the dynamic half of
+// the port check: four event-loop goroutines exchanging messages with
+// zero race reports.
+func TestE16LiveConformance(t *testing.T) {
+	rows, err := E16LiveConformance()
+	if err != nil {
+		t.Fatalf("E16: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("E16: got %d rows, want 2 (3PC, 2PC)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Messages == 0 {
+			t.Errorf("E16 %s: empty delivery trace", r.Protocol)
+		}
+		if got := r.Decisions["t-commit"]; got != tpc.DecisionCommit {
+			t.Errorf("E16 %s: t-commit decided %v, want commit", r.Protocol, got)
+		}
+		if got := r.Decisions["t-abort"]; got != tpc.DecisionAbort {
+			t.Errorf("E16 %s: t-abort decided %v, want abort", r.Protocol, got)
+		}
+		if !r.ReplayAgree {
+			t.Errorf("E16 %s: replay decisions diverge from live run", r.Protocol)
+		}
+		if !r.DurableAgree {
+			t.Errorf("E16 %s: durable decision records diverge from live run", r.Protocol)
+		}
+	}
+}

@@ -3,6 +3,8 @@
 // and undo/redo write-ahead logging, with crash recovery rebuilding the
 // store from stable storage. It is the "data" layer under the distributed
 // transaction execution of the paper's Fig. 3.1.
+//
+//rt:engine
 package kvstore
 
 import (

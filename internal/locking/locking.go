@@ -170,8 +170,16 @@ func (m *Manager) grant(o *object, txn, key string, mode Mode) {
 // wouldDeadlock checks whether txn waiting on o closes a cycle in the
 // waits-for graph (txn → holders of o → objects they wait for → ...).
 func (m *Manager) wouldDeadlock(txn string, o *object) bool {
-	// Build holder set of o.
-	start := m.holdersOf(o)
+	// Build holder set of o, excluding txn itself: a transaction's own
+	// read lock never blocks its upgrade request, so the waits-for edges
+	// run only to the other holders (otherwise every upgrade behind a
+	// co-reader would be misreported as a self-deadlock).
+	var start []string
+	for _, h := range m.holdersOf(o) {
+		if h != txn {
+			start = append(start, h)
+		}
+	}
 	seen := map[string]bool{}
 	stack := append([]string{}, start...)
 	for len(stack) > 0 {

@@ -13,6 +13,8 @@
 // send in this package. The durcheck layer therefore has nothing to
 // check; the package is listed in its cross-package inventory for the
 // record (DESIGN.md S30).
+//
+//rt:engine
 package recovery
 
 import (

@@ -1,0 +1,355 @@
+// Package live is the real-goroutine implementation of the rt runtime
+// boundary: one event-loop goroutine per node, unbounded FIFO mailboxes
+// for cross-node message passing, and wall-clock timers. It exists to
+// check by execution what portcheck checks by analysis — that the
+// engines ported to rt.Transport actually run correctly once real
+// concurrency replaces the single-threaded simulator. The conformance
+// suite (EXPERIMENTS.md E16) runs the tpc stack on this adapter under
+// the race detector, records the delivery trace, and replays it through
+// the deterministic simulator asserting decision agreement.
+//
+// The adapter honors the rt.Transport concurrency contract:
+//
+//   - Per-node serialization: each node's handler, timer callbacks and
+//     recover function run on that node's single event-loop goroutine.
+//   - Asynchronous sends: Send/Broadcast enqueue onto the destination
+//     mailbox and return; they never run the destination handler on the
+//     caller's stack.
+//   - Node-local stores: stable stores are handed to the owning node's
+//     engines; stable.Store is additionally mutex-guarded internally.
+//
+// It deliberately implements no fault injection (no crashes, no drops,
+// no reordering beyond goroutine scheduling): faults are the simulator's
+// job, where they replay deterministically. Live runs exercise the
+// concurrent happy path and timeout path only.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"speccat/internal/rt"
+	"speccat/internal/stable"
+)
+
+// ErrUnknownNode is returned for operations on unregistered nodes.
+var ErrUnknownNode = errors.New("live: unknown node")
+
+// ErrClosed is returned for sends on a closed transport.
+var ErrClosed = errors.New("live: transport closed")
+
+// Options configure a live transport.
+type Options struct {
+	// Tick is the wall-clock duration of one rt.Time tick. Timeouts in
+	// the engines are expressed in ticks; smaller ticks make tests
+	// faster but leave less slack before a timeout misfires under a
+	// loaded scheduler.
+	Tick time.Duration
+	// Delta is the advertised message-delay bound in ticks (the paper's
+	// δ) from which engines derive phase timeouts. The adapter does not
+	// enforce it; mailbox hops are far faster than any plausible value.
+	Delta rt.Time
+}
+
+// DefaultOptions match the simulator's default δ with a 1ms tick.
+func DefaultOptions() Options {
+	return Options{Tick: time.Millisecond, Delta: 10}
+}
+
+// TraceEntry is one delivered message in global delivery order.
+type TraceEntry struct {
+	Msg rt.Message
+	// DeliveredAt is the adapter's tick time at delivery.
+	DeliveredAt rt.Time
+}
+
+// node is one site: its mailbox, event loop, and wiring.
+type node struct {
+	id      rt.NodeID
+	store   *stable.Store
+	handler rt.Handler
+	recover rt.RecoverFunc
+
+	// mailbox is an unbounded FIFO so a node can send to itself from its
+	// own loop without deadlocking.
+	mu    sync.Mutex
+	queue []func()
+	cond  *sync.Cond
+	done  bool
+}
+
+func (n *node) enqueue(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.done {
+		return
+	}
+	n.queue = append(n.queue, fn)
+	n.cond.Signal()
+}
+
+// loop drains the mailbox until the node is stopped. It is the node's
+// event loop: everything the rt contract serializes runs here.
+func (n *node) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		n.mu.Lock()
+		for len(n.queue) == 0 && !n.done {
+			n.cond.Wait()
+		}
+		if n.done && len(n.queue) == 0 {
+			n.mu.Unlock()
+			return
+		}
+		fn := n.queue[0]
+		n.queue[0] = nil
+		n.queue = n.queue[1:]
+		n.mu.Unlock()
+		fn()
+	}
+}
+
+func (n *node) stop() {
+	n.mu.Lock()
+	n.done = true
+	n.cond.Broadcast()
+	n.mu.Unlock()
+}
+
+// Net is a live rt.Transport. Construct with New, register nodes, wire
+// handlers, then drive the engines; Close stops every event loop.
+type Net struct {
+	opts  Options
+	start time.Time
+
+	mu     sync.Mutex
+	nodes  map[rt.NodeID]*node
+	order  []rt.NodeID
+	trace  []TraceEntry
+	closed bool
+	wg     sync.WaitGroup
+
+	timerMu sync.Mutex
+	timers  map[*wallTimer]struct{}
+}
+
+// New returns a live transport with no nodes.
+func New(opts Options) *Net {
+	if opts.Tick <= 0 {
+		opts.Tick = time.Millisecond
+	}
+	if opts.Delta <= 0 {
+		opts.Delta = 10
+	}
+	return &Net{
+		opts:   opts,
+		start:  time.Now(), //lint:allow nowallclock live runtime adapter: the wall clock IS this runtime's clock source
+		nodes:  map[rt.NodeID]*node{},
+		timers: map[*wallTimer]struct{}{},
+	}
+}
+
+// Now returns elapsed wall time since construction, in ticks.
+func (t *Net) Now() rt.Time {
+	return rt.Time(time.Since(t.start) / t.opts.Tick) //lint:allow nowallclock live runtime adapter: the wall clock IS this runtime's clock source
+}
+
+// LocalTime reads a node's local clock; the live adapter models no
+// drift, so every node reads global time.
+func (t *Net) LocalTime(id rt.NodeID) rt.Time { return t.Now() }
+
+// Delta returns the advertised message-delay bound in ticks.
+func (t *Net) Delta() rt.Time { return t.opts.Delta }
+
+// AddNode registers a node and starts its event loop. It returns the
+// node's fresh stable store.
+func (t *Net) AddNode(id rt.NodeID, h rt.Handler) *stable.Store {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n, ok := t.nodes[id]; ok {
+		n.handler = h
+		return n.store
+	}
+	n := &node{id: id, store: stable.NewStore(), handler: h}
+	n.cond = sync.NewCond(&n.mu)
+	t.nodes[id] = n
+	t.order = append(t.order, id)
+	if !t.closed {
+		t.wg.Add(1)
+		go n.loop(&t.wg)
+	}
+	return n.store
+}
+
+// SetHandler replaces a node's message handler.
+func (t *Net) SetHandler(id rt.NodeID, h rt.Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	n.handler = h
+	return nil
+}
+
+// SetRecover registers a node's crash-recovery callback. The live
+// adapter never crashes nodes, so it is stored but never invoked.
+func (t *Net) SetRecover(id rt.NodeID, f rt.RecoverFunc) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	n.recover = f
+	return nil
+}
+
+// Store returns a node's stable store.
+func (t *Net) Store(id rt.NodeID) (*stable.Store, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	return n.store, nil
+}
+
+// Nodes returns all node IDs in registration order.
+func (t *Net) Nodes() []rt.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]rt.NodeID(nil), t.order...)
+}
+
+// UpNodes returns the operational node IDs; without fault injection
+// that is every registered node.
+func (t *Net) UpNodes() []rt.NodeID { return t.Nodes() }
+
+// Up reports whether a node is registered (live nodes never crash).
+func (t *Net) Up(id rt.NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.nodes[id]
+	return ok
+}
+
+// Send enqueues a message onto the destination node's event loop.
+func (t *Net) Send(from, to rt.NodeID, kind string, payload any) error {
+	return t.Deliver(rt.Message{From: from, To: to, Kind: kind, Payload: payload, SentAt: t.Now()})
+}
+
+// Broadcast sends to every registered node including the sender.
+func (t *Net) Broadcast(from rt.NodeID, kind string, payload any) error {
+	for _, id := range t.Nodes() {
+		if err := t.Send(from, id, kind, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deliver enqueues msg onto the destination node's event loop. The
+// handler runs there, never on the caller's stack; the delivery is
+// recorded in the global trace just before the handler runs.
+func (t *Net) Deliver(msg rt.Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	n, ok := t.nodes[msg.To]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, msg.To)
+	}
+	n.enqueue(func() {
+		t.mu.Lock()
+		t.trace = append(t.trace, TraceEntry{Msg: msg, DeliveredAt: t.Now()})
+		h := n.handler
+		t.mu.Unlock()
+		if h != nil {
+			h(msg)
+		}
+	})
+	return nil
+}
+
+// wallTimer adapts time.Timer to rt.Timer with hand-off to the node
+// loop: the callback is enqueued, not run on the timer goroutine.
+type wallTimer struct {
+	t *time.Timer
+}
+
+func (w *wallTimer) Cancel() {
+	if w != nil && w.t != nil {
+		w.t.Stop()
+	}
+}
+
+// After schedules fn on node id's event loop d ticks from now. Unknown
+// nodes get an inert timer (matching the simulator's tolerance).
+func (t *Net) After(id rt.NodeID, d rt.Time, fn func()) rt.Timer {
+	t.mu.Lock()
+	n, ok := t.nodes[id]
+	t.mu.Unlock()
+	if !ok {
+		return &wallTimer{}
+	}
+	if d < 0 {
+		d = 0
+	}
+	w := &wallTimer{}
+	w.t = time.AfterFunc(time.Duration(d)*t.opts.Tick, func() { //lint:allow nowallclock live runtime adapter: the wall clock IS this runtime's clock source
+		n.enqueue(fn)
+		t.timerMu.Lock()
+		delete(t.timers, w)
+		t.timerMu.Unlock()
+	})
+	t.timerMu.Lock()
+	t.timers[w] = struct{}{}
+	t.timerMu.Unlock()
+	return w
+}
+
+// Trace returns a copy of the global delivery trace so far. Call after
+// the run has settled: entries appended concurrently with Trace are
+// racy to interpret, not to read.
+func (t *Net) Trace() []TraceEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEntry(nil), t.trace...)
+}
+
+// Close cancels outstanding timers and stops every node's event loop,
+// waiting for them to drain. The transport rejects further sends.
+func (t *Net) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	nodes := make([]*node, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		nodes = append(nodes, n)
+	}
+	t.mu.Unlock()
+	t.timerMu.Lock()
+	for w := range t.timers {
+		w.Cancel()
+	}
+	t.timers = map[*wallTimer]struct{}{}
+	t.timerMu.Unlock()
+	for _, n := range nodes {
+		n.stop()
+	}
+	t.wg.Wait()
+}
+
+// Interface conformance.
+var _ rt.Transport = (*Net)(nil)

@@ -1,0 +1,102 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"speccat/internal/rt"
+)
+
+// echoNode answers every ping with a pong, exercising send-from-handler
+// (which must not deadlock the mailbox) and per-node serialization.
+type echoNode struct {
+	net    rt.Transport
+	id     rt.NodeID
+	seen   int
+	notify func()
+}
+
+func (e *echoNode) handle(m rt.Message) {
+	e.seen++
+	if m.Kind == "ping" {
+		if err := e.net.Send(e.id, m.From, "pong", nil); err != nil {
+			panic(err)
+		}
+	}
+	if e.notify != nil {
+		e.notify()
+	}
+}
+
+func TestLiveSendAndReply(t *testing.T) {
+	net := New(Options{Tick: 100 * time.Microsecond, Delta: 5})
+	defer net.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(2) // one ping delivered, one pong delivered
+	a := &echoNode{net: net, id: 1, notify: wg.Done}
+	b := &echoNode{net: net, id: 2, notify: wg.Done}
+	net.AddNode(1, a.handle)
+	net.AddNode(2, b.handle)
+
+	if err := net.Send(1, 2, "ping", nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	wg.Wait()
+	net.Close()
+
+	if b.seen != 1 || a.seen != 1 {
+		t.Fatalf("seen a=%d b=%d, want 1/1", a.seen, b.seen)
+	}
+	trace := net.Trace()
+	if len(trace) != 2 {
+		t.Fatalf("trace length %d, want 2", len(trace))
+	}
+	if trace[0].Msg.Kind != "ping" || trace[1].Msg.Kind != "pong" {
+		t.Fatalf("trace kinds %s,%s want ping,pong", trace[0].Msg.Kind, trace[1].Msg.Kind)
+	}
+}
+
+func TestLiveTimerFiresOnLoop(t *testing.T) {
+	net := New(Options{Tick: 100 * time.Microsecond, Delta: 5})
+	defer net.Close()
+	net.AddNode(1, nil)
+
+	fired := make(chan struct{})
+	net.After(1, 2, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+
+	// A cancelled timer must not fire.
+	stop := net.After(1, 1, func() { t.Error("cancelled timer fired") })
+	stop.Cancel()
+	time.Sleep(5 * time.Millisecond)
+}
+
+func TestLiveBroadcastReachesAll(t *testing.T) {
+	net := New(Options{Tick: 100 * time.Microsecond, Delta: 5})
+	defer net.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	for id := rt.NodeID(1); id <= 3; id++ {
+		e := &echoNode{net: net, id: id, notify: wg.Done}
+		net.AddNode(id, e.handle)
+	}
+	if err := net.Broadcast(1, "hello", nil); err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	wg.Wait()
+
+	if err := net.Send(1, 99, "x", nil); err == nil {
+		t.Fatal("send to unknown node: want error")
+	}
+	net.Close()
+	if err := net.Send(1, 2, "x", nil); err == nil {
+		t.Fatal("send after close: want error")
+	}
+}

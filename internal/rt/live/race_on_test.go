@@ -1,0 +1,7 @@
+//go:build race
+
+package live
+
+// raceEnabled reports whether this binary was built with -race; the
+// build tag pair keeps the probe honest about what it can observe.
+const raceEnabled = true

@@ -1,0 +1,73 @@
+package live
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"speccat/internal/rt"
+)
+
+// This file is the dynamic half of portcheck's rt-confine rule. The
+// racyEndpoint below seeds the exact mutation class the static fixture
+// internal/analysis/portcheck/testdata/src/portbad flags (a handler
+// spawning a goroutine that mutates a confined field), and the test
+// proves the race detector flags the same bug at runtime: the mutation
+// is caught twice, once by analysis and once by execution, which is the
+// cross-validation the rt port rests on.
+
+// racyEndpoint is a deliberately broken engine: its handler leaks the
+// confined counter field to a spawned goroutine. Under the rt contract
+// hits may only be touched on the node's event loop; the goroutine
+// races with the next delivery's increment.
+type racyEndpoint struct {
+	net  rt.Transport
+	id   rt.NodeID
+	hits int
+}
+
+func (e *racyEndpoint) handle(m rt.Message) {
+	go func() { e.hits++ }() // the seeded rt-confine violation
+	e.hits++
+}
+
+// runRacyEngine drives the racy endpoint on the live adapter: enough
+// deliveries that the race detector observes the conflicting accesses.
+func runRacyEngine() {
+	net := New(Options{Tick: 50 * time.Microsecond, Delta: 5})
+	defer net.Close()
+	e := &racyEndpoint{net: net, id: 1}
+	net.AddNode(1, e.handle)
+	net.AddNode(2, nil)
+	for i := 0; i < 200; i++ {
+		if err := net.Send(2, 1, "probe.ping", nil); err != nil {
+			panic(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+}
+
+// TestRaceProbeSeededMutation re-executes this test binary with the
+// racy engine enabled and asserts the race detector reports the seeded
+// confinement violation. Without -race there is nothing to observe, so
+// the test skips (CI's race job provides the real run).
+func TestRaceProbeSeededMutation(t *testing.T) {
+	if os.Getenv("SPECCAT_RACEPROBE") == "1" {
+		runRacyEngine()
+		return
+	}
+	if !raceEnabled {
+		t.Skip("race detector not enabled; run with -race (the CI race job does)")
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestRaceProbeSeededMutation", "-test.v")
+	cmd.Env = append(os.Environ(), "SPECCAT_RACEPROBE=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("racy subprocess passed; want a race-detector failure\noutput:\n%s", out)
+	}
+	if !strings.Contains(string(out), "DATA RACE") {
+		t.Fatalf("racy subprocess failed without a race report: %v\noutput:\n%s", err, out)
+	}
+}

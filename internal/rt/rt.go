@@ -1,0 +1,176 @@
+// Package rt is the runtime boundary of the protocol engines: the
+// narrow set of interfaces — Clock, Timer, Transport, Rand — through
+// which every engine (tpc, txn, kvstore, election, broadcast, consensus,
+// detector, recovery, checkpoint) touches time, randomness and the
+// network. The deterministic simulator (internal/sim + internal/simnet)
+// implements these interfaces for verification runs; a real-goroutine
+// adapter (internal/rt/live) implements them over channels and the wall
+// clock for serving-path runs. The engines themselves import only this
+// package, so the identical handler code runs on both runtimes — the
+// property ROADMAP item 1 calls "the port can be mechanically checked
+// rather than trusted". The mechanical check is the portcheck static
+// analysis (internal/analysis/portcheck): rt-boundary forbids engine
+// packages from reaching around these interfaces back to the simulator's
+// concrete types, and rt-confine proves each handler's mutable state
+// stays on its event loop once real goroutines replace the
+// single-threaded scheduler.
+//
+// The concurrency contract every Transport implementation must honor,
+// and which rt-confine assumes:
+//
+//   - Per-node serialization: all deliveries to one node's Handler, all
+//     After callbacks scheduled on that node, and its RecoverFunc run
+//     serially on that node's event loop — never concurrently with each
+//     other. The simulator satisfies this globally (one thread); the
+//     live adapter satisfies it per node (one goroutine per node).
+//   - Sends are asynchronous: Send/Broadcast never invoke the
+//     destination handler on the caller's stack across nodes.
+//   - Stores are node-local: Store(id) is only touched from id's event
+//     loop (or before the loop starts / after it stops).
+package rt
+
+import (
+	"speccat/internal/stable"
+)
+
+// Time is protocol time in abstract ticks. The simulator interprets a
+// tick as one simulated millisecond of virtual time; the live adapter
+// maps a tick onto a configurable real duration (default one
+// millisecond of wall time).
+type Time int64
+
+// NodeID identifies a site. IDs start at 1.
+type NodeID int
+
+// Message is one network message.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Kind    string
+	Payload any
+	// SentAt is the send time in the sender's runtime (for tracing).
+	SentAt Time
+}
+
+// Handler receives delivered messages on a node, on that node's event
+// loop.
+type Handler func(msg Message)
+
+// RecoverFunc is invoked on a node's event loop when a crashed node
+// restarts; the protocol layer rebuilds volatile state from stable
+// storage inside it.
+type RecoverFunc func()
+
+// Timer is a handle to a scheduled callback; Cancel prevents it from
+// firing. Cancel is safe to call multiple times and after firing.
+type Timer interface {
+	Cancel()
+}
+
+// Clock reads the current time and schedules callbacks. Transport
+// implementations embed a per-node view of it (Now + After); it is also
+// the standalone face a non-networked component needs.
+type Clock interface {
+	// Now returns the current time in ticks.
+	Now() Time
+	// After schedules fn d ticks from now and returns a cancellable
+	// timer. The callback runs on the scheduling runtime's event loop.
+	After(d Time, fn func()) Timer
+}
+
+// Rand is the seam for protocol-visible randomness: implementations are
+// the simulator's seeded source (deterministic replay) or a live
+// source. Engines must not reach for math/rand globals (the norand
+// design rule); they take a Rand.
+type Rand interface {
+	// Int63n returns a uniform int64 in [0, n).
+	Int63n(n int64) int64
+	// Float64 returns a uniform float64 in [0, 1).
+	Float64() float64
+}
+
+// Transport is the network fabric the engines run over: message
+// passing, per-node timers, per-node stable stores, and membership.
+// internal/simnet.Network implements it for deterministic simulation;
+// internal/rt/live.Net implements it over goroutines and channels.
+type Transport interface {
+	// Send transmits a message from one node to another. Sending from a
+	// crashed node is an error; sending to a crashed node silently
+	// discards at delivery time (the crash model of the paper).
+	Send(from, to NodeID, kind string, payload any) error
+	// Broadcast sends to every registered node including the sender.
+	Broadcast(from NodeID, kind string, payload any) error
+	// Deliver hands a message directly to the destination node's event
+	// loop, bypassing the fabric's delay and fault machinery. Replay
+	// harnesses use it to force a recorded interleaving; protocol code
+	// has no business calling it.
+	Deliver(msg Message) error
+
+	// After schedules fn on node id's event loop d ticks from now; it
+	// fires only if the node is still up (a crash cancels the site's
+	// pending timers).
+	After(id NodeID, d Time, fn func()) Timer
+	// Now returns the current time of the runtime driving this
+	// transport, in ticks.
+	Now() Time
+	// LocalTime reads a node's (possibly drifting) local clock.
+	LocalTime(id NodeID) Time
+	// Delta returns the fabric's message delay bound (the paper's δ),
+	// from which the engines derive their phase timeouts.
+	Delta() Time
+
+	// AddNode registers a node and returns its fresh stable store.
+	AddNode(id NodeID, h Handler) *stable.Store
+	// SetHandler replaces a node's message handler (protocols installed
+	// after AddNode).
+	SetHandler(id NodeID, h Handler) error
+	// SetRecover registers a node's crash-recovery callback.
+	SetRecover(id NodeID, f RecoverFunc) error
+	// Store returns a node's stable store.
+	Store(id NodeID) (*stable.Store, error)
+
+	// Nodes returns all node IDs in registration order.
+	Nodes() []NodeID
+	// UpNodes returns the operational node IDs in registration order.
+	UpNodes() []NodeID
+	// Up reports whether a node is operational.
+	Up(id NodeID) bool
+}
+
+// Quiescer is the optional synchronous-drive face of a Transport: the
+// deterministic simulator can run its event queue to quiescence on the
+// caller's stack. Live runtimes make progress on the wall clock instead
+// and do not implement it. Harness code that wants "run until settled"
+// asserts this interface — an rt interface, never a simulator concrete
+// type, which is exactly the distinction portcheck's rt-boundary rule
+// enforces.
+type Quiescer interface {
+	// RunToQuiescence executes pending work until none remains.
+	RunToQuiescence()
+}
+
+// DriftClock models a site-local clock with bounded drift rho relative
+// to global time: local(t) = offset + t*(1+rho). The paper's assumption
+// 6 (synchronized timers) corresponds to rho = 0. It is pure
+// arithmetic, shared by both runtimes.
+type DriftClock struct {
+	// Offset is the local clock value at global time zero.
+	Offset Time
+	// RhoPPM is the drift rate in parts-per-million (positive runs fast).
+	RhoPPM int64
+}
+
+// Read returns the local clock value at global time t.
+func (c DriftClock) Read(t Time) Time {
+	return c.Offset + t + t*Time(c.RhoPPM)/1_000_000
+}
+
+// TimeoutFor inflates a timeout d to compensate worst-case drift, the
+// paper's (1+rho)*delta rule.
+func (c DriftClock) TimeoutFor(d Time) Time {
+	rho := c.RhoPPM
+	if rho < 0 {
+		rho = -rho
+	}
+	return d + d*Time(rho)/1_000_000
+}

@@ -8,11 +8,16 @@ package sim
 import (
 	"container/heap"
 	"math/rand"
+
+	"speccat/internal/rt"
 )
 
 // Time is simulated time in abstract ticks (protocols interpret a tick as a
-// millisecond). Times never wrap in practice.
-type Time int64
+// millisecond). Times never wrap in practice. It is an alias of rt.Time:
+// the simulator and the runtime boundary speak the same tick type, so
+// engines ported to the rt interfaces interoperate with sim-facing
+// harness code without conversions.
+type Time = rt.Time
 
 // Timer is a handle to a scheduled event; Cancel prevents it from firing.
 type Timer struct {
@@ -159,25 +164,8 @@ func (s *Scheduler) RunUntil(t Time) {
 
 // Clock models a site-local clock with bounded drift rho relative to the
 // global simulated time: local(t) = offset + t*(1+rho). The paper's
-// assumption 6 (synchronized timers) corresponds to rho = 0.
-type Clock struct {
-	// Offset is the local clock value at global time zero.
-	Offset Time
-	// RhoPPM is the drift rate in parts-per-million (positive runs fast).
-	RhoPPM int64
-}
-
-// Read returns the local clock value at global time t.
-func (c Clock) Read(t Time) Time {
-	return c.Offset + t + t*Time(c.RhoPPM)/1_000_000
-}
-
-// TimeoutFor inflates a timeout d to compensate worst-case drift, the
-// paper's (1+rho)*delta rule.
-func (c Clock) TimeoutFor(d Time) Time {
-	rho := c.RhoPPM
-	if rho < 0 {
-		rho = -rho
-	}
-	return d + d*Time(rho)/1_000_000
-}
+// assumption 6 (synchronized timers) corresponds to rho = 0. The drift
+// arithmetic lives at the runtime boundary (rt.DriftClock) so ported
+// engines can use it without importing the simulator; this alias keeps
+// the simulator-side name.
+type Clock = rt.DriftClock

@@ -15,29 +15,27 @@ import (
 	"errors"
 	"fmt"
 
+	"speccat/internal/rt"
 	"speccat/internal/sim"
 	"speccat/internal/stable"
 )
 
-// NodeID identifies a site. IDs start at 1.
-type NodeID int
+// NodeID identifies a site. IDs start at 1. Alias of rt.NodeID: the
+// simulated network implements the rt.Transport runtime boundary, and
+// the aliases keep sim-facing harness code and rt-facing engine code on
+// one type system.
+type NodeID = rt.NodeID
 
-// Message is one network message.
-type Message struct {
-	From    NodeID
-	To      NodeID
-	Kind    string
-	Payload any
-	// SentAt is the global send time (for tracing).
-	SentAt sim.Time
-}
+// Message is one network message (alias of rt.Message).
+type Message = rt.Message
 
-// Handler receives delivered messages on a node.
-type Handler func(msg Message)
+// Handler receives delivered messages on a node (alias of rt.Handler).
+type Handler = rt.Handler
 
 // RecoverFunc is invoked when a crashed node restarts; the protocol layer
-// rebuilds volatile state from stable storage inside it.
-type RecoverFunc func()
+// rebuilds volatile state from stable storage inside it (alias of
+// rt.RecoverFunc).
+type RecoverFunc = rt.RecoverFunc
 
 // SendFault is a per-send fault injected by a SendHook. The zero value
 // means "no fault": the send proceeds normally.
@@ -135,8 +133,17 @@ func New(sched *sim.Scheduler, opts Options) *Network {
 	}
 }
 
-// Scheduler exposes the underlying scheduler.
+// Scheduler exposes the underlying scheduler. Simulation harnesses
+// (explorers, tests, CLIs) drive it directly; engine packages stay on
+// the rt.Transport face of this network and never see it.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Now returns the current simulated time (rt.Transport).
+func (n *Network) Now() sim.Time { return n.sched.Now() }
+
+// RunToQuiescence executes pending events until none remain
+// (rt.Quiescer): the simulator's synchronous drive.
+func (n *Network) RunToQuiescence() { n.sched.Run(0) }
 
 // AddNode registers a node with a drift-free clock and fresh stable store.
 func (n *Network) AddNode(id NodeID, h Handler) *stable.Store {
@@ -289,6 +296,19 @@ func (n *Network) deliver(msg Message) {
 	dst.handler(msg)
 }
 
+// Deliver hands a message directly to the destination node's handler,
+// bypassing delay, FIFO and fault machinery (rt.Transport). Replay
+// harnesses use it to force a recorded interleaving onto the
+// deterministic engines; delivery to an unknown node is an error, to a
+// crashed node a silent drop (the crash model).
+func (n *Network) Deliver(msg Message) error {
+	if _, ok := n.nodes[msg.To]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, msg.To)
+	}
+	n.deliver(msg)
+	return nil
+}
+
 // Broadcast sends to every registered node including the sender itself
 // (self-delivery is immediate protocol convention: it goes through the
 // same delay machinery for uniformity).
@@ -302,8 +322,10 @@ func (n *Network) Broadcast(from NodeID, kind string, payload any) error {
 }
 
 // After schedules fn on a node's behalf; it fires only if the node is
-// still up (a crash cancels the site's pending timers implicitly).
-func (n *Network) After(id NodeID, d sim.Time, fn func()) *sim.Timer {
+// still up (a crash cancels the site's pending timers implicitly). The
+// returned handle is the rt.Timer interface so ported engines hold no
+// simulator concrete type.
+func (n *Network) After(id NodeID, d sim.Time, fn func()) rt.Timer {
 	t := n.sched.After(d, func() {
 		if nd, ok := n.nodes[id]; ok && nd.up {
 			fn()

@@ -3,30 +3,29 @@ package tpc
 import (
 	"sort"
 
-	"speccat/internal/sim"
-	"speccat/internal/simnet"
+	"speccat/internal/rt"
 )
 
 // cohortTxn is the cohort's per-transaction state.
 type cohortTxn struct {
 	state State
-	timer *sim.Timer
+	timer rt.Timer
 	// blockedSince is set when a 2PC cohort becomes uncertain with a dead
 	// coordinator — the blocking window the paper's intro describes.
-	blockedSince sim.Time
+	blockedSince rt.Time
 	blocked      bool
 	// termination-protocol bookkeeping (when this cohort is the backup).
 	gathering  bool
-	stateResps map[simnet.NodeID]State
+	stateResps map[rt.NodeID]State
 }
 
 // Cohort is the paper's participant process. Vote decides phase-1 votes;
 // by default every transaction is voteable (yes).
 type Cohort struct {
-	net   *simnet.Network
-	id    simnet.NodeID
-	coord simnet.NodeID
-	peers []simnet.NodeID // all cohorts, including self
+	net   rt.Transport
+	id    rt.NodeID
+	coord rt.NodeID
+	peers []rt.NodeID // all cohorts, including self
 	cfg   Config
 	txns  map[string]*cohortTxn
 	// Vote returns the phase-1 vote for a transaction (nil: always yes).
@@ -40,11 +39,11 @@ type Cohort struct {
 	Trace TraceFunc
 	// OnMalformed, when non-nil, observes protocol messages whose payload
 	// failed to decode. They are counted either way; see Malformed.
-	OnMalformed func(m simnet.Message)
+	OnMalformed func(m rt.Message)
 	// OnSendError, when non-nil, observes every protocol send that the
 	// network refused (dead peer, crashed self). Failed sends are counted
 	// either way; see SendErrors.
-	OnSendError func(to simnet.NodeID, kind string, err error)
+	OnSendError func(to rt.NodeID, kind string, err error)
 	decisions   map[string]Decision
 	malformed   int
 	sendErrors  int
@@ -52,7 +51,7 @@ type Cohort struct {
 
 // NewCohort creates a cohort on site id for the given coordinator; peers
 // lists all cohort sites (for the termination protocol).
-func NewCohort(net *simnet.Network, id, coord simnet.NodeID, peers []simnet.NodeID, cfg Config) *Cohort {
+func NewCohort(net rt.Transport, id, coord rt.NodeID, peers []rt.NodeID, cfg Config) *Cohort {
 	if cfg.Protocol == 0 {
 		cfg.Protocol = ThreePhase
 	}
@@ -60,7 +59,7 @@ func NewCohort(net *simnet.Network, id, coord simnet.NodeID, peers []simnet.Node
 		cfg.PhaseTimeout = 4 * net.Delta()
 	}
 	return &Cohort{
-		net: net, id: id, coord: coord, peers: append([]simnet.NodeID{}, peers...),
+		net: net, id: id, coord: coord, peers: append([]rt.NodeID{}, peers...),
 		cfg: cfg, txns: map[string]*cohortTxn{}, decisions: map[string]Decision{},
 	}
 }
@@ -68,7 +67,7 @@ func NewCohort(net *simnet.Network, id, coord simnet.NodeID, peers []simnet.Node
 func (h *Cohort) txn(name string) *cohortTxn {
 	t, ok := h.txns[name]
 	if !ok {
-		t = &cohortTxn{state: StateInitial, stateResps: map[simnet.NodeID]State{}}
+		t = &cohortTxn{state: StateInitial, stateResps: map[rt.NodeID]State{}}
 		h.txns[name] = t
 	}
 	return t
@@ -77,7 +76,7 @@ func (h *Cohort) txn(name string) *cohortTxn {
 // HandleMessage consumes cohort-side protocol traffic.
 //
 //fsm:handler tpc cohort
-func (h *Cohort) HandleMessage(m simnet.Message) bool {
+func (h *Cohort) HandleMessage(m rt.Message) bool {
 	switch m.Kind {
 	case KindCommitReq:
 		p, ok := m.Payload.(txnMsg)
@@ -142,7 +141,7 @@ func (h *Cohort) HandleMessage(m simnet.Message) bool {
 
 // badPayload accounts for a cohort-consumed kind whose payload failed to
 // decode, then declines the message.
-func (h *Cohort) badPayload(m simnet.Message) bool {
+func (h *Cohort) badPayload(m rt.Message) bool {
 	h.malformed++
 	if h.OnMalformed != nil {
 		h.OnMalformed(m)
@@ -161,7 +160,7 @@ func (h *Cohort) SendErrors() int { return h.sendErrors }
 // send-error accounting (SendErrors, OnSendError) instead of dropping
 // them silently: the protocol cannot act on a failed send (timeouts and
 // the termination protocol own that recovery), but observers can.
-func (h *Cohort) send(to simnet.NodeID, kind string, payload any) {
+func (h *Cohort) send(to rt.NodeID, kind string, payload any) {
 	if err := h.net.Send(h.id, to, kind, payload); err != nil {
 		h.sendErrors++
 		if h.OnSendError != nil {
@@ -195,7 +194,7 @@ func (h *Cohort) onCommitReq(txn string) {
 }
 
 // onPrepare is the w2 transition: acknowledge and move to p2.
-func (h *Cohort) onPrepare(txn string, from simnet.NodeID) {
+func (h *Cohort) onPrepare(txn string, from rt.NodeID) {
 	t := h.txn(txn)
 	if t.state != StateWait {
 		return
@@ -225,7 +224,7 @@ func (h *Cohort) onCoordinatorSilent(txn string, t *cohortTxn) {
 			// decide unilaterally — it blocks holding its locks.
 			if !t.blocked {
 				t.blocked = true
-				t.blockedSince = h.net.Scheduler().Now()
+				t.blockedSince = h.net.Now()
 				if h.OnBlocked != nil {
 					h.OnBlocked(txn)
 				}
@@ -273,7 +272,7 @@ func (h *Cohort) startTermination(txn string, t *cohortTxn) {
 		return
 	}
 	t.gathering = true
-	t.stateResps = map[simnet.NodeID]State{h.id: t.state}
+	t.stateResps = map[rt.NodeID]State{h.id: t.state}
 	for _, p := range h.peers {
 		if p == h.id {
 			continue
@@ -285,8 +284,8 @@ func (h *Cohort) startTermination(txn string, t *cohortTxn) {
 
 // backup returns the lowest operational cohort, the deterministic election
 // the thesis's voting protocol provides.
-func (h *Cohort) backup() simnet.NodeID {
-	ids := append([]simnet.NodeID{}, h.peers...)
+func (h *Cohort) backup() rt.NodeID {
+	ids := append([]rt.NodeID{}, h.peers...)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		if h.net.Up(id) {
@@ -296,7 +295,7 @@ func (h *Cohort) backup() simnet.NodeID {
 	return h.id
 }
 
-func (h *Cohort) onStateResp(txn string, from simnet.NodeID, s State) {
+func (h *Cohort) onStateResp(txn string, from rt.NodeID, s State) {
 	t := h.txn(txn)
 	if t.gathering {
 		t.stateResps[from] = s
@@ -340,6 +339,7 @@ func (h *Cohort) terminationDecide(txn string, t *cohortTxn) {
 		// against a clean lint run.
 		for _, p := range h.peers {
 			if p != h.id {
+				//lint:allow rt-sendorder E15 ablation deliberately disseminates before the decide transition; the conformance runs never enable UnsafeTermination
 				h.send(p, kind, txnMsg{Txn: txn}) //dur:ignore E15 ablation deliberately preserves the unsafe disseminate-before-persist ordering behind Config.UnsafeTermination
 			}
 		}
@@ -408,7 +408,7 @@ func (h *Cohort) StateOf(txn string) State { return h.txn(txn).state }
 
 // Blocked reports whether this (2PC) cohort is currently blocked on txn,
 // and since when.
-func (h *Cohort) Blocked(txn string) (bool, sim.Time) {
+func (h *Cohort) Blocked(txn string) (bool, rt.Time) {
 	t := h.txn(txn)
 	return t.blocked && t.state == StateWait, t.blockedSince
 }

@@ -3,24 +3,23 @@ package tpc
 import (
 	"fmt"
 
-	"speccat/internal/sim"
-	"speccat/internal/simnet"
+	"speccat/internal/rt"
 )
 
 // coordTxn is the coordinator's per-transaction state.
 type coordTxn struct {
 	state State
-	votes map[simnet.NodeID]bool // yes-votes received
-	acks  map[simnet.NodeID]bool
-	timer *sim.Timer
+	votes map[rt.NodeID]bool // yes-votes received
+	acks  map[rt.NodeID]bool
+	timer rt.Timer
 }
 
 // Coordinator drives commit processing for transactions whose master runs
 // on this site (the paper's Fig. 3.1 master process).
 type Coordinator struct {
-	net     *simnet.Network
-	id      simnet.NodeID
-	cohorts []simnet.NodeID
+	net     rt.Transport
+	id      rt.NodeID
+	cohorts []rt.NodeID
 	cfg     Config
 	txns    map[string]*coordTxn
 	// OnDecide fires once per transaction with the final outcome.
@@ -30,11 +29,11 @@ type Coordinator struct {
 	// OnMalformed, when non-nil, observes protocol messages whose payload
 	// failed to decode (a peer speaking the right kind with the wrong
 	// body). They are counted either way; see Malformed.
-	OnMalformed func(m simnet.Message)
+	OnMalformed func(m rt.Message)
 	// OnSendError, when non-nil, observes every protocol send the network
 	// refused (dead cohort, crashed self). Failed sends are counted either
 	// way; see SendErrors.
-	OnSendError func(to simnet.NodeID, kind string, err error)
+	OnSendError func(to rt.NodeID, kind string, err error)
 	// decisions records outcomes for inspection.
 	decisions  map[string]Decision
 	malformed  int
@@ -43,7 +42,7 @@ type Coordinator struct {
 
 // NewCoordinator creates a coordinator on site id managing the given
 // cohort sites.
-func NewCoordinator(net *simnet.Network, id simnet.NodeID, cohorts []simnet.NodeID, cfg Config) *Coordinator {
+func NewCoordinator(net rt.Transport, id rt.NodeID, cohorts []rt.NodeID, cfg Config) *Coordinator {
 	if cfg.Protocol == 0 {
 		cfg.Protocol = ThreePhase
 	}
@@ -51,7 +50,7 @@ func NewCoordinator(net *simnet.Network, id simnet.NodeID, cohorts []simnet.Node
 		cfg.PhaseTimeout = 4 * net.Delta()
 	}
 	return &Coordinator{
-		net: net, id: id, cohorts: append([]simnet.NodeID{}, cohorts...), cfg: cfg,
+		net: net, id: id, cohorts: append([]rt.NodeID{}, cohorts...), cfg: cfg,
 		txns: map[string]*coordTxn{}, decisions: map[string]Decision{},
 	}
 }
@@ -65,7 +64,7 @@ func (c *Coordinator) Begin(txn string) error {
 	if _, dup := c.txns[txn]; dup {
 		return fmt.Errorf("tpc: transaction %s already begun", txn)
 	}
-	ct := &coordTxn{state: StateWait, votes: map[simnet.NodeID]bool{}, acks: map[simnet.NodeID]bool{}}
+	ct := &coordTxn{state: StateWait, votes: map[rt.NodeID]bool{}, acks: map[rt.NodeID]bool{}}
 	c.txns[txn] = ct
 	c.emit(txn, StateInitial, StateWait, CauseMessage)
 	c.persist(txn, StateWait)
@@ -86,7 +85,7 @@ func (c *Coordinator) Begin(txn string) error {
 // HandleMessage consumes coordinator-side protocol traffic.
 //
 //fsm:handler tpc coordinator
-func (c *Coordinator) HandleMessage(m simnet.Message) bool {
+func (c *Coordinator) HandleMessage(m rt.Message) bool {
 	switch m.Kind {
 	case KindVoteYes:
 		p, ok := m.Payload.(txnMsg)
@@ -117,7 +116,7 @@ func (c *Coordinator) HandleMessage(m simnet.Message) bool {
 // badPayload accounts for a message of a coordinator-consumed kind whose
 // payload failed to decode, then declines it so a later handler (or the
 // site's terminal drop accounting) sees it.
-func (c *Coordinator) badPayload(m simnet.Message) bool {
+func (c *Coordinator) badPayload(m rt.Message) bool {
 	c.malformed++
 	if c.OnMalformed != nil {
 		c.OnMalformed(m)
@@ -136,7 +135,7 @@ func (c *Coordinator) SendErrors() int { return c.sendErrors }
 // send-error accounting (SendErrors, OnSendError) instead of dropping
 // them silently. Begin keeps its direct error-returning sends: a commit
 // request that cannot even leave the coordinator fails the whole Begin.
-func (c *Coordinator) send(to simnet.NodeID, kind string, payload any) {
+func (c *Coordinator) send(to rt.NodeID, kind string, payload any) {
 	if err := c.net.Send(c.id, to, kind, payload); err != nil {
 		c.sendErrors++
 		if c.OnSendError != nil {
@@ -145,7 +144,7 @@ func (c *Coordinator) send(to simnet.NodeID, kind string, payload any) {
 	}
 }
 
-func (c *Coordinator) onVote(txn string, from simnet.NodeID, yes bool) {
+func (c *Coordinator) onVote(txn string, from rt.NodeID, yes bool) {
 	ct, ok := c.txns[txn]
 	if !ok || ct.state != StateWait {
 		return
@@ -183,7 +182,7 @@ func (c *Coordinator) onVote(txn string, from simnet.NodeID, yes bool) {
 	})
 }
 
-func (c *Coordinator) onAck(txn string, from simnet.NodeID) {
+func (c *Coordinator) onAck(txn string, from rt.NodeID) {
 	ct, ok := c.txns[txn]
 	if !ok || ct.state != StatePrepared {
 		return
@@ -307,7 +306,7 @@ func (c *Coordinator) RecoverAll() map[string]Decision {
 		raw, _ := st.Get(stateKey(txn))
 		ct, ok := c.txns[txn]
 		if !ok {
-			ct = &coordTxn{votes: map[simnet.NodeID]bool{}, acks: map[simnet.NodeID]bool{}}
+			ct = &coordTxn{votes: map[rt.NodeID]bool{}, acks: map[rt.NodeID]bool{}}
 			c.txns[txn] = ct
 		}
 		switch string(raw) {

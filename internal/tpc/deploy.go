@@ -1,0 +1,53 @@
+package tpc
+
+import (
+	"errors"
+	"fmt"
+
+	"speccat/internal/rt"
+)
+
+// Deployment is the runtime-agnostic wiring of one commit group: the
+// coordinator and cohort engines installed over any rt.Transport. The
+// deterministic simulator harness (Group, harness.go) and the
+// real-goroutine conformance runs (internal/conformance, E16) both build
+// on it — the same engine code, two runtimes, which is the point of the
+// rt boundary.
+type Deployment struct {
+	Net         rt.Transport
+	Coordinator *Coordinator
+	Cohorts     map[rt.NodeID]*Cohort
+	CoordID     rt.NodeID
+	CohortIDs   []rt.NodeID
+}
+
+// ErrWire is wrapped when a group's message handlers cannot be installed.
+var ErrWire = errors.New("tpc: wire handler")
+
+// Deploy registers one coordinator node and n cohort nodes on net and
+// wires all message handlers. Node IDs are 1 (coordinator) and 2..n+1
+// (cohorts), the layout every harness and fault schedule in this
+// repository assumes.
+func Deploy(net rt.Transport, n int, cfg Config) (*Deployment, error) {
+	coordID := rt.NodeID(1)
+	net.AddNode(coordID, nil)
+	var cohortIDs []rt.NodeID
+	for i := 2; i <= n+1; i++ {
+		id := rt.NodeID(i)
+		cohortIDs = append(cohortIDs, id)
+		net.AddNode(id, nil)
+	}
+	d := &Deployment{Net: net, CoordID: coordID, CohortIDs: cohortIDs, Cohorts: map[rt.NodeID]*Cohort{}}
+	d.Coordinator = NewCoordinator(net, coordID, cohortIDs, cfg)
+	if err := net.SetHandler(coordID, func(m rt.Message) { d.Coordinator.HandleMessage(m) }); err != nil {
+		return nil, fmt.Errorf("%w: coordinator %d: %w", ErrWire, coordID, err)
+	}
+	for _, id := range cohortIDs {
+		h := NewCohort(net, id, coordID, cohortIDs, cfg)
+		d.Cohorts[id] = h
+		if err := net.SetHandler(id, func(m rt.Message) { h.HandleMessage(m) }); err != nil {
+			return nil, fmt.Errorf("%w: cohort %d: %w", ErrWire, id, err)
+		}
+	}
+	return d, nil
+}

@@ -1,15 +1,19 @@
 package tpc
 
-import (
-	"errors"
-	"fmt"
+// The Group harness is the deterministic-simulator face of a commit
+// deployment: it owns the concrete simnet.Network so tests, explorers
+// and CLIs can crash sites, inject faults and drive the scheduler. The
+// engines it wires are runtime-agnostic (see Deploy); only this file
+// touches the simulator, under reasoned rt-boundary suppressions.
 
-	"speccat/internal/sim"
-	"speccat/internal/simnet"
+import (
+	"speccat/internal/sim"    //lint:allow rt-boundary sim-harness constructor: the engines speak rt.Transport, this file owns the simulator wiring
+	"speccat/internal/simnet" //lint:allow rt-boundary sim-harness constructor: the engines speak rt.Transport, this file owns the simulator wiring
 )
 
-// Group is a wired commit-protocol deployment: one coordinator site and a
-// set of cohort sites on a shared simulated network.
+// Group is a wired commit-protocol deployment on the deterministic
+// simulator: one coordinator site and a set of cohort sites on a shared
+// simulated network.
 type Group struct {
 	Net         *simnet.Network
 	Coordinator *Coordinator
@@ -17,9 +21,6 @@ type Group struct {
 	CoordID     simnet.NodeID
 	CohortIDs   []simnet.NodeID
 }
-
-// ErrWire is wrapped when a group's message handlers cannot be installed.
-var ErrWire = errors.New("tpc: wire handler")
 
 // NewGroup builds a network with one coordinator and n cohorts and wires
 // all message handlers.
@@ -31,27 +32,14 @@ func NewGroup(seed int64, n int, cfg Config) (*Group, error) {
 // NewGroupOn wires a commit group onto an existing (empty) network,
 // letting callers customize network options for failure injection.
 func NewGroupOn(net *simnet.Network, n int, cfg Config) (*Group, error) {
-	coordID := simnet.NodeID(1)
-	net.AddNode(coordID, nil)
-	var cohortIDs []simnet.NodeID
-	for i := 2; i <= n+1; i++ {
-		id := simnet.NodeID(i)
-		cohortIDs = append(cohortIDs, id)
-		net.AddNode(id, nil)
+	d, err := Deploy(net, n, cfg)
+	if err != nil {
+		return nil, err
 	}
-	g := &Group{Net: net, CoordID: coordID, CohortIDs: cohortIDs, Cohorts: map[simnet.NodeID]*Cohort{}}
-	g.Coordinator = NewCoordinator(net, coordID, cohortIDs, cfg)
-	if err := net.SetHandler(coordID, func(m simnet.Message) { g.Coordinator.HandleMessage(m) }); err != nil {
-		return nil, fmt.Errorf("%w: coordinator %d: %w", ErrWire, coordID, err)
-	}
-	for _, id := range cohortIDs {
-		h := NewCohort(net, id, coordID, cohortIDs, cfg)
-		g.Cohorts[id] = h
-		if err := net.SetHandler(id, func(m simnet.Message) { h.HandleMessage(m) }); err != nil {
-			return nil, fmt.Errorf("%w: cohort %d: %w", ErrWire, id, err)
-		}
-	}
-	return g, nil
+	return &Group{
+		Net: net, Coordinator: d.Coordinator, Cohorts: d.Cohorts,
+		CoordID: d.CoordID, CohortIDs: d.CohortIDs,
+	}, nil
 }
 
 // Run starts txn and drives the simulation to quiescence.

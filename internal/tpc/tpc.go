@@ -6,13 +6,19 @@
 // from stable storage. A two-phase commit (2PC) baseline — identical
 // machinery minus the prepared state — exhibits the blocking behaviour 3PC
 // exists to avoid; the difference is measured in experiments E7/E8.
+//
+// The engines run against the rt runtime boundary (rt.Transport /
+// rt.Timer), so the same handler code serves the deterministic simulator
+// and the real-goroutine adapter; portcheck enforces the boundary.
+//
+//rt:engine
 package tpc
 
 import (
 	"errors"
 	"fmt"
 
-	"speccat/internal/sim"
+	"speccat/internal/rt"
 	"speccat/internal/stable"
 )
 
@@ -193,7 +199,7 @@ type Config struct {
 	Protocol Protocol
 	// PhaseTimeout is the per-phase timeout; zero derives 4δ from the
 	// network at engine construction.
-	PhaseTimeout sim.Time
+	PhaseTimeout rt.Time
 	// NaiveTimeouts, when true, uses the bare Fig. 3.2 timeout
 	// transitions (w2→abort, p2→commit) instead of running the
 	// termination protocol. The model checker shows this is unsafe when

@@ -1,0 +1,129 @@
+package txn
+
+// The Cluster harness is the deterministic-simulator face of a
+// distributed-transaction deployment: it owns the concrete
+// simnet.Network so tests, explorers and experiments can crash sites,
+// inject faults and drive the scheduler. The engines it wires (Master,
+// Site) are runtime-agnostic; only this file touches the simulator,
+// under reasoned rt-boundary suppressions.
+
+import (
+	"speccat/internal/kvstore"
+	"speccat/internal/sim"    //lint:allow rt-boundary sim-harness constructor: the engines speak rt.Transport, this file owns the simulator wiring
+	"speccat/internal/simnet" //lint:allow rt-boundary sim-harness constructor: the engines speak rt.Transport, this file owns the simulator wiring
+	"speccat/internal/tpc"
+)
+
+// Cluster is a wired deployment: one master site plus data sites.
+type Cluster struct {
+	Net      *simnet.Network
+	Master   *Master
+	Sites    map[simnet.NodeID]*Site
+	MasterID simnet.NodeID
+	SiteIDs  []simnet.NodeID
+	cfg      tpc.Config
+}
+
+// NewCluster builds a master and n data sites over a fresh network.
+func NewCluster(seed int64, n int, cfg tpc.Config) (*Cluster, error) {
+	sched := sim.NewScheduler(seed)
+	return NewClusterOn(simnet.New(sched, simnet.DefaultOptions()), n, cfg)
+}
+
+// NewClusterOn wires a cluster onto an existing (empty) network, letting
+// callers customize network options and install failure-injection hooks.
+// Crash recovery is wired: when simnet recovers a site, the site reopens
+// its store from stable storage and replays the commit protocol's failure
+// transitions; a recovered master replays the coordinator's.
+func NewClusterOn(net *simnet.Network, n int, cfg tpc.Config) (*Cluster, error) {
+	masterID := simnet.NodeID(1)
+	net.AddNode(masterID, nil)
+	var siteIDs []simnet.NodeID
+	for i := 2; i <= n+1; i++ {
+		id := simnet.NodeID(i)
+		siteIDs = append(siteIDs, id)
+		net.AddNode(id, nil)
+	}
+	c := &Cluster{Net: net, MasterID: masterID, SiteIDs: siteIDs, Sites: map[simnet.NodeID]*Site{}, cfg: cfg}
+
+	c.Master = &Master{
+		net: net, id: masterID,
+		coord:   tpc.NewCoordinator(net, masterID, siteIDs, cfg),
+		pending: map[string]*pending{},
+	}
+	c.Master.coord.OnDecide = c.Master.onDecide
+	if err := net.SetHandler(masterID, c.Master.handle); err != nil {
+		return nil, err
+	}
+	if err := net.SetRecover(masterID, c.Master.RecoverCoordinator); err != nil {
+		return nil, err
+	}
+
+	for _, id := range siteIDs {
+		st, err := net.Store(id)
+		if err != nil {
+			return nil, err
+		}
+		store, err := kvstore.Open(st)
+		if err != nil {
+			return nil, err
+		}
+		site := &Site{net: net, id: id, Store: store, masterID: masterID, failed: map[string]bool{}}
+		site.cohort = tpc.NewCohort(net, id, masterID, siteIDs, cfg)
+		site.cohort.Vote = func(txn string) bool { return !site.failed[txn] }
+		site.cohort.OnDecide = site.applyDecision
+		c.Sites[id] = site
+		if err := net.SetHandler(id, site.handle); err != nil {
+			return nil, err
+		}
+		if err := net.SetRecover(id, func() { _ = site.Recover() }); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// SiteFor maps a key to its home site by stable hashing.
+func (c *Cluster) SiteFor(key string) simnet.NodeID {
+	h := 0
+	for _, ch := range key {
+		h = h*31 + int(ch)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return c.SiteIDs[h%len(c.SiteIDs)]
+}
+
+// Run drives the scheduler until quiescence.
+func (c *Cluster) Run() { c.Net.Scheduler().Run(0) }
+
+// TotalOf sums integer values under keys across all sites' committed
+// state (the bank-invariant helper).
+func (c *Cluster) TotalOf(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		site := c.Sites[c.SiteFor(k)]
+		total += atoi(site.Store.Read(k))
+	}
+	return total
+}
+
+func atoi(s string) int {
+	n := 0
+	neg := false
+	for i, ch := range s {
+		if i == 0 && ch == '-' {
+			neg = true
+			continue
+		}
+		if ch < '0' || ch > '9' {
+			return 0
+		}
+		n = n*10 + int(ch-'0')
+	}
+	if neg {
+		return -n
+	}
+	return n
+}

@@ -6,6 +6,11 @@
 // runs the commit protocol (3PC by default, 2PC for the baseline) so all
 // sites reach a uniform decision, which each site then applies to its
 // local store.
+//
+// The engines (Master, Site) speak the rt runtime boundary; the
+// deterministic-simulator harness lives in cluster.go.
+//
+//rt:engine
 package txn
 
 import (
@@ -14,8 +19,7 @@ import (
 	"sort"
 
 	"speccat/internal/kvstore"
-	"speccat/internal/sim"
-	"speccat/internal/simnet"
+	"speccat/internal/rt"
 	"speccat/internal/tpc"
 	"speccat/internal/wal"
 )
@@ -36,7 +40,7 @@ const (
 // Op is one data operation of a transaction.
 type Op struct {
 	// Site is the node holding the datum.
-	Site simnet.NodeID
+	Site rt.NodeID
 	// Key names the datum.
 	Key string
 	// Value is written when IsWrite; ignored for reads.
@@ -72,8 +76,8 @@ type Result struct {
 
 // pending is the master's per-transaction state.
 type pending struct {
-	ops     map[simnet.NodeID][]Op
-	done    map[simnet.NodeID]bool
+	ops     map[rt.NodeID][]Op
+	done    map[rt.NodeID]bool
 	failed  bool
 	started bool
 	result  *Result
@@ -82,20 +86,20 @@ type pending struct {
 
 // Master coordinates distributed transactions from one site.
 type Master struct {
-	net     *simnet.Network
-	id      simnet.NodeID
+	net     rt.Transport
+	id      rt.NodeID
 	coord   *tpc.Coordinator
 	pending map[string]*pending
 	// OnUnhandled, when non-nil, observes messages the master dropped —
 	// unknown kinds and undecodable payloads. They are counted either way
 	// (see Unhandled); before this hook existed both cases were a silent
 	// bare return.
-	OnUnhandled func(m simnet.Message)
+	OnUnhandled func(m rt.Message)
 	unhandled   int
 }
 
 // noteUnhandled accounts for a message the master could not dispatch.
-func (m *Master) noteUnhandled(msg simnet.Message) {
+func (m *Master) noteUnhandled(msg rt.Message) {
 	m.unhandled++
 	if m.OnUnhandled != nil {
 		m.OnUnhandled(msg)
@@ -108,11 +112,11 @@ func (m *Master) Unhandled() int { return m.unhandled }
 
 // Site hosts a cohort process plus the local store.
 type Site struct {
-	net      *simnet.Network
-	id       simnet.NodeID
+	net      rt.Transport
+	id       rt.NodeID
 	Store    *kvstore.Store
 	cohort   *tpc.Cohort
-	masterID simnet.NodeID
+	masterID rt.NodeID
 	// failed marks local branches that could not complete their work: the
 	// site votes no for them. Sites with no branch for a transaction vote
 	// yes trivially (they have nothing to make durable).
@@ -129,12 +133,12 @@ type Site struct {
 	// unknown kinds and undecodable payloads. They are counted either way
 	// (see Unhandled); before this hook existed both cases were a silent
 	// bare return.
-	OnUnhandled func(m simnet.Message)
+	OnUnhandled func(m rt.Message)
 	unhandled   int
 }
 
 // noteUnhandled accounts for a message the site could not dispatch.
-func (s *Site) noteUnhandled(msg simnet.Message) {
+func (s *Site) noteUnhandled(msg rt.Message) {
 	s.unhandled++
 	if s.OnUnhandled != nil {
 		s.OnUnhandled(msg)
@@ -145,83 +149,14 @@ func (s *Site) noteUnhandled(msg simnet.Message) {
 // undecodable payload).
 func (s *Site) Unhandled() int { return s.unhandled }
 
-// Cluster is a wired deployment: one master site plus data sites.
-type Cluster struct {
-	Net      *simnet.Network
-	Master   *Master
-	Sites    map[simnet.NodeID]*Site
-	MasterID simnet.NodeID
-	SiteIDs  []simnet.NodeID
-	cfg      tpc.Config
-}
-
-// NewCluster builds a master and n data sites over a fresh network.
-func NewCluster(seed int64, n int, cfg tpc.Config) (*Cluster, error) {
-	sched := sim.NewScheduler(seed)
-	return NewClusterOn(simnet.New(sched, simnet.DefaultOptions()), n, cfg)
-}
-
-// NewClusterOn wires a cluster onto an existing (empty) network, letting
-// callers customize network options and install failure-injection hooks.
-// Crash recovery is wired: when simnet recovers a site, the site reopens
-// its store from stable storage and replays the commit protocol's failure
-// transitions; a recovered master replays the coordinator's.
-func NewClusterOn(net *simnet.Network, n int, cfg tpc.Config) (*Cluster, error) {
-	masterID := simnet.NodeID(1)
-	net.AddNode(masterID, nil)
-	var siteIDs []simnet.NodeID
-	for i := 2; i <= n+1; i++ {
-		id := simnet.NodeID(i)
-		siteIDs = append(siteIDs, id)
-		net.AddNode(id, nil)
-	}
-	c := &Cluster{Net: net, MasterID: masterID, SiteIDs: siteIDs, Sites: map[simnet.NodeID]*Site{}, cfg: cfg}
-
-	c.Master = &Master{
-		net: net, id: masterID,
-		coord:   tpc.NewCoordinator(net, masterID, siteIDs, cfg),
-		pending: map[string]*pending{},
-	}
-	c.Master.coord.OnDecide = c.Master.onDecide
-	if err := net.SetHandler(masterID, c.Master.handle); err != nil {
-		return nil, err
-	}
-	if err := net.SetRecover(masterID, c.Master.RecoverCoordinator); err != nil {
-		return nil, err
-	}
-
-	for _, id := range siteIDs {
-		st, err := net.Store(id)
-		if err != nil {
-			return nil, err
-		}
-		store, err := kvstore.Open(st)
-		if err != nil {
-			return nil, err
-		}
-		site := &Site{net: net, id: id, Store: store, masterID: masterID, failed: map[string]bool{}}
-		site.cohort = tpc.NewCohort(net, id, masterID, siteIDs, cfg)
-		site.cohort.Vote = func(txn string) bool { return !site.failed[txn] }
-		site.cohort.OnDecide = site.applyDecision
-		c.Sites[id] = site
-		if err := net.SetHandler(id, site.handle); err != nil {
-			return nil, err
-		}
-		if err := net.SetRecover(id, func() { _ = site.Recover() }); err != nil {
-			return nil, err
-		}
-	}
-	return c, nil
-}
-
 // Submit starts a distributed transaction; onDone fires with the outcome.
 func (m *Master) Submit(txn string, ops []Op, onDone func(*Result)) error {
 	if _, dup := m.pending[txn]; dup {
 		return fmt.Errorf("txn: %s already submitted", txn)
 	}
 	p := &pending{
-		ops:    map[simnet.NodeID][]Op{},
-		done:   map[simnet.NodeID]bool{},
+		ops:    map[rt.NodeID][]Op{},
+		done:   map[rt.NodeID]bool{},
 		result: &Result{Txn: txn, Reads: map[string]string{}},
 		onDone: onDone,
 	}
@@ -232,7 +167,7 @@ func (m *Master) Submit(txn string, ops []Op, onDone func(*Result)) error {
 	// Fig. 3.1: startwork to every involved cohort, in parallel. Sites are
 	// contacted in ID order so the global send sequence — the coordinate
 	// system fault schedules target — is identical across replays.
-	sites := make([]simnet.NodeID, 0, len(p.ops))
+	sites := make([]rt.NodeID, 0, len(p.ops))
 	for site := range p.ops {
 		sites = append(sites, site)
 	}
@@ -262,7 +197,7 @@ func (m *Master) Submit(txn string, ops []Op, onDone func(*Result)) error {
 // silently dropped.
 //
 //fsm:handler txn master
-func (m *Master) handle(msg simnet.Message) {
+func (m *Master) handle(msg rt.Message) {
 	if m.coord.HandleMessage(msg) {
 		return
 	}
@@ -355,7 +290,7 @@ func (m *Master) RecoverCoordinator() {
 // undispatched traffic is accounted rather than silently dropped.
 //
 //fsm:handler txn site
-func (s *Site) handle(msg simnet.Message) {
+func (s *Site) handle(msg rt.Message) {
 	if s.cohort.HandleMessage(msg) {
 		return
 	}
@@ -468,7 +403,7 @@ func (s *Site) Recover() error {
 }
 
 // ID returns the site's node ID.
-func (s *Site) ID() simnet.NodeID { return s.id }
+func (s *Site) ID() rt.NodeID { return s.id }
 
 // Decision reports this site's commit-protocol outcome for txn.
 func (s *Site) Decision(txn string) tpc.Decision { return s.cohort.Decision(txn) }
@@ -478,52 +413,7 @@ func (s *Site) StateOf(txn string) tpc.State { return s.cohort.StateOf(txn) }
 
 // Blocked reports whether this (2PC) site is blocked on txn, and since
 // when — the uncertainty window the paper's introduction describes.
-func (s *Site) Blocked(txn string) (bool, sim.Time) { return s.cohort.Blocked(txn) }
+func (s *Site) Blocked(txn string) (bool, rt.Time) { return s.cohort.Blocked(txn) }
 
 // SetOnBlocked installs the blocked-cohort observer.
 func (s *Site) SetOnBlocked(f func(txn string)) { s.cohort.OnBlocked = f }
-
-// SiteFor maps a key to its home site by stable hashing.
-func (c *Cluster) SiteFor(key string) simnet.NodeID {
-	h := 0
-	for _, ch := range key {
-		h = h*31 + int(ch)
-	}
-	if h < 0 {
-		h = -h
-	}
-	return c.SiteIDs[h%len(c.SiteIDs)]
-}
-
-// Run drives the scheduler until quiescence.
-func (c *Cluster) Run() { c.Net.Scheduler().Run(0) }
-
-// TotalOf sums integer values under keys across all sites' committed
-// state (the bank-invariant helper).
-func (c *Cluster) TotalOf(keys []string) int {
-	total := 0
-	for _, k := range keys {
-		site := c.Sites[c.SiteFor(k)]
-		total += atoi(site.Store.Read(k))
-	}
-	return total
-}
-
-func atoi(s string) int {
-	n := 0
-	neg := false
-	for i, ch := range s {
-		if i == 0 && ch == '-' {
-			neg = true
-			continue
-		}
-		if ch < '0' || ch > '9' {
-			return 0
-		}
-		n = n*10 + int(ch-'0')
-	}
-	if neg {
-		return -n
-	}
-	return n
-}
