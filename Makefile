@@ -5,7 +5,7 @@ GO ?= go
 BENCHTIME ?= 1x
 BENCHOUT ?=
 
-.PHONY: build test race lint fsm fsm-check explore verify bench bench-go bench-compare
+.PHONY: build test race lint fsm fsm-check explore verify bench bench-go bench-compare serve load fuzz-wire
 
 build:
 	$(GO) build ./...
@@ -75,3 +75,29 @@ TOLERANCE ?= 0.20
 COMPAREOUT ?= BENCH_compare.json
 bench-compare:
 	$(GO) run ./cmd/specbench -benchtime $(BENCHTIME) -out "$(COMPAREOUT)" -compare "$(BASELINE)" -tolerance $(TOLERANCE)
+
+# Serving-path knobs for the convenience targets below. A real deployment
+# runs one `make serve NODE=n` per machine with the same CLUSTER map;
+# node 1 is the coordinator.
+NODE ?= 1
+CLUSTER ?= 1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103,4=127.0.0.1:7104
+CLIENT ?= 127.0.0.1:720$(NODE)
+DATA ?=
+LOADADDR ?= 127.0.0.1:7201
+TXNS ?= 500
+
+# Run one cluster node (tpc/txn/kvstore over real TCP). Example 4-node
+# local cluster: `make serve NODE=1 &`, ... `make serve NODE=4 &`.
+serve:
+	$(GO) run ./cmd/tpcserve -node $(NODE) -cluster "$(CLUSTER)" -client $(CLIENT) $(if $(DATA),-data $(DATA))
+
+# Drive the load generator at a running cluster's coordinator.
+load:
+	$(GO) run ./cmd/tpcload -addr $(LOADADDR) -txns $(TXNS)
+
+# Wire-layer fuzzers with a bounded budget (CI serve-smoke runs this; the
+# checked-in seed corpus under internal/rt/tcp/testdata/fuzz replays on
+# every plain `go test`).
+fuzz-wire:
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 10s ./internal/rt/tcp
+	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s ./internal/rt/tcp

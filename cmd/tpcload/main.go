@@ -1,0 +1,336 @@
+// Command tpcload is the load generator for a tpcserve cluster. It
+// drives the coordinator's line-protocol client port with read-then-write
+// transfer transactions over disjoint per-worker account sets, in either
+// closed-loop (each worker fires its next transaction the moment the
+// previous one finishes) or open-loop mode (-rate R sends on a fixed
+// schedule regardless of completions, exposing queueing delay).
+//
+// Usage:
+//
+//	tpcload -addr 127.0.0.1:7201 -txns 500 [-conc 4] [-rate 0] [-accounts 8] [-out BENCH.json]
+//
+// Each worker owns -accounts private accounts funded with 100 each; every
+// transaction moves 10 between two of them, so per-worker totals — and
+// the cluster-wide sum — are invariant under any serializable execution.
+// The generator re-reads its accounts at the end and fails loudly if
+// money was created or destroyed: a torn cross-site commit breaks the sum.
+//
+// Latencies go into a log-linear histogram; the summary prints p50, p99,
+// p999 and txns/sec, and -out writes the same numbers as a
+// benchsuite-schema BENCH JSON (names tpcload/p50 etc., ns_per_op
+// carrying the nanosecond quantile) so the regression tooling can diff
+// serving-path runs like any other benchmark.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"speccat/internal/benchsuite"
+)
+
+func main() {
+	addr := flag.String("addr", "", "coordinator client-port address")
+	txns := flag.Int("txns", 500, "total transfer transactions across all workers")
+	conc := flag.Int("conc", 4, "concurrent workers (connections)")
+	rate := flag.Float64("rate", 0, "open-loop send rate in txns/sec across all workers (0 = closed loop)")
+	accounts := flag.Int("accounts", 8, "private accounts per worker")
+	out := flag.String("out", "", "write a benchsuite-schema JSON report here")
+	flag.Parse()
+
+	if err := run(*addr, *txns, *conc, *rate, *accounts, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "tpcload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// client is one line-protocol connection.
+type client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+func dial(addr string) (*client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &client{conn: conn, r: sc, w: bufio.NewWriter(conn)}, nil
+}
+
+// round sends one command line and returns the one response line.
+func (c *client) round(line string) (string, error) {
+	if _, err := fmt.Fprintln(c.w, line); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("server closed the connection")
+	}
+	resp := c.r.Text()
+	if strings.HasPrefix(resp, "ERR") {
+		return "", fmt.Errorf("server: %s", resp)
+	}
+	return resp, nil
+}
+
+// transfer runs one read-then-write transfer of 10 from one account to
+// another as two distributed transactions (a read pair, then a write
+// pair), mirroring the conformance suite's workload. It returns the
+// end-to-end latency of the commit-bearing round trips.
+func (c *client) transfer(name, from, to string) (time.Duration, bool, error) {
+	start := time.Now() //lint:allow nowallclock load generator measures real serving-path latency
+	read := name + "-r"
+	for _, cmd := range []string{"BEGIN " + read, "READ " + read + " " + from, "READ " + read + " " + to} {
+		if _, err := c.round(cmd); err != nil {
+			return 0, false, err
+		}
+	}
+	done, err := c.round("COMMIT " + read)
+	if err != nil {
+		return 0, false, err
+	}
+	reads, committed := parseDone(done)
+	if !committed {
+		return time.Since(start), false, nil //lint:allow nowallclock load generator measures real serving-path latency
+	}
+	fromBal, toBal := balanceOf(reads, from), balanceOf(reads, to)
+	write := name + "-w"
+	for _, cmd := range []string{
+		"BEGIN " + write,
+		"WRITE " + write + " " + from + " " + strconv.Itoa(fromBal-10),
+		"WRITE " + write + " " + to + " " + strconv.Itoa(toBal+10),
+	} {
+		if _, err := c.round(cmd); err != nil {
+			return 0, false, err
+		}
+	}
+	done, err = c.round("COMMIT " + write)
+	if err != nil {
+		return 0, false, err
+	}
+	_, committed = parseDone(done)
+	return time.Since(start), committed, nil //lint:allow nowallclock load generator measures real serving-path latency
+}
+
+// parseDone splits "DONE <txn> <COMMIT|ABORT> [site/key=value ...]".
+func parseDone(line string) (map[string]string, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || fields[0] != "DONE" {
+		return nil, false
+	}
+	reads := map[string]string{}
+	for _, kv := range fields[3:] {
+		if k, v, ok := strings.Cut(kv, "="); ok {
+			reads[k] = v
+		}
+	}
+	return reads, fields[2] == "COMMIT"
+}
+
+// balanceOf finds a key's value among "site/key" read results.
+func balanceOf(reads map[string]string, key string) int {
+	for k, v := range reads {
+		if strings.HasSuffix(k, "/"+key) {
+			n, _ := strconv.Atoi(v)
+			return n
+		}
+	}
+	return 0
+}
+
+// workerStats is one worker's tally, merged after the run.
+type workerStats struct {
+	hist      benchsuite.Hist
+	committed int
+	aborted   int
+	err       error
+}
+
+func run(addr string, txns, conc int, rate float64, accounts int, out string) error {
+	if addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if txns < 1 || conc < 1 || accounts < 2 {
+		return fmt.Errorf("need -txns >= 1, -conc >= 1, -accounts >= 2")
+	}
+
+	// Fund every worker's private accounts in one transaction per worker
+	// so the invariant starts clean.
+	const initial = 100
+	acctName := func(w, i int) string { return fmt.Sprintf("w%d.a%d", w, i) }
+	setup, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	for w := 0; w < conc; w++ {
+		name := fmt.Sprintf("fund-w%d", w)
+		if _, err := setup.round("BEGIN " + name); err != nil {
+			return err
+		}
+		for i := 0; i < accounts; i++ {
+			if _, err := setup.round(fmt.Sprintf("WRITE %s %s %d", name, acctName(w, i), initial)); err != nil {
+				return err
+			}
+		}
+		done, err := setup.round("COMMIT " + name)
+		if err != nil {
+			return err
+		}
+		if _, committed := parseDone(done); !committed {
+			return fmt.Errorf("funding transaction %s aborted", name)
+		}
+	}
+
+	// Open-loop tickets: a shared ticker feeds a channel the workers drain,
+	// so the send schedule is fixed while completions lag behind it.
+	var tickets chan struct{}
+	if rate > 0 {
+		tickets = make(chan struct{}, txns)
+		interval := time.Duration(float64(time.Second) / rate)
+		go func() {
+			tick := time.NewTicker(interval) //lint:allow nowallclock open-loop generator paces real sends on the wall clock
+			defer tick.Stop()
+			for i := 0; i < txns; i++ {
+				<-tick.C
+				tickets <- struct{}{}
+			}
+			close(tickets)
+		}()
+	}
+
+	stats := make([]workerStats, conc)
+	var wg sync.WaitGroup
+	start := time.Now() //lint:allow nowallclock load generator measures real serving-path throughput
+	for w := 0; w < conc; w++ {
+		w := w
+		share := txns / conc
+		if w < txns%conc {
+			share++
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := &stats[w]
+			c, err := dial(addr)
+			if err != nil {
+				st.err = err
+				return
+			}
+			defer c.conn.Close()
+			for i := 0; i < share; i++ {
+				if tickets != nil {
+					if _, ok := <-tickets; !ok {
+						return
+					}
+				}
+				from := acctName(w, i%accounts)
+				to := acctName(w, (i+1)%accounts)
+				lat, committed, err := c.transfer(fmt.Sprintf("w%d.t%d", w, i), from, to)
+				if err != nil {
+					st.err = err
+					return
+				}
+				st.hist.Record(lat)
+				if committed {
+					st.committed++
+				} else {
+					st.aborted++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start) //lint:allow nowallclock load generator measures real serving-path throughput
+
+	var hist benchsuite.Hist
+	committed, aborted := 0, 0
+	for w := range stats {
+		if stats[w].err != nil {
+			return fmt.Errorf("worker %d: %w", w, stats[w].err)
+		}
+		committed += stats[w].committed
+		aborted += stats[w].aborted
+		hist.Merge(&stats[w].hist)
+	}
+
+	// Atomicity audit: re-read every account and check conservation.
+	total := 0
+	for w := 0; w < conc; w++ {
+		name := fmt.Sprintf("audit-w%d", w)
+		if _, err := setup.round("BEGIN " + name); err != nil {
+			return err
+		}
+		for i := 0; i < accounts; i++ {
+			if _, err := setup.round("READ " + name + " " + acctName(w, i)); err != nil {
+				return err
+			}
+		}
+		done, err := setup.round("COMMIT " + name)
+		if err != nil {
+			return err
+		}
+		reads, ok := parseDone(done)
+		if !ok {
+			return fmt.Errorf("audit transaction %s aborted", name)
+		}
+		for _, v := range reads {
+			n, _ := strconv.Atoi(v)
+			total += n
+		}
+	}
+	want := conc * accounts * initial
+	violations := 0
+	if total != want {
+		violations = 1
+	}
+
+	tps := float64(committed+aborted) / wall.Seconds()
+	fmt.Printf("tpcload: %d txns (%d committed, %d aborted) in %v\n", committed+aborted, committed, aborted, wall.Round(time.Millisecond))
+	fmt.Printf("  throughput  %.1f txns/sec\n", tps)
+	fmt.Printf("  latency     p50=%v p99=%v p999=%v min=%v max=%v\n",
+		hist.Quantile(0.5), hist.Quantile(0.99), hist.Quantile(0.999), hist.Min(), hist.Max())
+	fmt.Printf("  atomicity   total=%d want=%d violations=%d\n", total, want, violations)
+	if violations != 0 {
+		return fmt.Errorf("atomicity violated: account total %d, want %d", total, want)
+	}
+
+	if out != "" {
+		report := &benchsuite.Report{
+			SchemaVersion: benchsuite.SchemaVersion,
+			Date:          time.Now().UTC().Format("2006-01-02"), //lint:allow nowallclock report date stamp
+			GoVersion:     runtime.Version(),
+			GOOS:          runtime.GOOS,
+			GOARCH:        runtime.GOARCH,
+			NumCPU:        runtime.NumCPU(),
+			BenchTime:     fmt.Sprintf("%d txns", txns),
+			Benchmarks: []benchsuite.BenchResult{
+				{Name: "tpcload/p50", Iterations: int(hist.Count()), NsPerOp: float64(hist.Quantile(0.5))},
+				{Name: "tpcload/p99", Iterations: int(hist.Count()), NsPerOp: float64(hist.Quantile(0.99))},
+				{Name: "tpcload/p999", Iterations: int(hist.Count()), NsPerOp: float64(hist.Quantile(0.999))},
+				{Name: "tpcload/txn", Iterations: committed + aborted, NsPerOp: float64(wall.Nanoseconds()) / float64(committed+aborted)},
+			},
+		}
+		if err := report.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("  report      %s\n", out)
+	}
+	return nil
+}

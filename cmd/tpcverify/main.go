@@ -7,8 +7,8 @@
 // end-to-end 3PC/2PC comparison, the modular-vs-monolithic verification
 // ablation, the assumption-violation matrix, the worker-pool proof
 // schedule (-only e14, -workers n), and the static-durability
-// cross-validation verdicts (-only e15), and the live-vs-replay
-// conformance table (-only e16).
+// cross-validation verdicts (-only e15), the live-vs-replay conformance
+// table (-only e16), and the TCP wire conformance table (-only e17).
 package main
 
 import (
@@ -217,6 +217,24 @@ func run(sel func(string) bool, seed int64, txns, workers int) error {
 			}
 			fmt.Printf("  %-4s %d txns, %3d deliveries traced: commit=%v abort=%v — %s\n",
 				r.Protocol, r.Txns, r.Messages,
+				r.Decisions["t-commit"], r.Decisions["t-abort"], verdict)
+		}
+		fmt.Println()
+	}
+
+	if sel("e17") {
+		fmt.Println("== E17: TCP conformance — real-socket run recorded and replayed deterministically ==")
+		rows, err := experiments.E17TCPConformance()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			verdict := "CONFORMS"
+			if !r.Agree() {
+				verdict = fmt.Sprintf("DIVERGES (replay=%v durable=%v)", r.ReplayAgree, r.DurableAgree)
+			}
+			fmt.Printf("  %-4s %d txns, %3d deliveries traced, %3d frames on the wire: commit=%v abort=%v — %s\n",
+				r.Protocol, r.Txns, r.Messages, r.FramesSent,
 				r.Decisions["t-commit"], r.Decisions["t-abort"], verdict)
 		}
 		fmt.Println()

@@ -84,9 +84,14 @@ func (r *Report) Validate() error {
 			return fmt.Errorf("%w: %s: iterations=%d ns_per_op=%g", ErrReport, bm.Name, bm.Iterations, bm.NsPerOp)
 		}
 	}
+	// corpus_prove is the proof-pipeline headline; reports from other
+	// producers (the tpcload serving-path generator) legitimately have no
+	// proof phase and leave it zero. Present-but-partial is still a bug.
 	cp := r.CorpusProve
-	if cp.SequentialNs <= 0 || cp.ParallelNs <= 0 || cp.Workers < 1 || cp.Speedup <= 0 {
-		return fmt.Errorf("%w: corpus_prove %+v", ErrReport, cp)
+	if cp != (CorpusProve{}) {
+		if cp.SequentialNs <= 0 || cp.ParallelNs <= 0 || cp.Workers < 1 || cp.Speedup <= 0 {
+			return fmt.Errorf("%w: corpus_prove %+v", ErrReport, cp)
+		}
 	}
 	return nil
 }

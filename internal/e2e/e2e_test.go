@@ -1,0 +1,247 @@
+// Package e2e smoke-tests the serving path as real processes: it builds
+// cmd/tpcserve and cmd/tpcload with the local toolchain, boots a
+// 1-coordinator/3-cohort cluster on ephemeral loopback ports with
+// file-journaled stores, drives 500 transfer transactions through the
+// load generator, validates the emitted benchsuite report, and audits
+// the cohorts' final committed state for atomicity violations via the
+// DUMP protocol. Everything the unit and conformance layers prove
+// in-process must also hold across fork/exec and real sockets — this is
+// where that claim is checked.
+package e2e
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"speccat/internal/benchsuite"
+)
+
+// reservePorts binds n ephemeral loopback listeners, records their
+// addresses, and releases them. The gap between release and the server's
+// own bind is racy in principle; in practice the kernel does not reissue
+// an ephemeral port this quickly, and the test fails loudly if it does.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	ls := make([]net.Listener, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		ls[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	for _, l := range ls {
+		l.Close()
+	}
+	return addrs
+}
+
+// buildBinaries compiles both serving-path commands into dir.
+func buildBinaries(t *testing.T, dir string) (serve, load string) {
+	t.Helper()
+	serve = filepath.Join(dir, "tpcserve")
+	load = filepath.Join(dir, "tpcload")
+	for bin, pkg := range map[string]string{serve: "speccat/cmd/tpcserve", load: "speccat/cmd/tpcload"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = repoRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return serve, load
+}
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// waitReady polls an address until a TCP connect succeeds.
+func waitReady(t *testing.T, addr string, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		c, err := net.DialTimeout("tcp", addr, 250*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready", addr)
+}
+
+// dump sends DUMP to a node's client port and returns its committed
+// key/value state.
+func dump(t *testing.T, addr string) map[string]string {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintln(conn, "DUMP"); err != nil {
+		t.Fatalf("send DUMP: %v", err)
+	}
+	state := map[string]string{}
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "END" {
+			return state
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "KV" {
+			t.Fatalf("bad DUMP line %q", line)
+		}
+		state[fields[1]] = fields[2]
+	}
+	t.Fatalf("DUMP stream from %s ended without END: %v", addr, sc.Err())
+	return nil
+}
+
+// TestServeSmoke is satellite 4: real binaries, real sockets, 500
+// transactions, zero atomicity violations, schema-valid report.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke is not a -short test")
+	}
+	dir := t.TempDir()
+	serveBin, loadBin := buildBinaries(t, dir)
+
+	const (
+		nodes    = 4 // node 1 coordinates, 2..4 hold data
+		txns     = 500
+		workers  = 4
+		accounts = 8
+		initial  = 100
+	)
+	addrs := reservePorts(t, 2*nodes) // wire ports then client ports
+	wire, client := addrs[:nodes], addrs[nodes:]
+	var clusterParts []string
+	for i := 0; i < nodes; i++ {
+		clusterParts = append(clusterParts, fmt.Sprintf("%d=%s", i+1, wire[i]))
+	}
+	cluster := strings.Join(clusterParts, ",")
+
+	procs := make([]*exec.Cmd, nodes)
+	for i := 0; i < nodes; i++ {
+		cmd := exec.Command(serveBin,
+			"-node", strconv.Itoa(i+1),
+			"-cluster", cluster,
+			"-client", client[i],
+			"-protocol", "3pc",
+			"-data", filepath.Join(dir, fmt.Sprintf("data%d", i+1)),
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start node %d: %v", i+1, err)
+		}
+		procs[i] = cmd
+	}
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				_ = p.Process.Signal(syscall.SIGTERM)
+			}
+		}
+		for _, p := range procs {
+			_ = p.Wait()
+		}
+	}()
+	for i := 0; i < nodes; i++ {
+		waitReady(t, client[i], 15*time.Second)
+	}
+
+	// Drive the load generator as a real subprocess against the
+	// coordinator's client port.
+	report := filepath.Join(dir, "bench.json")
+	load := exec.Command(loadBin,
+		"-addr", client[0],
+		"-txns", strconv.Itoa(txns),
+		"-conc", strconv.Itoa(workers),
+		"-accounts", strconv.Itoa(accounts),
+		"-out", report,
+	)
+	out, err := load.CombinedOutput()
+	t.Logf("tpcload output:\n%s", out)
+	if err != nil {
+		t.Fatalf("tpcload failed: %v", err)
+	}
+	// tpcload itself audits conservation and exits nonzero on a violation;
+	// the explicit marker line is the belt to that suspenders.
+	if !strings.Contains(string(out), "violations=0") {
+		t.Fatal("tpcload did not report zero atomicity violations")
+	}
+
+	// The emitted report must satisfy the benchsuite schema and carry the
+	// serving-path quantiles.
+	r, err := benchsuite.ReadReport(report)
+	if err != nil {
+		t.Fatalf("report does not validate: %v", err)
+	}
+	want := map[string]bool{"tpcload/p50": false, "tpcload/p99": false, "tpcload/p999": false, "tpcload/txn": false}
+	for _, bm := range r.Benchmarks {
+		if _, ok := want[bm.Name]; ok {
+			want[bm.Name] = true
+			if bm.NsPerOp <= 0 {
+				t.Errorf("%s: ns_per_op %g, want > 0", bm.Name, bm.NsPerOp)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("report is missing benchmark %s", name)
+		}
+	}
+
+	// Final-state audit straight from the cohorts' committed stores: the
+	// funded money must be exactly conserved across all sites. A torn
+	// cross-site commit (one branch applied, its sibling not) breaks this.
+	total, keys := 0, 0
+	for i := 1; i < nodes; i++ {
+		for key, val := range dump(t, client[i]) {
+			if !strings.HasPrefix(key, "w") { // tpcload accounts are w<worker>.a<idx>
+				continue
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				t.Fatalf("non-numeric balance %s=%q", key, val)
+			}
+			total += n
+			keys++
+		}
+	}
+	if wantKeys := workers * accounts; keys != wantKeys {
+		t.Errorf("dumped %d accounts across cohorts, want %d", keys, wantKeys)
+	}
+	if wantTotal := workers * accounts * initial; total != wantTotal {
+		t.Errorf("atomicity violated in final store dump: total %d, want %d", total, wantTotal)
+	}
+}

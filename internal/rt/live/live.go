@@ -133,6 +133,12 @@ type Net struct {
 
 	timerMu sync.Mutex
 	timers  map[*wallTimer]struct{}
+	// timersClosed gates new timer creation during shutdown; it is set
+	// (under timerMu) before timerWG.Wait so no Add can race the Wait.
+	timersClosed bool
+	// timerWG counts in-flight wall-timer hand-off callbacks: Close joins
+	// it after cancelling, so no straggler goroutine outlives Close.
+	timerWG sync.WaitGroup
 }
 
 // New returns a live transport with no nodes.
@@ -280,19 +286,45 @@ func (t *Net) Deliver(msg rt.Message) error {
 }
 
 // wallTimer adapts time.Timer to rt.Timer with hand-off to the node
-// loop: the callback is enqueued, not run on the timer goroutine.
+// loop: the callback is enqueued, not run on the timer goroutine. The
+// once/done pair retires the timer's slot in Net.timerWG exactly once,
+// whether it fires or is cancelled first.
 type wallTimer struct {
-	t *time.Timer
+	t    *time.Timer
+	once sync.Once
+	done func()
 }
 
-func (w *wallTimer) Cancel() {
-	if w != nil && w.t != nil {
-		w.t.Stop()
+// finish retires the timer's in-flight accounting exactly once.
+func (w *wallTimer) finish() {
+	if w.done != nil {
+		w.once.Do(w.done)
 	}
 }
 
+func (w *wallTimer) Cancel() {
+	if w == nil || w.t == nil {
+		return
+	}
+	if w.t.Stop() {
+		// Stopped before firing: the hand-off callback will never run, so
+		// retire the in-flight slot on its behalf.
+		w.finish()
+	}
+}
+
+// isClosed reports whether Close has begun; timer callbacks re-check it
+// at execution time so a fired-but-undelivered timer drained during
+// shutdown never runs engine code after Close.
+func (t *Net) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
 // After schedules fn on node id's event loop d ticks from now. Unknown
-// nodes get an inert timer (matching the simulator's tolerance).
+// nodes, and nodes of a closing transport, get an inert timer (matching
+// the simulator's tolerance).
 func (t *Net) After(id rt.NodeID, d rt.Time, fn func()) rt.Timer {
 	t.mu.Lock()
 	n, ok := t.nodes[id]
@@ -303,16 +335,28 @@ func (t *Net) After(id rt.NodeID, d rt.Time, fn func()) rt.Timer {
 	if d < 0 {
 		d = 0
 	}
-	w := &wallTimer{}
+	t.timerMu.Lock()
+	defer t.timerMu.Unlock()
+	if t.timersClosed {
+		return &wallTimer{}
+	}
+	t.timerWG.Add(1)
+	w := &wallTimer{done: t.timerWG.Done}
 	w.t = time.AfterFunc(time.Duration(d)*t.opts.Tick, func() { //lint:allow nowallclock live runtime adapter: the wall clock IS this runtime's clock source
-		n.enqueue(fn)
+		n.enqueue(func() {
+			// Execution-time closed check: a timer callback that was already
+			// sitting in the mailbox when Close began must not fire.
+			if t.isClosed() {
+				return
+			}
+			fn()
+		})
 		t.timerMu.Lock()
 		delete(t.timers, w)
 		t.timerMu.Unlock()
+		w.finish()
 	})
-	t.timerMu.Lock()
 	t.timers[w] = struct{}{}
-	t.timerMu.Unlock()
 	return w
 }
 
@@ -325,8 +369,12 @@ func (t *Net) Trace() []TraceEntry {
 	return append([]TraceEntry(nil), t.trace...)
 }
 
-// Close cancels outstanding timers and stops every node's event loop,
-// waiting for them to drain. The transport rejects further sends.
+// Close cancels outstanding timers, joins their in-flight hand-off
+// callbacks, and stops every node's event loop, waiting for the
+// mailboxes to drain. Once Close has been invoked no After callback body
+// runs — pending deliveries still drain, but a timer that fires into the
+// shutdown is suppressed at execution time — and when Close returns no
+// timer goroutine is in flight. The transport rejects further sends.
 func (t *Net) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -340,11 +388,16 @@ func (t *Net) Close() {
 	}
 	t.mu.Unlock()
 	t.timerMu.Lock()
+	t.timersClosed = true
 	for w := range t.timers {
 		w.Cancel()
 	}
 	t.timers = map[*wallTimer]struct{}{}
 	t.timerMu.Unlock()
+	// Join stragglers: a timer that fired before its Cancel has a hand-off
+	// callback in flight; it must complete (and its enqueue be recorded or
+	// dropped) before the loops stop, so nothing races mailbox shutdown.
+	t.timerWG.Wait()
 	for _, n := range nodes {
 		n.stop()
 	}

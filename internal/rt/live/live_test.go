@@ -77,6 +77,71 @@ func TestLiveTimerFiresOnLoop(t *testing.T) {
 	time.Sleep(5 * time.Millisecond)
 }
 
+// TestCloseJoinsAfterCallbacks pins the shutdown-ordering contract: once
+// Close has been invoked, no After callback body may run, even if the
+// wall timer already fired and its callback was sitting in a node's
+// mailbox behind other work. Before the fix, a fired-but-undelivered
+// timer callback was drained (and executed) by the stopping event loop,
+// so engine code observed a timer firing "after Close".
+func TestCloseJoinsAfterCallbacks(t *testing.T) {
+	net := New(Options{Tick: 100 * time.Microsecond, Delta: 5})
+	defer net.Close()
+	net.AddNode(1, nil)
+
+	// Park node 1's event loop inside a callback so further mailbox
+	// entries queue up behind it.
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	net.After(1, 0, func() { close(parked); <-release })
+	<-parked
+
+	var mu sync.Mutex
+	fired := false
+	net.After(1, 0, func() {
+		mu.Lock()
+		fired = true
+		mu.Unlock()
+	})
+	// Let the wall timer fire and enqueue its callback behind the parked
+	// loop entry.
+	time.Sleep(50 * time.Millisecond)
+
+	// Unpark the loop only once Close is underway, so the queued timer
+	// callback races the shutdown exactly as a busy node would.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	net.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if fired {
+		t.Fatal("After callback executed after Close was invoked")
+	}
+}
+
+// TestCloseWaitsForInFlightTimer pins that Close does not return while a
+// timer's hand-off goroutine is still in flight: after Close, scheduling
+// state is quiescent and a straggler cannot resurrect work.
+func TestCloseWaitsForInFlightTimer(t *testing.T) {
+	net := New(Options{Tick: 100 * time.Microsecond, Delta: 5})
+	net.AddNode(1, nil)
+	for i := 0; i < 64; i++ {
+		net.After(1, 0, func() {})
+	}
+	net.Close()
+	// All timers either cancelled or joined: the registry must be empty
+	// and a post-Close timer must never run.
+	ran := make(chan struct{}, 1)
+	net.After(1, 0, func() { ran <- struct{}{} })
+	select {
+	case <-ran:
+		t.Fatal("timer scheduled after Close ran its callback")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
 func TestLiveBroadcastReachesAll(t *testing.T) {
 	net := New(Options{Tick: 100 * time.Microsecond, Delta: 5})
 	defer net.Close()

@@ -137,6 +137,21 @@ type Transport interface {
 	Up(id NodeID) bool
 }
 
+// PayloadRegistry is the registration face of a wire codec: a transport
+// that serializes messages onto a real network (internal/rt/tcp) exposes
+// one, and each engine package registers encode/decode functions for the
+// message kinds it owns (tpc.RegisterWire, txn.RegisterWire). Encoders
+// and decoders are total per kind — a decoder returns exactly the
+// payload type the kind's handler asserts, and unknown kinds are an
+// error at the codec, never a silent drop — mirroring the codec-totality
+// discipline fsmcheck enforces on the stable-storage encodings.
+type PayloadRegistry interface {
+	// Register binds kind to an encode/decode pair. Registering a kind
+	// twice is an error: conflicting codecs are a deployment bug, not a
+	// last-writer-wins.
+	Register(kind string, enc func(payload any) ([]byte, error), dec func(data []byte) (any, error)) error
+}
+
 // Quiescer is the optional synchronous-drive face of a Transport: the
 // deterministic simulator can run its event queue to quiescence on the
 // caller's stack. Live runtimes make progress on the wall clock instead

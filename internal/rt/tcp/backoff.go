@@ -1,0 +1,91 @@
+package tcp
+
+import (
+	"time"
+
+	"speccat/internal/rt"
+)
+
+// Backoff is the reconnect schedule: capped exponential with jitter.
+// Attempt n (0-based) waits a uniform duration in [base·2ⁿ/2, base·2ⁿ),
+// capped at Cap — the "equal jitter" scheme, which keeps a floor under
+// the delay (so a flapping peer is not hammered) while decorrelating
+// reconnecting peers. Randomness comes through rt.Rand, the same seam
+// the engines use, so tests pin the schedule with a deterministic
+// source.
+type Backoff struct {
+	// Base is the attempt-0 upper bound. Zero defaults to 10ms.
+	Base time.Duration
+	// Cap bounds every delay. Zero defaults to 2s.
+	Cap time.Duration
+}
+
+// DefaultBackoff matches a LAN/loopback deployment: first retry within
+// 10ms, settling at 2s between attempts against a dead peer.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 10 * time.Millisecond, Cap: 2 * time.Second}
+}
+
+// Delay returns the wait before reconnect attempt n (0-based), jittered
+// via r. A nil r yields the deterministic upper half midpoint (3/4 of
+// the uncapped bound), keeping the schedule total even unwired.
+func (b Backoff) Delay(attempt int, r rt.Rand) time.Duration {
+	base, lim := b.Base, b.Cap
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if lim <= 0 {
+		lim = 2 * time.Second
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	// base·2ⁿ without overflow: shift saturates at cap.
+	bound := base
+	for i := 0; i < attempt && bound < lim; i++ {
+		bound *= 2
+	}
+	if bound > lim {
+		bound = lim
+	}
+	half := bound / 2
+	if half <= 0 {
+		return bound
+	}
+	if r == nil {
+		return half + half/2
+	}
+	return half + time.Duration(r.Int63n(int64(half)))
+}
+
+// splitmix64 is the transport's default jitter source: a tiny
+// deterministic PRNG (Vigna's SplitMix64) seeded per transport, so the
+// package needs no math/rand global state and harnesses get replayable
+// schedules by pinning Options.Seed.
+type splitmix64 struct {
+	state uint64
+}
+
+func (s *splitmix64) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63n returns a uniform int64 in [0, n).
+func (s *splitmix64) Int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(s.next()>>1) % n
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *splitmix64) Float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// Interface conformance.
+var _ rt.Rand = (*splitmix64)(nil)

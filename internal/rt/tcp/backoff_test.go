@@ -1,0 +1,78 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+// zeroRand pins jitter at the low edge of the window; maxRand at the top.
+type zeroRand struct{}
+
+func (zeroRand) Int63n(n int64) int64 { return 0 }
+func (zeroRand) Float64() float64     { return 0 }
+
+type maxRand struct{}
+
+func (maxRand) Int63n(n int64) int64 { return n - 1 }
+func (maxRand) Float64() float64     { return 0 }
+
+// TestBackoffSchedule pins the full reconnect schedule: with jitter
+// pinned via rt.Rand (the same seam engines use for randomness), attempt
+// n's delay is exactly the equal-jitter window [base·2ⁿ/2, base·2ⁿ),
+// capped.
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: 2 * time.Second}
+	for _, tc := range []struct {
+		attempt  int
+		low, top time.Duration // inclusive low edge, exclusive top edge
+	}{
+		{0, 5 * time.Millisecond, 10 * time.Millisecond},
+		{1, 10 * time.Millisecond, 20 * time.Millisecond},
+		{2, 20 * time.Millisecond, 40 * time.Millisecond},
+		{3, 40 * time.Millisecond, 80 * time.Millisecond},
+		{4, 80 * time.Millisecond, 160 * time.Millisecond},
+		{5, 160 * time.Millisecond, 320 * time.Millisecond},
+		{6, 320 * time.Millisecond, 640 * time.Millisecond},
+		{7, 640 * time.Millisecond, 1280 * time.Millisecond},
+		{8, 1 * time.Second, 2 * time.Second},             // capped
+		{9, 1 * time.Second, 2 * time.Second},             // stays capped
+		{100, 1 * time.Second, 2 * time.Second},           // no overflow far past the cap
+		{-1, 5 * time.Millisecond, 10 * time.Millisecond}, // clamped to attempt 0
+	} {
+		if got := b.Delay(tc.attempt, zeroRand{}); got != tc.low {
+			t.Errorf("attempt %d low edge = %v, want %v", tc.attempt, got, tc.low)
+		}
+		if got := b.Delay(tc.attempt, maxRand{}); got != tc.top-1 {
+			t.Errorf("attempt %d top edge = %v, want %v", tc.attempt, got, tc.top-1)
+		}
+	}
+}
+
+// TestBackoffDefaultsAndNilRand pins the zero-value defaults and the
+// deterministic midpoint used when no jitter source is wired.
+func TestBackoffDefaultsAndNilRand(t *testing.T) {
+	var b Backoff // zero value → 10ms base, 2s cap
+	if got, want := b.Delay(0, nil), 7500*time.Microsecond; got != want {
+		t.Errorf("nil-rand attempt 0 = %v, want %v", got, want)
+	}
+	if got, want := b.Delay(20, nil), 1500*time.Millisecond; got != want {
+		t.Errorf("nil-rand capped = %v, want %v", got, want)
+	}
+}
+
+// TestBackoffJitterWithinWindow drives the real default jitter source and
+// checks every sampled delay stays inside the schedule window.
+func TestBackoffJitterWithinWindow(t *testing.T) {
+	b := DefaultBackoff()
+	r := &splitmix64{state: 42}
+	for attempt := 0; attempt < 12; attempt++ {
+		for i := 0; i < 100; i++ {
+			d := b.Delay(attempt, r)
+			low := b.Delay(attempt, zeroRand{})
+			top := 2 * low
+			if d < low || d >= top {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, low, top)
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package tcp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"speccat/internal/rt"
+)
+
+// testPayload is the codec tests' concrete payload type.
+type testPayload struct {
+	Txn string
+	N   int
+}
+
+func jsonCodecFor[T any]() (func(any) ([]byte, error), func([]byte) (any, error)) {
+	enc := func(p any) ([]byte, error) {
+		v, ok := p.(T)
+		if !ok {
+			return nil, fmt.Errorf("payload %T", p)
+		}
+		return json.Marshal(v)
+	}
+	dec := func(data []byte) (any, error) {
+		var v T
+		if err := json.Unmarshal(data, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	return enc, dec
+}
+
+func newTestCodec(t *testing.T) *Codec {
+	t.Helper()
+	c := NewCodec()
+	enc, dec := jsonCodecFor[testPayload]()
+	if err := c.Register("test.kind", enc, dec); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return c
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := newTestCodec(t)
+	in := testPayload{Txn: "t1", N: 42}
+	data, err := c.Encode("test.kind", in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := c.Decode("test.kind", data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	got, ok := out.(testPayload)
+	if !ok {
+		t.Fatalf("decoded type %T, want testPayload", out)
+	}
+	if got != in {
+		t.Fatalf("round trip = %+v, want %+v", got, in)
+	}
+}
+
+func TestCodecUnknownKind(t *testing.T) {
+	c := newTestCodec(t)
+	if _, err := c.Encode("nope", nil); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("Encode unknown = %v, want ErrUnknownKind", err)
+	}
+	if _, err := c.Decode("nope", nil); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("Decode unknown = %v, want ErrUnknownKind", err)
+	}
+}
+
+func TestCodecDuplicateKind(t *testing.T) {
+	c := newTestCodec(t)
+	enc, dec := jsonCodecFor[testPayload]()
+	if err := c.Register("test.kind", enc, dec); !errors.Is(err, ErrDupKind) {
+		t.Errorf("duplicate Register = %v, want ErrDupKind", err)
+	}
+}
+
+func TestCodecRejectsBadRegistration(t *testing.T) {
+	c := NewCodec()
+	enc, dec := jsonCodecFor[testPayload]()
+	for _, tc := range []struct {
+		name string
+		kind string
+		enc  func(any) ([]byte, error)
+		dec  func([]byte) (any, error)
+	}{
+		{"empty kind", "", enc, dec},
+		{"nil encoder", "k", nil, dec},
+		{"nil decoder", "k", enc, nil},
+	} {
+		if err := c.Register(tc.kind, tc.enc, tc.dec); !errors.Is(err, ErrCodec) {
+			t.Errorf("%s: Register = %v, want ErrCodec", tc.name, err)
+		}
+	}
+}
+
+func TestCodecDecodeFailure(t *testing.T) {
+	c := newTestCodec(t)
+	if _, err := c.Decode("test.kind", []byte("{not json")); !errors.Is(err, ErrCodec) {
+		t.Errorf("Decode corrupt payload = %v, want wrapped ErrCodec", err)
+	}
+}
+
+func TestCodecKindsSorted(t *testing.T) {
+	c := newTestCodec(t)
+	enc, dec := jsonCodecFor[testPayload]()
+	if err := c.Register("a.kind", enc, dec); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	kinds := c.Kinds()
+	if len(kinds) != 2 || kinds[0] != "a.kind" || kinds[1] != "test.kind" {
+		t.Fatalf("Kinds = %v, want [a.kind test.kind]", kinds)
+	}
+}
+
+// TestFrameRoundTrip pins the byte-level wire layout end to end.
+func TestFrameRoundTrip(t *testing.T) {
+	c := newTestCodec(t)
+	msg := rt.Message{From: 3, To: 7, Kind: "test.kind", Payload: testPayload{Txn: "x", N: 9}, SentAt: 12345}
+	frame, err := EncodeFrame(c, msg)
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	got, n, err := DecodeFrame(c, frame)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if n != len(frame) {
+		t.Errorf("consumed %d bytes, want %d", n, len(frame))
+	}
+	if got.From != msg.From || got.To != msg.To || got.Kind != msg.Kind || got.SentAt != msg.SentAt {
+		t.Errorf("header round trip = %+v, want %+v", got, msg)
+	}
+	if got.Payload.(testPayload) != msg.Payload.(testPayload) {
+		t.Errorf("payload round trip = %+v, want %+v", got.Payload, msg.Payload)
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	c := newTestCodec(t)
+	valid, err := EncodeFrame(c, rt.Message{From: 1, To: 2, Kind: "test.kind", Payload: testPayload{Txn: "t"}})
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"truncated prefix", func(b []byte) []byte { return b[:3] }, ErrCorrupt},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-1] }, ErrCorrupt},
+		{"bad magic", func(b []byte) []byte { b[4] = 'X'; return b }, ErrCorrupt},
+		{"bad version", func(b []byte) []byte { b[6] = 99; return b }, ErrVersion},
+		{"oversize declared", func(b []byte) []byte {
+			b[0], b[1], b[2], b[3] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}, ErrOversize},
+		{"kind overruns body", func(b []byte) []byte { b[23], b[24] = 0xff, 0xff; return b }, ErrCorrupt},
+	} {
+		b := tc.mut(append([]byte(nil), valid...))
+		if _, _, err := DecodeFrame(c, b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: DecodeFrame = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}

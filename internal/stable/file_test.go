@@ -1,0 +1,127 @@
+package stable
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenFileRoundTrip proves a journal-backed store survives a
+// close/reopen with identical contents, including deletes and log
+// truncation.
+func TestOpenFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Delete("a")
+	s.Append([]byte("rec0"))
+	s.Append([]byte("rec1"))
+	s.Append([]byte("rec2"))
+	if err := s.TruncateLog(2); err != nil {
+		t.Fatalf("TruncateLog: %v", err)
+	}
+	if err := s.JournalErr(); err != nil {
+		t.Fatalf("journal error: %v", err)
+	}
+	wantKV, wantLog := s.Snapshot()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	gotKV, gotLog := r.Snapshot()
+	if len(gotKV) != len(wantKV) {
+		t.Fatalf("kv size = %d, want %d", len(gotKV), len(wantKV))
+	}
+	for k, v := range wantKV {
+		if !bytes.Equal(gotKV[k], v) {
+			t.Errorf("kv[%q] = %q, want %q", k, gotKV[k], v)
+		}
+	}
+	if len(gotLog) != len(wantLog) {
+		t.Fatalf("log length = %d, want %d", len(gotLog), len(wantLog))
+	}
+	for i := range wantLog {
+		if !bytes.Equal(gotLog[i], wantLog[i]) {
+			t.Errorf("log[%d] = %q, want %q", i, gotLog[i], wantLog[i])
+		}
+	}
+}
+
+// TestOpenFileTornTail proves recovery discards a partial final record —
+// the state a crash mid-append leaves — and keeps every complete record
+// before it.
+func TestOpenFileTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	s.Put("k", []byte("v"))
+	s.Append([]byte("rec"))
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate a crash mid-write: a record with no trailing newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open for tear: %v", err)
+	}
+	if _, err := f.WriteString(`{"op":"put","k":"torn","v":"`); err != nil {
+		t.Fatalf("write tear: %v", err)
+	}
+	f.Close()
+
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("reopen torn: %v", err)
+	}
+	defer r.Close()
+	if _, ok := r.Get("torn"); ok {
+		t.Error("torn record replayed; want discarded")
+	}
+	if v, ok := r.Get("k"); !ok || string(v) != "v" {
+		t.Errorf("Get(k) = %q, %v; want \"v\", true", v, ok)
+	}
+	if r.LogLen() != 1 {
+		t.Errorf("LogLen = %d, want 1", r.LogLen())
+	}
+
+	// The torn bytes are truncated away, so new records land on a clean
+	// boundary and survive the next reopen.
+	r.Put("after", []byte("tear"))
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close after truncate: %v", err)
+	}
+	r2, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer r2.Close()
+	if v, ok := r2.Get("after"); !ok || string(v) != "tear" {
+		t.Errorf("Get(after) = %q, %v; want \"tear\", true", v, ok)
+	}
+}
+
+// TestInMemoryStoreUnaffected pins that a plain NewStore never journals
+// and reports no journal error.
+func TestInMemoryStoreUnaffected(t *testing.T) {
+	s := NewStore()
+	s.Put("k", []byte("v"))
+	if err := s.JournalErr(); err != nil {
+		t.Fatalf("JournalErr = %v, want nil", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close = %v, want nil", err)
+	}
+}

@@ -29,6 +29,11 @@ type Store struct {
 	// a dead site cannot force anything to disk. The simulator freezes a
 	// site's store for the duration of its crash.
 	frozen bool
+	// journal, when non-nil, makes the medium real: every applied mutation
+	// is appended (and synced) to a file journal, and OpenFile replays it
+	// on restart. See file.go; a nil journal is the simulator's in-memory
+	// medium, unchanged.
+	journal *fileJournal
 }
 
 // NewStore returns an empty store.
@@ -62,6 +67,7 @@ func (s *Store) Put(key string, value []byte) {
 	}
 	s.kv[key] = append([]byte{}, value...)
 	s.kvWrites++
+	s.journalRecord(journalRec{Op: opPut, Key: key, Val: value})
 }
 
 // Get returns a copy of the value under key.
@@ -84,6 +90,7 @@ func (s *Store) Delete(key string) {
 	}
 	delete(s.kv, key)
 	s.kvWrites++
+	s.journalRecord(journalRec{Op: opDelete, Key: key})
 }
 
 // Keys returns all keys, sorted.
@@ -107,6 +114,7 @@ func (s *Store) Append(record []byte) int {
 	}
 	s.log = append(s.log, append([]byte{}, record...))
 	s.logWrites++
+	s.journalRecord(journalRec{Op: opAppend, Val: record})
 	return len(s.log) - 1
 }
 
@@ -146,6 +154,7 @@ func (s *Store) TruncateLog(n int) error {
 	}
 	s.log = s.log[:n]
 	s.logWrites++
+	s.journalRecord(journalRec{Op: opTrunc, N: n})
 	return nil
 }
 

@@ -28,6 +28,30 @@ var ErrWire = errors.New("tpc: wire handler")
 // wires all message handlers. Node IDs are 1 (coordinator) and 2..n+1
 // (cohorts), the layout every harness and fault schedule in this
 // repository assumes.
+// DeployCoordinator registers and wires only the coordinator engine —
+// the per-process deployment a distributed runtime needs, where each
+// transport hosts exactly one node (internal/rt/tcp) and the cohorts
+// live in other processes.
+func DeployCoordinator(net rt.Transport, coordID rt.NodeID, cohortIDs []rt.NodeID, cfg Config) (*Coordinator, error) {
+	net.AddNode(coordID, nil)
+	c := NewCoordinator(net, coordID, cohortIDs, cfg)
+	if err := net.SetHandler(coordID, func(m rt.Message) { c.HandleMessage(m) }); err != nil {
+		return nil, fmt.Errorf("%w: coordinator %d: %w", ErrWire, coordID, err)
+	}
+	return c, nil
+}
+
+// DeployCohort registers and wires only one cohort engine (see
+// DeployCoordinator).
+func DeployCohort(net rt.Transport, id, coordID rt.NodeID, cohortIDs []rt.NodeID, cfg Config) (*Cohort, error) {
+	net.AddNode(id, nil)
+	h := NewCohort(net, id, coordID, cohortIDs, cfg)
+	if err := net.SetHandler(id, func(m rt.Message) { h.HandleMessage(m) }); err != nil {
+		return nil, fmt.Errorf("%w: cohort %d: %w", ErrWire, id, err)
+	}
+	return h, nil
+}
+
 func Deploy(net rt.Transport, n int, cfg Config) (*Deployment, error) {
 	coordID := rt.NodeID(1)
 	net.AddNode(coordID, nil)

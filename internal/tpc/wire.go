@@ -1,0 +1,63 @@
+package tpc
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"speccat/internal/rt"
+)
+
+// RegisterWire registers an encode/decode pair for every message kind
+// the tpc engines send, into a wire codec (rt.PayloadRegistry — in
+// practice internal/rt/tcp's Codec). The decoders return exactly the
+// unexported concrete payload types the handlers assert, so a message
+// that crossed a real wire is indistinguishable to the engine from one
+// that crossed the simulator's in-memory fabric. Registration is total
+// over the protocol: a kind added to the engine without a codec here
+// fails at the sender's EncodeFrame, not as a silent drop on a peer.
+func RegisterWire(reg rt.PayloadRegistry) error {
+	for _, kind := range []string{
+		KindCommitReq, KindVoteYes, KindVoteNo, KindPrepare,
+		KindAck, KindCommit, KindAbort, KindStateReq,
+	} {
+		if err := reg.Register(kind, encodeTxnMsg, decodeTxnMsg); err != nil {
+			return fmt.Errorf("tpc: register wire %s: %w", kind, err)
+		}
+	}
+	if err := reg.Register(KindStateResp, encodeStateResp, decodeStateResp); err != nil {
+		return fmt.Errorf("tpc: register wire %s: %w", KindStateResp, err)
+	}
+	return nil
+}
+
+func encodeTxnMsg(p any) ([]byte, error) {
+	m, ok := p.(txnMsg)
+	if !ok {
+		return nil, fmt.Errorf("tpc: wire payload %T, want txnMsg", p)
+	}
+	return json.Marshal(m)
+}
+
+func decodeTxnMsg(data []byte) (any, error) {
+	var m txnMsg
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("tpc: wire txnMsg: %w", err)
+	}
+	return m, nil
+}
+
+func encodeStateResp(p any) ([]byte, error) {
+	m, ok := p.(stateResp)
+	if !ok {
+		return nil, fmt.Errorf("tpc: wire payload %T, want stateResp", p)
+	}
+	return json.Marshal(m)
+}
+
+func decodeStateResp(data []byte) (any, error) {
+	var m stateResp
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("tpc: wire stateResp: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,87 @@
+package tpc
+
+import (
+	"reflect"
+	"testing"
+
+	"speccat/internal/rt"
+	"speccat/internal/rt/tcp"
+)
+
+// TestRegisterWireRoundTrip round-trips a representative payload for
+// every tpc message kind through a real wire codec and frame encoding,
+// asserting the decoded payload is byte-for-byte the concrete type and
+// value the handlers assert on. A kind added to the protocol without a
+// codec case makes the totality check below fail.
+func TestRegisterWireRoundTrip(t *testing.T) {
+	codec := tcp.NewCodec()
+	if err := RegisterWire(codec); err != nil {
+		t.Fatalf("RegisterWire: %v", err)
+	}
+
+	payloads := map[string]any{
+		KindCommitReq: txnMsg{Txn: "t1"},
+		KindVoteYes:   txnMsg{Txn: "t2"},
+		KindVoteNo:    txnMsg{Txn: "t3"},
+		KindPrepare:   txnMsg{Txn: "t4"},
+		KindAck:       txnMsg{Txn: "t5"},
+		KindCommit:    txnMsg{Txn: "t6"},
+		KindAbort:     txnMsg{Txn: "t7"},
+		KindStateReq:  txnMsg{Txn: "t8"},
+		KindStateResp: stateResp{Txn: "t9", State: StatePrepared},
+	}
+
+	// Totality: the registered kind set is exactly the protocol's.
+	kinds := codec.Kinds()
+	if len(kinds) != len(payloads) {
+		t.Fatalf("registered %d kinds %v, want %d", len(kinds), kinds, len(payloads))
+	}
+	for _, k := range kinds {
+		if _, ok := payloads[k]; !ok {
+			t.Fatalf("registered kind %s has no round-trip case", k)
+		}
+	}
+
+	for kind, payload := range payloads {
+		msg := rt.Message{From: 1, To: 2, Kind: kind, Payload: payload, SentAt: 5}
+		frame, err := tcp.EncodeFrame(codec, msg)
+		if err != nil {
+			t.Errorf("%s: EncodeFrame: %v", kind, err)
+			continue
+		}
+		got, _, err := tcp.DecodeFrame(codec, frame)
+		if err != nil {
+			t.Errorf("%s: DecodeFrame: %v", kind, err)
+			continue
+		}
+		if !reflect.DeepEqual(got.Payload, payload) {
+			t.Errorf("%s: round trip = %#v, want %#v", kind, got.Payload, payload)
+		}
+	}
+}
+
+// TestRegisterWireRejectsWrongPayloadType pins that encoders refuse a
+// payload of the wrong concrete type instead of serializing garbage.
+func TestRegisterWireRejectsWrongPayloadType(t *testing.T) {
+	codec := tcp.NewCodec()
+	if err := RegisterWire(codec); err != nil {
+		t.Fatalf("RegisterWire: %v", err)
+	}
+	if _, err := codec.Encode(KindCommitReq, "not a txnMsg"); err == nil {
+		t.Error("Encode with wrong payload type succeeded; want error")
+	}
+	if _, err := codec.Encode(KindStateResp, txnMsg{Txn: "t"}); err == nil {
+		t.Error("Encode stateResp kind with txnMsg succeeded; want error")
+	}
+}
+
+// TestRegisterWireDuplicate pins that double registration fails loudly.
+func TestRegisterWireDuplicate(t *testing.T) {
+	codec := tcp.NewCodec()
+	if err := RegisterWire(codec); err != nil {
+		t.Fatalf("RegisterWire: %v", err)
+	}
+	if err := RegisterWire(codec); err == nil {
+		t.Error("second RegisterWire succeeded; want duplicate-kind error")
+	}
+}

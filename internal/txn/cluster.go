@@ -8,7 +8,6 @@ package txn
 // under reasoned rt-boundary suppressions.
 
 import (
-	"speccat/internal/kvstore"
 	"speccat/internal/sim"    //lint:allow rt-boundary sim-harness constructor: the engines speak rt.Transport, this file owns the simulator wiring
 	"speccat/internal/simnet" //lint:allow rt-boundary sim-harness constructor: the engines speak rt.Transport, this file owns the simulator wiring
 	"speccat/internal/tpc"
@@ -46,53 +45,26 @@ func NewClusterOn(net *simnet.Network, n int, cfg tpc.Config) (*Cluster, error) 
 	}
 	c := &Cluster{Net: net, MasterID: masterID, SiteIDs: siteIDs, Sites: map[simnet.NodeID]*Site{}, cfg: cfg}
 
-	c.Master = &Master{
-		net: net, id: masterID,
-		coord:   tpc.NewCoordinator(net, masterID, siteIDs, cfg),
-		pending: map[string]*pending{},
-	}
-	c.Master.coord.OnDecide = c.Master.onDecide
-	if err := net.SetHandler(masterID, c.Master.handle); err != nil {
+	master, err := NewMasterOn(net, masterID, siteIDs, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if err := net.SetRecover(masterID, c.Master.RecoverCoordinator); err != nil {
-		return nil, err
-	}
+	c.Master = master
 
 	for _, id := range siteIDs {
-		st, err := net.Store(id)
+		site, err := NewSiteOn(net, id, masterID, siteIDs, cfg)
 		if err != nil {
 			return nil, err
 		}
-		store, err := kvstore.Open(st)
-		if err != nil {
-			return nil, err
-		}
-		site := &Site{net: net, id: id, Store: store, masterID: masterID, failed: map[string]bool{}}
-		site.cohort = tpc.NewCohort(net, id, masterID, siteIDs, cfg)
-		site.cohort.Vote = func(txn string) bool { return !site.failed[txn] }
-		site.cohort.OnDecide = site.applyDecision
 		c.Sites[id] = site
-		if err := net.SetHandler(id, site.handle); err != nil {
-			return nil, err
-		}
-		if err := net.SetRecover(id, func() { _ = site.Recover() }); err != nil {
-			return nil, err
-		}
 	}
 	return c, nil
 }
 
-// SiteFor maps a key to its home site by stable hashing.
+// SiteFor maps a key to its home site by stable hashing (the package
+// placement function, shared with the serving path).
 func (c *Cluster) SiteFor(key string) simnet.NodeID {
-	h := 0
-	for _, ch := range key {
-		h = h*31 + int(ch)
-	}
-	if h < 0 {
-		h = -h
-	}
-	return c.SiteIDs[h%len(c.SiteIDs)]
+	return SiteFor(c.SiteIDs, key)
 }
 
 // Run drives the scheduler until quiescence.

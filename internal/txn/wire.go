@@ -1,0 +1,58 @@
+package txn
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"speccat/internal/rt"
+)
+
+// RegisterWire registers an encode/decode pair for every message kind
+// the transaction layer sends (startwork and its acknowledgements), into
+// a wire codec (rt.PayloadRegistry). The commit protocol's own kinds are
+// tpc.RegisterWire's; a real deployment registers both into one codec.
+// Decoders return the unexported concrete payload types the handlers
+// assert, keeping wire and in-memory deliveries indistinguishable.
+func RegisterWire(reg rt.PayloadRegistry) error {
+	if err := reg.Register(kindWork, encodeWorkMsg, decodeWorkMsg); err != nil {
+		return fmt.Errorf("txn: register wire %s: %w", kindWork, err)
+	}
+	for _, kind := range []string{kindWorkDone, kindWorkFail} {
+		if err := reg.Register(kind, encodeDoneMsg, decodeDoneMsg); err != nil {
+			return fmt.Errorf("txn: register wire %s: %w", kind, err)
+		}
+	}
+	return nil
+}
+
+func encodeWorkMsg(p any) ([]byte, error) {
+	m, ok := p.(workMsg)
+	if !ok {
+		return nil, fmt.Errorf("txn: wire payload %T, want workMsg", p)
+	}
+	return json.Marshal(m)
+}
+
+func decodeWorkMsg(data []byte) (any, error) {
+	var m workMsg
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("txn: wire workMsg: %w", err)
+	}
+	return m, nil
+}
+
+func encodeDoneMsg(p any) ([]byte, error) {
+	m, ok := p.(doneMsg)
+	if !ok {
+		return nil, fmt.Errorf("txn: wire payload %T, want doneMsg", p)
+	}
+	return json.Marshal(m)
+}
+
+func decodeDoneMsg(data []byte) (any, error) {
+	var m doneMsg
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("txn: wire doneMsg: %w", err)
+	}
+	return m, nil
+}
