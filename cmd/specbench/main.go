@@ -88,13 +88,23 @@ func runSuite(out, benchtime string, workers int, run, compare string, tolerance
 		}
 		fmt.Printf("%12d ns/op %10d allocs/op\n", r.NsPerOp(), r.AllocsPerOp())
 		measured[bm.Name] = r
-		report.Benchmarks = append(report.Benchmarks, benchsuite.BenchResult{
+		res := benchsuite.BenchResult{
 			Name:        bm.Name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
+		}
+		// Custom units the body reported (b.ReportMetric) ride along as
+		// tracked metrics — the E18 benches emit conflict-rate and
+		// commits/ktick this way.
+		if len(r.Extra) > 0 {
+			res.Metrics = map[string]float64{}
+			for unit, v := range r.Extra {
+				res.Metrics[unit] = v
+			}
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
 	}
 	if len(report.Benchmarks) == 0 {
 		return fmt.Errorf("no suite benchmarks match -run %q", run)

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"speccat/internal/analysis"
+	"speccat/internal/analysis/commcheck"
 	"speccat/internal/analysis/durcheck"
 	"speccat/internal/analysis/fsmcheck"
 	"speccat/internal/core/provesched"
@@ -48,9 +49,10 @@ func main() {
 }
 
 // lintGoLayers runs the Go design-rule analyzers, the fsmcheck protocol
-// extraction and the durcheck durability-ordering analysis over the
-// enclosing module, so -lint covers all four analysis layers, and
-// returns the finding count. Outside a Go module it is a no-op.
+// extraction, the durcheck durability-ordering analysis and the commcheck
+// commutativity lock-mode analysis over the enclosing module, so -lint
+// covers the spec layer plus four Go analysis layers, and returns the
+// finding count. Outside a Go module it is a no-op.
 func lintGoLayers(stderr *os.File) int {
 	loader, err := analysis.NewLoader(".")
 	if err != nil || loader.ModulePath == "" {
@@ -66,6 +68,8 @@ func lintGoLayers(stderr *os.File) int {
 	diags = append(diags, fsmDiags...)
 	_, durDiags := durcheck.Run(pkgs)
 	diags = append(diags, durDiags...)
+	_, commDiags := commcheck.Run(pkgs)
+	diags = append(diags, commDiags...)
 	for _, d := range diags {
 		fmt.Fprintln(stderr, d)
 	}

@@ -1,4 +1,4 @@
-// Command speccatlint runs the project's five static-analysis layers:
+// Command speccatlint runs the project's six static-analysis layers:
 //
 //   - base: Go design-rule analyzers (internal/analysis) over package
 //     patterns: nopanic, nowallclock, norand, noglobalstate, errwrap.
@@ -15,6 +15,11 @@
 //     packages speak only the rt interfaces, handler state stays confined
 //     to its event loop, and //dur:requires sends follow the in-memory
 //     transition they advertise.
+//   - comm: commutativity-derived lock modes (internal/analysis/commcheck,
+//     opt-in via -comm): the //comm:matrix compatibility table must match
+//     the prover-discharged Safe theorems of its spec byte for byte, and
+//     every //comm:op site must acquire exactly its class's derived mode
+//     (comm-matrix, comm-overlock, comm-underlock, comm-extract).
 //   - spec: the spec/diagram linter (internal/core/speclint) over .sw
 //     files: undeclared symbols, arity mismatches, duplicate axioms,
 //     morphism totality pre-checks, prove/using consistency, diagram shape.
@@ -25,12 +30,12 @@
 //
 // Usage:
 //
-//	speccatlint [-list] [-werror] [-dur] [-port] [-only layer] [-json] [-fsm dir] [-fsm-check dir] [target ...]
+//	speccatlint [-list] [-werror] [-dur] [-port] [-comm] [-only layer] [-json] [-fsm dir] [-fsm-check dir] [target ...]
 //
-// By default the base, fsm and spec layers run; -dur and -port opt the
-// heavier dataflow layers in. -only base|fsm|dur|port|spec runs exactly
-// one layer (ignoring -dur/-port), so CI and bisection scripts can
-// attribute findings to a layer without re-running the other four. With
+// By default the base, fsm and spec layers run; -dur, -port and -comm opt
+// the heavier layers in. -only base|fsm|dur|port|comm|spec runs exactly
+// one layer (ignoring -dur/-port/-comm), so CI and bisection scripts can
+// attribute findings to a layer without re-running the other five. With
 // -fsm the extracted machines are rendered as markdown + DOT into dir
 // (the generated docs/fsm/ artifacts); with -fsm-check the rendering is
 // instead compared against dir and staleness is a failure (both belong
@@ -56,6 +61,7 @@ import (
 	"strings"
 
 	"speccat/internal/analysis"
+	"speccat/internal/analysis/commcheck"
 	"speccat/internal/analysis/durcheck"
 	"speccat/internal/analysis/fsmcheck"
 	"speccat/internal/analysis/portcheck"
@@ -63,7 +69,7 @@ import (
 )
 
 // layerNames are the selectable analysis layers, in run order.
-var layerNames = []string{"base", "fsm", "dur", "port", "spec"} //lint:allow noglobalstate immutable lookup table
+var layerNames = []string{"base", "fsm", "dur", "port", "comm", "spec"} //lint:allow noglobalstate immutable lookup table
 
 // finding is the unified JSON shape of one diagnostic from any layer.
 type finding struct {
@@ -87,7 +93,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	werror := fs.Bool("werror", false, "treat spec-lint warnings as errors")
 	dur := fs.Bool("dur", false, "run the durability-ordering dataflow layer (durcheck)")
 	port := fs.Bool("port", false, "run the runtime-boundary / state-confinement layer (portcheck)")
-	only := fs.String("only", "", "run exactly one layer: base, fsm, dur, port or spec")
+	comm := fs.Bool("comm", false, "run the commutativity lock-mode layer (commcheck)")
+	only := fs.String("only", "", "run exactly one layer: base, fsm, dur, port, comm or spec")
 	jsonOut := fs.Bool("json", false, "emit findings of all layers as a JSON array")
 	fsmDir := fs.String("fsm", "", "write the extracted machine docs (markdown + DOT) into this directory")
 	fsmCheck := fs.String("fsm-check", "", "fail if the generated machine docs in this directory are stale")
@@ -118,6 +125,8 @@ func run(args []string, stdout, stderr *os.File) int {
 			return *dur
 		case "port":
 			return *port
+		case "comm":
+			return *comm
 		}
 		return true
 	}
@@ -128,6 +137,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stdout, "%-14s %s\n", "fsm-*", "protocol state-machine extraction, totality and model cross-validation (fsmcheck)")
 		fmt.Fprintf(stdout, "%-14s %s\n", "dur-*", "write-ahead / durability-ordering dataflow analysis (durcheck, -dur)")
 		fmt.Fprintf(stdout, "%-14s %s\n", "rt-*", "runtime-boundary / state-confinement analysis (portcheck, -port)")
+		fmt.Fprintf(stdout, "%-14s %s\n", "comm-*", "commutativity-derived lock modes vs the discharged spec matrix (commcheck, -comm)")
 		return 0
 	}
 	var findings []finding
@@ -168,7 +178,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	wantGo := enabled("base") || enabled("fsm") || enabled("dur") || enabled("port")
+	wantGo := enabled("base") || enabled("fsm") || enabled("dur") || enabled("port") || enabled("comm")
 	if len(goPatterns) > 0 && wantGo {
 		loader, err := analysis.NewLoader(".")
 		if err != nil {
@@ -209,6 +219,12 @@ func run(args []string, stdout, stderr *os.File) int {
 			_, portDiags := portcheck.Run(pkgs)
 			for _, d := range portDiags {
 				diags = append(diags, layered{"port", d})
+			}
+		}
+		if enabled("comm") {
+			_, commDiags := commcheck.Run(pkgs)
+			for _, d := range commDiags {
+				diags = append(diags, layered{"comm", d})
 			}
 		}
 		for _, ld := range diags {

@@ -7,13 +7,22 @@
 //
 // Usage:
 //
-//	tpcload -addr 127.0.0.1:7201 -txns 500 [-conc 4] [-rate 0] [-accounts 8] [-out BENCH.json]
+//	tpcload -addr 127.0.0.1:7201 -txns 500 [-conc 4] [-rate 0] [-accounts 8] \
+//	        [-zipf 0] [-mix 0] [-seed 1] [-prefix p.] [-out BENCH.json]
 //
 // Each worker owns -accounts private accounts funded with 100 each; every
 // transaction moves 10 between two of them, so per-worker totals — and
 // the cluster-wide sum — are invariant under any serializable execution.
 // The generator re-reads its accounts at the end and fails loudly if
 // money was created or destroyed: a torn cross-site commit breaks the sum.
+//
+// -zipf theta skews each worker's account choice zipfian(theta) instead
+// of round-robin, concentrating load on hot accounts. -mix f runs
+// fraction f of the transactions as commutative increment-transfers —
+// one transaction of paired INC -10 / INC +10, which still conserves the
+// sum — instead of read-then-write WRITE transfers; under skew the INC
+// form shares the hot key's IncMode lock where WRITEs conflict. -seed
+// makes the zipfian/mix draws reproducible.
 //
 // Latencies go into a log-linear histogram; the summary prints p50, p99,
 // p999 and txns/sec, and -out writes the same numbers as a
@@ -26,6 +35,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"runtime"
@@ -35,6 +45,7 @@ import (
 	"time"
 
 	"speccat/internal/benchsuite"
+	"speccat/internal/workload"
 )
 
 func main() {
@@ -43,10 +54,14 @@ func main() {
 	conc := flag.Int("conc", 4, "concurrent workers (connections)")
 	rate := flag.Float64("rate", 0, "open-loop send rate in txns/sec across all workers (0 = closed loop)")
 	accounts := flag.Int("accounts", 8, "private accounts per worker")
+	zipf := flag.Float64("zipf", 0, "zipfian skew theta for account choice (0 = round-robin)")
+	mix := flag.Float64("mix", 0, "fraction of transactions run as paired-increment transfers (INC) instead of read-then-write (WRITE)")
+	seed := flag.Int64("seed", 1, "seed for the zipfian and mix draws")
+	prefix := flag.String("prefix", "", "transaction-name prefix (lets several runs share one cluster: the master rejects reused names)")
 	out := flag.String("out", "", "write a benchsuite-schema JSON report here")
 	flag.Parse()
 
-	if err := run(*addr, *txns, *conc, *rate, *accounts, *out); err != nil {
+	if err := run(*addr, *txns, *conc, *rate, *accounts, *zipf, *mix, *seed, *prefix, *out); err != nil {
 		fmt.Fprintf(os.Stderr, "tpcload: %v\n", err)
 		os.Exit(1)
 	}
@@ -129,6 +144,29 @@ func (c *client) transfer(name, from, to string) (time.Duration, bool, error) {
 	return time.Since(start), committed, nil //lint:allow nowallclock load generator measures real serving-path latency
 }
 
+// incTransfer moves 10 from one account to another as one transaction of
+// paired commutative increments — no read phase, and both deltas commit
+// or abort atomically, so the conservation audit holds exactly as it
+// does for the WRITE form.
+func (c *client) incTransfer(name, from, to string) (time.Duration, bool, error) {
+	start := time.Now() //lint:allow nowallclock load generator measures real serving-path latency
+	for _, cmd := range []string{
+		"BEGIN " + name,
+		"INC " + name + " " + from + " -10",
+		"INC " + name + " " + to + " 10",
+	} {
+		if _, err := c.round(cmd); err != nil {
+			return 0, false, err
+		}
+	}
+	done, err := c.round("COMMIT " + name)
+	if err != nil {
+		return 0, false, err
+	}
+	_, committed := parseDone(done)
+	return time.Since(start), committed, nil //lint:allow nowallclock load generator measures real serving-path latency
+}
+
 // parseDone splits "DONE <txn> <COMMIT|ABORT> [site/key=value ...]".
 func parseDone(line string) (map[string]string, bool) {
 	fields := strings.Fields(line)
@@ -163,12 +201,15 @@ type workerStats struct {
 	err       error
 }
 
-func run(addr string, txns, conc int, rate float64, accounts int, out string) error {
+func run(addr string, txns, conc int, rate float64, accounts int, zipf, mix float64, seed int64, prefix, out string) error {
 	if addr == "" {
 		return fmt.Errorf("-addr is required")
 	}
 	if txns < 1 || conc < 1 || accounts < 2 {
 		return fmt.Errorf("need -txns >= 1, -conc >= 1, -accounts >= 2")
+	}
+	if zipf < 0 || mix < 0 || mix > 1 {
+		return fmt.Errorf("need -zipf >= 0 and -mix in [0,1]")
 	}
 
 	// Fund every worker's private accounts in one transaction per worker
@@ -180,7 +221,7 @@ func run(addr string, txns, conc int, rate float64, accounts int, out string) er
 		return err
 	}
 	for w := 0; w < conc; w++ {
-		name := fmt.Sprintf("fund-w%d", w)
+		name := fmt.Sprintf("%sfund-w%d", prefix, w)
 		if _, err := setup.round("BEGIN " + name); err != nil {
 			return err
 		}
@@ -234,15 +275,35 @@ func run(addr string, txns, conc int, rate float64, accounts int, out string) er
 				return
 			}
 			defer c.conn.Close()
+			// Per-worker seeded draws keep the account choice and the
+			// WRITE/INC mix reproducible across runs of the same -seed.
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var chooser *workload.Zipf
+			if zipf > 0 {
+				chooser = workload.NewZipf(rng, accounts, zipf)
+			}
 			for i := 0; i < share; i++ {
 				if tickets != nil {
 					if _, ok := <-tickets; !ok {
 						return
 					}
 				}
-				from := acctName(w, i%accounts)
-				to := acctName(w, (i+1)%accounts)
-				lat, committed, err := c.transfer(fmt.Sprintf("w%d.t%d", w, i), from, to)
+				fromIdx, toIdx := i%accounts, (i+1)%accounts
+				if chooser != nil {
+					fromIdx = chooser.Next()
+					for toIdx = chooser.Next(); toIdx == fromIdx; toIdx = chooser.Next() {
+					}
+				}
+				from := acctName(w, fromIdx)
+				to := acctName(w, toIdx)
+				name := fmt.Sprintf("%sw%d.t%d", prefix, w, i)
+				var lat time.Duration
+				var committed bool
+				if mix > 0 && rng.Float64() < mix {
+					lat, committed, err = c.incTransfer(name, from, to)
+				} else {
+					lat, committed, err = c.transfer(name, from, to)
+				}
 				if err != nil {
 					st.err = err
 					return
@@ -273,7 +334,7 @@ func run(addr string, txns, conc int, rate float64, accounts int, out string) er
 	// Atomicity audit: re-read every account and check conservation.
 	total := 0
 	for w := 0; w < conc; w++ {
-		name := fmt.Sprintf("audit-w%d", w)
+		name := fmt.Sprintf("%saudit-w%d", prefix, w)
 		if _, err := setup.round("BEGIN " + name); err != nil {
 			return err
 		}

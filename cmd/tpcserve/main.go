@@ -20,8 +20,16 @@
 //	BEGIN <txn>               -> OK            (opens a buffered transaction)
 //	READ <txn> <key>          -> OK            (value arrives with DONE)
 //	WRITE <txn> <key> <value> -> OK
+//	INC <txn> <key> <delta>   -> OK            (commutative add under IncMode)
+//	APPEND <txn> <key> <item> -> OK            (multiset add under AppendMode)
+//	SADD <txn> <key> <member> -> OK            (set insert under SetInsMode)
 //	COMMIT <txn>              -> DONE <txn> <COMMIT|ABORT> [site/key=value ...]
 //	DUMP                      -> KV <key> <value> ... END   (local committed state)
+//
+// INC/APPEND/SADD are the commutative operation classes of
+// locking/comm.sw: they run under their derived (self-compatible) lock
+// modes, so concurrent increments of one hot key commit instead of
+// conflicting the way WRITEs do.
 //
 // Key placement is server-side: the coordinator maps each key to its
 // home site with the same stable hash the simulator harness uses
@@ -268,6 +276,12 @@ func (srv *server) handleLine(fields []string, pending map[string][]txn.Op) []st
 			return []string{"ERR usage: WRITE <txn> <key> <value>"}
 		}
 		return srv.buffer(pending, fields[1], txn.Op{Site: txn.SiteFor(srv.siteIDs, fields[2]), Key: fields[2], Value: fields[3], IsWrite: true})
+	case "INC", "APPEND", "SADD":
+		if len(fields) != 4 {
+			return []string{"ERR usage: " + fields[0] + " <txn> <key> <arg>"}
+		}
+		class := map[string]string{"INC": txn.ClassInc, "APPEND": txn.ClassAppend, "SADD": txn.ClassSetInsert}[fields[0]]
+		return srv.buffer(pending, fields[1], txn.Op{Site: txn.SiteFor(srv.siteIDs, fields[2]), Key: fields[2], Value: fields[3], Class: class})
 	case "COMMIT":
 		if len(fields) != 2 {
 			return []string{"ERR usage: COMMIT <txn>"}

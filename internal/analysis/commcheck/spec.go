@@ -1,0 +1,96 @@
+package commcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"speccat/internal/core/speclang"
+)
+
+// DerivedMatrix is the compatibility relation re-derived from a
+// commutativity spec: the set of class pairs backed by a
+// prover-discharged Safe theorem, plus how many obligations were
+// discharged deriving it.
+type DerivedMatrix struct {
+	// Compatible[a][b] reports a discharged commutativity argument for
+	// the ordered pair; the relation is symmetric by construction.
+	Compatible map[string]map[string]bool
+	// Proofs counts the discharged prove statements.
+	Proofs int
+	// Classes are the class constants declared in the spec, sorted.
+	Classes []string
+}
+
+// Derive parses and elaborates a commutativity spec and returns the
+// compatibility relation it supports. classes are the commutativity
+// classes the caller knows about (from //comm:mode annotations); the
+// derived relation marks (a, b) compatible exactly when the spec contains
+// a prove statement for theorem Safe<a><b> (or Safe<b><a>) — and
+// elaboration runs those proofs, so a theorem the prover cannot discharge
+// fails the derivation rather than silently weakening the matrix.
+func Derive(src string, classes []string) (*DerivedMatrix, error) {
+	file, err := speclang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("commcheck: parse spec: %w", err)
+	}
+	// Elaboration discharges every prove statement with the default
+	// resolution prover; any failed obligation surfaces here.
+	env, err := speclang.Eval(file, speclang.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("commcheck: discharge spec obligations: %w", err)
+	}
+	d := &DerivedMatrix{Compatible: map[string]map[string]bool{}}
+	declared := map[string]bool{}
+	proved := map[string]bool{}
+	for _, stmt := range file.Stmts {
+		switch e := stmt.Expr.(type) {
+		case *speclang.SpecExpr:
+			for _, op := range e.Ops {
+				if len(op.Args) == 0 {
+					declared[op.Name] = true
+				}
+			}
+		case *speclang.ProveExpr:
+			v, ok := env.Lookup(stmt.Name)
+			if !ok || v.Kind != speclang.KindProof {
+				return nil, fmt.Errorf("commcheck: obligation %s did not produce a proof", stmt.Name)
+			}
+			proved[e.Theorem] = true
+			d.Proofs++
+		}
+	}
+	for c := range declared {
+		d.Classes = append(d.Classes, c)
+	}
+	sort.Strings(d.Classes)
+	for _, c := range classes {
+		if !declared[c] {
+			return nil, fmt.Errorf("commcheck: class %s is not declared as a constant in the spec", c)
+		}
+	}
+	for _, a := range classes {
+		for _, b := range classes {
+			if proved["Safe"+a+b] || proved["Safe"+b+a] {
+				if d.Compatible[a] == nil {
+					d.Compatible[a] = map[string]bool{}
+				}
+				d.Compatible[a][b] = true
+			}
+		}
+	}
+	return d, nil
+}
+
+// protects reports whether acquiring mode class cm is safe for an
+// operation of class c: every class the lock manager would admit
+// concurrently under cm must commute with c. cm == c is trivially safe
+// when the derived matrix is consistent; a strictly stronger mode is safe
+// but overlocked (see RuleOverlock).
+func (d *DerivedMatrix) protects(cm, c string, classes []string) bool {
+	for _, other := range classes {
+		if d.Compatible[cm][other] && !d.Compatible[c][other] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+// Package commbad seeds one violation per commcheck mutation class: a
+// matrix entry flipped compatible without a discharged theorem, a
+// discharged pair flipped conflicting, an overlocked increment, an
+// underlocked write, and the comm-extract variants (unattached mode,
+// unknown verb, unknown class, reasonless ignore, non-constant mode,
+// unbound mode).
+package commbad
+
+import "speccat/internal/locking"
+
+// Lock-mode aliases bound to the fixture spec's commutativity classes.
+const (
+	readLock  = locking.Read    //comm:mode read
+	writeLock = locking.Write   //comm:mode write
+	incLock   = locking.IncMode //comm:mode inc
+)
+
+//comm:mode append // want `comm-extract: unattached /+comm:mode directive`
+
+//comm:bogus nonsense // want `comm-extract: unknown directive /+comm:bogus`
+
+// compat diverges from the spec in both directions: (inc, write) is
+// marked compatible with no commutativity argument behind it, and the
+// discharged (read, read) pair is marked conflicting.
+//
+//comm:matrix comm.sw
+var compat = map[locking.Mode]map[locking.Mode]bool{ // want `comm-matrix: matrix marks \(inc, write\) compatible but comm.sw has no discharged Safe theorem` `comm-matrix: matrix marks \(read, read\) conflicting but comm.sw discharges Safereadread`
+	readLock:  {},
+	writeLock: {},
+	incLock:   {incLock: true, writeLock: true},
+}
+
+// Compatible consults the matrix (keeps compat referenced).
+func Compatible(a, b locking.Mode) bool { return compat[a][b] }
+
+// Store is a toy store guarding a counter map with the lock manager.
+type Store struct {
+	locks *locking.Manager
+	data  map[string]int
+}
+
+// IncOver overlocks: the exclusive lock is safe for an increment but
+// forfeits the concurrency the discharged Safeincinc proof licenses.
+//
+//comm:op inc
+func (s *Store) IncOver(txn, key string, d int) {
+	s.locks.Acquire(txn, key, writeLock, nil) // want `comm-overlock: inc-class op Store\.IncOver acquires writeLock`
+	s.data[key] += d
+}
+
+// PutUnder underlocks: the increment mode admits concurrent increments
+// that do not commute with an absolute overwrite.
+//
+//comm:op write
+func (s *Store) PutUnder(txn, key string, v int) {
+	s.locks.Acquire(txn, key, incLock, nil) // want `comm-underlock: write-class op Store\.PutUnder acquires incLock, which admits concurrent inc-class holders`
+	s.data[key] = v
+}
+
+// Scan claims a class no //comm:mode binds.
+//
+//comm:op scan
+func (s *Store) Scan(txn, key string) int { // want `comm-extract: //comm:op names unknown class "scan"`
+	s.locks.Acquire(txn, key, readLock, nil)
+	return s.data[key]
+}
+
+// IncVar passes a computed mode commcheck cannot judge statically.
+//
+//comm:op inc
+func (s *Store) IncVar(txn, key string, d int, m locking.Mode) {
+	s.locks.Acquire(txn, key, m, nil) // want `comm-extract: non-constant lock mode in inc-class op Store\.IncVar`
+	s.data[key] += d
+}
+
+// IncForeign acquires a real mode the fixture never bound to a class.
+//
+//comm:op inc
+func (s *Store) IncForeign(txn, key string, d int) {
+	s.locks.Acquire(txn, key, locking.AppendMode, nil) // want `comm-extract: Store\.IncForeign acquires a mode with no //comm:mode binding`
+	s.data[key] += d
+}
+
+// IncSilenced tries to suppress its overlock without giving a reason;
+// the reasonless ignore is itself a finding and suppresses nothing.
+//
+//comm:op inc
+func (s *Store) IncSilenced(txn, key string, d int) {
+	//comm:ignore // want `comm-extract: /+comm:ignore needs a reason`
+	s.locks.Acquire(txn, key, writeLock, nil) // want `comm-overlock: inc-class op Store\.IncSilenced acquires writeLock`
+	s.data[key] += d
+}

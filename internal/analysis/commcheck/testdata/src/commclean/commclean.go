@@ -1,0 +1,69 @@
+// Package commclean exercises every commcheck annotation in its
+// well-formed shape: mode constants bound to the fixture spec's classes,
+// a matrix literal matching the spec's discharged theorems exactly, one
+// correctly-locked op per class, and a reasoned //comm:ignore on a
+// deliberate recovery-path overlock. A clean fixture must produce zero
+// findings.
+package commclean
+
+import "speccat/internal/locking"
+
+// Lock-mode aliases bound to the fixture spec's commutativity classes.
+const (
+	readLock  = locking.Read    //comm:mode read
+	writeLock = locking.Write   //comm:mode write
+	incLock   = locking.IncMode //comm:mode inc
+)
+
+// compat mirrors the fixture spec: the two discharged diagonal pairs are
+// compatible, everything touching write conflicts.
+//
+//comm:matrix comm.sw
+var compat = map[locking.Mode]map[locking.Mode]bool{
+	readLock:  {readLock: true},
+	writeLock: {},
+	incLock:   {incLock: true},
+}
+
+// Compatible consults the matrix (keeps compat referenced).
+func Compatible(a, b locking.Mode) bool { return compat[a][b] }
+
+// Store is a toy store guarding a counter map with the lock manager.
+type Store struct {
+	locks *locking.Manager
+	data  map[string]int
+}
+
+// Get reads a key under the shared read lock.
+//
+//comm:op read
+func (s *Store) Get(txn, key string) int {
+	s.locks.Acquire(txn, key, readLock, nil)
+	return s.data[key]
+}
+
+// Put overwrites a key under the exclusive lock.
+//
+//comm:op write
+func (s *Store) Put(txn, key string, v int) {
+	s.locks.Acquire(txn, key, writeLock, nil)
+	s.data[key] = v
+}
+
+// Inc adds a delta under the increment lock its class licenses.
+//
+//comm:op inc
+func (s *Store) Inc(txn, key string, d int) {
+	s.locks.Acquire(txn, key, incLock, nil)
+	s.data[key] += d
+}
+
+// Rebuild replays an increment during recovery under the exclusive lock:
+// a deliberate overlock, suppressed with a reason.
+//
+//comm:op inc
+func (s *Store) Rebuild(txn, key string, d int) {
+	//comm:ignore recovery replay deliberately serializes under the exclusive lock
+	s.locks.Acquire(txn, key, writeLock, nil)
+	s.data[key] += d
+}

@@ -659,7 +659,7 @@ func isStableMutator(obj types.Object) bool {
 // isWalMutator recognizes wal.Log mutators and the package-level
 // wal.Resolve — durable writes of class "log".
 func isWalMutator(obj types.Object) bool {
-	if isMethodOn(obj, "internal/wal", "Log", "Begin", "LoggedUpdate", "Commit", "Abort") {
+	if isMethodOn(obj, "internal/wal", "Log", "Begin", "LoggedUpdate", "LoggedApply", "Commit", "Abort") {
 		return true
 	}
 	fn, ok := obj.(*types.Func)

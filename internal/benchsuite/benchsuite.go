@@ -70,6 +70,8 @@ func Suite() []Bench {
 		{"E9_Ablation_Modular", benchAblationModular},
 		{"E9_Ablation_Monolithic", benchAblationMonolithic},
 		{"E10_FailureInjection", benchFailureInjection},
+		{"E18_ZipfMix_ExclusiveWrites", zipfMixBench(1.0)},
+		{"E18_ZipfMix_IncTransfers", zipfMixBench(0)},
 		{"E14_CorpusProve_Sequential", CorpusProveBench(1)},
 		{"E14_CorpusProve_Parallel", CorpusProveBench(0)},
 	}
@@ -199,6 +201,42 @@ func benchAblationMonolithic(b *testing.B) {
 			if _, err := thesis.ProveMonolithic(env, prop); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// zipfMixBench runs the E18 zipfian update shape under one locking
+// regime per iteration — writeFraction 1.0 is blind exclusive writes,
+// 0 the equivalent commutative increment-transfers — and reports the
+// regime's conflict rate and commit throughput as custom metrics next to
+// ns/op, so the commutativity win (and any mode-matrix regression that
+// erodes it) is tracked by the same BENCH_<date>.json tooling as the
+// timing numbers.
+func zipfMixBench(writeFraction float64) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var committed, aborted int
+		var ticks float64
+		for i := 0; i < b.N; i++ {
+			row, err := experiments.E18Sweep("bench", []int64{int64(i) + 1}, writeFraction)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(row.Violated) != 0 {
+				b.Fatalf("oracle violations: %v", row.Violated)
+			}
+			if row.Committed == 0 {
+				b.Fatal("nothing committed")
+			}
+			committed += row.Committed
+			aborted += row.Aborted
+			ticks += row.Ticks
+		}
+		if n := committed + aborted; n > 0 {
+			b.ReportMetric(float64(aborted)/float64(n), "conflict-rate")
+		}
+		if ticks > 0 {
+			b.ReportMetric(float64(committed)/ticks*1000, "commits/ktick")
 		}
 	}
 }

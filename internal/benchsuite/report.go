@@ -16,13 +16,19 @@ const SchemaVersion = 1
 // ErrReport is wrapped by every report validation or IO failure.
 var ErrReport = errors.New("benchsuite: bad report")
 
-// BenchResult is one benchmark's measurement.
+// BenchResult is one benchmark's measurement. Metrics carries any
+// custom units the benchmark body reported (testing.B.ReportMetric) —
+// e.g. the E18 zipfian-mix benches track conflict-rate and commits/ktick
+// per locking regime — so domain numbers ride in the same report as the
+// timings. Metrics are recorded, not regression-gated: only ns/op feeds
+// the Compare tolerance check.
 type BenchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // CorpusProve is the E14 sequential-versus-parallel headline: total time

@@ -2,7 +2,8 @@
 // cmd/tpcserve and cmd/tpcload with the local toolchain, boots a
 // 1-coordinator/3-cohort cluster on ephemeral loopback ports with
 // file-journaled stores, drives 500 transfer transactions through the
-// load generator, validates the emitted benchsuite report, and audits
+// load generator plus a zipfian commutative-increment mix (-zipf/-mix,
+// the INC verb), validates the emitted benchsuite report, and audits
 // the cohorts' final committed state for atomicity violations via the
 // DUMP protocol. Everything the unit and conformance layers prove
 // in-process must also hold across fork/exec and real sockets — this is
@@ -157,6 +158,13 @@ func TestServeSmoke(t *testing.T) {
 			"-client", client[i],
 			"-protocol", "3pc",
 			"-data", filepath.Join(dir, fmt.Sprintf("data%d", i+1)),
+			// The default delay bound (10 ticks = 10ms) models a quiet
+			// host. Loaded CI boxes stall event loops for >40ms, which
+			// fires the cohorts' failure-handling timeouts mid-commit and
+			// breaks the synchrony assumption 3PC termination rests on;
+			// no fault is ever injected here, so widen the bound instead.
+			"-tick", "1ms",
+			"-delta", "100",
 		)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
@@ -198,6 +206,31 @@ func TestServeSmoke(t *testing.T) {
 	// the explicit marker line is the belt to that suspenders.
 	if !strings.Contains(string(out), "violations=0") {
 		t.Fatal("tpcload did not report zero atomicity violations")
+	}
+
+	// Second pass against the same cluster: zipfian-skewed accounts with a
+	// commutative INC mix. This pushes the INC verb — and with it IncMode
+	// locking and the WAL's logical records — through real sockets and
+	// journals; paired ±10 increments conserve the sum exactly like the
+	// WRITE transfers, so the same audits apply. The re-funding writes at
+	// the start of the run reset every balance to 100 first.
+	mixed := exec.Command(loadBin,
+		"-addr", client[0],
+		"-txns", "200",
+		"-conc", strconv.Itoa(workers),
+		"-accounts", strconv.Itoa(accounts),
+		"-zipf", "0.9",
+		"-mix", "0.7",
+		"-seed", "7",
+		"-prefix", "mix.",
+	)
+	out, err = mixed.CombinedOutput()
+	t.Logf("tpcload -zipf -mix output:\n%s", out)
+	if err != nil {
+		t.Fatalf("tpcload -zipf -mix failed: %v", err)
+	}
+	if !strings.Contains(string(out), "violations=0") {
+		t.Fatal("commutative-mix tpcload did not report zero atomicity violations")
 	}
 
 	// The emitted report must satisfy the benchsuite schema and carry the

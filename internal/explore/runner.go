@@ -140,9 +140,17 @@ type runner struct {
 	// writes records the values each transaction writes at each site
 	// (known at submission time; used by the durability oracle).
 	writes map[string]map[simnet.NodeID]map[string]string
+	// classed records, per transaction and site, the commutative (classed)
+	// operations in submission order. The durability oracle folds them over
+	// the applied history's absolute writes, mirroring the WAL's logical
+	// redo.
+	classed map[string]map[simnet.NodeID][]classedOp
 	// applied records, per site, the transactions whose commit was applied
 	// to the local store, in application order.
 	applied map[simnet.NodeID][]string
+	// appliedAt records, per site, when each transaction's commit was
+	// applied — the moment strict 2PL releases its locks there.
+	appliedAt map[simnet.NodeID]map[string]sim.Time
 	// opLog records, per site, the data operations in execution order
 	// (= strict-2PL lock acquisition order), for the conflict graph.
 	opLog map[simnet.NodeID][]opEvent
@@ -152,6 +160,20 @@ type opEvent struct {
 	txn   string
 	key   string
 	write bool
+	// class is the commutativity class of a classed (non-exclusive update)
+	// operation; empty for plain reads and absolute writes.
+	class string
+	// at is the simulated time the operation executed (= was granted its
+	// lock). Together with appliedAt it lets the serializability oracle
+	// detect incompatible lock modes held simultaneously.
+	at sim.Time
+}
+
+// classedOp is one commutative operation of a transaction at a site.
+type classedOp struct {
+	key string
+	op  string
+	arg string
 }
 
 func (r *runner) ev(format string, args ...any) {
@@ -180,18 +202,24 @@ func run(spec Schedule, logSends bool) (*RunResult, []SendInfo, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	kind, err := spec.WorkloadKind()
+	if err != nil {
+		return nil, nil, err
+	}
 	if spec.Horizon == 0 && len(spec.Faults) > 0 {
 		return nil, nil, fmt.Errorf("explore: schedule with faults needs a horizon (a blocked cohort never quiesces)")
 	}
 
 	r := &runner{
-		spec:     spec,
-		sched:    sim.NewScheduler(spec.Seed),
-		results:  map[string]*txn.Result{},
-		writes:   map[string]map[simnet.NodeID]map[string]string{},
-		applied:  map[simnet.NodeID][]string{},
-		opLog:    map[simnet.NodeID][]opEvent{},
-		logSends: logSends,
+		spec:      spec,
+		sched:     sim.NewScheduler(spec.Seed),
+		results:   map[string]*txn.Result{},
+		writes:    map[string]map[simnet.NodeID]map[string]string{},
+		classed:   map[string]map[simnet.NodeID][]classedOp{},
+		applied:   map[simnet.NodeID][]string{},
+		appliedAt: map[simnet.NodeID]map[string]sim.Time{},
+		opLog:     map[simnet.NodeID][]opEvent{},
+		logSends:  logSends,
 	}
 	r.net = simnet.New(r.sched, simnet.DefaultOptions())
 	r.cluster, err = txn.NewClusterOn(r.net, spec.Sites, cfg)
@@ -202,12 +230,19 @@ func run(spec Schedule, logSends bool) (*RunResult, []SendInfo, error) {
 	for _, id := range r.cluster.SiteIDs {
 		site := r.cluster.Sites[id]
 		sid := id
+		site.UnsafeWriteLocks = spec.Underlock
 		site.OnOp = func(t string, op txn.Op) {
-			r.opLog[sid] = append(r.opLog[sid], opEvent{txn: t, key: op.Key, write: op.IsWrite})
+			r.opLog[sid] = append(r.opLog[sid], opEvent{
+				txn: t, key: op.Key, write: op.IsWrite, class: op.Class, at: r.sched.Now(),
+			})
 		}
 		site.OnApply = func(t string, d tpc.Decision) {
 			if d == tpc.DecisionCommit {
 				r.applied[sid] = append(r.applied[sid], t)
+				if r.appliedAt[sid] == nil {
+					r.appliedAt[sid] = map[string]sim.Time{}
+				}
+				r.appliedAt[sid][t] = r.sched.Now()
 			}
 		}
 		site.SetOnBlocked(func(t string) { r.ev("blocked site=%d txn=%s", sid, t) })
@@ -217,10 +252,13 @@ func run(spec Schedule, logSends bool) (*RunResult, []SendInfo, error) {
 	// scheduler's own source (network delays) and the workload stay
 	// independent but both replay from Schedule.Seed.
 	gen := workload.New(workload.Config{
-		Kind:         workload.Transfers,
-		Accounts:     spec.Accounts,
-		Transactions: spec.Txns,
-		Rand:         rand.New(rand.NewSource(spec.Seed + 1)),
+		Kind:          kind,
+		Accounts:      spec.Accounts,
+		Transactions:  spec.Txns,
+		Rand:          rand.New(rand.NewSource(spec.Seed + 1)),
+		ZipfTheta:     spec.ZipfTheta,
+		ReadFraction:  spec.ReadFraction,
+		WriteFraction: spec.WriteFraction,
 	}, r.cluster.SiteFor)
 
 	// Phase 1: bootstrap the accounts, ending at a fixed time so the
@@ -262,7 +300,12 @@ func run(spec Schedule, logSends bool) (*RunResult, []SendInfo, error) {
 func (r *runner) submit(name string, ops []txn.Op) {
 	r.submitted = append(r.submitted, name)
 	w := map[simnet.NodeID]map[string]string{}
+	co := map[simnet.NodeID][]classedOp{}
 	for _, op := range ops {
+		if op.Class != "" {
+			co[op.Site] = append(co[op.Site], classedOp{key: op.Key, op: op.Class, arg: op.Value})
+			continue
+		}
 		if !op.IsWrite {
 			continue
 		}
@@ -272,6 +315,9 @@ func (r *runner) submit(name string, ops []txn.Op) {
 		w[op.Site][op.Key] = op.Value
 	}
 	r.writes[name] = w
+	if len(co) > 0 {
+		r.classed[name] = co
+	}
 	r.ev("submit txn=%s ops=%d", name, len(ops))
 	err := r.cluster.Master.Submit(name, ops, func(res *txn.Result) {
 		r.results[name] = res

@@ -7,6 +7,7 @@ import (
 	"speccat/internal/sim"
 	"speccat/internal/simnet"
 	"speccat/internal/tpc"
+	"speccat/internal/workload"
 )
 
 // FaultKind enumerates the injectable fault events of a schedule.
@@ -79,6 +80,14 @@ const (
 	Proto3PCUnsafeTerm = "3pc-unsafe-term"
 )
 
+// Workload names accepted by schedules (the CLI's -workload values).
+// Empty means the default transfer workload, so pre-existing traces stay
+// byte-identical.
+const (
+	WorkloadTransfers   = "transfers"
+	WorkloadCommutative = "commutative"
+)
+
 // Schedule is a complete, replayable description of one simulated run:
 // the protocol variant, the deterministic seed driving network delays and
 // workload generation, the cluster and workload shape, and the injected
@@ -99,6 +108,37 @@ type Schedule struct {
 	// blocked 2PC cohort re-arms its timer forever).
 	Horizon sim.Time `json:"horizon,omitempty"`
 	Faults  []Fault  `json:"faults,omitempty"`
+	// Workload selects the generated mix: "" or "transfers" for the
+	// absolute-write transfer workload, "commutative" for zipfian
+	// increment-transfers (paired ±delta increment ops) plus a read
+	// fraction.
+	Workload string `json:"workload,omitempty"`
+	// ZipfTheta skews the commutative workload's account choice
+	// (0 = uniform).
+	ZipfTheta float64 `json:"zipfTheta,omitempty"`
+	// ReadFraction is the commutative mix's share of single-key reads.
+	ReadFraction float64 `json:"readFraction,omitempty"`
+	// WriteFraction is the commutative mix's share of blind absolute-write
+	// transactions (see workload.Config.WriteFraction) — the accesses the
+	// underlock ablation races against concurrent increments.
+	WriteFraction float64 `json:"writeFraction,omitempty"`
+	// Underlock routes every site's absolute writes through the
+	// deliberately-underlocked kvstore path (increment-mode locks instead
+	// of exclusive ones) — the dynamic twin of the comm-underlock static
+	// rule. The serializability oracle must catch what this admits.
+	Underlock bool `json:"underlock,omitempty"`
+}
+
+// WorkloadKind translates the schedule's workload name.
+func (s Schedule) WorkloadKind() (workload.Kind, error) {
+	switch s.Workload {
+	case "", WorkloadTransfers:
+		return workload.Transfers, nil
+	case WorkloadCommutative:
+		return workload.Commutative, nil
+	default:
+		return 0, fmt.Errorf("explore: unknown workload %q (want transfers or commutative)", s.Workload)
+	}
 }
 
 // Config translates the schedule's protocol name into an engine config.
@@ -162,6 +202,9 @@ func ParseTrace(data []byte) (*RunResult, error) {
 		return nil, fmt.Errorf("explore: corrupt trace: %w", err)
 	}
 	if _, err := r.Schedule.Config(); err != nil {
+		return nil, err
+	}
+	if _, err := r.Schedule.WorkloadKind(); err != nil {
 		return nil, err
 	}
 	return &r, nil

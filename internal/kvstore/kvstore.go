@@ -67,6 +67,8 @@ func (s *Store) Begin(txn string) error {
 }
 
 // Get reads key under a read lock. Lock conflicts surface as ErrConflict.
+//
+//comm:op read
 func (s *Store) Get(txn, key string) (string, error) {
 	if !s.open[txn] {
 		return "", fmt.Errorf("%w: %s", ErrNoTxn, txn)
@@ -82,11 +84,93 @@ func (s *Store) Get(txn, key string) (string, error) {
 }
 
 // Put writes key under a write lock with write-ahead logging.
+//
+//comm:op write
 func (s *Store) Put(txn, key, value string) error {
 	if !s.open[txn] {
 		return fmt.Errorf("%w: %s", ErrNoTxn, txn)
 	}
 	granted, err := s.locks.Acquire(txn, key, locking.Write, nil)
+	if err != nil {
+		return fmt.Errorf("kvstore: put %s: %w", key, err)
+	}
+	if !granted {
+		return fmt.Errorf("%w: write %s for %s", ErrConflict, key, txn)
+	}
+	return s.log.LoggedUpdate(txn, s.data, key, value)
+}
+
+// Increment adds a signed decimal delta to key's canonical integer
+// encoding under the increment lock: concurrent increments of other
+// transactions proceed in parallel because increments commute
+// (Safeincinc in locking/comm.sw).
+//
+//comm:op inc
+func (s *Store) Increment(txn, key, delta string) error {
+	if !s.open[txn] {
+		return fmt.Errorf("%w: %s", ErrNoTxn, txn)
+	}
+	granted, err := s.locks.Acquire(txn, key, locking.IncMode, nil)
+	if err != nil {
+		return fmt.Errorf("kvstore: increment %s: %w", key, err)
+	}
+	if !granted {
+		return fmt.Errorf("%w: increment %s for %s", ErrConflict, key, txn)
+	}
+	return s.log.LoggedApply(txn, s.data, key, wal.OpInc, delta)
+}
+
+// Append adds an element to key's canonical multiset encoding under the
+// append lock (Safeappendappend).
+//
+//comm:op append
+func (s *Store) Append(txn, key, elem string) error {
+	if !s.open[txn] {
+		return fmt.Errorf("%w: %s", ErrNoTxn, txn)
+	}
+	granted, err := s.locks.Acquire(txn, key, locking.AppendMode, nil)
+	if err != nil {
+		return fmt.Errorf("kvstore: append %s: %w", key, err)
+	}
+	if !granted {
+		return fmt.Errorf("%w: append %s for %s", ErrConflict, key, txn)
+	}
+	return s.log.LoggedApply(txn, s.data, key, wal.OpAppend, elem)
+}
+
+// SetInsert adds an element to key's canonical set encoding under the
+// set-insert lock (Safesetinssetins; inserting an existing element is a
+// logged no-op).
+//
+//comm:op setins
+func (s *Store) SetInsert(txn, key, elem string) error {
+	if !s.open[txn] {
+		return fmt.Errorf("%w: %s", ErrNoTxn, txn)
+	}
+	granted, err := s.locks.Acquire(txn, key, locking.SetInsMode, nil)
+	if err != nil {
+		return fmt.Errorf("kvstore: setinsert %s: %w", key, err)
+	}
+	if !granted {
+		return fmt.Errorf("%w: setinsert %s for %s", ErrConflict, key, txn)
+	}
+	return s.log.LoggedApply(txn, s.data, key, wal.OpSetInsert, elem)
+}
+
+// PutUnderlocked is the seeded comm-underlock ablation for experiment
+// E18: an absolute overwrite acquiring only the increment lock, so
+// concurrent increments are admitted against a non-commuting write. It
+// exists to show the serializability oracle failing where commcheck's
+// static comm-underlock rule points; nothing on the serving path calls
+// it.
+//
+//comm:op write
+func (s *Store) PutUnderlocked(txn, key, value string) error {
+	if !s.open[txn] {
+		return fmt.Errorf("%w: %s", ErrNoTxn, txn)
+	}
+	//comm:ignore deliberate E18 underlock ablation; the dynamic oracle catches what the static rule flags
+	granted, err := s.locks.Acquire(txn, key, locking.IncMode, nil)
 	if err != nil {
 		return fmt.Errorf("kvstore: put %s: %w", key, err)
 	}

@@ -1,12 +1,23 @@
 // Package locking implements the strict two-phase locking protocol
-// (building block 4, Section 3.5.1): shared read locks counted by a read
-// counter, an exclusive one-bit write lock per object, lock upgrades, FIFO
-// wait queues, deadlock detection on the waits-for graph, and release of
-// all locks at transaction end (strictness). Serializability of the
-// resulting schedules is checked in tests via conflict-graph acyclicity.
+// (building block 4, Section 3.5.1): shared read locks, an exclusive
+// write lock, lock upgrades, FIFO wait queues, deadlock detection on the
+// waits-for graph, and release of all locks at transaction end
+// (strictness). Serializability of the resulting schedules is checked in
+// tests via conflict-graph acyclicity.
+//
+// Beyond the paper's read/write pair, the manager grants
+// commutativity-derived modes (IncMode, AppendMode, SetInsMode): two
+// operations of the same commuting class may hold the same object
+// concurrently because either execution order yields an equivalent state
+// ("Limits of Commutativity on Abstract Data Types"). The compatibility
+// matrix is not asserted by hand — it is pinned against the
+// prover-discharged commutativity spec comm.sw, both statically
+// (speccatlint -comm, rule comm-matrix) and at test time
+// (TestMatrixMatchesDischargedSpec).
 package locking
 
 import (
+	_ "embed"
 	"errors"
 	"fmt"
 	"sort"
@@ -15,19 +26,87 @@ import (
 // Mode is a lock mode.
 type Mode int
 
-// Lock modes.
+// Lock modes. Read and Write are the classic shared/exclusive pair; the
+// remaining modes each license exactly one class of commuting updates.
+// The //comm:mode directives bind each mode to its commutativity class in
+// comm.sw for the commcheck layer.
 const (
-	Read Mode = iota + 1
-	Write
+	Read       Mode = iota + 1 //comm:mode read
+	Write                      //comm:mode write
+	IncMode                    //comm:mode inc
+	AppendMode                 //comm:mode append
+	SetInsMode                 //comm:mode setins
 )
 
 // String names the mode.
 func (m Mode) String() string {
-	if m == Write {
+	switch m {
+	case Read:
+		return "read"
+	case Write:
 		return "write"
+	case IncMode:
+		return "inc"
+	case AppendMode:
+		return "append"
+	case SetInsMode:
+		return "setins"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
 	}
-	return "read"
 }
+
+// CommSpec is the commutativity specification the compatibility matrix is
+// derived from. Each compatible pair of modes corresponds to a Safe<a><b>
+// theorem in it, discharged by the resolution prover from the generic
+// Swap axiom plus that pair's Commutes fact; the absence of a theorem is
+// the absence of a commutativity argument, and the pair conflicts.
+//
+//go:embed comm.sw
+var CommSpec string
+
+// compat is the commutativity-derived compatibility matrix: compat[a][b]
+// reports whether a holder in mode a admits a second holder in mode b.
+// Missing entries mean incompatible. Every true entry must be backed by a
+// discharged Safe theorem in comm.sw and every absent pair by the absence
+// of one — commcheck (rule comm-matrix) and the spec cross-check test
+// both fail on any divergence.
+//
+//comm:matrix comm.sw
+//lint:allow noglobalstate immutable lookup table pinned against comm.sw
+var compat = map[Mode]map[Mode]bool{
+	Read:       {Read: true},
+	Write:      {},
+	IncMode:    {IncMode: true},
+	AppendMode: {AppendMode: true},
+	SetInsMode: {SetInsMode: true},
+}
+
+// Compatible reports whether modes a and b may be held on one object by
+// two different transactions at once. The relation is symmetric.
+func Compatible(a, b Mode) bool { return compat[a][b] }
+
+// Covers reports whether holding h already satisfies a request for r
+// without regranting: the exact mode, or Write, which is exclusive and
+// so dominates every other mode's rights.
+func Covers(h, r Mode) bool { return h == r || h == Write }
+
+// Join is the least mode granting the rights of both a and b (zero means
+// "not held"). Distinct non-write modes have no common weaker upper
+// bound, so any mixed combination escalates to Write — the upgrade path.
+func Join(a, b Mode) Mode {
+	switch {
+	case a == 0:
+		return b
+	case b == 0 || a == b:
+		return a
+	default:
+		return Write
+	}
+}
+
+// Modes lists every mode, in declaration order.
+func Modes() []Mode { return []Mode{Read, Write, IncMode, AppendMode, SetInsMode} }
 
 // Sentinel errors.
 var (
@@ -48,14 +127,13 @@ type request struct {
 
 // object tracks one lockable item.
 type object struct {
-	// readers holds the read-lock counter per transaction (paper: "read
-	// counter which holds the number of transactions currently holding a
-	// read lock"); map form also names the holders for deadlock checks.
-	readers map[string]bool
-	// writer is the exclusive holder ("simple 1 bit write lock flag",
-	// plus the holder's identity).
-	writer string
-	queue  []request
+	// holders maps each holding transaction to its granted mode. The
+	// paper's "read counter + 1-bit write flag" generalizes to this map
+	// once commuting modes can share an object: read holders are the
+	// entries in Read mode, the (single possible) writer the entry in
+	// Write mode.
+	holders map[string]Mode
+	queue   []request
 }
 
 // Manager is a strict 2PL lock manager for one site. The zero value is
@@ -82,7 +160,7 @@ func NewManager() *Manager {
 func (m *Manager) obj(key string) *object {
 	o, ok := m.objects[key]
 	if !ok {
-		o = &object{readers: map[string]bool{}}
+		o = &object{holders: map[string]Mode{}}
 		m.objects[key] = o
 	}
 	return o
@@ -93,27 +171,17 @@ func (m *Manager) Holds(txn, key string) Mode {
 	return m.held[txn][key]
 }
 
-// compatible reports whether txn may acquire key in mode right now.
+// compatible reports whether txn may acquire key in mode right now: the
+// mode it would end up holding (its current mode joined with the request)
+// must be compatible with every other holder.
 func (m *Manager) compatible(o *object, txn string, mode Mode) bool {
-	switch mode {
-	case Read:
-		// Readable unless write-locked by someone else.
-		return o.writer == "" || o.writer == txn
-	case Write:
-		if o.writer != "" && o.writer != txn {
+	eff := Join(o.holders[txn], mode)
+	for h, hm := range o.holders {
+		if h != txn && !Compatible(hm, eff) {
 			return false
 		}
-		// No other readers allowed ("if an object is write locked, no
-		// read locks are allowed" and vice versa).
-		for r := range o.readers {
-			if r != txn {
-				return false
-			}
-		}
-		return true
-	default:
-		return false
 	}
+	return true
 }
 
 // Acquire requests key in mode for txn. If the lock is free it is granted
@@ -123,7 +191,7 @@ func (m *Manager) compatible(o *object, txn string, mode Mode) bool {
 // (false, ErrDeadlock) and is not queued.
 func (m *Manager) Acquire(txn, key string, mode Mode, onGrant func()) (bool, error) {
 	o := m.obj(key)
-	if cur := m.held[txn][key]; cur >= mode {
+	if cur := m.held[txn][key]; cur != 0 && Covers(cur, mode) {
 		m.grants++
 		if onGrant != nil {
 			onGrant()
@@ -150,20 +218,12 @@ func (m *Manager) Acquire(txn, key string, mode Mode, onGrant func()) (bool, err
 
 func (m *Manager) grant(o *object, txn, key string, mode Mode) {
 	m.grants++
-	switch mode {
-	case Read:
-		o.readers[txn] = true
-	case Write:
-		o.writer = txn
-		// Upgrade: drop the redundant read entry.
-		delete(o.readers, txn)
-	}
+	eff := Join(o.holders[txn], mode)
+	o.holders[txn] = eff
 	if m.held[txn] == nil {
 		m.held[txn] = map[string]Mode{}
 	}
-	if m.held[txn][key] < mode {
-		m.held[txn][key] = mode
-	}
+	m.held[txn][key] = eff
 	delete(m.waits, txn)
 }
 
@@ -171,7 +231,7 @@ func (m *Manager) grant(o *object, txn, key string, mode Mode) {
 // waits-for graph (txn → holders of o → objects they wait for → ...).
 func (m *Manager) wouldDeadlock(txn string, o *object) bool {
 	// Build holder set of o, excluding txn itself: a transaction's own
-	// read lock never blocks its upgrade request, so the waits-for edges
+	// lock never blocks its upgrade request, so the waits-for edges
 	// run only to the other holders (otherwise every upgrade behind a
 	// co-reader would be misreported as a self-deadlock).
 	var start []string
@@ -201,12 +261,9 @@ func (m *Manager) wouldDeadlock(txn string, o *object) bool {
 }
 
 func (m *Manager) holdersOf(o *object) []string {
-	var out []string
-	if o.writer != "" {
-		out = append(out, o.writer)
-	}
-	for r := range o.readers {
-		out = append(out, r)
+	out := make([]string, 0, len(o.holders))
+	for h := range o.holders {
+		out = append(out, h)
 	}
 	sort.Strings(out)
 	return out
@@ -225,10 +282,7 @@ func (m *Manager) ReleaseAll(txn string) {
 	delete(m.waits, txn)
 	for _, key := range keys {
 		o := m.obj(key)
-		delete(o.readers, txn)
-		if o.writer == txn {
-			o.writer = ""
-		}
+		delete(o.holders, txn)
 		m.pump(o, key)
 	}
 	// The transaction may also be queued somewhere; drop those requests.
@@ -249,15 +303,12 @@ func (m *Manager) ReleaseAll(txn string) {
 // Release drops one lock early (non-strict use; tests of 2PL violations).
 func (m *Manager) Release(txn, key string) error {
 	o := m.obj(key)
-	mode, held := m.held[txn][key]
+	_, held := m.held[txn][key]
 	if !held {
 		return fmt.Errorf("%w: %s on %s", ErrNotHeld, txn, key)
 	}
 	delete(m.held[txn], key)
-	if mode == Write && o.writer == txn {
-		o.writer = ""
-	}
-	delete(o.readers, txn)
+	delete(o.holders, txn)
 	m.pump(o, key)
 	return nil
 }
@@ -291,8 +342,7 @@ func (m *Manager) Stats() (grants, blocks, deadlocks int) {
 	return m.grants, m.blocks, m.deadlocks
 }
 
-// Holders reports the current holders of key: the writer (if any) and the
-// readers, sorted.
+// Holders reports the current holders of key, sorted.
 func (m *Manager) Holders(key string) []string {
 	o, ok := m.objects[key]
 	if !ok {

@@ -74,8 +74,12 @@ type Report struct {
 // permanent checkpoint + full log replay. It is idempotent: a second crash
 // during recovery simply reruns it with the same result.
 //
-// The log is replayed in full (checkpoints here snapshot state between
-// transactions; the WAL's redo pass is idempotent over the restored state).
+// The log is replayed in full. Checkpoints here snapshot state between
+// transactions: physical redo is idempotent over the restored state, and
+// logical (commutative) records are folded, which requires the log to
+// postdate the checkpointed state — the coordinated checkpoint protocol
+// runs on quiescent sites, so a record both reflected in the checkpoint
+// and still in the log does not arise.
 func Recover(st *stable.Store) (State, *Report, error) {
 	rep := &Report{}
 
@@ -112,7 +116,15 @@ func Recover(st *stable.Store) (State, *Report, error) {
 	for _, r := range recs {
 		if r.Kind == wal.RecUpdate {
 			if committed[r.Txn] {
-				state[r.Key] = r.New
+				// Physical records install their after-image; logical
+				// (commutative) records fold the operation, because their
+				// absolute image bakes in concurrent updates whose
+				// transactions may not have committed.
+				if r.Op == "" {
+					state[r.Key] = r.New
+				} else {
+					state[r.Key] = wal.Apply(r.Op, state[r.Key], r.Arg)
+				}
 			} else if !seenUncommitted[r.Txn] {
 				seenUncommitted[r.Txn] = true
 			}

@@ -37,17 +37,35 @@ const (
 	kindWorkFail = "txn.workfail"  //fsm:msg txn master
 )
 
+// Operation classes for Op.Class. They mirror the commutativity classes
+// of locking/comm.sw; an empty Class means the legacy read/write pair
+// selected by IsWrite.
+const (
+	ClassInc       = wal.OpInc
+	ClassAppend    = wal.OpAppend
+	ClassSetInsert = wal.OpSetInsert
+)
+
 // Op is one data operation of a transaction.
 type Op struct {
 	// Site is the node holding the datum.
 	Site rt.NodeID
 	// Key names the datum.
 	Key string
-	// Value is written when IsWrite; ignored for reads.
+	// Value is written when IsWrite, or is the operand of a classed
+	// operation (the increment delta / appended element).
 	Value string
-	// IsWrite selects write vs read.
+	// IsWrite selects write vs read when Class is empty.
 	IsWrite bool
+	// Class selects a commutative operation (ClassInc, ClassAppend,
+	// ClassSetInsert) executed under its derived lock mode; empty means
+	// read/write per IsWrite.
+	Class string `json:",omitempty"`
 }
+
+// Mutates reports whether the operation changes state (everything but a
+// plain read).
+func (o Op) Mutates() bool { return o.IsWrite || o.Class != "" }
 
 // workMsg carries a site's slice of a transaction.
 type workMsg struct {
@@ -125,6 +143,14 @@ type Site struct {
 	// in execution order (= lock acquisition order under strict 2PL). Fault
 	// explorers derive the serializability conflict graph from it.
 	OnOp func(txn string, op Op)
+	// UnsafeWriteLocks routes absolute writes through the seeded
+	// comm-underlock ablation (kvstore.PutUnderlocked): the write takes
+	// only the increment lock, admitting concurrent non-commuting
+	// increments. Experiment E18 flips it to show the serializability
+	// oracle catching dynamically what commcheck's comm-underlock rule
+	// flags statically. The flag survives Recover (it describes the code
+	// under test, not volatile state).
+	UnsafeWriteLocks bool
 	// OnApply, when non-nil, observes every commit-protocol decision applied
 	// to the local store (the moment a local branch's effects become
 	// committed or are rolled back).
@@ -323,11 +349,30 @@ func (s *Site) execute(w workMsg) (map[string]string, error) {
 	}
 	reads := map[string]string{}
 	for _, op := range w.Ops {
-		if op.IsWrite {
+		switch {
+		case op.Class == ClassInc:
+			if err := s.Store.Increment(w.Txn, op.Key, op.Value); err != nil {
+				return nil, err
+			}
+		case op.Class == ClassAppend:
+			if err := s.Store.Append(w.Txn, op.Key, op.Value); err != nil {
+				return nil, err
+			}
+		case op.Class == ClassSetInsert:
+			if err := s.Store.SetInsert(w.Txn, op.Key, op.Value); err != nil {
+				return nil, err
+			}
+		case op.Class != "":
+			return nil, fmt.Errorf("txn: unknown op class %q", op.Class)
+		case op.IsWrite && s.UnsafeWriteLocks:
+			if err := s.Store.PutUnderlocked(w.Txn, op.Key, op.Value); err != nil {
+				return nil, err
+			}
+		case op.IsWrite:
 			if err := s.Store.Put(w.Txn, op.Key, op.Value); err != nil {
 				return nil, err
 			}
-		} else {
+		default:
 			v, err := s.Store.Get(w.Txn, op.Key)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,106 @@
+// Logical-record semantics: the canonical value encodings of the
+// commutative operation classes and the Apply/Undo functions recovery
+// folds the log with. The encodings are interleaving-independent —
+// increments sum, appends build a sorted multiset, set-inserts a sorted
+// set — so any serial replay order of commuting records yields the same
+// bytes, which is what lets the explorer's oracles compare states across
+// schedules.
+
+package wal
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Apply computes the result of one logical operation against the
+// canonical encoding of cur:
+//
+//	OpInc       cur is a decimal integer ("" = 0); the result is cur+arg
+//	OpAppend    cur is a sorted multiset joined with ","; arg is added
+//	OpSetInsert cur is a sorted set joined with ","; arg is added if absent
+//
+// Unknown operations return cur unchanged (a corrupt record must not
+// invent state during recovery).
+func Apply(op, cur, arg string) string {
+	switch op {
+	case OpInc:
+		return strconv.FormatInt(parseInt(cur)+parseInt(arg), 10)
+	case OpAppend:
+		return joinSorted(append(splitList(cur), arg))
+	case OpSetInsert:
+		elems := splitList(cur)
+		for _, e := range elems {
+			if e == arg {
+				return cur
+			}
+		}
+		return joinSorted(append(elems, arg))
+	default:
+		return cur
+	}
+}
+
+// Undo inverts one update record against the current value: physical
+// records restore the before-image, logical records apply the inverse
+// operation so concurrent commuting updates survive. A set-insert whose
+// element already existed (visible in the record's before-image) undoes
+// to a no-op — re-inserting is the part that never happened.
+func Undo(r Record, cur string) string {
+	switch r.Op {
+	case "":
+		return r.Old
+	case OpInc:
+		return strconv.FormatInt(parseInt(cur)-parseInt(r.Arg), 10)
+	case OpAppend:
+		return removeOne(cur, r.Arg)
+	case OpSetInsert:
+		for _, e := range splitList(r.Old) {
+			if e == r.Arg {
+				return cur
+			}
+		}
+		return removeOne(cur, r.Arg)
+	default:
+		return cur
+	}
+}
+
+// parseInt reads the canonical integer encoding ("" = 0; garbage = 0,
+// keeping recovery total).
+func parseInt(s string) int64 {
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// splitList decodes the canonical list encoding.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// joinSorted encodes a list canonically: sorted, ","-joined.
+func joinSorted(elems []string) string {
+	sort.Strings(elems)
+	return strings.Join(elems, ",")
+}
+
+// removeOne drops one occurrence of arg from the canonical list cur.
+func removeOne(cur, arg string) string {
+	elems := splitList(cur)
+	for i, e := range elems {
+		if e == arg {
+			return joinSorted(append(elems[:i], elems[i+1:]...))
+		}
+	}
+	return cur
+}

@@ -55,14 +55,32 @@ func (k RecordKind) String() string {
 	}
 }
 
+// Logical operation names for Record.Op. They match the commutativity
+// classes of internal/locking/comm.sw: each names a class of updates
+// that commute with themselves, which is exactly why their records must
+// be replayed as operations (folded) rather than as absolute values —
+// two interleaved increments have no single "after" image that survives
+// the other one aborting.
+const (
+	OpInc       = "inc"
+	OpAppend    = "append"
+	OpSetInsert = "setins"
+)
+
 // Record is one log entry, in the [t, X, v] form of the paper: transaction
-// t wrote value New (undoing to Old) into data item Key.
+// t wrote value New (undoing to Old) into data item Key. A logical record
+// (Op != "") additionally carries the operation and its argument, so redo
+// can re-apply the operation and undo can apply its inverse instead of
+// restoring absolute images that would clobber concurrent commuting
+// updates.
 type Record struct {
 	Kind RecordKind `json:"k"`
 	Txn  string     `json:"t"`
 	Key  string     `json:"x,omitempty"`
 	Old  string     `json:"o,omitempty"`
 	New  string     `json:"n,omitempty"`
+	Op   string     `json:"p,omitempty"`
+	Arg  string     `json:"a,omitempty"`
 }
 
 // Log is an undo/redo write-ahead log over one site's stable store. The
@@ -106,6 +124,27 @@ func (l *Log) LoggedUpdate(txn string, db map[string]string, key, value string) 
 	return nil
 }
 
+// LoggedApply applies a logical (commutative) operation with write-ahead
+// logging: the record — operation, argument, and the before/after images
+// — hits stable storage strictly before db is modified. The images are
+// informational; recovery folds the operation itself (see Apply), which
+// is what keeps concurrent commuting updates correct when one of them
+// aborts.
+//
+//dur:applies db
+func (l *Log) LoggedApply(txn string, db map[string]string, key, op, arg string) error {
+	if !l.active[txn] {
+		return fmt.Errorf("%w: %s not active", ErrTxnState, txn)
+	}
+	old := db[key]
+	next := Apply(op, old, arg)
+	if err := l.append(Record{Kind: RecUpdate, Txn: txn, Key: key, Old: old, New: next, Op: op, Arg: arg}); err != nil {
+		return err
+	}
+	db[key] = next
+	return nil
+}
+
 // Commit writes the commit record; after it returns, the transaction's
 // effects are durable (redo-able).
 func (l *Log) Commit(txn string) error {
@@ -127,7 +166,10 @@ func (l *Log) Abort(txn string) error {
 }
 
 // UndoInto rolls a just-aborted transaction's updates back out of db
-// (reverse order), without writing further log records.
+// (reverse order), without writing further log records. Physical updates
+// restore their before-image; logical updates apply the inverse
+// operation, so commuting updates of concurrent transactions that
+// applied after the aborted ones are preserved rather than clobbered.
 func (l *Log) UndoInto(txn string, db map[string]string) error {
 	recs, err := Records(l.store)
 	if err != nil {
@@ -136,7 +178,7 @@ func (l *Log) UndoInto(txn string, db map[string]string) error {
 	for i := len(recs) - 1; i >= 0; i-- {
 		r := recs[i]
 		if r.Kind == RecUpdate && r.Txn == txn {
-			db[r.Key] = r.Old
+			db[r.Key] = Undo(r, db[r.Key])
 		}
 	}
 	return nil
@@ -222,10 +264,18 @@ func Recover(store *stable.Store) (map[string]string, []Outcome, error) {
 	db := map[string]string{}
 	// Redo pass: apply updates of committed transactions in log order.
 	// Uncommitted/aborted updates are skipped, which equals undoing them
-	// from an initially-empty volatile state.
+	// from an initially-empty volatile state. Physical records install
+	// their after-image; logical records re-apply the operation — folding,
+	// not copying, because a logical record's absolute image bakes in
+	// updates of concurrent transactions whose fate may differ.
 	for _, r := range recs {
-		if r.Kind == RecUpdate && committed[r.Txn] {
+		if r.Kind != RecUpdate || !committed[r.Txn] {
+			continue
+		}
+		if r.Op == "" {
 			db[r.Key] = r.New
+		} else {
+			db[r.Key] = Apply(r.Op, db[r.Key], r.Arg)
 		}
 	}
 	outcomes := make([]Outcome, 0, len(order))

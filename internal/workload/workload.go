@@ -24,6 +24,13 @@ const (
 	ReadMostly
 	// Hotspot concentrates half of all accesses on one account.
 	Hotspot
+	// Commutative issues increment-transfers (paired ±delta increments,
+	// conserving the total under any interleaving) against zipfian-skewed
+	// accounts, plus a read fraction. It is the workload the
+	// commutativity-derived lock modes exist for: under Put-style
+	// exclusive writes the hot accounts serialize, under IncMode they
+	// share.
+	Commutative
 )
 
 // String names the kind.
@@ -35,6 +42,8 @@ func (k Kind) String() string {
 		return "read-mostly"
 	case Hotspot:
 		return "hotspot"
+	case Commutative:
+		return "commutative"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -57,6 +66,21 @@ type Config struct {
 	// child of one root-seeded source here, so a whole run replays from a
 	// single seed.
 	Rand *rand.Rand
+	// ZipfTheta skews the Commutative kind's account choice
+	// (0 = uniform; around 0.9 is the classic zipfian benchmark skew).
+	ZipfTheta float64
+	// ReadFraction is the share of single-key reads in the Commutative
+	// mix (the rest are increment-transfers). Zero means all transfers.
+	ReadFraction float64
+	// WriteFraction is the share of blind absolute-write transactions in
+	// the Commutative mix: paired overwrites of two zipfian-chosen
+	// accounts with no preceding read. It exists for the underlock
+	// ablation — a blind write racing concurrent increments is exactly
+	// the lost-update anomaly the comm-underlock rule flags statically
+	// and the serializability oracle must catch dynamically. (A
+	// read-then-write transfer would not do: the lock manager escalates
+	// the mixed read+write hold to exclusive, masking the ablation.)
+	WriteFraction float64
 }
 
 // Account names account i.
@@ -64,8 +88,9 @@ func Account(i int) string { return fmt.Sprintf("acct%03d", i) }
 
 // Generator produces transactions for a cluster.
 type Generator struct {
-	cfg Config
-	rng *rand.Rand
+	cfg  Config
+	rng  *rand.Rand
+	zipf *Zipf
 	// SiteFor maps keys to sites (wired to the cluster's placement).
 	SiteFor func(key string) simnet.NodeID
 }
@@ -82,7 +107,10 @@ func New(cfg Config, siteFor func(string) simnet.NodeID) *Generator {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(cfg.Seed))
 	}
-	return &Generator{cfg: cfg, rng: rng, SiteFor: siteFor}
+	return &Generator{
+		cfg: cfg, rng: rng, SiteFor: siteFor,
+		zipf: NewZipf(rng, cfg.Accounts, cfg.ZipfTheta),
+	}
 }
 
 // SetupOps returns the operations that seed every account with its
@@ -137,6 +165,16 @@ func (g *Generator) Generate() []Txn {
 				a = 0 // the hot account
 			}
 			out = append(out, g.transferTxn(name, a, g.pick()))
+		case Commutative:
+			u := g.rng.Float64()
+			switch {
+			case u < g.cfg.ReadFraction:
+				out = append(out, g.zipfReadTxn(name))
+			case u < g.cfg.ReadFraction+g.cfg.WriteFraction:
+				out = append(out, g.blindWriteTxn(name))
+			default:
+				out = append(out, g.incTransferTxn(name))
+			}
 		default:
 			out = append(out, g.transferTxn(name, g.pick(), g.pick()))
 		}
@@ -145,6 +183,54 @@ func (g *Generator) Generate() []Txn {
 }
 
 func (g *Generator) pick() int { return g.rng.Intn(g.cfg.Accounts) }
+
+func (g *Generator) zipfReadTxn(name string) Txn {
+	key := Account(g.zipf.Next())
+	return Txn{Name: name, Ops: []txn.Op{{Site: g.SiteFor(key), Key: key}}}
+}
+
+// incTransferTxn moves a small amount between two zipfian-chosen
+// accounts as a pair of increments (−d on the source, +d on the
+// destination). Unlike the absolute-write transfer it needs no mirror
+// ledger and conserves the total under every interleaving — increments
+// commute, which is exactly the property IncMode's Safeincinc proof
+// licenses the lock manager to exploit.
+func (g *Generator) incTransferTxn(name string) Txn {
+	a := g.zipf.Next()
+	b := g.zipf.Next()
+	if a == b {
+		b = (a + 1) % g.cfg.Accounts
+	}
+	d := 1 + g.rng.Intn(9)
+	ka, kb := Account(a), Account(b)
+	return Txn{
+		Name:       name,
+		IsTransfer: true,
+		Ops: []txn.Op{
+			{Site: g.SiteFor(ka), Key: ka, Value: fmt.Sprintf("-%d", d), Class: txn.ClassInc},
+			{Site: g.SiteFor(kb), Key: kb, Value: fmt.Sprintf("%d", d), Class: txn.ClassInc},
+		},
+	}
+}
+
+// blindWriteTxn overwrites two zipfian-chosen accounts without reading
+// them first (an audit-style reset). Callers fill in concrete values; the
+// zero value resets the balance.
+func (g *Generator) blindWriteTxn(name string) Txn {
+	a := g.zipf.Next()
+	b := g.zipf.Next()
+	if a == b {
+		b = (a + 1) % g.cfg.Accounts
+	}
+	ka, kb := Account(a), Account(b)
+	return Txn{
+		Name: name,
+		Ops: []txn.Op{
+			{Site: g.SiteFor(ka), Key: ka, Value: "0", IsWrite: true},
+			{Site: g.SiteFor(kb), Key: kb, Value: "0", IsWrite: true},
+		},
+	}
+}
 
 func (g *Generator) readTxn(name string) Txn {
 	key := Account(g.pick())

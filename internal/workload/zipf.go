@@ -1,0 +1,43 @@
+// The zipfian key chooser: skewed access is what makes
+// commutativity-derived lock modes pay off, because a hot key under
+// exclusive write locks serializes the whole mix while the same key
+// under increment locks admits every concurrent increment.
+
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"speccat/internal/rt"
+)
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^theta, from a precomputed CDF by binary search. theta = 0
+// degenerates to uniform; larger theta concentrates mass on low ranks.
+// Determinism comes from the rt.Rand source, so a whole run replays from
+// one seed.
+type Zipf struct {
+	rng rt.Rand
+	cdf []float64
+}
+
+// NewZipf builds a chooser over n ranks with skew theta.
+func NewZipf(rng rt.Rand, n int, theta float64) *Zipf {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Next draws one rank.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}

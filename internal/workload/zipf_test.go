@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"speccat/internal/simnet"
+	"speccat/internal/txn"
+)
+
+// TestZipfShape pins the distribution: with theta around the classic
+// benchmark skew, rank 0 dominates; rank frequencies are monotonically
+// non-increasing in aggregate (hot ranks beat cold ranks by a wide
+// margin); and theta = 0 degenerates to roughly uniform.
+func TestZipfShape(t *testing.T) {
+	const n, draws = 16, 20000
+	counts := func(theta float64) []int {
+		z := NewZipf(rand.New(rand.NewSource(7)), n, theta)
+		out := make([]int, n)
+		for i := 0; i < draws; i++ {
+			out[z.Next()]++
+		}
+		return out
+	}
+
+	skewed := counts(0.99)
+	if skewed[0] < draws/5 {
+		t.Errorf("rank 0 drew %d of %d with theta=0.99; too flat", skewed[0], draws)
+	}
+	hot := skewed[0] + skewed[1] + skewed[2] + skewed[3]
+	cold := skewed[n-4] + skewed[n-3] + skewed[n-2] + skewed[n-1]
+	if hot < 3*cold {
+		t.Errorf("hot 4 ranks drew %d vs cold 4 ranks %d; want strong skew", hot, cold)
+	}
+
+	uniform := counts(0)
+	for r, c := range uniform {
+		if c < draws/n/2 || c > draws/n*2 {
+			t.Errorf("theta=0 rank %d drew %d, want near %d (uniform)", r, c, draws/n)
+		}
+	}
+}
+
+// TestZipfDeterministic pins replay: one seed, one sequence.
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(rand.New(rand.NewSource(3)), 32, 0.9)
+	b := NewZipf(rand.New(rand.NewSource(3)), 32, 0.9)
+	for i := 0; i < 200; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestCommutativeMixShape pins the generated mix: increment-transfers
+// carry paired ±delta ClassInc ops (conserving the total by
+// construction), the read fraction is respected, and the skew shows up
+// as repeated hot accounts.
+func TestCommutativeMixShape(t *testing.T) {
+	g := New(Config{
+		Kind: Commutative, Accounts: 8, Transactions: 400, Seed: 5,
+		ZipfTheta: 0.9, ReadFraction: 0.25,
+	}, func(string) simnet.NodeID { return 2 })
+	txns := g.Generate()
+	if len(txns) != 400 {
+		t.Fatalf("generated %d txns", len(txns))
+	}
+	reads, incs := 0, 0
+	keyHits := map[string]int{}
+	for _, tx := range txns {
+		if !tx.IsTransfer {
+			reads++
+			if len(tx.Ops) != 1 || tx.Ops[0].Mutates() {
+				t.Fatalf("read txn %s has ops %+v", tx.Name, tx.Ops)
+			}
+			continue
+		}
+		incs++
+		if len(tx.Ops) != 2 {
+			t.Fatalf("transfer %s has %d ops", tx.Name, len(tx.Ops))
+		}
+		var sum int
+		for _, op := range tx.Ops {
+			if op.Class != txn.ClassInc {
+				t.Fatalf("transfer %s op class %q", tx.Name, op.Class)
+			}
+			d, err := strconv.Atoi(op.Value)
+			if err != nil {
+				t.Fatalf("transfer %s delta %q: %v", tx.Name, op.Value, err)
+			}
+			sum += d
+			keyHits[op.Key]++
+		}
+		if sum != 0 {
+			t.Fatalf("transfer %s deltas do not conserve: %+v", tx.Name, tx.Ops)
+		}
+		if tx.Ops[0].Key == tx.Ops[1].Key {
+			t.Fatalf("transfer %s moves within one account", tx.Name)
+		}
+		if !strings.HasPrefix(tx.Ops[0].Value, "-") {
+			t.Fatalf("transfer %s source delta %q not negative", tx.Name, tx.Ops[0].Value)
+		}
+	}
+	if reads < 50 || reads > 150 {
+		t.Errorf("reads = %d of 400, want near the 25%% fraction", reads)
+	}
+	if hot := keyHits[Account(0)]; hot < 2*keyHits[Account(7)] {
+		t.Errorf("hot account hit %d vs cold %d; zipf skew missing", hot, keyHits[Account(7)])
+	}
+}
+
+// TestCommutativeMixDeterministic pins seed replay at the mix level.
+func TestCommutativeMixDeterministic(t *testing.T) {
+	gen := func() []Txn {
+		g := New(Config{Kind: Commutative, Accounts: 8, Transactions: 50, Seed: 9, ZipfTheta: 0.9},
+			func(string) simnet.NodeID { return 2 })
+		return g.Generate()
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if len(a[i].Ops) != len(b[i].Ops) {
+			t.Fatalf("txn %d op counts differ", i)
+		}
+		for j := range a[i].Ops {
+			if a[i].Ops[j] != b[i].Ops[j] {
+				t.Fatalf("txn %d op %d: %+v vs %+v", i, j, a[i].Ops[j], b[i].Ops[j])
+			}
+		}
+	}
+}
