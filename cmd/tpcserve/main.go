@@ -8,12 +8,22 @@
 // Usage:
 //
 //	tpcserve -node 1 -cluster "1=127.0.0.1:7101,2=127.0.0.1:7102,3=127.0.0.1:7103,4=127.0.0.1:7104" \
-//	         -client 127.0.0.1:7201 [-protocol 3pc|2pc] [-data DIR] [-tick 1ms] [-delta 10]
+//	         -client 127.0.0.1:7201 [-protocol 3pc|2pc] [-data DIR] [-tick 1ms] [-delta 10] \
+//	         [-shards N] [-group] [-scoped]
 //
 // Every process of one deployment passes the identical -cluster map.
 // With -data, the node's stable store is journaled to
 // DIR/node<N>.journal (fsync per mutation) and protocol state survives a
 // kill -9 and restart.
+//
+// The sharded, group-committed serving path: -shards N hash-partitions a
+// cohort's database into N shards (per-shard lock managers and WAL
+// sessions over the one journal), -group batches journal fsyncs at the
+// commit protocol's divergence-mandated sync points (concurrent commits
+// share one fsync instead of paying one each), and -scoped spans each
+// transaction's prepare fan-out over only the sites it touched. All three
+// default off, which preserves the fsync-per-mutation behavior of prior
+// releases; -scoped must be set on every node of a deployment or none.
 //
 // Client port line protocol (text, one command per line):
 //
@@ -66,9 +76,16 @@ func main() {
 	dataDir := flag.String("data", "", "journal directory for durable state (empty = in-memory)")
 	tick := flag.Duration("tick", time.Millisecond, "wall duration of one protocol tick")
 	delta := flag.Int("delta", 10, "message delay bound in ticks")
+	shards := flag.Int("shards", 1, "hash-shard this site's database into N partitions (cohorts only)")
+	group := flag.Bool("group", false, "group-commit the journal: batch fsyncs at protocol sync points")
+	scoped := flag.Bool("scoped", false, "span each prepare fan-out over only the sites the transaction touched")
 	flag.Parse()
 
-	if err := run(*node, *clusterSpec, *clientAddr, *protocol, *dataDir, *tick, *delta); err != nil {
+	if err := run(runOptions{
+		node: *node, clusterSpec: *clusterSpec, clientAddr: *clientAddr,
+		protocol: *protocol, dataDir: *dataDir, tick: *tick, delta: *delta,
+		shards: *shards, group: *group, scoped: *scoped,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "tpcserve: %v\n", err)
 		os.Exit(1)
 	}
@@ -111,7 +128,22 @@ type server struct {
 	site    *txn.Site   // non-nil on cohorts
 }
 
-func run(node int, clusterSpec, clientAddr, protocol, dataDir string, tick time.Duration, delta int) error {
+// runOptions carries the parsed command line into run.
+type runOptions struct {
+	node          int
+	clusterSpec   string
+	clientAddr    string
+	protocol      string
+	dataDir       string
+	tick          time.Duration
+	delta         int
+	shards        int
+	group, scoped bool
+}
+
+func run(o runOptions) error {
+	node, clusterSpec, clientAddr, protocol, dataDir, tick, delta :=
+		o.node, o.clusterSpec, o.clientAddr, o.protocol, o.dataDir, o.tick, o.delta
 	if node < 1 {
 		return fmt.Errorf("-node is required (>= 1)")
 	}
@@ -127,7 +159,7 @@ func run(node int, clusterSpec, clientAddr, protocol, dataDir string, tick time.
 		return fmt.Errorf("-node %d not present in -cluster", node)
 	}
 
-	cfg := tpc.Config{}
+	cfg := tpc.Config{ScopedParticipants: o.scoped}
 	switch protocol {
 	case "3pc":
 		cfg.Protocol = tpc.ThreePhase
@@ -135,6 +167,9 @@ func run(node int, clusterSpec, clientAddr, protocol, dataDir string, tick time.
 		cfg.Protocol = tpc.TwoPhase
 	default:
 		return fmt.Errorf("-protocol %q (want 3pc or 2pc)", protocol)
+	}
+	if o.shards < 1 {
+		return fmt.Errorf("-shards %d (want >= 1)", o.shards)
 	}
 
 	// Cluster roles: node 1 coordinates, everyone else is a data site.
@@ -161,6 +196,9 @@ func run(node int, clusterSpec, clientAddr, protocol, dataDir string, tick time.
 		}
 		defer store.Close()
 	}
+	if o.group && store != nil {
+		store.SetGroupCommit(true)
+	}
 
 	codec := tcp.NewCodec()
 	if err := tpc.RegisterWire(codec); err != nil {
@@ -182,13 +220,22 @@ func run(node int, clusterSpec, clientAddr, protocol, dataDir string, tick time.
 	if err := tnet.Start(); err != nil {
 		return err
 	}
+	if o.group && store != nil {
+		// Pipelined group commit: the protocol engines' sync points hand
+		// their durable-dependent sends to the store, whose syncer batches
+		// one fsync across every in-flight transaction and re-enqueues the
+		// sends on this node's event loop. Without the dispatcher each sync
+		// point would stall the loop for a full fsync, serializing the
+		// batch window to one transaction.
+		store.SetSyncDispatch(func(fn func()) { tnet.After(local, 0, fn) })
+	}
 
 	srv := &server{local: local, coordID: coordID, siteIDs: siteIDs, net: tnet}
 	tnet.AddNode(local, nil)
 	if local == coordID {
 		srv.master, err = txn.NewMasterOn(tnet, coordID, siteIDs, cfg)
 	} else {
-		srv.site, err = txn.NewSiteOn(tnet, local, coordID, siteIDs, cfg)
+		srv.site, err = txn.NewShardedSiteOn(tnet, local, coordID, siteIDs, cfg, o.shards)
 	}
 	if err != nil {
 		return err
@@ -203,8 +250,8 @@ func run(node int, clusterSpec, clientAddr, protocol, dataDir string, tick time.
 	if srv.master != nil {
 		role = "coordinator"
 	}
-	fmt.Printf("tpcserve: node %d (%s) protocol=%s wire=%s client=%s\n",
-		node, role, protocol, cluster[local], cl.Addr())
+	fmt.Printf("tpcserve: node %d (%s) protocol=%s wire=%s client=%s shards=%d group=%v scoped=%v\n",
+		node, role, protocol, cluster[local], cl.Addr(), o.shards, o.group, o.scoped)
 
 	go acceptClients(cl, srv)
 

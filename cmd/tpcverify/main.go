@@ -9,7 +9,8 @@
 // schedule (-only e14, -workers n), and the static-durability
 // cross-validation verdicts (-only e15), the live-vs-replay conformance
 // table (-only e16), the TCP wire conformance table (-only e17), and the
-// commutativity-derived lock-mode conformance report (-only e18).
+// commutativity-derived lock-mode conformance report (-only e18), and the
+// sharded group-commit conformance and fsync-bill report (-only e19).
 package main
 
 import (
@@ -271,6 +272,28 @@ func run(sel func(string) bool, seed int64, txns, workers int) error {
 				res.Ablation.Seed, res.Ablation.Detail, control)
 		} else {
 			fmt.Println("  underlock ablation: NOT CAUGHT (cross-validation failed)")
+		}
+		fmt.Println()
+	}
+
+	if sel("e19") {
+		fmt.Println("== E19: sharded, group-committed commit path — conformance and fsync bill ==")
+		res, err := experiments.E19ShardedCommit([]int64{1, 2, 3})
+		if err != nil {
+			return err
+		}
+		for _, r := range []experiments.E19Row{res.Unsharded, res.Sharded, res.Grouped} {
+			verdict := "oracles clean"
+			if len(r.Violated) > 0 {
+				verdict = "VIOLATED " + strings.Join(r.Violated, ",")
+			}
+			fmt.Printf("  %-14s shards=%d group=%-5v seeds=%d txns/seed=%d: %4d committed, %3d aborted; %.2f commits/ktick; %4d syncs (%.2f/commit); %s\n",
+				r.Label, r.Shards, r.GroupCommit, r.Seeds, r.Txns, r.Committed, r.Aborted, r.Throughput, r.Syncs, r.SyncsPerCommit, verdict)
+		}
+		if res.CrashClean {
+			fmt.Printf("  crash-at-batch-boundary sweep (%d seeds): every oracle clean — the synced prefix re-derives lost commit records on restart\n", res.CrashSeeds)
+		} else {
+			fmt.Printf("  crash-at-batch-boundary sweep (%d seeds): VIOLATED %s\n", res.CrashSeeds, strings.Join(res.CrashViolated, ","))
 		}
 		fmt.Println()
 	}

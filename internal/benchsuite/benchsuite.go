@@ -72,6 +72,8 @@ func Suite() []Bench {
 		{"E10_FailureInjection", benchFailureInjection},
 		{"E18_ZipfMix_ExclusiveWrites", zipfMixBench(1.0)},
 		{"E18_ZipfMix_IncTransfers", zipfMixBench(0)},
+		{"E19_CommitPath_Unsharded", commitPathBench(1, false)},
+		{"E19_CommitPath_ShardedGroup", commitPathBench(4, true)},
 		{"E14_CorpusProve_Sequential", CorpusProveBench(1)},
 		{"E14_CorpusProve_Parallel", CorpusProveBench(0)},
 	}
@@ -237,6 +239,42 @@ func zipfMixBench(writeFraction float64) func(*testing.B) {
 		}
 		if ticks > 0 {
 			b.ReportMetric(float64(committed)/ticks*1000, "commits/ktick")
+		}
+	}
+}
+
+// commitPathBench runs the E19 cross-partition shape through one commit-path
+// configuration per iteration — unsharded monolithic store versus 4-way
+// hash shards with group-committed journal syncs — and reports commit
+// throughput and the per-commit fsync bill as custom metrics next to
+// ns/op, so a regression in either the sharded routing layer or the
+// divergence-rule sync points shows up in the same BENCH_<date>.json
+// tooling as the timing numbers.
+func commitPathBench(shards int, group bool) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var committed, syncs int
+		var ticks float64
+		for i := 0; i < b.N; i++ {
+			row, err := experiments.E19Sweep("bench", []int64{int64(i) + 1}, shards, group)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(row.Violated) != 0 {
+				b.Fatalf("oracle violations: %v", row.Violated)
+			}
+			if row.Committed == 0 {
+				b.Fatal("nothing committed")
+			}
+			committed += row.Committed
+			syncs += row.Syncs
+			ticks += row.Ticks
+		}
+		if ticks > 0 {
+			b.ReportMetric(float64(committed)/ticks*1000, "commits/ktick")
+		}
+		if group && committed > 0 {
+			b.ReportMetric(float64(syncs)/float64(committed), "syncs/commit")
 		}
 	}
 }

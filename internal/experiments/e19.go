@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"speccat/internal/explore"
+	"speccat/internal/simnet"
+)
+
+// E19 — the sharded, group-committed commit path. The serving path routes
+// keys to hash-sharded partitions (per-shard lock managers and WALs over
+// one stable journal) and batches the journal's fsyncs behind a
+// leader-follower group commit whose sync points follow the divergence
+// rule: persist-and-sync only where 3PC's independent recovery cannot
+// re-derive the record. E19 is the conformance half of that design, in
+// three movements: (1) the cross-partition workload run unsharded, sharded,
+// and sharded+grouped — same outcomes, every oracle clean, so the layered
+// store refactor changed no protocol behavior; (2) the fsync bill of the
+// grouped arm — syncs per committed transaction, the quantity group commit
+// exists to shrink and the number the divergence rule pins (happy-path 3PC:
+// one coordinator sync, two per touched cohort); (3) a crash-at-sync sweep
+// that kills a site at batch boundaries — inside the window group commit
+// deliberately leaves open — with recovery, and every oracle still clean.
+
+// E19Row aggregates one commit-path configuration over a seed sweep of the
+// same cross-partition workload shape.
+type E19Row struct {
+	// Label names the configuration ("unsharded", "sharded", or
+	// "sharded+group").
+	Label string
+	// Shards is the per-site hash-shard count (1 = the monolithic store);
+	// GroupCommit reports whether journal syncs were batched.
+	Shards      int
+	GroupCommit bool
+	// Seeds is the number of schedules swept; Txns the workload
+	// transactions per schedule (the setup transaction is excluded from
+	// all counts).
+	Seeds int
+	Txns  int
+	// Committed/Aborted/Undecided sum workload outcomes across the sweep.
+	Committed int
+	Aborted   int
+	Undecided int
+	// Ticks is the total simulated time consumed by the sweep, and
+	// Throughput committed transactions per 1000 simulated ticks.
+	Ticks      float64
+	Throughput float64
+	// Syncs is the total batched journal syncs across the sweep (zero
+	// unless GroupCommit), and SyncsPerCommit the fsync bill per committed
+	// transaction — the metric group commit exists to shrink.
+	Syncs          int
+	SyncsPerCommit float64
+	// Violated lists the distinct oracle names that failed anywhere in the
+	// sweep (empty for a correct configuration).
+	Violated []string
+}
+
+// E19Result is the full experiment outcome.
+type E19Result struct {
+	Unsharded E19Row
+	Sharded   E19Row
+	Grouped   E19Row
+	// CrashSeeds schedules ran the grouped arm with a crash at a batch
+	// boundary (FaultCrashAtSync) plus recovery; CrashClean reports all
+	// oracles held across them.
+	CrashSeeds int
+	CrashClean bool
+	// CrashViolated lists oracle names that failed in the crash sweep
+	// (diagnostic; empty when CrashClean).
+	CrashViolated []string
+}
+
+// e19Shape is the common workload shape of every arm: the cross-partition
+// mix spreads each write transaction over several accounts, so with 4-way
+// sharding most transactions span shards and the scoped prepare fan-out,
+// per-shard branches, and shared-journal recovery are all on the hot path.
+const (
+	e19Accounts = 8
+	e19Txns     = 24
+	e19Theta    = 0.9
+	e19Reads    = 0.2
+	e19Spread   = 4
+	e19Shards   = 4
+)
+
+func e19Schedule(seed int64) explore.Schedule {
+	return explore.Schedule{
+		Protocol: explore.Proto3PC, Seed: seed, Sites: 3,
+		Accounts: e19Accounts, Txns: e19Txns,
+		Workload:  explore.WorkloadCrossPartition,
+		ZipfTheta: e19Theta, ReadFraction: e19Reads, Spread: e19Spread,
+	}
+}
+
+// E19Sweep runs one commit-path configuration over the seeds and
+// aggregates outcomes; the specbench suite reuses it to track the
+// configuration metrics.
+func E19Sweep(label string, seeds []int64, shards int, group bool) (E19Row, error) {
+	row := E19Row{Label: label, Shards: shards, GroupCommit: group, Seeds: len(seeds), Txns: e19Txns}
+	violated := map[string]bool{}
+	for _, seed := range seeds {
+		spec := e19Schedule(seed)
+		if shards > 1 {
+			spec.Shards = shards
+		}
+		spec.GroupCommit = group
+		res, err := explore.Run(spec)
+		if err != nil {
+			return E19Row{}, fmt.Errorf("e19: %s seed %d: %w", label, seed, err)
+		}
+		// The setup transaction always commits; exclude it from the
+		// workload tallies.
+		row.Committed += res.Stats.Committed - 1
+		row.Aborted += res.Stats.Aborted
+		row.Undecided += res.Stats.Undecided
+		row.Syncs += res.Stats.Syncs
+		row.Ticks += float64(res.Stats.End)
+		for _, o := range res.ViolatedOracles() {
+			violated[o] = true
+		}
+	}
+	if row.Ticks > 0 {
+		row.Throughput = float64(row.Committed) / row.Ticks * 1000
+	}
+	if row.Committed > 0 {
+		row.SyncsPerCommit = float64(row.Syncs) / float64(row.Committed)
+	}
+	for o := range violated {
+		row.Violated = append(row.Violated, o)
+	}
+	sort.Strings(row.Violated)
+	return row, nil
+}
+
+// E19ShardedCommit runs all three movements over the given seeds.
+func E19ShardedCommit(seeds []int64) (*E19Result, error) {
+	out := &E19Result{}
+	var err error
+	if out.Unsharded, err = E19Sweep("unsharded", seeds, 1, false); err != nil {
+		return nil, err
+	}
+	if out.Sharded, err = E19Sweep("sharded", seeds, e19Shards, false); err != nil {
+		return nil, err
+	}
+	if out.Grouped, err = E19Sweep("sharded+group", seeds, e19Shards, true); err != nil {
+		return nil, err
+	}
+
+	// Movement 3: crash a site at a batch boundary — sync #nth, the edge of
+	// the window where the un-synced tail of the journal is lost — then
+	// recover it, and demand every oracle clean. The victim and boundary
+	// rotate with the seed so the sweep lands on different protocol moments.
+	out.CrashSeeds = len(seeds)
+	out.CrashClean = true
+	crashViolated := map[string]bool{}
+	for i, seed := range seeds {
+		spec := e19Schedule(seed)
+		spec.Shards = e19Shards
+		spec.GroupCommit = true
+		spec.Horizon = 8000
+		victim := simnet.NodeID(2 + i%3)
+		spec.Faults = []explore.Fault{
+			{Kind: explore.FaultCrashAtSync, Site: victim, Nth: 1 + i%6},
+			{Kind: explore.FaultRecoverAtTime, Site: victim, At: 4000},
+		}
+		res, err := explore.Run(spec)
+		if err != nil {
+			return nil, fmt.Errorf("e19: crash seed %d: %w", seed, err)
+		}
+		if len(res.Violations) > 0 {
+			out.CrashClean = false
+			for _, o := range res.ViolatedOracles() {
+				crashViolated[o] = true
+			}
+		}
+	}
+	for o := range crashViolated {
+		out.CrashViolated = append(out.CrashViolated, o)
+	}
+	sort.Strings(out.CrashViolated)
+	return out, nil
+}

@@ -68,6 +68,10 @@ type RunStats struct {
 	// the horizon otherwise).
 	End   sim.Time `json:"end"`
 	Steps uint64   `json:"steps"`
+	// Syncs counts batched stable-store sync operations across all nodes —
+	// the journal's fsync bill. Zero (and omitted from traces) unless the
+	// schedule enables GroupCommit, so pre-existing traces are unchanged.
+	Syncs int `json:"syncs,omitempty"`
 }
 
 // RunResult is the full, deterministic outcome of executing one schedule:
@@ -222,9 +226,26 @@ func run(spec Schedule, logSends bool) (*RunResult, []SendInfo, error) {
 		logSends:  logSends,
 	}
 	r.net = simnet.New(r.sched, simnet.DefaultOptions())
-	r.cluster, err = txn.NewClusterOn(r.net, spec.Sites, cfg)
+	if spec.Shards > 1 {
+		r.cluster, err = txn.NewShardedClusterOn(r.net, spec.Sites, cfg, spec.Shards)
+	} else {
+		r.cluster, err = txn.NewClusterOn(r.net, spec.Sites, cfg)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("explore: build cluster: %w", err)
+	}
+	if spec.GroupCommit {
+		// Group-committed journals on every node: appends accumulate in a
+		// volatile batch window until the engine's next divergence-mandated
+		// Sync, and a crash destroys the open window. Enabled before any
+		// protocol activity so the very first records already batch.
+		for _, id := range append([]simnet.NodeID{r.cluster.MasterID}, r.cluster.SiteIDs...) {
+			st, err := r.net.Store(id)
+			if err != nil {
+				return nil, nil, fmt.Errorf("explore: group commit on %d: %w", id, err)
+			}
+			st.SetGroupCommit(true)
+		}
 	}
 	r.net.OnCrash = func(id simnet.NodeID) { r.ev("crash node=%d", id) }
 	for _, id := range r.cluster.SiteIDs {
@@ -238,10 +259,17 @@ func run(spec Schedule, logSends bool) (*RunResult, []SendInfo, error) {
 		}
 		site.OnApply = func(t string, d tpc.Decision) {
 			if d == tpc.DecisionCommit {
-				r.applied[sid] = append(r.applied[sid], t)
 				if r.appliedAt[sid] == nil {
 					r.appliedAt[sid] = map[string]sim.Time{}
 				}
+				// A crash inside a group-commit batch window can destroy an
+				// already-applied commit; recovery re-derives and re-applies
+				// it, firing this hook a second time. The committed history
+				// still contains the transaction once.
+				if _, dup := r.appliedAt[sid][t]; dup {
+					return
+				}
+				r.applied[sid] = append(r.applied[sid], t)
 				r.appliedAt[sid][t] = r.sched.Now()
 			}
 		}
@@ -259,6 +287,7 @@ func run(spec Schedule, logSends bool) (*RunResult, []SendInfo, error) {
 		ZipfTheta:     spec.ZipfTheta,
 		ReadFraction:  spec.ReadFraction,
 		WriteFraction: spec.WriteFraction,
+		Spread:        spec.Spread,
 	}, r.cluster.SiteFor)
 
 	// Phase 1: bootstrap the accounts, ending at a fixed time so the
@@ -370,6 +399,40 @@ func (r *runner) installFaults() {
 			return sf
 		}
 	}
+	// Sync-targeted crashes: one hook per victim store, firing on the
+	// batch boundaries the schedule names. The stable store invokes the
+	// hook after the sync completes (the just-synced batch is durable), so
+	// the crash lands exactly at the start of the next batch window. The
+	// crash itself is deferred to a same-tick scheduler event rather than
+	// taken mid-handler: a sync happens inside a protocol step, and
+	// crashing there would split persist from fan-out — the send-granularity
+	// interleaving assumption 3 forbids and recovery is not claimed to
+	// survive (crash-at-send exists for that, unpaired with recovery).
+	bySite := map[simnet.NodeID]map[int]bool{}
+	for _, f := range r.spec.Faults {
+		if f.Kind != FaultCrashAtSync {
+			continue
+		}
+		if bySite[f.Site] == nil {
+			bySite[f.Site] = map[int]bool{}
+		}
+		bySite[f.Site][f.Nth] = true
+	}
+	for site, nths := range bySite {
+		st, err := r.net.Store(site)
+		if err != nil {
+			continue
+		}
+		site, nths := site, nths
+		st.SetOnSync(func(n int) {
+			if nths[n] {
+				r.sched.At(r.sched.Now(), func() {
+					r.ev("fault crash-at-sync site=%d n=%d", site, n)
+					_ = r.net.Crash(site)
+				})
+			}
+		})
+	}
 	for _, f := range r.spec.Faults {
 		switch f.Kind {
 		case FaultCrashAtTime:
@@ -396,6 +459,11 @@ func (r *runner) stats(setupSends uint64) RunStats {
 		Steps:      r.sched.Steps(),
 	}
 	s.Sent, s.Delivered, s.Dropped = r.net.Stats()
+	for _, id := range append([]simnet.NodeID{r.cluster.MasterID}, r.cluster.SiteIDs...) {
+		if st, err := r.net.Store(id); err == nil {
+			s.Syncs += st.Syncs()
+		}
+	}
 	for _, name := range r.submitted {
 		switch r.durableOutcome(name) {
 		case tpc.DecisionCommit:

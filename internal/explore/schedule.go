@@ -28,6 +28,13 @@ const (
 	// FaultRecoverAtTime restarts Site at time At, running its recovery
 	// protocol (Fig. 3.2 failure transitions + WAL replay).
 	FaultRecoverAtTime FaultKind = "recover-at-time"
+	// FaultCrashAtSync crashes Site the moment its stable store completes
+	// sync #Nth (1-based count of group-commit fsyncs at that site): the
+	// exact batch boundary of the group-committed journal, destroying
+	// whatever the next batch window accumulates. Only meaningful on
+	// schedules with GroupCommit set — without it every journal append is
+	// individually durable and no syncs are counted.
+	FaultCrashAtSync FaultKind = "crash-at-sync"
 	// FaultDropSend discards the message of global send #Seq (violates
 	// the reliable-network assumption).
 	FaultDropSend FaultKind = "drop-send"
@@ -47,6 +54,8 @@ type Fault struct {
 	Seq uint64 `json:"seq,omitempty"`
 	// At is the simulated time for time-targeted faults.
 	At sim.Time `json:"at,omitempty"`
+	// Nth is the 1-based sync count for crash-at-sync faults.
+	Nth int `json:"nth,omitempty"`
 	// Delay is the extra latency for delay-send faults.
 	Delay sim.Time `json:"delay,omitempty"`
 }
@@ -58,6 +67,8 @@ func (f Fault) String() string {
 		return fmt.Sprintf("crash sender of send #%d", f.Seq)
 	case FaultCrashAtTime:
 		return fmt.Sprintf("crash site %d at t=%d", f.Site, f.At)
+	case FaultCrashAtSync:
+		return fmt.Sprintf("crash site %d at sync #%d", f.Site, f.Nth)
 	case FaultRecoverAtTime:
 		return fmt.Sprintf("recover site %d at t=%d", f.Site, f.At)
 	case FaultDropSend:
@@ -84,8 +95,11 @@ const (
 // Empty means the default transfer workload, so pre-existing traces stay
 // byte-identical.
 const (
-	WorkloadTransfers   = "transfers"
-	WorkloadCommutative = "commutative"
+	WorkloadTransfers      = "transfers"
+	WorkloadCommutative    = "commutative"
+	WorkloadReadMostly     = "read-mostly"
+	WorkloadHotspot        = "hotspot"
+	WorkloadCrossPartition = "cross-partition"
 )
 
 // Schedule is a complete, replayable description of one simulated run:
@@ -127,6 +141,20 @@ type Schedule struct {
 	// of exclusive ones) — the dynamic twin of the comm-underlock static
 	// rule. The serializability oracle must catch what this admits.
 	Underlock bool `json:"underlock,omitempty"`
+	// Spread is the cross-partition mix's accounts-per-transaction
+	// (workload.Config.Spread; 0 means the generator default).
+	Spread int `json:"spread,omitempty"`
+	// GroupCommit enables group-committed journals on every node's stable
+	// store: appends batch in a volatile window until the engine's next
+	// divergence-mandated Sync. Crashes then destroy the open batch
+	// window, which is exactly the failure mode the sync-point placement
+	// must survive — the oracles judge it like any other run. Off (the
+	// default) keeps every pre-existing trace byte-identical.
+	GroupCommit bool `json:"groupCommit,omitempty"`
+	// Shards hash-partitions every site's database into that many shards
+	// (per-shard lock managers and WAL sessions over the site's one
+	// stable store); 0 or 1 means the single-partition store.
+	Shards int `json:"shards,omitempty"`
 }
 
 // WorkloadKind translates the schedule's workload name.
@@ -136,8 +164,14 @@ func (s Schedule) WorkloadKind() (workload.Kind, error) {
 		return workload.Transfers, nil
 	case WorkloadCommutative:
 		return workload.Commutative, nil
+	case WorkloadReadMostly:
+		return workload.ReadMostly, nil
+	case WorkloadHotspot:
+		return workload.Hotspot, nil
+	case WorkloadCrossPartition:
+		return workload.CrossPartition, nil
 	default:
-		return 0, fmt.Errorf("explore: unknown workload %q (want transfers or commutative)", s.Workload)
+		return 0, fmt.Errorf("explore: unknown workload %q (want transfers, commutative, read-mostly, hotspot, or cross-partition)", s.Workload)
 	}
 }
 
@@ -175,7 +209,7 @@ func (s Schedule) Normalize() Schedule {
 func (s Schedule) CrashCount() int {
 	n := 0
 	for _, f := range s.Faults {
-		if f.Kind == FaultCrashAtSend || f.Kind == FaultCrashAtTime {
+		if f.Kind == FaultCrashAtSend || f.Kind == FaultCrashAtTime || f.Kind == FaultCrashAtSync {
 			n++
 		}
 	}

@@ -27,7 +27,28 @@ var (
 	ErrNoTxn = errors.New("kvstore: unknown transaction")
 )
 
-// Store is one site's transactional KV store.
+// DB is the transactional surface the txn layer drives: one key-value
+// database with strict 2PL branches. Both the single-partition Store and
+// the hash-partitioned Shards implement it, so a site picks its layout at
+// deploy time without the execution layer noticing.
+type DB interface {
+	Begin(txn string) error
+	Get(txn, key string) (string, error)
+	Put(txn, key, value string) error
+	Increment(txn, key, delta string) error
+	Append(txn, key, elem string) error
+	SetInsert(txn, key, elem string) error
+	PutUnderlocked(txn, key, value string) error
+	Commit(txn string) error
+	Abort(txn string) error
+	Prepared(txn string) bool
+	Read(key string) string
+	Snapshot() recovery.State
+	OpenTxns() int
+}
+
+// Store is one site's transactional KV store (or, with owns set, one
+// shard of it).
 type Store struct {
 	// data is the volatile database the WAL guards: every post-open
 	// mutation must flow through the write-ahead log (//dur:volatile).
@@ -36,21 +57,41 @@ type Store struct {
 	log   *wal.Log
 	st    *stable.Store
 	open  map[string]bool
+	// owns restricts the store to its partition of a shared stable store:
+	// recovery keeps only owned keys and undo skips other shards' updates
+	// in the shared log. nil means the store owns every key.
+	owns func(key string) bool
 }
 
 // Open creates (or reopens after crash) a store on stable storage,
 // recovering committed state from the log and checkpoints.
 func Open(st *stable.Store) (*Store, error) {
+	return OpenShard(st, nil)
+}
+
+// OpenShard is Open restricted to the partition owns reports true for —
+// the per-shard constructor used by Shards, where every shard recovers
+// from the same site-wide stable store but must adopt only its own keys.
+func OpenShard(st *stable.Store, owns func(key string) bool) (*Store, error) {
 	state, _, err := recovery.Recover(st)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: open: %w", err)
 	}
+	data := map[string]string(state)
+	if owns != nil {
+		for k := range data {
+			if !owns(k) {
+				delete(data, k)
+			}
+		}
+	}
 	return &Store{
-		data:  map[string]string(state),
+		data:  data,
 		locks: locking.NewManager(),
 		log:   wal.New(st),
 		st:    st,
 		open:  map[string]bool{},
+		owns:  owns,
 	}, nil
 }
 
@@ -201,7 +242,7 @@ func (s *Store) Abort(txn string) error {
 	if err := s.log.Abort(txn); err != nil {
 		return err
 	}
-	if err := s.log.UndoInto(txn, s.data); err != nil {
+	if err := s.log.UndoOwnedInto(txn, s.data, s.owns); err != nil {
 		return err
 	}
 	delete(s.open, txn)

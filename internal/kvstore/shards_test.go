@@ -1,0 +1,209 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"speccat/internal/stable"
+)
+
+func openShards(t *testing.T, n int) (*Shards, *stable.Store) {
+	t.Helper()
+	st := stable.NewStore()
+	s, err := OpenShards(st, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, st
+}
+
+// keysAcrossShards returns keys guaranteed to land on distinct shards of
+// an n-way store (skipped if n=1 cannot be spread, which never happens
+// for the counts used here).
+func keysAcrossShards(t *testing.T, n, want int) []string {
+	t.Helper()
+	seen := map[int]string{}
+	for i := 0; len(seen) < want && i < 10000; i++ {
+		k := fmt.Sprintf("key%04d", i)
+		sh := ShardOf(k, n)
+		if _, ok := seen[sh]; !ok {
+			seen[sh] = k
+		}
+	}
+	if len(seen) < want {
+		t.Fatalf("could not spread %d keys over %d shards", want, n)
+	}
+	out := make([]string, 0, want)
+	for sh := 0; sh < n && len(out) < want; sh++ {
+		if k, ok := seen[sh]; ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		for i := 0; i < 200; i++ {
+			k := fmt.Sprintf("acct%03d", i)
+			got := ShardOf(k, n)
+			if got < 0 || got >= n {
+				t.Fatalf("ShardOf(%q,%d) = %d out of range", k, n, got)
+			}
+			if again := ShardOf(k, n); again != got {
+				t.Fatalf("ShardOf(%q,%d) unstable: %d then %d", k, n, got, again)
+			}
+		}
+	}
+}
+
+func TestShardsCrossShardCommit(t *testing.T) {
+	s, _ := openShards(t, 4)
+	keys := keysAcrossShards(t, 4, 3)
+	mustOK(t, s.Begin("t1"))
+	for i, k := range keys {
+		mustOK(t, s.Put("t1", k, fmt.Sprintf("v%d", i)))
+	}
+	if got := len(s.TouchedShards("t1")); got != 3 {
+		t.Fatalf("touched %d shards, want 3", got)
+	}
+	mustOK(t, s.Commit("t1"))
+	for i, k := range keys {
+		if got := s.Read(k); got != fmt.Sprintf("v%d", i) {
+			t.Errorf("Read(%q) = %q", k, got)
+		}
+	}
+	if s.OpenTxns() != 0 {
+		t.Error("transaction still open after commit")
+	}
+}
+
+// TestShardsAbortUndoesOnlyOwnPartition is the UndoOwnedInto pin: two
+// transactions on different shards of one shared log; aborting one must
+// not clobber the other shard's committed update, and each shard's undo
+// must skip foreign keys in the shared record stream.
+func TestShardsAbortUndoesOnlyOwnPartition(t *testing.T) {
+	s, _ := openShards(t, 4)
+	keys := keysAcrossShards(t, 4, 2)
+	a, b := keys[0], keys[1]
+
+	mustOK(t, s.Begin("keep"))
+	mustOK(t, s.Put("keep", a, "committed"))
+	mustOK(t, s.Commit("keep"))
+
+	mustOK(t, s.Begin("drop"))
+	mustOK(t, s.Put("drop", b, "dirty"))
+	mustOK(t, s.Put("drop", a, "overwrite"))
+	mustOK(t, s.Abort("drop"))
+
+	if got := s.Read(a); got != "committed" {
+		t.Errorf("Read(%q) = %q, want pre-abort committed value", a, got)
+	}
+	if got := s.Read(b); got != "" {
+		t.Errorf("Read(%q) = %q, want empty after abort", b, got)
+	}
+}
+
+// TestShardsRecoverFromSharedLog proves each shard re-adopts exactly its
+// partition from the one shared stable store after a crash: committed
+// updates reappear in their owning shard, in-flight updates vanish.
+func TestShardsRecoverFromSharedLog(t *testing.T) {
+	s, st := openShards(t, 4)
+	keys := keysAcrossShards(t, 4, 4)
+
+	mustOK(t, s.Begin("done"))
+	for _, k := range keys {
+		mustOK(t, s.Put("done", k, "durable"))
+	}
+	mustOK(t, s.Commit("done"))
+	mustOK(t, s.Begin("torn"))
+	mustOK(t, s.Put("torn", keys[0], "lost"))
+	// crash: volatile Shards dropped, stable store survives
+
+	r, err := OpenShards(st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if got := r.Read(k); got != "durable" {
+			t.Errorf("recovered Read(%q) = %q, want %q", k, got, "durable")
+		}
+		sh := r.Shard(ShardOf(k, 4))
+		if got := sh.Read(k); got != "durable" {
+			t.Errorf("owning shard lost %q: %q", k, got)
+		}
+		for i := 0; i < 4; i++ {
+			if i != ShardOf(k, 4) && r.Shard(i).Read(k) != "" {
+				t.Errorf("shard %d adopted foreign key %q", i, k)
+			}
+		}
+	}
+	snap := r.Snapshot()
+	if len(snap) != len(keys) {
+		t.Errorf("merged snapshot has %d keys, want %d", len(snap), len(keys))
+	}
+}
+
+// TestShardsLockIndependence: conflicting ops on different shards never
+// block each other; the same key on the same shard still conflicts.
+func TestShardsLockIndependence(t *testing.T) {
+	s, _ := openShards(t, 4)
+	keys := keysAcrossShards(t, 4, 2)
+	mustOK(t, s.Begin("a"))
+	mustOK(t, s.Begin("b"))
+	mustOK(t, s.Put("a", keys[0], "1"))
+	mustOK(t, s.Put("b", keys[1], "2")) // different shard: no conflict
+	if err := s.Put("b", keys[0], "3"); err == nil {
+		t.Error("same-shard same-key write did not conflict")
+	}
+	mustOK(t, s.Commit("a"))
+	mustOK(t, s.Commit("b"))
+}
+
+// TestShardsCommutativeOps routes the typed commutative verbs through
+// the shard layer (they batch best under group commit, so the routing
+// must preserve their logical WAL records).
+func TestShardsCommutativeOps(t *testing.T) {
+	s, st := openShards(t, 2)
+	mustOK(t, s.Begin("t1"))
+	mustOK(t, s.Increment("t1", "ctr", "5"))
+	mustOK(t, s.Increment("t1", "ctr", "-2"))
+	mustOK(t, s.Append("t1", "bag", "x"))
+	mustOK(t, s.SetInsert("t1", "set", "m"))
+	mustOK(t, s.Commit("t1"))
+	if got := s.Read("ctr"); got != "3" {
+		t.Errorf("ctr = %q, want 3", got)
+	}
+	r, err := OpenShards(st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Read("ctr"); got != "3" {
+		t.Errorf("recovered ctr = %q, want 3", got)
+	}
+}
+
+// TestShardsLazyBegin: a transaction that only reads one shard leaves the
+// other shards' WAL untouched and commit fans out over just that shard.
+func TestShardsLazyBegin(t *testing.T) {
+	s, _ := openShards(t, 8)
+	mustOK(t, s.Begin("t1"))
+	if got := len(s.TouchedShards("t1")); got != 0 {
+		t.Fatalf("begin touched %d shards, want 0", got)
+	}
+	mustOK(t, s.Put("t1", "only", "1"))
+	if got := len(s.TouchedShards("t1")); got != 1 {
+		t.Fatalf("one-key txn touched %d shards, want 1", got)
+	}
+	mustOK(t, s.Commit("t1"))
+
+	// A zero-op transaction commits without any WAL traffic.
+	mustOK(t, s.Begin("empty"))
+	if !s.Prepared("empty") {
+		t.Error("open empty txn not prepared")
+	}
+	mustOK(t, s.Commit("empty"))
+	if s.Prepared("empty") {
+		t.Error("committed txn still prepared")
+	}
+}

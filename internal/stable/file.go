@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // journal record operations.
@@ -65,6 +66,12 @@ func (s *Store) journalRecord(r journalRec) {
 		j.err = fmt.Errorf("stable: journal write: %w", err)
 		return
 	}
+	if s.group {
+		// Group commit: the record sits in the OS cache until a Sync()
+		// batch covers it (and every concurrent neighbor) with one fsync.
+		s.mutGen++
+		return
+	}
 	if err := j.f.Sync(); err != nil {
 		j.err = fmt.Errorf("stable: journal sync: %w", err)
 	}
@@ -91,6 +98,11 @@ func (s *Store) Close() error {
 	}
 	j := s.journal
 	s.journal = nil
+	if s.pendReq != nil {
+		// Wake the SyncThen syncer so it observes the closed journal and
+		// exits once its queue drains.
+		s.pendReq.Broadcast()
+	}
 	if err := j.f.Sync(); err != nil {
 		j.f.Close()
 		return fmt.Errorf("stable: close journal: %w", err)
@@ -133,6 +145,21 @@ func OpenFile(path string) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("stable: truncate torn journal %s: %w", path, err)
 	}
+	// The truncation itself must be durable before any new record lands
+	// after it: without this fsync a second crash can resurrect the torn
+	// tail we just discarded, splicing corrupt bytes between valid records.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("stable: sync truncated journal %s: %w", path, err)
+	}
+	// O_CREATE only stages the new name in the directory's cache; until the
+	// directory itself is fsynced a crash can lose the file — and with it
+	// every record "durably" journaled since. (Also covers the truncate's
+	// metadata on filesystems that journal size changes through the parent.)
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("stable: sync journal dir for %s: %w", path, err)
+	}
 	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("stable: seek journal %s: %w", path, err)
@@ -141,6 +168,17 @@ func OpenFile(path string) (*Store, error) {
 	s.journal = &fileJournal{f: f}
 	s.mu.Unlock()
 	return s, nil
+}
+
+// syncDir fsyncs a directory so a just-created (or just-truncated) entry
+// in it survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // applyRec replays one journal record into the in-memory store (journal

@@ -34,6 +34,49 @@ type Store struct {
 	// on restart. See file.go; a nil journal is the simulator's in-memory
 	// medium, unchanged.
 	journal *fileJournal
+	// group commit: when enabled, mutations are applied but not durable
+	// until Sync() — file journals defer the per-record fsync to one
+	// batched fsync, and the in-memory medium keeps a last-synced
+	// snapshot that a crash (SetFrozen) reverts to, destroying the
+	// unsynced batch window exactly as a real crash destroys the page
+	// cache. Off by default: every mutator is then durable on return and
+	// Sync() is a no-op, so all pre-group callers are unchanged.
+	group  bool
+	syncs  int
+	onSync func(n int)
+	// last-synced snapshot (group mode, in-memory medium only).
+	snapKV        map[string][]byte
+	snapLog       [][]byte
+	snapKVWrites  int
+	snapLogWrites int
+	// leader/follower batching state (group mode, file journal only):
+	// mutGen counts journaled-but-unsynced records, syncedGen the highest
+	// generation a completed fsync covered. A Sync caller whose target is
+	// already covered returns without touching the disk; otherwise one
+	// caller becomes leader, fsyncs once for everyone, and followers
+	// block on syncDone.
+	mutGen    int
+	syncedGen int
+	syncing   bool
+	syncDone  *sync.Cond
+	// pipelined group commit (file journal only): SyncThen queues its
+	// callback behind the current mutation generation instead of blocking
+	// the caller on the fsync; a lazily-started syncer goroutine batches
+	// one fsync over every queued generation and hands the callbacks, in
+	// submission order, to the dispatcher once they are durable. Without a
+	// dispatcher (SetSyncDispatch) SyncThen degrades to Sync-then-call —
+	// the deterministic inline path the simulator uses.
+	dispatch func(fn func())
+	pend     []pendItem
+	pendReq  *sync.Cond
+	syncerUp bool
+}
+
+// pendItem is one queued SyncThen callback and the mutation generation an
+// fsync must cover before it may run.
+type pendItem struct {
+	gen int
+	fn  func()
 }
 
 // NewStore returns an empty store.
@@ -42,10 +85,224 @@ func NewStore() *Store { return &Store{} }
 // SetFrozen freezes or thaws the store. While frozen, Put, Delete, Append,
 // and TruncateLog are silently discarded (counters included) and reads see
 // the contents as of the freeze — the storage a crashed site leaves behind.
+// Under group commit the freeze also reverts the store to its last-synced
+// snapshot first: the crash destroys whatever sat in the open batch window.
 func (s *Store) SetFrozen(frozen bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if frozen && !s.frozen && s.group && s.journal == nil {
+		s.revertLocked()
+	}
 	s.frozen = frozen
+}
+
+// SetGroupCommit switches the store into (or out of) group-commit mode.
+// Enabling it on an in-memory store snapshots the current contents as the
+// durable baseline; everything mutated afterwards is volatile until the
+// next Sync.
+func (s *Store) SetGroupCommit(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if on == s.group {
+		return
+	}
+	s.group = on
+	if on {
+		if s.syncDone == nil {
+			s.syncDone = sync.NewCond(&s.mu)
+		}
+		if s.journal == nil {
+			s.promoteLocked()
+		}
+	}
+}
+
+// GroupCommit reports whether group-commit mode is on.
+func (s *Store) GroupCommit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.group
+}
+
+// Sync makes every mutation applied so far durable and returns the first
+// journal error, if any. Outside group-commit mode each mutator is already
+// durable when it returns, so Sync is a no-op — protocol code can call it
+// unconditionally. Under group commit, concurrent callers batch: one
+// leader issues a single fsync covering every record written so far and
+// the followers block on it instead of issuing their own.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	if !s.group || s.frozen { // a crashed site cannot force anything to disk
+		s.mu.Unlock()
+		return nil
+	}
+	if s.journal == nil {
+		s.promoteLocked()
+		s.syncs++
+		n, hook := s.syncs, s.onSync
+		s.mu.Unlock()
+		if hook != nil {
+			hook(n)
+		}
+		return nil
+	}
+	err := s.syncToLocked(s.mutGen)
+	n, hook := s.syncs, s.onSync
+	s.mu.Unlock()
+	if hook != nil {
+		hook(n)
+	}
+	return err
+}
+
+// syncToLocked drives the leader/follower batching protocol until a
+// completed fsync covers target. Called with s.mu held; returns with it
+// held. One caller becomes leader and fsyncs once for every generation
+// written so far; the rest block on syncDone instead of issuing their own.
+func (s *Store) syncToLocked(target int) error {
+	j := s.journal
+	for s.syncedGen < target {
+		if s.syncing {
+			s.syncDone.Wait()
+			continue
+		}
+		s.syncing = true
+		covered := s.mutGen
+		s.mu.Unlock()
+		err := j.f.Sync() // one fsync for the whole batch
+		s.mu.Lock()
+		s.syncing = false
+		if err != nil && j.err == nil {
+			j.err = fmt.Errorf("stable: journal sync: %w", err)
+		}
+		if covered > s.syncedGen {
+			s.syncedGen = covered
+		}
+		s.syncs++
+		s.syncDone.Broadcast()
+	}
+	return j.err
+}
+
+// SetSyncDispatch installs the executor SyncThen hands durable callbacks
+// to — the serving path passes a closure that re-enqueues the callback on
+// the node's event loop, which keeps engine code single-threaded. Leaving
+// it unset keeps SyncThen fully synchronous (Sync, then the callback on
+// the caller's stack), which is what the deterministic simulator needs.
+func (s *Store) SetSyncDispatch(fn func(fn func())) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dispatch = fn
+}
+
+// SyncThen arranges fn to run once every mutation applied so far is
+// durable. Outside group-commit mode persists are already durable, and
+// without a journal or dispatcher there is nothing to overlap — in all
+// those cases this is Sync followed by fn inline. With a dispatcher on a
+// group-committed file journal the fsync moves off the caller's
+// goroutine entirely: fn queues behind the current mutation generation,
+// the syncer goroutine covers every queued callback with one batched
+// fsync, and fn is dispatched afterwards. That is pipelined group commit:
+// a serial event loop keeps absorbing concurrent transactions while the
+// disk settles, instead of stalling a full fsync at every sync point.
+func (s *Store) SyncThen(fn func()) {
+	s.mu.Lock()
+	if !s.group || s.frozen || s.journal == nil || s.dispatch == nil {
+		s.mu.Unlock()
+		_ = s.Sync()
+		fn()
+		return
+	}
+	s.pend = append(s.pend, pendItem{gen: s.mutGen, fn: fn})
+	if s.pendReq == nil {
+		s.pendReq = sync.NewCond(&s.mu)
+	}
+	if !s.syncerUp {
+		s.syncerUp = true
+		go s.syncLoop()
+	}
+	s.pendReq.Signal()
+	s.mu.Unlock()
+}
+
+// syncLoop is the background half of SyncThen: it drains the pending
+// queue in batches, makes each batch durable with one fsync through the
+// same leader/follower path Sync uses, and dispatches the callbacks in
+// submission order. It exits when the journal is closed and the queue is
+// empty (Close wakes it for that check).
+func (s *Store) syncLoop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for len(s.pend) == 0 {
+			if s.journal == nil {
+				s.syncerUp = false
+				return
+			}
+			s.pendReq.Wait()
+		}
+		batch := s.pend
+		s.pend = nil
+		if s.journal != nil {
+			// A sync failure degrades the medium to volatile (JournalErr
+			// sticks) but still releases the callbacks, matching the
+			// error policy of the synchronous Sync call sites.
+			_ = s.syncToLocked(batch[len(batch)-1].gen)
+		}
+		n, hook, dispatch := s.syncs, s.onSync, s.dispatch
+		s.mu.Unlock()
+		if hook != nil {
+			hook(n)
+		}
+		for _, p := range batch {
+			dispatch(p.fn)
+		}
+		s.mu.Lock()
+	}
+}
+
+// Syncs reports how many batched Sync operations have completed — the
+// figure concurrent-committer tests pin against the number of committers.
+func (s *Store) Syncs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs
+}
+
+// SetOnSync installs a hook invoked (outside the store lock) after each
+// completed Sync with the running sync count. The explorer uses it to land
+// crash faults exactly at batch boundaries.
+func (s *Store) SetOnSync(fn func(n int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onSync = fn
+}
+
+// promoteLocked snapshots the live contents as the new durable baseline.
+func (s *Store) promoteLocked() {
+	s.snapKV = make(map[string][]byte, len(s.kv))
+	for k, v := range s.kv {
+		s.snapKV[k] = append([]byte{}, v...)
+	}
+	s.snapLog = make([][]byte, len(s.log))
+	for i, r := range s.log {
+		s.snapLog[i] = append([]byte{}, r...)
+	}
+	s.snapKVWrites, s.snapLogWrites = s.kvWrites, s.logWrites
+}
+
+// revertLocked discards the unsynced batch window, restoring the
+// last-synced snapshot (write counters included).
+func (s *Store) revertLocked() {
+	s.kv = make(map[string][]byte, len(s.snapKV))
+	for k, v := range s.snapKV {
+		s.kv[k] = append([]byte{}, v...)
+	}
+	s.log = make([][]byte, len(s.snapLog))
+	for i, r := range s.snapLog {
+		s.log[i] = append([]byte{}, r...)
+	}
+	s.kvWrites, s.logWrites = s.snapKVWrites, s.snapLogWrites
 }
 
 // Frozen reports whether mutations are currently discarded.

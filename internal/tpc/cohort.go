@@ -17,6 +17,12 @@ type cohortTxn struct {
 	// termination-protocol bookkeeping (when this cohort is the backup).
 	gathering  bool
 	stateResps map[rt.NodeID]State
+	// peers is this transaction's scoped participant set, learned from
+	// the commit request; nil means the cohort's full static peer list.
+	// Termination (backup election, state gathering, dissemination) runs
+	// over exactly this set, so a scoped transaction never waits on
+	// sites it did not touch.
+	peers []rt.NodeID
 }
 
 // Cohort is the paper's participant process. Vote decides phase-1 votes;
@@ -83,7 +89,7 @@ func (h *Cohort) HandleMessage(m rt.Message) bool {
 		if !ok {
 			return h.badPayload(m)
 		}
-		h.onCommitReq(p.Txn)
+		h.onCommitReq(p.Txn, p.Participants)
 		return true
 	case KindPrepare:
 		p, ok := m.Payload.(txnMsg)
@@ -156,6 +162,32 @@ func (h *Cohort) Malformed() int { return h.malformed }
 // SendErrors reports how many protocol sends the network refused.
 func (h *Cohort) SendErrors() int { return h.sendErrors }
 
+// sync forces the site's pending stable writes to disk in one batch — a
+// no-op outside group-commit mode, where every persist is already durable
+// on return. See the call sites for the divergence argument placing each.
+func (h *Cohort) sync() {
+	st, err := h.net.Store(h.id)
+	if err != nil {
+		return
+	}
+	_ = st.Sync()
+}
+
+// syncThen runs fn once the site's pending stable writes are durable: on
+// the caller's stack under the simulator (and outside group-commit mode,
+// where persists are already durable), or re-enqueued on this node's
+// event loop by the store's pipelined group commit on the live serving
+// path — the loop keeps absorbing concurrent transactions while the
+// batched fsync settles, instead of stalling behind it.
+func (h *Cohort) syncThen(fn func()) {
+	st, err := h.net.Store(h.id)
+	if err != nil {
+		fn()
+		return
+	}
+	st.SyncThen(fn)
+}
+
 // send transmits one protocol message, routing refusals through the
 // send-error accounting (SendErrors, OnSendError) instead of dropping
 // them silently: the protocol cannot act on a failed send (timeouts and
@@ -170,10 +202,15 @@ func (h *Cohort) send(to rt.NodeID, kind string, payload any) {
 }
 
 // onCommitReq is the q2 transition: vote and move to w2 (yes) or a2 (no).
-func (h *Cohort) onCommitReq(txn string) {
+// A scoped commit request names the participant set the transaction's
+// termination protocol runs over.
+func (h *Cohort) onCommitReq(txn string, participants []rt.NodeID) {
 	t := h.txn(txn)
 	if t.state != StateInitial {
 		return
+	}
+	if len(participants) > 0 {
+		t.peers = append([]rt.NodeID{}, participants...)
 	}
 	yes := h.Vote == nil || h.Vote(txn)
 	if !yes {
@@ -184,12 +221,23 @@ func (h *Cohort) onCommitReq(txn string) {
 	h.emit(txn, t.state, StateWait, CauseMessage)
 	t.state = StateWait
 	h.persist(txn, StateWait)
-	h.send(h.coord, KindVoteYes, txnMsg{Txn: txn})
-	// Timeout waiting for prepare: coordinator failed in w1.
-	t.timer = h.net.After(h.id, h.cfg.PhaseTimeout, func() {
-		if t.state == StateWait {
-			h.onCoordinatorSilent(txn, t)
-		}
+	// The w2 record — and with it every WAL update of the local branch —
+	// MUST be on disk before the yes-vote leaves. A voter that crashes
+	// with an unsynced w recovers to q knowing nothing: it answers the
+	// termination protocol with q instead of the recovered-abort a durable
+	// w produces, and a peer recovering independently from its own synced
+	// p commits — against a branch this site no longer has. One batched
+	// fsync here covers the vote, the branch's WAL records, and every
+	// concurrent committer in the window; the vote (and the phase timer it
+	// starts) waits on the batch, the event loop does not.
+	h.syncThen(func() {
+		h.send(h.coord, KindVoteYes, txnMsg{Txn: txn})
+		// Timeout waiting for prepare: coordinator failed in w1.
+		t.timer = h.net.After(h.id, h.cfg.PhaseTimeout, func() {
+			if t.state == StateWait {
+				h.onCoordinatorSilent(txn, t)
+			}
+		})
 	})
 }
 
@@ -205,12 +253,17 @@ func (h *Cohort) onPrepare(txn string, from rt.NodeID) {
 	h.emit(txn, t.state, StatePrepared, CauseMessage)
 	t.state = StatePrepared
 	h.persist(txn, StatePrepared)
-	h.send(from, KindAck, txnMsg{Txn: txn})
-	// Timeout waiting for commit: coordinator failed in p1.
-	t.timer = h.net.After(h.id, h.cfg.PhaseTimeout, func() {
-		if t.state == StatePrepared {
-			h.onCoordinatorSilent(txn, t)
-		}
+	// The p2 record must be durable before the ack: an acked-but-unsynced
+	// p crashes back to w, which recovers to abort — while the
+	// coordinator, holding every ack, commits.
+	h.syncThen(func() {
+		h.send(from, KindAck, txnMsg{Txn: txn})
+		// Timeout waiting for commit: coordinator failed in p1.
+		t.timer = h.net.After(h.id, h.cfg.PhaseTimeout, func() {
+			if t.state == StatePrepared {
+				h.onCoordinatorSilent(txn, t)
+			}
+		})
 	})
 }
 
@@ -255,7 +308,7 @@ func (h *Cohort) onCoordinatorSilent(txn string, t *cohortTxn) {
 // gathers the local states of operational cohorts, applies the
 // non-blocking rules, and disseminates the decision.
 func (h *Cohort) startTermination(txn string, t *cohortTxn) {
-	backup := h.backup()
+	backup := h.backup(t)
 	if backup != h.id {
 		// Ask the backup directly (it replies with its state, or with the
 		// decision if it already has one), then retry if still undecided —
@@ -273,7 +326,7 @@ func (h *Cohort) startTermination(txn string, t *cohortTxn) {
 	}
 	t.gathering = true
 	t.stateResps = map[rt.NodeID]State{h.id: t.state}
-	for _, p := range h.peers {
+	for _, p := range h.peersFor(t) {
 		if p == h.id {
 			continue
 		}
@@ -282,10 +335,20 @@ func (h *Cohort) startTermination(txn string, t *cohortTxn) {
 	h.net.After(h.id, 2*h.net.Delta()+2, func() { h.terminationDecide(txn, t) })
 }
 
-// backup returns the lowest operational cohort, the deterministic election
-// the thesis's voting protocol provides.
-func (h *Cohort) backup() rt.NodeID {
-	ids := append([]rt.NodeID{}, h.peers...)
+// peersFor returns the participant set termination runs over for one
+// transaction: its scoped set when the commit request carried one, the
+// full static peer list otherwise (a fresh copy, per rt confinement).
+func (h *Cohort) peersFor(t *cohortTxn) []rt.NodeID {
+	if len(t.peers) > 0 {
+		return append([]rt.NodeID{}, t.peers...)
+	}
+	return append([]rt.NodeID{}, h.peers...)
+}
+
+// backup returns the lowest operational participant, the deterministic
+// election the thesis's voting protocol provides.
+func (h *Cohort) backup(t *cohortTxn) rt.NodeID {
+	ids := append([]rt.NodeID{}, h.peersFor(t)...)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		if h.net.Up(id) {
@@ -337,7 +400,7 @@ func (h *Cohort) terminationDecide(txn string, t *cohortTxn) {
 		// aborts, and atomicity splits. durcheck flags this shape as
 		// dur-send; the suppressions below keep the ablation compiling
 		// against a clean lint run.
-		for _, p := range h.peers {
+		for _, p := range h.peersFor(t) {
 			if p != h.id {
 				//lint:allow rt-sendorder E15 ablation deliberately disseminates before the decide transition; the conformance runs never enable UnsafeTermination
 				h.send(p, kind, txnMsg{Txn: txn}) //dur:ignore E15 ablation deliberately preserves the unsafe disseminate-before-persist ordering behind Config.UnsafeTermination
@@ -350,7 +413,7 @@ func (h *Cohort) terminationDecide(txn string, t *cohortTxn) {
 	// peer can learn it. The original ordering disseminated first — the
 	// violation durcheck was built to catch (see Config.UnsafeTermination).
 	h.decide(txn, d, CauseTerminate)
-	for _, p := range h.peers {
+	for _, p := range h.peersFor(t) {
 		if p != h.id {
 			h.send(p, kind, txnMsg{Txn: txn})
 		}
@@ -387,6 +450,17 @@ func (h *Cohort) decide(txn string, d Decision, cause Cause) {
 	h.decisions[txn] = d
 	if h.OnDecide != nil {
 		h.OnDecide(txn, d)
+	}
+	// Divergence rule for the batched fsync: recovery re-derives commit
+	// from a durable p and abort from w/q, so only an outcome that
+	// CONTRADICTS what recovery would conclude must be forced down —
+	// commit decided anywhere below p, or abort decided at p (a backup's
+	// termination can abort a prepared cohort when a peer aborted). The
+	// sync sits after OnDecide so the one batch also covers the WAL
+	// commit/abort record the decision application just appended, and
+	// before decide's callers disseminate the outcome to any peer.
+	if (d == DecisionCommit && from != StatePrepared) || (d == DecisionAbort && from == StatePrepared) {
+		h.sync()
 	}
 }
 

@@ -12,6 +12,9 @@ type coordTxn struct {
 	votes map[rt.NodeID]bool // yes-votes received
 	acks  map[rt.NodeID]bool
 	timer rt.Timer
+	// participants is the scoped site set this transaction's fan-out
+	// spans (BeginWith); nil means every cohort the coordinator manages.
+	participants []rt.NodeID
 }
 
 // Coordinator drives commit processing for transactions whose master runs
@@ -55,21 +58,41 @@ func NewCoordinator(net rt.Transport, id rt.NodeID, cohorts []rt.NodeID, cfg Con
 	}
 }
 
-// Begin starts the commit protocol for txn: the coordinator moves q1→w1
-// and multicasts the commit request to all cohorts. It is not message
-// dispatch, so it opts into the durability analysis explicitly.
+// Begin starts the commit protocol for txn with the full cohort set.
+func (c *Coordinator) Begin(txn string) error { return c.BeginWith(txn, nil) }
+
+// BeginWith starts the commit protocol for txn over exactly the given
+// participant sites: the coordinator moves q1→w1 and multicasts the
+// commit request to them (nil means all cohorts — the unscoped Begin).
+// An empty non-nil set means the transaction touched no data site: there
+// is nothing to prepare and nobody to wait for, so it commits
+// immediately. It is not message dispatch, so it opts into the
+// durability analysis explicitly.
+//
+// The w1 record is deliberately not forced to disk before the commit
+// requests leave (group commit): a coordinator that crashes with an
+// unsynced w recovers to q, decides nothing, and the cohorts' termination
+// protocol aborts — the same outcome recovery-from-w would reach.
 //
 //dur:handler
-func (c *Coordinator) Begin(txn string) error {
+func (c *Coordinator) BeginWith(txn string, participants []rt.NodeID) error {
 	if _, dup := c.txns[txn]; dup {
 		return fmt.Errorf("tpc: transaction %s already begun", txn)
 	}
 	ct := &coordTxn{state: StateWait, votes: map[rt.NodeID]bool{}, acks: map[rt.NodeID]bool{}}
+	if participants != nil {
+		ct.participants = append([]rt.NodeID{}, participants...)
+	}
 	c.txns[txn] = ct
 	c.emit(txn, StateInitial, StateWait, CauseMessage)
 	c.persist(txn, StateWait)
-	for _, ch := range c.cohorts {
-		if err := c.net.Send(c.id, ch, KindCommitReq, txnMsg{Txn: txn}); err != nil {
+	parts := c.parts(ct)
+	if participants != nil && len(parts) == 0 {
+		c.commit(txn, ct, CauseMessage)
+		return nil
+	}
+	for _, ch := range parts {
+		if err := c.net.Send(c.id, ch, KindCommitReq, txnMsg{Txn: txn, Participants: ct.participants}); err != nil {
 			return fmt.Errorf("tpc: begin %s: %w", txn, err)
 		}
 	}
@@ -80,6 +103,42 @@ func (c *Coordinator) Begin(txn string) error {
 		}
 	})
 	return nil
+}
+
+// parts returns the transaction's fan-out set: its scoped participants,
+// or every cohort when unscoped (a fresh copy, per rt confinement).
+func (c *Coordinator) parts(ct *coordTxn) []rt.NodeID {
+	if ct.participants != nil {
+		return append([]rt.NodeID{}, ct.participants...)
+	}
+	return append([]rt.NodeID{}, c.cohorts...)
+}
+
+// sync forces the site's pending stable writes to disk in one batch. A
+// no-op outside group-commit mode, where every persist is already
+// durable on return; under group commit it is placed exactly where an
+// unsynced record would diverge from what independent recovery re-derives
+// (see the comments at each call site).
+func (c *Coordinator) sync() {
+	st, err := c.net.Store(c.id)
+	if err != nil {
+		return
+	}
+	_ = st.Sync()
+}
+
+// syncThen runs fn once the site's pending stable writes are durable —
+// inline under the simulator and outside group-commit mode, re-enqueued
+// on this node's event loop by the store's pipelined group commit on the
+// live serving path, so the loop keeps absorbing concurrent transactions
+// while the batched fsync settles.
+func (c *Coordinator) syncThen(fn func()) {
+	st, err := c.net.Store(c.id)
+	if err != nil {
+		fn()
+		return
+	}
+	st.SyncThen(fn)
 }
 
 // HandleMessage consumes coordinator-side protocol traffic.
@@ -154,7 +213,7 @@ func (c *Coordinator) onVote(txn string, from rt.NodeID, yes bool) {
 		return
 	}
 	ct.votes[from] = true
-	if len(ct.votes) < len(c.cohorts) {
+	if len(ct.votes) < len(c.parts(ct)) {
 		return
 	}
 	// All agreed.
@@ -170,15 +229,22 @@ func (c *Coordinator) onVote(txn string, from rt.NodeID, yes bool) {
 	c.emit(txn, ct.state, StatePrepared, CauseMessage)
 	ct.state = StatePrepared
 	c.persist(txn, StatePrepared)
-	for _, ch := range c.cohorts {
-		c.send(ch, KindPrepare, txnMsg{Txn: txn})
-	}
-	ct.timer = c.net.After(c.id, c.cfg.PhaseTimeout, func() {
-		if ct.state == StatePrepared {
-			// p1 timeout transition (a cohort failed before acking):
-			// abort and notify everyone, per the paper's narrative.
-			c.abort(txn, ct, CauseTimeout)
+	// The p1 record MUST be on disk before any prepare leaves: an
+	// unsynced p crashes back to w, which recovers to abort — while a
+	// cohort that ran termination over the prepares commits. The one
+	// batched fsync here covers the whole fan-out (and, pipelined, every
+	// concurrent transaction's sync point in the same window).
+	c.syncThen(func() {
+		for _, ch := range c.parts(ct) {
+			c.send(ch, KindPrepare, txnMsg{Txn: txn})
 		}
+		ct.timer = c.net.After(c.id, c.cfg.PhaseTimeout, func() {
+			if ct.state == StatePrepared {
+				// p1 timeout transition (a cohort failed before acking):
+				// abort and notify everyone, per the paper's narrative.
+				c.abort(txn, ct, CauseTimeout)
+			}
+		})
 	})
 }
 
@@ -188,7 +254,7 @@ func (c *Coordinator) onAck(txn string, from rt.NodeID) {
 		return
 	}
 	ct.acks[from] = true
-	if len(ct.acks) < len(c.cohorts) {
+	if len(ct.acks) < len(c.parts(ct)) {
 		return
 	}
 	if ct.timer != nil {
@@ -198,13 +264,21 @@ func (c *Coordinator) onAck(txn string, from rt.NodeID) {
 }
 
 func (c *Coordinator) commit(txn string, ct *coordTxn, cause Cause) {
+	from := ct.state
 	if ct.state != StateCommitted {
 		c.emit(txn, ct.state, StateCommitted, cause) //fsm:from w,p
 	}
 	ct.state = StateCommitted
 	c.persist(txn, StateCommitted)
 	c.persistDecision(txn, DecisionCommit)
-	for _, ch := range c.cohorts {
+	// Divergence rule: independent recovery re-derives commit from a
+	// durable p, so committing from p needs no fsync before the decision
+	// leaves. Committing from anywhere else (2PC's w, a re-announce)
+	// would recover to abort, so the decision must hit the disk first.
+	if from != StatePrepared {
+		c.sync()
+	}
+	for _, ch := range c.parts(ct) {
 		c.send(ch, KindCommit, txnMsg{Txn: txn})
 	}
 	c.finish(txn, DecisionCommit)
@@ -214,13 +288,20 @@ func (c *Coordinator) abort(txn string, ct *coordTxn, cause Cause) {
 	if ct.timer != nil {
 		ct.timer.Cancel()
 	}
+	from := ct.state
 	if ct.state != StateAborted {
 		c.emit(txn, ct.state, StateAborted, cause) //fsm:from q,w,p
 	}
 	ct.state = StateAborted
 	c.persist(txn, StateAborted)
 	c.persistDecision(txn, DecisionAbort)
-	for _, ch := range c.cohorts {
+	// Mirror of commit's divergence rule: recovery from w (or q) already
+	// aborts, so only an abort decided from p — where recovery would
+	// commit instead — must be forced down before it is announced.
+	if from == StatePrepared {
+		c.sync()
+	}
+	for _, ch := range c.parts(ct) {
 		c.send(ch, KindAbort, txnMsg{Txn: txn})
 	}
 	c.finish(txn, DecisionAbort)

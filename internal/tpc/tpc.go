@@ -165,9 +165,14 @@ const (
 )
 
 // txnMsg is the common payload: every protocol message names its
-// transaction.
+// transaction. Participants rides only on scoped commit requests (see
+// Config.ScopedParticipants): it tells each cohort which sites this
+// transaction's termination protocol runs over. Absent (nil) means the
+// cohort's full static peer set, which keeps the wire encoding of
+// unscoped runs byte-identical to before the field existed.
 type txnMsg struct {
-	Txn string
+	Txn          string
+	Participants []rt.NodeID `json:",omitempty"`
 }
 
 // stateResp answers a termination-protocol state request.
@@ -214,6 +219,16 @@ type Config struct {
 	// flags statically and the E15 cross-validation exhibits dynamically
 	// as an atomicity split. It exists for that ablation only.
 	UnsafeTermination bool
+	// ScopedParticipants, when true, makes the master hand the
+	// coordinator the exact site set each transaction touched
+	// (Coordinator.BeginWith): the commit protocol's fan-out — commit
+	// requests, prepares, decisions, and the cohorts' termination
+	// protocol — spans only those participants instead of every cohort
+	// in the cluster. A transaction touching no site commits
+	// immediately. Off by default: the unscoped all-cohorts fan-out is
+	// the coordinate system existing fault schedules (and their golden
+	// counterexamples) address sends by.
+	ScopedParticipants bool
 }
 
 // stable-storage key for a transaction's persisted state.

@@ -35,6 +35,21 @@ func NewCluster(seed int64, n int, cfg tpc.Config) (*Cluster, error) {
 // its store from stable storage and replays the commit protocol's failure
 // transitions; a recovered master replays the coordinator's.
 func NewClusterOn(net *simnet.Network, n int, cfg tpc.Config) (*Cluster, error) {
+	return newClusterOn(net, n, cfg, 0)
+}
+
+// NewShardedClusterOn is NewClusterOn with every site's database
+// hash-partitioned into nshards independent shards over the site's one
+// stable store (see kvstore.OpenShards). nshards < 2 degrades to the
+// single-partition store.
+func NewShardedClusterOn(net *simnet.Network, n int, cfg tpc.Config, nshards int) (*Cluster, error) {
+	if nshards < 2 {
+		nshards = 0
+	}
+	return newClusterOn(net, n, cfg, nshards)
+}
+
+func newClusterOn(net *simnet.Network, n int, cfg tpc.Config, nshards int) (*Cluster, error) {
 	masterID := simnet.NodeID(1)
 	net.AddNode(masterID, nil)
 	var siteIDs []simnet.NodeID
@@ -52,7 +67,7 @@ func NewClusterOn(net *simnet.Network, n int, cfg tpc.Config) (*Cluster, error) 
 	c.Master = master
 
 	for _, id := range siteIDs {
-		site, err := NewSiteOn(net, id, masterID, siteIDs, cfg)
+		site, err := newSiteOn(net, id, masterID, siteIDs, cfg, nshards)
 		if err != nil {
 			return nil, err
 		}

@@ -25,6 +25,7 @@ func NewMasterOn(net rt.Transport, masterID rt.NodeID, siteIDs []rt.NodeID, cfg 
 		net: net, id: masterID,
 		coord:   tpc.NewCoordinator(net, masterID, siteIDs, cfg),
 		pending: map[string]*pending{},
+		scoped:  cfg.ScopedParticipants,
 	}
 	m.coord.OnDecide = m.onDecide
 	if err := net.SetHandler(masterID, m.handle); err != nil {
@@ -42,15 +43,35 @@ func NewMasterOn(net rt.Transport, masterID rt.NodeID, siteIDs []rt.NodeID, cfg 
 // file-journaled store recovers its committed state across real process
 // restarts.
 func NewSiteOn(net rt.Transport, id, masterID rt.NodeID, siteIDs []rt.NodeID, cfg tpc.Config) (*Site, error) {
+	return newSiteOn(net, id, masterID, siteIDs, cfg, 0)
+}
+
+// NewShardedSiteOn is NewSiteOn with the site's database hash-partitioned
+// into nshards independent shards (own lock manager and WAL session each)
+// over the site's one stable store. Crash recovery reopens the same
+// layout. nshards < 2 degrades to the single-partition store.
+func NewShardedSiteOn(net rt.Transport, id, masterID rt.NodeID, siteIDs []rt.NodeID, cfg tpc.Config, nshards int) (*Site, error) {
+	if nshards < 2 {
+		nshards = 0
+	}
+	return newSiteOn(net, id, masterID, siteIDs, cfg, nshards)
+}
+
+func newSiteOn(net rt.Transport, id, masterID rt.NodeID, siteIDs []rt.NodeID, cfg tpc.Config, nshards int) (*Site, error) {
 	st, err := net.Store(id)
 	if err != nil {
 		return nil, fmt.Errorf("txn: wire site %d: %w", id, err)
 	}
-	store, err := kvstore.Open(st)
+	var store kvstore.DB
+	if nshards > 0 {
+		store, err = kvstore.OpenShards(st, nshards)
+	} else {
+		store, err = kvstore.Open(st)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("txn: wire site %d: %w", id, err)
 	}
-	site := &Site{net: net, id: id, Store: store, masterID: masterID, failed: map[string]bool{}}
+	site := &Site{net: net, id: id, Store: store, masterID: masterID, failed: map[string]bool{}, shards: nshards}
 	site.cohort = tpc.NewCohort(net, id, masterID, siteIDs, cfg)
 	site.cohort.Vote = func(txn string) bool { return !site.failed[txn] }
 	site.cohort.OnDecide = site.applyDecision

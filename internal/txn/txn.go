@@ -108,6 +108,9 @@ type Master struct {
 	id      rt.NodeID
 	coord   *tpc.Coordinator
 	pending map[string]*pending
+	// scoped makes the commit protocol span only the sites a transaction
+	// actually touched (tpc.Config.ScopedParticipants).
+	scoped bool
 	// OnUnhandled, when non-nil, observes messages the master dropped —
 	// unknown kinds and undecodable payloads. They are counted either way
 	// (see Unhandled); before this hook existed both cases were a silent
@@ -130,11 +133,17 @@ func (m *Master) Unhandled() int { return m.unhandled }
 
 // Site hosts a cohort process plus the local store.
 type Site struct {
-	net      rt.Transport
-	id       rt.NodeID
-	Store    *kvstore.Store
+	net rt.Transport
+	id  rt.NodeID
+	// Store is the site's transactional database: a single-partition
+	// kvstore.Store, or a hash-sharded kvstore.Shards when the site was
+	// built with NewShardedSiteOn.
+	Store    kvstore.DB
 	cohort   *tpc.Cohort
 	masterID rt.NodeID
+	// shards > 0 records the partition count so crash recovery reopens
+	// the store with the identical layout.
+	shards int
 	// failed marks local branches that could not complete their work: the
 	// site votes no for them. Sites with no branch for a transaction vote
 	// yes trivially (they have nothing to make durable).
@@ -264,13 +273,23 @@ func (m *Master) handle(msg rt.Message) {
 
 // startCommit launches the atomic commitment protocol. A failed work phase
 // still runs the protocol (the failing site votes no), keeping the
-// decision path uniform.
+// decision path uniform. Under scoped participation the protocol spans
+// exactly the sites the transaction sent work to — untouched sites never
+// see a commit request, and a dataless transaction commits immediately.
 func (m *Master) startCommit(txn string, p *pending) error {
 	if p.started {
 		return nil
 	}
 	p.started = true
-	return m.coord.Begin(txn)
+	if !m.scoped {
+		return m.coord.Begin(txn)
+	}
+	sites := make([]rt.NodeID, 0, len(p.ops))
+	for site := range p.ops {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	return m.coord.BeginWith(txn, sites)
 }
 
 func (m *Master) onDecide(txn string, d tpc.Decision) {
@@ -438,7 +457,12 @@ func (s *Site) Recover() error {
 			s.OnApply(txn, d)
 		}
 	}
-	store, err := kvstore.Open(st)
+	var store kvstore.DB
+	if s.shards > 0 {
+		store, err = kvstore.OpenShards(st, s.shards)
+	} else {
+		store, err = kvstore.Open(st)
+	}
 	if err != nil {
 		return fmt.Errorf("txn: recover site %d: %w", s.id, err)
 	}

@@ -171,13 +171,21 @@ func (l *Log) Abort(txn string) error {
 // operation, so commuting updates of concurrent transactions that
 // applied after the aborted ones are preserved rather than clobbered.
 func (l *Log) UndoInto(txn string, db map[string]string) error {
+	return l.UndoOwnedInto(txn, db, nil)
+}
+
+// UndoOwnedInto is UndoInto restricted to the keys owns reports true for.
+// Sharded stores share one stable log per site, so each shard's abort
+// must undo only its own partition's updates — a nil owns undoes
+// everything (the unsharded case).
+func (l *Log) UndoOwnedInto(txn string, db map[string]string, owns func(key string) bool) error {
 	recs, err := Records(l.store)
 	if err != nil {
 		return err
 	}
 	for i := len(recs) - 1; i >= 0; i-- {
 		r := recs[i]
-		if r.Kind == RecUpdate && r.Txn == txn {
+		if r.Kind == RecUpdate && r.Txn == txn && (owns == nil || owns(r.Key)) {
 			db[r.Key] = Undo(r, db[r.Key])
 		}
 	}

@@ -31,6 +31,14 @@ const (
 	// exclusive writes the hot accounts serialize, under IncMode they
 	// share.
 	Commutative
+	// CrossPartition issues wide conserving increment-transactions over
+	// Spread distinct zipfian-chosen accounts (plus a read fraction): the
+	// first Spread−1 accounts each lose d, the last gains (Spread−1)·d, so
+	// the total is invariant under any interleaving. Because the accounts
+	// are drawn independently, each transaction deliberately straddles
+	// sites — and, within a site, hash shards — making it the stress mix
+	// for the multi-shard prepare fan-out and group-committed WAL path.
+	CrossPartition
 )
 
 // String names the kind.
@@ -44,6 +52,8 @@ func (k Kind) String() string {
 		return "hotspot"
 	case Commutative:
 		return "commutative"
+	case CrossPartition:
+		return "cross-partition"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -72,6 +82,9 @@ type Config struct {
 	// ReadFraction is the share of single-key reads in the Commutative
 	// mix (the rest are increment-transfers). Zero means all transfers.
 	ReadFraction float64
+	// Spread is how many distinct accounts a CrossPartition transaction
+	// touches (default 4; clamped to Accounts).
+	Spread int
 	// WriteFraction is the share of blind absolute-write transactions in
 	// the Commutative mix: paired overwrites of two zipfian-chosen
 	// accounts with no preceding read. It exists for the underlock
@@ -102,6 +115,12 @@ func New(cfg Config, siteFor func(string) simnet.NodeID) *Generator {
 	}
 	if cfg.InitialBalance == 0 {
 		cfg.InitialBalance = 100
+	}
+	if cfg.Spread == 0 {
+		cfg.Spread = 4
+	}
+	if cfg.Spread > cfg.Accounts {
+		cfg.Spread = cfg.Accounts
 	}
 	rng := cfg.Rand
 	if rng == nil {
@@ -175,11 +194,44 @@ func (g *Generator) Generate() []Txn {
 			default:
 				out = append(out, g.incTransferTxn(name))
 			}
+		case CrossPartition:
+			if g.rng.Float64() < g.cfg.ReadFraction {
+				out = append(out, g.zipfReadTxn(name))
+				continue
+			}
+			out = append(out, g.crossPartitionTxn(name))
 		default:
 			out = append(out, g.transferTxn(name, g.pick(), g.pick()))
 		}
 	}
 	return out
+}
+
+// crossPartitionTxn drains d from each of Spread−1 zipfian-chosen distinct
+// accounts into one sink account — a conserving wide write whose key set
+// straddles sites (and shards) by construction of independent draws.
+func (g *Generator) crossPartitionTxn(name string) Txn {
+	chosen := map[int]bool{}
+	var accts []int
+	for len(accts) < g.cfg.Spread {
+		a := g.zipf.Next()
+		for chosen[a] {
+			a = (a + 1) % g.cfg.Accounts
+		}
+		chosen[a] = true
+		accts = append(accts, a)
+	}
+	d := 1 + g.rng.Intn(9)
+	t := Txn{Name: name, IsTransfer: true}
+	for i, a := range accts {
+		k := Account(a)
+		delta := fmt.Sprintf("-%d", d)
+		if i == len(accts)-1 {
+			delta = fmt.Sprintf("%d", d*(len(accts)-1))
+		}
+		t.Ops = append(t.Ops, txn.Op{Site: g.SiteFor(k), Key: k, Value: delta, Class: txn.ClassInc})
+	}
+	return t
 }
 
 func (g *Generator) pick() int { return g.rng.Intn(g.cfg.Accounts) }
