@@ -16,16 +16,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# All six linting layers: go vet, then the Go design-rule analyzers plus
+# All seven linting layers: go vet, then the Go design-rule analyzers plus
 # the fsmcheck protocol extraction, the durcheck durability-ordering
-# analysis, the portcheck runtime-boundary/state-confinement analysis and
-# the commcheck commutativity lock-mode analysis over the whole module,
-# the spec linter over the thesis corpus and the commutativity spec, and
-# the generated-FSM-docs staleness gate. speccatlint -only <layer> reruns
-# any single layer in isolation.
+# analysis, the portcheck runtime-boundary/state-confinement analysis,
+# the commcheck commutativity lock-mode analysis and the lockcheck
+# 2PL/lock-order analysis over the whole module, the spec linter over the
+# thesis corpus and the commutativity spec, and the generated-FSM-docs
+# staleness gate. speccatlint -only <layer> reruns any single layer in
+# isolation.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/speccatlint -dur -port -comm ./...
+	$(GO) run ./cmd/speccatlint -dur -port -comm -lock ./...
 	$(GO) run ./cmd/speccatlint internal/core/speclang/testdata/thesis/*.sw internal/locking/comm.sw
 	$(GO) run ./cmd/speccatlint -fsm-check docs/fsm ./internal/...
 

@@ -17,6 +17,7 @@ import (
 	"speccat/internal/analysis/commcheck"
 	"speccat/internal/analysis/durcheck"
 	"speccat/internal/analysis/fsmcheck"
+	"speccat/internal/analysis/lockcheck"
 	"speccat/internal/core/provesched"
 	"speccat/internal/core/speclang"
 	"speccat/internal/core/speclint"
@@ -49,10 +50,11 @@ func main() {
 }
 
 // lintGoLayers runs the Go design-rule analyzers, the fsmcheck protocol
-// extraction, the durcheck durability-ordering analysis and the commcheck
-// commutativity lock-mode analysis over the enclosing module, so -lint
-// covers the spec layer plus four Go analysis layers, and returns the
-// finding count. Outside a Go module it is a no-op.
+// extraction, the durcheck durability-ordering analysis, the commcheck
+// commutativity lock-mode analysis and the lockcheck 2PL / lock-order
+// analysis over the enclosing module, so -lint covers the spec layer plus
+// five Go analysis layers, and returns the finding count. Outside a Go
+// module it is a no-op.
 func lintGoLayers(stderr *os.File) int {
 	loader, err := analysis.NewLoader(".")
 	if err != nil || loader.ModulePath == "" {
@@ -70,6 +72,8 @@ func lintGoLayers(stderr *os.File) int {
 	diags = append(diags, durDiags...)
 	_, commDiags := commcheck.Run(pkgs)
 	diags = append(diags, commDiags...)
+	_, lockDiags := lockcheck.Run(pkgs)
+	diags = append(diags, lockDiags...)
 	for _, d := range diags {
 		fmt.Fprintln(stderr, d)
 	}

@@ -1,4 +1,4 @@
-// Command speccatlint runs the project's six static-analysis layers:
+// Command speccatlint runs the project's seven static-analysis layers:
 //
 //   - base: Go design-rule analyzers (internal/analysis) over package
 //     patterns: nopanic, nowallclock, norand, noglobalstate, errwrap.
@@ -20,6 +20,13 @@
 //     the prover-discharged Safe theorems of its spec byte for byte, and
 //     every //comm:op site must acquire exactly its class's derived mode
 //     (comm-matrix, comm-overlock, comm-underlock, comm-extract).
+//   - lock: two-phase-locking / cross-shard lock-order dataflow
+//     (internal/analysis/lockcheck, opt-in via -lock): every handler-reachable
+//     locking.Manager call site must grow before it shrinks, release on every
+//     return path, keep acquisitions out of SyncThen continuations and after
+//     the wal decision record, and acquire across shards in canonical
+//     ascending order (lock-twophase, lock-leak, lock-order, lock-hold,
+//     lock-extract).
 //   - spec: the spec/diagram linter (internal/core/speclint) over .sw
 //     files: undeclared symbols, arity mismatches, duplicate axioms,
 //     morphism totality pre-checks, prove/using consistency, diagram shape.
@@ -30,12 +37,13 @@
 //
 // Usage:
 //
-//	speccatlint [-list] [-werror] [-dur] [-port] [-comm] [-only layer] [-json] [-fsm dir] [-fsm-check dir] [target ...]
+//	speccatlint [-list] [-werror] [-dur] [-port] [-comm] [-lock] [-only layer] [-json] [-fsm dir] [-fsm-check dir] [target ...]
 //
-// By default the base, fsm and spec layers run; -dur, -port and -comm opt
-// the heavier layers in. -only base|fsm|dur|port|comm|spec runs exactly
-// one layer (ignoring -dur/-port/-comm), so CI and bisection scripts can
-// attribute findings to a layer without re-running the other five. With
+// By default the base, fsm and spec layers run; -dur, -port, -comm and
+// -lock opt the heavier layers in. -only base|fsm|dur|port|comm|lock|spec
+// runs exactly one layer (ignoring the opt-in flags), so CI and bisection
+// scripts can attribute findings to a layer without re-running the other
+// six. With
 // -fsm the extracted machines are rendered as markdown + DOT into dir
 // (the generated docs/fsm/ artifacts); with -fsm-check the rendering is
 // instead compared against dir and staleness is a failure (both belong
@@ -64,12 +72,13 @@ import (
 	"speccat/internal/analysis/commcheck"
 	"speccat/internal/analysis/durcheck"
 	"speccat/internal/analysis/fsmcheck"
+	"speccat/internal/analysis/lockcheck"
 	"speccat/internal/analysis/portcheck"
 	"speccat/internal/core/speclint"
 )
 
 // layerNames are the selectable analysis layers, in run order.
-var layerNames = []string{"base", "fsm", "dur", "port", "comm", "spec"} //lint:allow noglobalstate immutable lookup table
+var layerNames = []string{"base", "fsm", "dur", "port", "comm", "lock", "spec"} //lint:allow noglobalstate immutable lookup table
 
 // finding is the unified JSON shape of one diagnostic from any layer.
 type finding struct {
@@ -94,7 +103,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	dur := fs.Bool("dur", false, "run the durability-ordering dataflow layer (durcheck)")
 	port := fs.Bool("port", false, "run the runtime-boundary / state-confinement layer (portcheck)")
 	comm := fs.Bool("comm", false, "run the commutativity lock-mode layer (commcheck)")
-	only := fs.String("only", "", "run exactly one layer: base, fsm, dur, port, comm or spec")
+	lock := fs.Bool("lock", false, "run the two-phase-locking / lock-order layer (lockcheck)")
+	only := fs.String("only", "", "run exactly one layer: base, fsm, dur, port, comm, lock or spec")
 	jsonOut := fs.Bool("json", false, "emit findings of all layers as a JSON array")
 	fsmDir := fs.String("fsm", "", "write the extracted machine docs (markdown + DOT) into this directory")
 	fsmCheck := fs.String("fsm-check", "", "fail if the generated machine docs in this directory are stale")
@@ -127,6 +137,8 @@ func run(args []string, stdout, stderr *os.File) int {
 			return *port
 		case "comm":
 			return *comm
+		case "lock":
+			return *lock
 		}
 		return true
 	}
@@ -138,6 +150,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stdout, "%-14s %s\n", "dur-*", "write-ahead / durability-ordering dataflow analysis (durcheck, -dur)")
 		fmt.Fprintf(stdout, "%-14s %s\n", "rt-*", "runtime-boundary / state-confinement analysis (portcheck, -port)")
 		fmt.Fprintf(stdout, "%-14s %s\n", "comm-*", "commutativity-derived lock modes vs the discharged spec matrix (commcheck, -comm)")
+		fmt.Fprintf(stdout, "%-14s %s\n", "lock-*", "two-phase-locking / cross-shard lock-order dataflow analysis (lockcheck, -lock)")
 		return 0
 	}
 	var findings []finding
@@ -178,7 +191,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	wantGo := enabled("base") || enabled("fsm") || enabled("dur") || enabled("port") || enabled("comm")
+	wantGo := enabled("base") || enabled("fsm") || enabled("dur") || enabled("port") || enabled("comm") || enabled("lock")
 	if len(goPatterns) > 0 && wantGo {
 		loader, err := analysis.NewLoader(".")
 		if err != nil {
@@ -225,6 +238,12 @@ func run(args []string, stdout, stderr *os.File) int {
 			_, commDiags := commcheck.Run(pkgs)
 			for _, d := range commDiags {
 				diags = append(diags, layered{"comm", d})
+			}
+		}
+		if enabled("lock") {
+			_, lockDiags := lockcheck.Run(pkgs)
+			for _, d := range lockDiags {
+				diags = append(diags, layered{"lock", d})
 			}
 		}
 		for _, ld := range diags {

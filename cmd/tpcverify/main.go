@@ -10,7 +10,9 @@
 // cross-validation verdicts (-only e15), the live-vs-replay conformance
 // table (-only e16), the TCP wire conformance table (-only e17), and the
 // commutativity-derived lock-mode conformance report (-only e18), and the
-// sharded group-commit conformance and fsync-bill report (-only e19).
+// sharded group-commit conformance and fsync-bill report (-only e19), and
+// the lock-discipline static analysis with its explorer-witnessed
+// cross-shard deadlock (-only e20).
 package main
 
 import (
@@ -294,6 +296,30 @@ func run(sel func(string) bool, seed int64, txns, workers int) error {
 			fmt.Printf("  crash-at-batch-boundary sweep (%d seeds): every oracle clean — the synced prefix re-derives lost commit records on restart\n", res.CrashSeeds)
 		} else {
 			fmt.Printf("  crash-at-batch-boundary sweep (%d seeds): VIOLATED %s\n", res.CrashSeeds, strings.Join(res.CrashViolated, ","))
+		}
+		fmt.Println()
+	}
+
+	if sel("e20") {
+		fmt.Println("== E20: lock discipline — static 2PL/lock-order analysis with explorer-witnessed deadlock ==")
+		res, err := experiments.E20LockDiscipline([]int64{1, 2, 3})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  static lockcheck over ./internal/...: %d findings; %d roots, %d functions analyzed, %d acquire / %d release sites, %d routed calls, %d SyncThen continuations\n",
+			res.Findings, res.Roots, res.Analyzed, res.AcquireSites, res.ReleaseSites, res.RoutedCalls, res.SyncThenSites)
+		for _, arm := range []experiments.E20Arm{res.Ablated, res.Canonical, res.Single} {
+			verdict := "oracles clean"
+			if len(arm.Violated) > 0 {
+				verdict = "VIOLATED " + strings.Join(arm.Violated, ",")
+			}
+			fmt.Printf("  %-18s seeds=%d: %3d committed, %3d aborted, %3d undecided, %d stalls; %s\n",
+				arm.Label, arm.Seeds, arm.Committed, arm.Aborted, arm.Undecided, arm.Stalls, verdict)
+		}
+		if res.Witness {
+			fmt.Printf("  lock-order witness: seed=%d stalls the sharded engine (fault-free progress violation); canonical-order control clean\n", res.WitnessSeed)
+		} else {
+			fmt.Println("  lock-order witness: NOT FOUND (cross-validation failed)")
 		}
 		fmt.Println()
 	}

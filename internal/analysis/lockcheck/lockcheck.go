@@ -1,0 +1,179 @@
+// Package lockcheck is the seventh static-analysis layer of speccatlint: a
+// two-phase-locking and cross-shard lock-order dataflow analysis over the
+// transaction engines. The serializability argument (Section 3.5.1's strict
+// 2PL building block) needs more than a correct lock manager — it needs
+// every CALLER of the manager to follow the discipline: grow-then-shrink
+// (no acquisition after any release of the same transaction), release
+// everything at transaction end on every path, and — once the store is
+// hash-sharded — acquire across shards in one canonical order, because each
+// shard's deadlock detector sees only its own waits-for graph and a cycle
+// split across two managers is invisible to both (the blind spot pinned by
+// kvstore's TestCrossShardDeadlockBlindSpot and witnessed end-to-end by
+// experiment E20).
+//
+// Analysis roots are the //fsm:handler and //dur:handler dispatch
+// functions, the //comm:op-annotated store operations, and //lock:handler
+// opt-ins; from each root the same-module call graph is followed, bridging
+// kvstore.DB-style interface calls to every implementation in the load.
+// Lock events are locking.Manager.Acquire / Release / ReleaseAll calls;
+// durable decision points are wal.Log.Commit / Abort; durability waits are
+// stable.Store.SyncThen and same-module wrappers that forward a
+// continuation parameter to it.
+//
+// Annotation grammar:
+//
+//	//lock:handler          in a function's doc: analysis root that is not
+//	                        already a handler or annotated store op
+//	//lock:ordered <reason> suppresses lock-order findings on its own and
+//	                        the next line; reason mandatory
+//	//lock:ignore <reason>  suppresses all lock findings on its own and the
+//	                        next line; reason mandatory
+//
+// Rules reported:
+//
+//   - lock-twophase: an Acquire for a transaction whose locks were already
+//     released on this path — growing after shrinking, the direct negation
+//     of two-phase locking.
+//   - lock-leak: a return path of a lock-managing function (one that both
+//     acquires and releases directly) on which an acquired lock is not
+//     released — strictness demands ReleaseAll on every exit.
+//   - lock-order: cross-shard acquisitions out of canonical ascending
+//     shard-index order — either consecutive acquisitions with descending
+//     constant indices, or a loop whose body acquires through shard-routed
+//     managers in iteration order. Either pattern can close a waits-for
+//     cycle across managers that no per-shard detector sees.
+//   - lock-hold: an acquisition inside a stable.SyncThen continuation (the
+//     growing phase must not extend past a durability wait), or a
+//     ReleaseAll before the same transaction's wal commit/abort record in a
+//     function that writes one (the decision must be durable before
+//     strictness lets the locks go).
+//   - lock-extract: malformed, unknown or unbound //lock:* directives, and
+//     reasonless suppressions.
+//
+// A lock-order finding is cross-validated dynamically: CrossValidate
+// compiles it into a tpcexplore schedule whose opposed workload stalls the
+// sharded engine forever under lock-waiting (the fault-free progress
+// oracle convicts the run) while the canonical-order engine survives the
+// identical staging — see crossval.go and experiment E20.
+package lockcheck
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"speccat/internal/analysis"
+)
+
+// Rule names reported by this layer.
+const (
+	RuleTwoPhase = "lock-twophase"
+	RuleLeak     = "lock-leak"
+	RuleOrder    = "lock-order"
+	RuleHold     = "lock-hold"
+	RuleExtract  = "lock-extract"
+)
+
+// Report describes what the analysis covered, so tests can pin coverage
+// (a clean run over zero acquire sites would be vacuous, not clean).
+type Report struct {
+	// Roots are the analysis roots (//fsm:handler, //dur:handler, //comm:op
+	// and //lock:handler functions), as "Type.Func" names, sorted.
+	Roots []string
+	// Analyzed counts the functions the flow analysis walked.
+	Analyzed int
+	// AcquireSites counts the direct locking.Manager.Acquire call sites in
+	// analyzed functions; ReleaseSites the Release/ReleaseAll sites.
+	AcquireSites int
+	ReleaseSites int
+	// RoutedCalls counts the shard-routed acquire-reaching call sites the
+	// lock-order rule examined (calls dispatching through a multi-manager
+	// type or an interface with a multi-manager implementation).
+	RoutedCalls int
+	// SyncThenSites counts the stable.Store.SyncThen continuations (direct
+	// or via wrappers) whose bodies the lock-hold rule scanned.
+	SyncThenSites int
+}
+
+// directive is one parsed //lock:<verb> annotation.
+type directive struct {
+	verb string
+	args []string
+	// rest is the raw argument text (reason-bearing verbs keep spaces).
+	rest string
+	pos  token.Position
+}
+
+// parseDirectives extracts the lock: directives of one comment. Like the
+// sibling layers, the comment must BEGIN with a directive, but the leading
+// directive may belong to a sibling layer: function docs carry
+// "//comm:op write" or "//fsm:handler ..." that double as lockcheck roots,
+// each layer reading its own segments and skipping the others'.
+func parseDirectives(text string, pos token.Position) []directive {
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(body, "lock:") && !strings.HasPrefix(body, "fsm:") &&
+		!strings.HasPrefix(body, "dur:") && !strings.HasPrefix(body, "comm:") {
+		return nil
+	}
+	var out []directive
+	for _, seg := range strings.Split(body, "//") {
+		seg = strings.TrimSpace(seg)
+		rest, ok := strings.CutPrefix(seg, "lock:")
+		if !ok {
+			continue
+		}
+		verb, args, _ := strings.Cut(rest, " ")
+		args = strings.TrimSpace(args)
+		out = append(out, directive{
+			verb: verb,
+			args: strings.Fields(args),
+			rest: args,
+			pos:  pos,
+		})
+	}
+	return out
+}
+
+// Run analyzes the loaded packages and returns the coverage report and the
+// surviving diagnostics (with //lock:ignore and //lock:ordered
+// suppressions applied), sorted by position. The run is purely static; see
+// CrossValidate for the dynamic confirmation of lock-order findings.
+func Run(pkgs []*analysis.Package) (*Report, []analysis.Diagnostic) {
+	x := newExtractor(pkgs)
+	rep := x.extract()
+	diags := x.suppress(x.diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return rep, diags
+}
+
+// suppress drops diagnostics covered by a reasoned //lock:ignore (any
+// rule) or //lock:ordered (lock-order only) on the same or the preceding
+// line; reasonless suppressions are themselves findings (already reported
+// during extraction).
+func (x *extractor) suppress(diags []analysis.Diagnostic) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if lines := x.ignored[d.Pos.Filename]; lines[d.Pos.Line] {
+			continue
+		}
+		if d.Rule == RuleOrder {
+			if lines := x.orderIgnored[d.Pos.Filename]; lines[d.Pos.Line] {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package explore
+
+import "testing"
+
+// opposedSpec is the E20 witness schedule shape: the opposed workload's
+// three transactions (warm-up, descending-shard-order pair member,
+// ascending pair member) over a sharded cluster whose sites wait on
+// contended locks instead of aborting.
+func opposedSpec(seed int64) Schedule {
+	return Schedule{
+		Protocol: Proto3PC,
+		Seed:     seed,
+		Sites:    3,
+		Accounts: 8,
+		Txns:     3,
+		Shards:   2,
+		Workload: WorkloadOpposed,
+		LockWait: true,
+		Horizon:  6000,
+	}
+}
+
+// TestLockWaitCrossShardStall pins the cross-shard deadlock blind spot
+// dynamically: under LockWait the opposed pair closes a waits-for cycle
+// spanning two shards' lock managers; neither manager's wouldDeadlock can
+// see it, so both transactions stall to the horizon and the fault-free
+// progress oracle convicts the run.
+func TestLockWaitCrossShardStall(t *testing.T) {
+	res, err := Run(opposedSpec(1))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	violated := res.ViolatedOracles()
+	if len(violated) != 1 || violated[0] != OracleProgress {
+		t.Fatalf("violated oracles = %v, want exactly [progress]", violated)
+	}
+	if res.Stats.Undecided != 2 {
+		t.Fatalf("undecided = %d, want 2 (the opposed pair)", res.Stats.Undecided)
+	}
+	// Setup and warm-up still commit: the stall is precisely the cycle.
+	if res.Stats.Committed != 2 {
+		t.Fatalf("committed = %d, want 2 (setup + warm-up)", res.Stats.Committed)
+	}
+}
+
+// TestLockWaitCanonicalOrderSurvives runs the identical staging with
+// CanonicalLockOrder: every site sorts work into ascending shard-index
+// order before acquiring, no cycle can form, and all transactions decide.
+func TestLockWaitCanonicalOrderSurvives(t *testing.T) {
+	spec := opposedSpec(1)
+	spec.CanonicalLockOrder = true
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v := res.ViolatedOracles(); len(v) != 0 {
+		t.Fatalf("violated oracles = %v, want none", v)
+	}
+	if res.Stats.Undecided != 0 {
+		t.Fatalf("undecided = %d, want 0", res.Stats.Undecided)
+	}
+}
+
+// TestLockWaitSingleManagerDetects runs the same opposed mix unsharded:
+// with one lock manager per site the cycle lives inside a single waits-for
+// graph, wouldDeadlock convicts it, the victim aborts, and progress holds —
+// the detector is only blind across managers.
+func TestLockWaitSingleManagerDetects(t *testing.T) {
+	spec := opposedSpec(1)
+	spec.Shards = 0
+	res, err := Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v := res.ViolatedOracles(); len(v) != 0 {
+		t.Fatalf("violated oracles = %v, want none", v)
+	}
+	if res.Stats.Undecided != 0 {
+		t.Fatalf("undecided = %d, want 0", res.Stats.Undecided)
+	}
+	if res.Stats.Aborted == 0 {
+		t.Fatalf("aborted = 0, want at least one deadlock-victim abort")
+	}
+}

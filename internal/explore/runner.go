@@ -248,10 +248,16 @@ func run(spec Schedule, logSends bool) (*RunResult, []SendInfo, error) {
 		}
 	}
 	r.net.OnCrash = func(id simnet.NodeID) { r.ev("crash node=%d", id) }
+	// The lock-wait ablation (E20): sites poll-retry contended locks and the
+	// master never aborts slow work — correctness then rests entirely on the
+	// per-shard deadlock detectors, which cannot see cross-shard cycles.
+	r.cluster.Master.NoWorkTimeout = spec.LockWait
 	for _, id := range r.cluster.SiteIDs {
 		site := r.cluster.Sites[id]
 		sid := id
 		site.UnsafeWriteLocks = spec.Underlock
+		site.LockWait = spec.LockWait
+		site.CanonicalLockOrder = spec.CanonicalLockOrder
 		site.OnOp = func(t string, op txn.Op) {
 			r.opLog[sid] = append(r.opLog[sid], opEvent{
 				txn: t, key: op.Key, write: op.IsWrite, class: op.Class, at: r.sched.Now(),
@@ -288,6 +294,7 @@ func run(spec Schedule, logSends bool) (*RunResult, []SendInfo, error) {
 		ReadFraction:  spec.ReadFraction,
 		WriteFraction: spec.WriteFraction,
 		Spread:        spec.Spread,
+		Shards:        spec.Shards,
 	}, r.cluster.SiteFor)
 
 	// Phase 1: bootstrap the accounts, ending at a fixed time so the

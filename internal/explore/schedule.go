@@ -100,6 +100,7 @@ const (
 	WorkloadReadMostly     = "read-mostly"
 	WorkloadHotspot        = "hotspot"
 	WorkloadCrossPartition = "cross-partition"
+	WorkloadOpposed        = "opposed"
 )
 
 // Schedule is a complete, replayable description of one simulated run:
@@ -155,6 +156,19 @@ type Schedule struct {
 	// (per-shard lock managers and WAL sessions over the site's one
 	// stable store); 0 or 1 means the single-partition store.
 	Shards int `json:"shards,omitempty"`
+	// LockWait makes sites wait (poll-retry) on contended locks instead of
+	// failing the work phase, and disables the master's work-abort timer —
+	// the configuration that trusts each lock manager's deadlock detector.
+	// With per-shard managers that trust is misplaced: a lock cycle
+	// spanning two shards' managers is invisible to both, and the stalled
+	// transactions surface as progress-oracle violations. This is the
+	// dynamic twin of speccatlint's lock-order rule (E20).
+	LockWait bool `json:"lockWait,omitempty"`
+	// CanonicalLockOrder makes every site sort each work message's
+	// operations into ascending shard-index order before acquiring locks —
+	// the canonical order under which cross-shard cycles cannot form. E20's
+	// repaired arm runs the identical opposed schedule with this set.
+	CanonicalLockOrder bool `json:"canonicalLockOrder,omitempty"`
 }
 
 // WorkloadKind translates the schedule's workload name.
@@ -170,8 +184,10 @@ func (s Schedule) WorkloadKind() (workload.Kind, error) {
 		return workload.Hotspot, nil
 	case WorkloadCrossPartition:
 		return workload.CrossPartition, nil
+	case WorkloadOpposed:
+		return workload.Opposed, nil
 	default:
-		return 0, fmt.Errorf("explore: unknown workload %q (want transfers, commutative, read-mostly, hotspot, or cross-partition)", s.Workload)
+		return 0, fmt.Errorf("explore: unknown workload %q (want transfers, commutative, read-mostly, hotspot, cross-partition, or opposed)", s.Workload)
 	}
 }
 

@@ -272,7 +272,38 @@ func (m *Manager) holdersOf(o *object) []string {
 // ReleaseAll releases every lock held by txn (strict 2PL: all locks are
 // held to transaction end, then released together), granting queued
 // compatible requests in FIFO order.
+//
+// The transaction's own queued requests are purged BEFORE any queue is
+// pumped: a transaction can simultaneously hold a key and be queued on it
+// (a mixed-mode request that had to wait behind another holder), and
+// pumping first could grant that request the instant the holder entry is
+// removed — a stale grant to a transaction that is releasing everything,
+// re-creating its held entry after deletion and leaking the lock forever.
 func (m *Manager) ReleaseAll(txn string) {
+	// Sorted key iteration: pumping grants queued requests, whose callbacks
+	// re-enter the engines, so the grant order must be identical across
+	// replays (map-order pumping would leak nondeterminism into the
+	// deterministic simulator's traces).
+	queued := make([]string, 0, len(m.objects))
+	for key := range m.objects {
+		queued = append(queued, key)
+	}
+	sort.Strings(queued)
+	for _, key := range queued {
+		o := m.objects[key]
+		var rest []request
+		for _, r := range o.queue {
+			if r.txn != txn {
+				rest = append(rest, r)
+			}
+		}
+		if len(rest) != len(o.queue) {
+			o.queue = rest
+			// The shorter queue may unblock a head request behind the purged
+			// one even on keys txn never held.
+			m.pump(o, key)
+		}
+	}
 	keys := make([]string, 0, len(m.held[txn]))
 	for key := range m.held[txn] {
 		keys = append(keys, key)
@@ -284,19 +315,6 @@ func (m *Manager) ReleaseAll(txn string) {
 		o := m.obj(key)
 		delete(o.holders, txn)
 		m.pump(o, key)
-	}
-	// The transaction may also be queued somewhere; drop those requests.
-	for key, o := range m.objects {
-		var rest []request
-		for _, r := range o.queue {
-			if r.txn != txn {
-				rest = append(rest, r)
-			}
-		}
-		if len(rest) != len(o.queue) {
-			o.queue = rest
-			m.pump(o, key)
-		}
 	}
 }
 

@@ -1,0 +1,162 @@
+package locking
+
+import "testing"
+
+// TestReleaseAllWaiterCleanup audits the queued-request sweep of
+// ReleaseAll: a transaction that releases everything must have every
+// queued-but-never-granted request of its own removed, and must never
+// receive a grant callback afterwards. The mixed-hold case is the
+// conviction that motivated ordering the sweep before the pump: a
+// transaction can hold a key AND be queued on the same key (an upgrade
+// that had to wait behind another holder), and a pump running before the
+// sweep would grant that stale request the moment the holder entry is
+// deleted — resurrecting m.held for a transaction that is gone and
+// leaking the lock forever.
+func TestReleaseAllWaiterCleanup(t *testing.T) {
+	cases := []struct {
+		name string
+		// setup arranges holders and queued requests for the releasing
+		// transaction "rel"; it returns the keys whose queues must not
+		// retain (or grant) rel's requests afterwards.
+		setup func(m *Manager, granted *int) []string
+	}{
+		{
+			// rel is a plain waiter behind an exclusive holder.
+			name: "queued waiter removed",
+			setup: func(m *Manager, granted *int) []string {
+				mustAcquire(m, "hold", "k", Write)
+				if ok, err := m.Acquire("rel", "k", Write, func() { *granted++ }); ok || err != nil {
+					panic("rel should queue")
+				}
+				return []string{"k"}
+			},
+		},
+		{
+			// rel waits on one key while holding another: both the held
+			// lock and the queued request must go.
+			name: "waiter holding elsewhere",
+			setup: func(m *Manager, granted *int) []string {
+				mustAcquire(m, "rel", "a", Write)
+				mustAcquire(m, "hold", "k", Write)
+				if ok, err := m.Acquire("rel", "k", Read, func() { *granted++ }); ok || err != nil {
+					panic("rel should queue")
+				}
+				return []string{"a", "k"}
+			},
+		},
+		{
+			// The stale-grant conviction: rel holds k in Read and queues a
+			// mixed-class upgrade (Join(Read,Inc)=Write) behind a
+			// co-holding reader. ReleaseAll(rel) deletes rel's holder
+			// entry; if the queue were pumped before the sweep, rel's own
+			// queued request would become the compatible FIFO head and be
+			// granted — firing the callback and re-creating held state for
+			// a finished transaction.
+			name: "mixed-hold upgrade not stale-granted",
+			setup: func(m *Manager, granted *int) []string {
+				mustAcquire(m, "rel", "k", Read)
+				mustAcquire(m, "other", "k", Read)
+				if ok, err := m.Acquire("rel", "k", IncMode, func() { *granted++ }); ok || err != nil {
+					panic("rel upgrade should queue")
+				}
+				return []string{"k"}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewManager()
+			granted := 0
+			keys := tc.setup(m, &granted)
+			m.ReleaseAll("rel")
+			if granted != 0 {
+				t.Fatalf("rel received %d grant callbacks after ReleaseAll", granted)
+			}
+			if got := m.held["rel"]; len(got) != 0 {
+				t.Fatalf("rel still holds %v after ReleaseAll", got)
+			}
+			if _, waiting := m.waits["rel"]; waiting {
+				t.Fatalf("rel still registered as waiting after ReleaseAll")
+			}
+			for _, k := range keys {
+				for _, r := range m.obj(k).queue {
+					if r.txn == "rel" {
+						t.Fatalf("rel still queued on %s after ReleaseAll", k)
+					}
+				}
+				for _, h := range m.Holders(k) {
+					if h == "rel" {
+						t.Fatalf("rel re-acquired %s after ReleaseAll (stale grant)", k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReleaseAllUnblocksSuccessors: purging the released transaction's
+// queued requests must also pump queues it merely waited in, so a request
+// queued BEHIND the purged one is granted rather than stuck behind a
+// phantom head.
+func TestReleaseAllUnblocksSuccessors(t *testing.T) {
+	m := NewManager()
+	mustAcquire(m, "hold", "k", Read)
+	// rel queues an incompatible upgrade-style request...
+	if ok, _ := m.Acquire("rel", "k", Write, nil); ok {
+		t.Fatal("rel should queue")
+	}
+	// ...and t3 queues a read that is compatible with hold but FIFO-stuck
+	// behind rel.
+	granted := false
+	if ok, _ := m.Acquire("t3", "k", Read, func() { granted = true }); ok {
+		t.Fatal("t3 should queue behind rel")
+	}
+	m.ReleaseAll("rel")
+	if !granted {
+		t.Fatal("t3 not granted after the blocking waiter released everything")
+	}
+	if got := m.Holds("t3", "k"); got != Read {
+		t.Fatalf("t3 holds %v, want Read", got)
+	}
+}
+
+// TestReleaseAllPumpOrderDeterministic convicts map-order pumping: when the
+// released transaction's queued requests are purged from many keys, the
+// successor grants unblocked by each purge must fire in sorted key order —
+// iterating m.objects directly would fire them in Go's randomized map
+// order, leaking nondeterminism into the deterministic simulator's traces
+// (grant callbacks re-enter the engines and send messages).
+func TestReleaseAllPumpOrderDeterministic(t *testing.T) {
+	keys := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9"}
+	m := NewManager()
+	var granted []string
+	for i, k := range keys {
+		hold := "hold" + k
+		mustAcquire(m, hold, k, Read)
+		// rel blocks on an exclusive request behind the reader...
+		if ok, _ := m.Acquire("rel", k, Write, nil); ok {
+			t.Fatalf("rel should queue on %s", k)
+		}
+		// ...and a compatible reader queues FIFO-stuck behind rel.
+		k := k
+		if ok, _ := m.Acquire("t"+keys[i], k, Read, func() { granted = append(granted, k) }); ok {
+			t.Fatalf("t should queue behind rel on %s", k)
+		}
+	}
+	m.ReleaseAll("rel")
+	if len(granted) != len(keys) {
+		t.Fatalf("granted %d successors, want %d", len(granted), len(keys))
+	}
+	for i, k := range keys {
+		if granted[i] != k {
+			t.Fatalf("grant order %v, want sorted key order %v", granted, keys)
+		}
+	}
+}
+
+func mustAcquire(m *Manager, txn, key string, mode Mode) {
+	ok, err := m.Acquire(txn, key, mode, nil)
+	if !ok || err != nil {
+		panic("acquire " + txn + "/" + key + " not immediate")
+	}
+}

@@ -111,6 +111,14 @@ type Master struct {
 	// scoped makes the commit protocol span only the sites a transaction
 	// actually touched (tpc.Config.ScopedParticipants).
 	scoped bool
+	// NoWorkTimeout disables the work-phase abort timer: the master waits
+	// for workdone/workfail indefinitely, trusting each site's lock manager
+	// to convict stuck transactions via its deadlock detector. It is half
+	// of the E20 lock-wait ablation (txn.Site.LockWait is the other half):
+	// per-shard detectors only see their own waits-for graph, so a cycle
+	// spanning two shards' managers stalls forever — exactly the blind spot
+	// speccatlint's lock-order rule gates statically.
+	NoWorkTimeout bool
 	// OnUnhandled, when non-nil, observes messages the master dropped —
 	// unknown kinds and undecodable payloads. They are counted either way
 	// (see Unhandled); before this hook existed both cases were a silent
@@ -160,6 +168,23 @@ type Site struct {
 	// flags statically. The flag survives Recover (it describes the code
 	// under test, not volatile state).
 	UnsafeWriteLocks bool
+	// LockWait makes the site wait for contended locks instead of failing
+	// the work phase: on kvstore.ErrConflict the remaining operations are
+	// retried after a network delta (the conflicting request stays queued in
+	// the shard's FIFO lock queue, so a later grant lets the retry proceed).
+	// Pair it with Master.NoWorkTimeout so nothing aborts stuck work — the
+	// configuration under which a cross-shard lock cycle, invisible to every
+	// per-shard wouldDeadlock, stalls a transaction forever. Experiment E20
+	// flips it to witness dynamically what lockcheck's lock-order rule flags
+	// statically.
+	LockWait bool
+	// CanonicalLockOrder sorts each work message's operations into ascending
+	// shard-index order before execution — the canonical acquisition order
+	// that makes cross-shard cycles impossible (every transaction climbs the
+	// shard lattice in one direction). It is E20's repaired arm: the same
+	// opposed workload that deadlocks under LockWait alone runs to
+	// completion when acquisition order is canonicalized.
+	CanonicalLockOrder bool
 	// OnApply, when non-nil, observes every commit-protocol decision applied
 	// to the local store (the moment a local branch's effects become
 	// committed or are rolled back).
@@ -215,6 +240,9 @@ func (m *Master) Submit(txn string, ops []Op, onDone func(*Result)) error {
 	// A transaction touching no data commits trivially via the protocol.
 	if len(p.ops) == 0 {
 		return m.startCommit(txn, p)
+	}
+	if m.NoWorkTimeout {
+		return nil
 	}
 	// Work timeout: if some site never answers, abort via the protocol.
 	m.net.After(m.id, 8*m.net.Delta(), func() {
@@ -348,64 +376,111 @@ func (s *Site) handle(msg rt.Message) {
 		s.noteUnhandled(msg)
 		return
 	}
-	reads, err := s.execute(w)
-	if err != nil {
-		// Local failure (conflict/deadlock): report and roll back so the
-		// vote becomes no.
-		s.failed[w.Txn] = true
-		if s.Store.Prepared(w.Txn) {
-			_ = s.Store.Abort(w.Txn)
-		}
-		_ = s.net.Send(s.id, s.masterID, kindWorkFail, doneMsg{Txn: w.Txn})
-		return
-	}
-	_ = s.net.Send(s.id, s.masterID, kindWorkDone, doneMsg{Txn: w.Txn, Reads: reads})
+	s.startWork(w)
 }
 
-func (s *Site) execute(w workMsg) (map[string]string, error) {
+// startWork opens the local branch and begins executing the work message's
+// operations. Under CanonicalLockOrder the operations are first sorted into
+// ascending shard-index order, the canonical acquisition order.
+func (s *Site) startWork(w workMsg) {
 	if err := s.Store.Begin(w.Txn); err != nil {
-		return nil, err
+		s.failWork(w.Txn)
+		return
 	}
-	reads := map[string]string{}
-	for _, op := range w.Ops {
-		switch {
-		case op.Class == ClassInc:
-			if err := s.Store.Increment(w.Txn, op.Key, op.Value); err != nil {
-				return nil, err
+	ops := w.Ops
+	if s.CanonicalLockOrder && s.shards > 0 {
+		ops = canonicalOrder(ops, s.shards)
+	}
+	s.runOps(w.Txn, ops, 0, map[string]string{})
+}
+
+// failWork reports a local work failure (conflict/deadlock) and rolls the
+// branch back so the vote becomes no.
+func (s *Site) failWork(txn string) {
+	s.failed[txn] = true
+	if s.Store.Prepared(txn) {
+		_ = s.Store.Abort(txn)
+	}
+	_ = s.net.Send(s.id, s.masterID, kindWorkFail, doneMsg{Txn: txn})
+}
+
+// runOps executes ops[from:] against the local store, reporting workdone on
+// completion. Under LockWait a lock conflict suspends the transaction at the
+// blocked operation and re-enters here after a network delta — the blocked
+// request stays queued at the shard's lock manager, so a later FIFO grant
+// makes the retry's acquire succeed (locking.Covers) and execution resumes
+// exactly where it stopped. Operations already executed are never re-run
+// (re-applying an increment would double it).
+func (s *Site) runOps(txn string, ops []Op, from int, reads map[string]string) {
+	//lock:ordered submission-order acquisition is safe under the default abort-on-conflict policy (no waiting, no cycle); under LockWait the risk is real — E20 witnesses the cross-manager stall — and CanonicalLockOrder presorts ops ascending by shard to remove it
+	for i := from; i < len(ops); i++ {
+		op := ops[i]
+		if err := s.applyOp(txn, op, reads); err != nil {
+			if s.LockWait && errors.Is(err, kvstore.ErrConflict) {
+				next := i
+				s.net.After(s.id, s.net.Delta(), func() {
+					// The branch may have been settled meanwhile (a decision
+					// applied, or a recovery); a retry then has nothing to do.
+					if s.failed[txn] || !s.Store.Prepared(txn) {
+						return
+					}
+					s.runOps(txn, ops, next, reads)
+				})
+				return
 			}
-		case op.Class == ClassAppend:
-			if err := s.Store.Append(w.Txn, op.Key, op.Value); err != nil {
-				return nil, err
-			}
-		case op.Class == ClassSetInsert:
-			if err := s.Store.SetInsert(w.Txn, op.Key, op.Value); err != nil {
-				return nil, err
-			}
-		case op.Class != "":
-			return nil, fmt.Errorf("txn: unknown op class %q", op.Class)
-		case op.IsWrite && s.UnsafeWriteLocks:
-			if err := s.Store.PutUnderlocked(w.Txn, op.Key, op.Value); err != nil {
-				return nil, err
-			}
-		case op.IsWrite:
-			if err := s.Store.Put(w.Txn, op.Key, op.Value); err != nil {
-				return nil, err
-			}
-		default:
-			v, err := s.Store.Get(w.Txn, op.Key)
-			if err != nil {
-				return nil, err
-			}
-			reads[fmt.Sprintf("%d/%s", s.id, op.Key)] = v
+			s.failWork(txn)
+			return
 		}
 		if s.OnOp != nil {
-			s.OnOp(w.Txn, op)
+			s.OnOp(txn, op)
 		}
 	}
-	return reads, nil
+	_ = s.net.Send(s.id, s.masterID, kindWorkDone, doneMsg{Txn: txn, Reads: reads})
+}
+
+// applyOp dispatches one operation to the store.
+func (s *Site) applyOp(txn string, op Op, reads map[string]string) error {
+	switch {
+	case op.Class == ClassInc:
+		return s.Store.Increment(txn, op.Key, op.Value)
+	case op.Class == ClassAppend:
+		return s.Store.Append(txn, op.Key, op.Value)
+	case op.Class == ClassSetInsert:
+		return s.Store.SetInsert(txn, op.Key, op.Value)
+	case op.Class != "":
+		return fmt.Errorf("txn: unknown op class %q", op.Class)
+	case op.IsWrite && s.UnsafeWriteLocks:
+		return s.Store.PutUnderlocked(txn, op.Key, op.Value)
+	case op.IsWrite:
+		return s.Store.Put(txn, op.Key, op.Value)
+	default:
+		v, err := s.Store.Get(txn, op.Key)
+		if err != nil {
+			return err
+		}
+		reads[fmt.Sprintf("%d/%s", s.id, op.Key)] = v
+		return nil
+	}
+}
+
+// canonicalOrder returns ops stably sorted by ascending shard index (ties
+// keep submission order): every transaction then climbs the shard lattice
+// in one direction, so no two transactions can acquire a pair of shards'
+// locks in opposite orders and close a cross-manager waits-for cycle.
+func canonicalOrder(ops []Op, shards int) []Op {
+	out := append([]Op{}, ops...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return kvstore.ShardOf(out[i].Key, shards) < kvstore.ShardOf(out[j].Key, shards)
+	})
+	return out
 }
 
 // applyDecision applies the commit protocol's outcome to the local store.
+// It is wired as the cohort's OnDecide callback (deploy.go), which the
+// call-graph walk cannot see through — the //lock:handler opt-in makes it
+// an analysis root so the commit path's ReleaseAll ordering is covered.
+//
+//lock:handler
 func (s *Site) applyDecision(txn string, d tpc.Decision) {
 	if !s.Store.Prepared(txn) {
 		return // no local branch (not involved, or already applied)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"speccat/internal/kvstore"
 	"speccat/internal/simnet"
 	"speccat/internal/txn"
 )
@@ -39,6 +40,19 @@ const (
 	// sites — and, within a site, hash shards — making it the stress mix
 	// for the multi-shard prepare fan-out and group-committed WAL path.
 	CrossPartition
+	// Opposed is the adversarial cross-shard lock-order mix: every
+	// transaction blind-writes the same two accounts, chosen so both live
+	// at one site but hash to different shards, with the two acquisition
+	// orders alternating — transaction 1 takes (high shard, low shard),
+	// transaction 2 (low, high), and so on. Transaction 0 is a warm-up
+	// that writes both keys and so (under strict 2PL) holds both shards'
+	// locks until its commit applies, forcing the opposed pair to suspend
+	// mid-acquisition; when the warm-up releases, each of the pair grabs
+	// its first key and then waits on the other's — a waits-for cycle
+	// spanning two lock managers that neither manager's deadlock detector
+	// can see. It exists for E20 and lockcheck's lock-order rule; it is
+	// deterministic (no random draws).
+	Opposed
 )
 
 // String names the kind.
@@ -54,6 +68,8 @@ func (k Kind) String() string {
 		return "commutative"
 	case CrossPartition:
 		return "cross-partition"
+	case Opposed:
+		return "opposed"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -85,6 +101,10 @@ type Config struct {
 	// Spread is how many distinct accounts a CrossPartition transaction
 	// touches (default 4; clamped to Accounts).
 	Spread int
+	// Shards is the per-site hash-partition count the cluster under test
+	// runs with. Only the Opposed kind reads it (to pick two same-site
+	// accounts hashing to different shards); 0 defaults to 2.
+	Shards int
 	// WriteFraction is the share of blind absolute-write transactions in
 	// the Commutative mix: paired overwrites of two zipfian-chosen
 	// accounts with no preceding read. It exists for the underlock
@@ -200,6 +220,8 @@ func (g *Generator) Generate() []Txn {
 				continue
 			}
 			out = append(out, g.crossPartitionTxn(name))
+		case Opposed:
+			out = append(out, g.opposedTxn(name, i))
 		default:
 			out = append(out, g.transferTxn(name, g.pick(), g.pick()))
 		}
@@ -232,6 +254,56 @@ func (g *Generator) crossPartitionTxn(name string) Txn {
 		t.Ops = append(t.Ops, txn.Op{Site: g.SiteFor(k), Key: k, Value: delta, Class: txn.ClassInc})
 	}
 	return t
+}
+
+// opposedPair finds the two accounts the Opposed mix contends on: the
+// first pair that lives at one site (so one work message carries both
+// operations and acquisition order is exactly op order) while hashing to
+// different shards (so the two locks live in different managers). Returned
+// in ascending shard-index order. The scan is deterministic; failure to
+// find a pair (single-site clusters always succeed only if two accounts
+// hash apart, true for any realistic account count) falls back to the
+// first two accounts.
+func (g *Generator) opposedPair() (lo, hi string) {
+	n := g.cfg.Shards
+	if n < 2 {
+		n = 2
+	}
+	for a := 0; a < g.cfg.Accounts; a++ {
+		for b := a + 1; b < g.cfg.Accounts; b++ {
+			ka, kb := Account(a), Account(b)
+			if g.SiteFor(ka) != g.SiteFor(kb) {
+				continue
+			}
+			sa, sb := kvstore.ShardOf(ka, n), kvstore.ShardOf(kb, n)
+			if sa == sb {
+				continue
+			}
+			if sa < sb {
+				return ka, kb
+			}
+			return kb, ka
+		}
+	}
+	return Account(0), Account(1)
+}
+
+// opposedTxn builds transaction i of the Opposed mix (see the Kind doc):
+// i=0 warms both keys; odd i acquires (hi, lo) — descending shard order —
+// and even i (lo, hi).
+func (g *Generator) opposedTxn(name string, i int) Txn {
+	lo, hi := g.opposedPair()
+	first, second := lo, hi
+	if i%2 == 1 {
+		first, second = hi, lo
+	}
+	return Txn{
+		Name: name,
+		Ops: []txn.Op{
+			{Site: g.SiteFor(first), Key: first, Value: "0", IsWrite: true},
+			{Site: g.SiteFor(second), Key: second, Value: "0", IsWrite: true},
+		},
+	}
 }
 
 func (g *Generator) pick() int { return g.rng.Intn(g.cfg.Accounts) }
